@@ -1,0 +1,82 @@
+//! Ablations of design choices called out in DESIGN.md:
+//!
+//! * `f64` vs exact-`Rational` analysis — how much the exact mode costs,
+//! * per-stage M/K/L derivation vs a hoisted single derivation — whether
+//!   deriving the matrices from the truth table at every stage (the generic
+//!   path that enables hybrid chains) is measurably expensive,
+//! * the exact joint-chain DP vs the paper's recursion — the price of the
+//!   cancellation-aware extension.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
+use sealpaa_core::{analyze, exact_error_analysis, CarryState, Ipm, MklMatrices, OpCounts};
+use sealpaa_num::Rational;
+
+fn bench_f64_vs_rational(c: &mut Criterion) {
+    let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 32);
+    let f_profile = InputProfile::constant(32, 0.1);
+    let r_profile = InputProfile::<Rational>::constant(32, Rational::from_ratio(1, 10));
+    let mut group = c.benchmark_group("number_type_32bit");
+    group.bench_function("f64", |b| {
+        b.iter(|| analyze(black_box(&chain), black_box(&f_profile)).expect("widths match"))
+    });
+    group.sample_size(20);
+    group.bench_function("rational_exact", |b| {
+        b.iter(|| analyze(black_box(&chain), black_box(&r_profile)).expect("widths match"))
+    });
+    group.finish();
+}
+
+fn bench_matrix_derivation(c: &mut Criterion) {
+    // The generic engine re-derives M/K/L per stage; measure the derivation
+    // itself and a hand-hoisted recursion to quantify the overhead.
+    let table = StandardCell::Lpaa1.truth_table();
+    c.bench_function("mkl_derivation_single", |b| {
+        b.iter(|| MklMatrices::from_truth_table(black_box(&table)))
+    });
+
+    let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 64);
+    let profile = InputProfile::constant(64, 0.1);
+    let mut group = c.benchmark_group("derivation_hoisting_64bit");
+    group.bench_function("engine_per_stage_derivation", |b| {
+        b.iter(|| analyze(black_box(&chain), black_box(&profile)).expect("widths match"))
+    });
+    group.bench_function("hand_hoisted_recursion", |b| {
+        let mkl = MklMatrices::from_truth_table(&table);
+        b.iter(|| {
+            let mut ops = OpCounts::default();
+            let mut carry = CarryState::initial(black_box(profile.p_cin()));
+            let mut success = 1.0f64;
+            for i in 0..64 {
+                let ipm = Ipm::build(profile.pa(i), profile.pb(i), &carry, &mut ops);
+                carry = CarryState::new(ipm.dot(mkl.k(), &mut ops), ipm.dot(mkl.m(), &mut ops));
+                success = ipm.dot(mkl.l(), &mut ops);
+            }
+            success
+        })
+    });
+    group.finish();
+}
+
+fn bench_exact_joint_dp(c: &mut Criterion) {
+    let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), 32);
+    let profile = InputProfile::constant(32, 0.3);
+    let mut group = c.benchmark_group("paper_recursion_vs_joint_dp_32bit");
+    group.bench_function("paper_recursion", |b| {
+        b.iter(|| analyze(black_box(&chain), black_box(&profile)).expect("widths match"))
+    });
+    group.bench_function("exact_joint_dp", |b| {
+        b.iter(|| {
+            exact_error_analysis(black_box(&chain), black_box(&profile)).expect("widths match")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_f64_vs_rational,
+    bench_matrix_derivation,
+    bench_exact_joint_dp
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Paper claim (Sec. 5): "the execution time is approximately less than 1 ms
+//! for any length of multistage adder being analyzed" and the cost scales
+//! *linearly* with the number of stages.
+//!
+//! This bench sweeps the proposed method from 8 to 1024 bits; Criterion's
+//! per-width estimates should grow proportionally to N and stay far under a
+//! millisecond even at widths no simulation could ever touch.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
+use sealpaa_core::analyze;
+
+fn bench_analysis_width_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proposed_method_vs_width");
+    for width in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), width);
+        let profile = InputProfile::<f64>::uniform(width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| analyze(black_box(&chain), black_box(&profile)).expect("widths match"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis_per_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proposed_method_per_cell_32bit");
+    for cell in StandardCell::APPROXIMATE {
+        let chain = AdderChain::uniform(cell.cell(), 32);
+        let profile = InputProfile::constant(32, 0.1);
+        group.bench_function(cell.name(), |b| {
+            b.iter(|| analyze(black_box(&chain), black_box(&profile)).expect("widths match"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hybrid_chain(c: &mut Criterion) {
+    // Hybrid chains cost the same as homogeneous ones — the method is
+    // per-stage.
+    let stages: Vec<_> = (0..64)
+        .map(|i| StandardCell::APPROXIMATE[i % 7].cell())
+        .collect();
+    let chain = AdderChain::from_stages(stages);
+    let profile = InputProfile::constant(64, 0.3);
+    c.bench_function("proposed_method_hybrid_64bit", |b| {
+        b.iter(|| analyze(black_box(&chain), black_box(&profile)).expect("widths match"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_analysis_width_sweep,
+    bench_analysis_per_cell,
+    bench_hybrid_chain
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Paper Table 3 / Sec. 3: the inclusion–exclusion baseline doubles in cost
+//! per added stage while the proposed method adds one constant-cost stage.
+//! The same contrast holds for GeAr: the 2^k-term analysis of [12] vs our
+//! linear DP.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
+use sealpaa_core::analyze;
+use sealpaa_gear::{error_probability, error_probability_inclexcl, GearConfig};
+use sealpaa_inclexcl::error_probability as inclexcl_error;
+
+fn bench_inclexcl_vs_proposed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpaa_error_probability");
+    group.sample_size(10);
+    for width in [4usize, 8, 12, 16] {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), width);
+        let profile = InputProfile::constant(width, 0.1);
+        group.bench_with_input(
+            BenchmarkId::new("inclusion_exclusion", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    inclexcl_error(black_box(&chain), black_box(&profile)).expect("widths match")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("proposed", width), &width, |b, _| {
+            b.iter(|| analyze(black_box(&chain), black_box(&profile)).expect("widths match"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gear_analyses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gear_error_probability");
+    group.sample_size(10);
+    for n in [8usize, 16, 24] {
+        let config = GearConfig::new(n, 2, 2).expect("valid config");
+        let pa = vec![0.5f64; n];
+        group.bench_with_input(BenchmarkId::new("linear_dp", n), &n, |b, _| {
+            b.iter(|| {
+                error_probability(black_box(&config), black_box(&pa), black_box(&pa), 0.0)
+                    .expect("widths match")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inclusion_exclusion", n), &n, |b, _| {
+            b.iter(|| {
+                error_probability_inclexcl(black_box(&config), black_box(&pa), black_box(&pa), 0.0)
+                    .expect("widths match")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inclexcl_vs_proposed, bench_gear_analyses);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks for the beyond-the-paper extensions: error-magnitude moments,
+//! full error distributions, datapath composition, and HDL synthesis — so
+//! their costs relative to the core O(N) analysis are on record.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
+use sealpaa_core::{error_distribution, error_magnitude};
+use sealpaa_datapath::{estimate, Datapath};
+use sealpaa_hdl::{chain_netlist, chain_verilog};
+
+fn bench_magnitude(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_magnitude_vs_width");
+    for width in [8usize, 32, 128] {
+        let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), width);
+        let profile = InputProfile::constant(width, 0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| error_magnitude(black_box(&chain), black_box(&profile)).expect("widths"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_distribution_vs_width");
+    group.sample_size(20);
+    for width in [4usize, 8, 12] {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), width);
+        let profile = InputProfile::constant(width, 0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| error_distribution(black_box(&chain), black_box(&profile)).expect("widths"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_datapath_estimate(c: &mut Criterion) {
+    // A 15-adder balanced reduction tree of 16 operands.
+    let mut dp = Datapath::new();
+    let mut level: Vec<_> = (0..16).map(|i| dp.input(format!("x{i}"), 8)).collect();
+    let mut width = 8;
+    while level.len() > 1 {
+        let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), width);
+        level = level
+            .chunks(2)
+            .map(|pair| dp.add(pair[0], pair[1], chain.clone()).expect("fits"))
+            .collect();
+        width += 1;
+    }
+    let input_names: Vec<String> = (0..16).map(|i| format!("x{i}")).collect();
+    let inputs: Vec<(&str, Vec<f64>)> = input_names
+        .iter()
+        .map(|n| (n.as_str(), vec![0.4; 8]))
+        .collect();
+    c.bench_function("datapath_estimate_16way_tree", |b| {
+        b.iter(|| estimate(black_box(&dp), black_box(&inputs)).expect("valid"))
+    });
+}
+
+fn bench_hdl_synthesis(c: &mut Criterion) {
+    let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 32);
+    let mut group = c.benchmark_group("hdl_32bit_chain");
+    group.bench_function("netlist", |b| b.iter(|| chain_netlist(black_box(&chain))));
+    group.bench_function("verilog_text", |b| {
+        b.iter(|| chain_verilog(black_box(&chain)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_magnitude,
+    bench_distribution,
+    bench_datapath_estimate,
+    bench_hdl_synthesis
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Paper Fig. 1: exhaustive-simulation cost quadruples per added bit, which
+//! is what makes the analytical method necessary. Monte-Carlo cost per
+//! sample is flat but its precision is only ~3 decimals at 10⁶ samples
+//! (paper Table 6).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
+use sealpaa_sim::{exhaustive, monte_carlo, MonteCarloConfig};
+
+fn bench_exhaustive_width_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_simulation_vs_width");
+    group.sample_size(10);
+    for width in [2usize, 4, 6, 8, 10] {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), width);
+        let profile = InputProfile::<f64>::uniform(width);
+        group.throughput(Throughput::Elements(1u64 << (2 * width + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| exhaustive(black_box(&chain), black_box(&profile)).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo_100k_samples");
+    group.sample_size(10);
+    for width in [8usize, 16, 32] {
+        let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), width);
+        let profile = InputProfile::constant(width, 0.1);
+        let config = MonteCarloConfig {
+            samples: 100_000,
+            seed: 1,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| monte_carlo(black_box(&chain), black_box(&profile), config).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exhaustive_width_sweep, bench_monte_carlo);
+criterion_main!(benches);

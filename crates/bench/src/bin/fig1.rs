@@ -1,0 +1,11 @@
+//! Regenerates paper Fig. 1 (exhaustive-simulation blow-up vs width).
+//!
+//! Usage: `cargo run --release -p sealpaa-bench --bin fig1 [max_width]`
+
+fn main() {
+    let max_width: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("max_width must be an integer"))
+        .unwrap_or(10);
+    print!("{}", sealpaa_bench::experiments::fig1(max_width));
+}

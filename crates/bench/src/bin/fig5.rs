@@ -1,0 +1,15 @@
+//! Regenerates paper Fig. 5(a,b,c) (P(Succ) vs width per LPAA).
+//!
+//! Usage: `cargo run --release -p sealpaa-bench --bin fig5 [--csv]`
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    for table in sealpaa_bench::experiments::fig5() {
+        if csv {
+            print!("{}", table.to_csv());
+            println!();
+        } else {
+            println!("{table}");
+        }
+    }
+}

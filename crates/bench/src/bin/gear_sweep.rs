@@ -1,0 +1,11 @@
+//! Extension: GeAr configuration sweep with three cross-checked analyses.
+//!
+//! Usage: `cargo run --release -p sealpaa-bench --bin gear_sweep [mc_samples]`
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("mc_samples must be an integer"))
+        .unwrap_or(1_000_000);
+    print!("{}", sealpaa_bench::experiments::gear_sweep(samples));
+}

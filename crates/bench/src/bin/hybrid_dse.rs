@@ -1,0 +1,11 @@
+//! Extension (paper Sec. 5): budgeted hybrid-adder design-space exploration.
+//!
+//! Usage: `cargo run --release -p sealpaa-bench --bin hybrid_dse [width]`
+
+fn main() {
+    let width: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("width must be an integer"))
+        .unwrap_or(8);
+    print!("{}", sealpaa_bench::experiments::hybrid_dse(width));
+}

@@ -1,0 +1,18 @@
+//! Extension: approximate-LSB deployment sweep.
+//!
+//! Usage: `cargo run --release -p sealpaa-bench --bin lsb_sweep [width]`
+
+use sealpaa_cells::StandardCell;
+
+fn main() {
+    let width: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("width must be an integer"))
+        .unwrap_or(8);
+    for cell in [StandardCell::Lpaa1, StandardCell::Lpaa5] {
+        println!(
+            "{}",
+            sealpaa_bench::experiments::lsb_sweep_table(cell, width)
+        );
+    }
+}

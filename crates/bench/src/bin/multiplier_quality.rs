@@ -1,0 +1,14 @@
+//! Extension: approximate shift-add multiplier quality per cell.
+//!
+//! Usage: `cargo run --release -p sealpaa-bench --bin multiplier_quality [mc_samples]`
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("mc_samples must be an integer"))
+        .unwrap_or(100_000);
+    print!(
+        "{}",
+        sealpaa_bench::experiments::multiplier_quality(samples)
+    );
+}

@@ -1,0 +1,31 @@
+//! Runs every paper reproduction in sequence (the source of EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p sealpaa-bench --bin repro_all [mc_samples]`
+
+use sealpaa_bench::experiments;
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("mc_samples must be an integer"))
+        .unwrap_or(1_000_000);
+    println!("{}", experiments::fig1(10));
+    println!("{}", experiments::table2());
+    println!("{}", experiments::table3());
+    println!("{}", experiments::table4());
+    println!("{}", experiments::table5());
+    println!("{}", experiments::table6(samples, 8));
+    println!("{}", experiments::table7(samples));
+    println!("{}", experiments::table8());
+    for table in experiments::fig5() {
+        println!("{table}");
+    }
+    println!("{}", experiments::gear_sweep(samples));
+    println!("{}", experiments::hybrid_dse(8));
+    println!("{}", experiments::multiplier_quality(samples.min(200_000)));
+    println!(
+        "{}",
+        experiments::lsb_sweep_table(sealpaa_cells::StandardCell::Lpaa5, 8)
+    );
+    println!("{}", experiments::worst_case_table(16));
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Table 2 (LPAA characteristics).
+
+fn main() {
+    print!("{}", sealpaa_bench::experiments::table2());
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Table 3 (inclusion-exclusion cost model).
+
+fn main() {
+    print!("{}", sealpaa_bench::experiments::table3());
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Table 4 (worked 4-bit LPAA 1 example).
+
+fn main() {
+    print!("{}", sealpaa_bench::experiments::table4());
+}

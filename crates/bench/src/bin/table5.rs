@@ -1,0 +1,5 @@
+//! Regenerates paper Table 5 (M, K, L matrices, derived).
+
+fn main() {
+    print!("{}", sealpaa_bench::experiments::table5());
+}

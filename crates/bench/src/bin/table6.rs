@@ -1,0 +1,15 @@
+//! Regenerates paper Table 6 (accuracy match vs simulation).
+//!
+//! Usage: `cargo run --release -p sealpaa-bench --bin table6 [mc_samples] [max_exhaustive_width]`
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("mc_samples must be an integer"))
+        .unwrap_or(1_000_000);
+    let width: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("width must be an integer"))
+        .unwrap_or(8);
+    print!("{}", sealpaa_bench::experiments::table6(samples, width));
+}

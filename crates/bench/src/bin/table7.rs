@@ -1,0 +1,19 @@
+//! Regenerates paper Table 7 (analytical vs simulated P(E) at p = 0.1).
+//!
+//! Usage: `cargo run --release -p sealpaa-bench --bin table7 [mc_samples] [--csv]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let samples: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| s.parse().expect("mc_samples must be an integer"))
+        .unwrap_or(1_000_000);
+    let table = sealpaa_bench::experiments::table7(samples);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Table 8 (resource utilisation of the method).
+
+fn main() {
+    print!("{}", sealpaa_bench::experiments::table8());
+}

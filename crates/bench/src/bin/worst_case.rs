@@ -1,0 +1,11 @@
+//! Extension: exact worst-case errors with witnesses.
+//!
+//! Usage: `cargo run --release -p sealpaa-bench --bin worst_case [width]`
+
+fn main() {
+    let width: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("width must be an integer"))
+        .unwrap_or(16);
+    print!("{}", sealpaa_bench::experiments::worst_case_table(width));
+}

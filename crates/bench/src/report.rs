@@ -1,0 +1,176 @@
+//! Minimal fixed-width table rendering for the reproduction binaries.
+
+use std::fmt;
+
+/// A titled, column-aligned ASCII table.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_bench::report::Table;
+///
+/// let mut t = Table::new("demo", ["name", "value"]);
+/// t.row(["pi", "3.14"]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("demo"));
+/// assert!(rendered.contains("3.14"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new<H: Into<String>>(
+        title: impl Into<String>,
+        headers: impl IntoIterator<Item = H>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's cell count differs from the header count.
+    pub fn row<C: Into<String>>(&mut self, cells: impl IntoIterator<Item = C>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a free-form footnote printed after the table body.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Borrows a cell by row/column for programmatic checks in tests.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// Renders the table as RFC-4180-ish CSV (header row first; fields
+    /// containing commas or quotes are quoted) for plotting the figures
+    /// outside this tool. Notes are not included.
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let mut push_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        push_row(&self.headers);
+        for row in &self.rows {
+            push_row(row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                line.push_str(&format!("{cell:<width$}  ", width = w));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("t", ["a", "long-header"]);
+        t.row(["xxxxxx", "1"]);
+        t.row(["y", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("== t =="));
+        // The second data column starts at the same offset in both rows.
+        let col = lines[3].find('1').expect("has 1");
+        assert_eq!(lines[4].find('2'), Some(col));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn notes_are_rendered() {
+        let mut t = Table::new("t", ["a"]);
+        t.row(["1"]).note("caveat");
+        assert!(t.to_string().contains("note: caveat"));
+    }
+
+    #[test]
+    fn csv_escapes_only_where_needed() {
+        let mut t = Table::new("t", ["plain", "with,comma", "with\"quote"]);
+        t.row(["a", "b,c", "d\"e"]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("plain,\"with,comma\",\"with\"\"quote\""));
+        assert_eq!(lines.next(), Some("a,\"b,c\",\"d\"\"e\""));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn cell_accessor() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.cell(0, 1), Some("2"));
+        assert_eq!(t.cell(1, 0), None);
+        assert_eq!(t.row_count(), 1);
+    }
+}

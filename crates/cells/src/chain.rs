@@ -1,0 +1,361 @@
+//! Multi-bit ripple adders built from single-bit cells (paper Fig. 3).
+
+use std::fmt;
+
+use crate::library::Cell;
+use crate::truth_table::FaInput;
+
+/// A multi-bit ripple-carry adder assembled from per-stage single-bit cells.
+///
+/// Stage `i` adds operand bits `A_i`, `B_i` and the carry produced by stage
+/// `i − 1` (paper Fig. 3). Chains may be *homogeneous* (every stage the same
+/// cell) or *hybrid* (different cells per stage — the design style explored
+/// in paper Sec. 5, e.g. approximate cells in the LSBs and accurate cells in
+/// the MSBs).
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::{AdderChain, StandardCell};
+///
+/// // 4 approximate LSB stages below 4 accurate MSB stages.
+/// let hybrid = AdderChain::lsb_approximate(
+///     StandardCell::Lpaa5.cell(),
+///     StandardCell::Accurate.cell(),
+///     4,
+///     8,
+/// );
+/// assert_eq!(hybrid.width(), 8);
+/// assert_eq!(hybrid.stage(0).name(), "LPAA 5");
+/// assert_eq!(hybrid.stage(7).name(), "AccuFA");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdderChain {
+    stages: Vec<Cell>,
+}
+
+impl AdderChain {
+    /// Builds a homogeneous chain of `width` copies of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn uniform(cell: Cell, width: usize) -> Self {
+        assert!(width > 0, "an adder needs at least one stage");
+        AdderChain {
+            stages: vec![cell; width],
+        }
+    }
+
+    /// Builds a (possibly hybrid) chain from explicit per-stage cells,
+    /// least-significant stage first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn from_stages(stages: Vec<Cell>) -> Self {
+        assert!(!stages.is_empty(), "an adder needs at least one stage");
+        AdderChain { stages }
+    }
+
+    /// Builds the classic "approximate LSBs, accurate MSBs" split: the
+    /// lowest `approximate_bits` stages use `approximate`, the rest use
+    /// `accurate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `approximate_bits > width`.
+    pub fn lsb_approximate(
+        approximate: Cell,
+        accurate: Cell,
+        approximate_bits: usize,
+        width: usize,
+    ) -> Self {
+        assert!(width > 0, "an adder needs at least one stage");
+        assert!(
+            approximate_bits <= width,
+            "cannot approximate more bits than the adder has"
+        );
+        let mut stages = Vec::with_capacity(width);
+        for i in 0..width {
+            stages.push(if i < approximate_bits {
+                approximate.clone()
+            } else {
+                accurate.clone()
+            });
+        }
+        AdderChain { stages }
+    }
+
+    /// Number of stages (operand width in bits).
+    pub fn width(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Borrows the cell of stage `i` (stage 0 is the LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn stage(&self, i: usize) -> &Cell {
+        &self.stages[i]
+    }
+
+    /// Iterates over the stages, LSB first.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cell> {
+        self.stages.iter()
+    }
+
+    /// `true` if every stage is behaviourally exact.
+    pub fn is_accurate(&self) -> bool {
+        self.stages.iter().all(|c| c.truth_table().is_accurate())
+    }
+
+    /// Total power in nanowatts, if every stage has characteristics.
+    pub fn total_power_nw(&self) -> Option<f64> {
+        self.stages
+            .iter()
+            .map(|c| c.characteristics().map(|ch| ch.power_nw))
+            .sum()
+    }
+
+    /// Total area in gate equivalents, if every stage has characteristics.
+    pub fn total_area_ge(&self) -> Option<f64> {
+        self.stages
+            .iter()
+            .map(|c| c.characteristics().map(|ch| ch.area_ge))
+            .sum()
+    }
+
+    /// Bit-true evaluation of the chain on concrete operands.
+    ///
+    /// Operands wider than the chain are truncated to `width` bits, exactly
+    /// as the hardware would ignore higher lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.width() > 64` (use several chains for wider adders).
+    pub fn add(&self, a: u64, b: u64, carry_in: bool) -> AdditionResult {
+        let width = self.width();
+        assert!(width <= 64, "functional evaluation supports up to 64 bits");
+        let mut sum = 0u64;
+        let mut carry = carry_in;
+        for (i, cell) in self.stages.iter().enumerate() {
+            let input = FaInput::new((a >> i) & 1 == 1, (b >> i) & 1 == 1, carry);
+            let out = cell.truth_table().eval(input);
+            if out.sum {
+                sum |= 1 << i;
+            }
+            carry = out.carry_out;
+        }
+        AdditionResult {
+            sum_bits: sum,
+            carry_out: carry,
+            width,
+        }
+    }
+
+    /// The exact reference result for the same operands: plain binary
+    /// addition truncated to the chain width.
+    pub fn accurate_sum(&self, a: u64, b: u64, carry_in: bool) -> AdditionResult {
+        let width = self.width();
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let total = (a & mask) as u128 + (b & mask) as u128 + carry_in as u128;
+        AdditionResult {
+            sum_bits: (total as u64) & mask,
+            carry_out: total >> width != 0,
+            width,
+        }
+    }
+}
+
+impl fmt::Display for AdderChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit chain [", self.width())?;
+        for (i, cell) in self.stages.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(cell.name())?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl<'a> IntoIterator for &'a AdderChain {
+    type Item = &'a Cell;
+    type IntoIter = std::slice::Iter<'a, Cell>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// The outcome of one multi-bit addition: the sum bits and the final
+/// carry-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdditionResult {
+    sum_bits: u64,
+    carry_out: bool,
+    width: usize,
+}
+
+impl AdditionResult {
+    /// The raw sum bits (without the carry-out).
+    pub fn sum_bits(self) -> u64 {
+        self.sum_bits
+    }
+
+    /// The final carry-out bit.
+    pub fn carry_out(self) -> bool {
+        self.carry_out
+    }
+
+    /// The full numeric value including the carry-out as bit `width`.
+    pub fn value(self) -> u64 {
+        self.sum_bits | (self.carry_out as u64) << self.width
+    }
+
+    /// Signed difference `self − other` of the full numeric values — the
+    /// *error distance* when comparing an approximate result against the
+    /// accurate one.
+    pub fn error_distance(self, other: AdditionResult) -> i64 {
+        self.value() as i64 - other.value() as i64
+    }
+
+    /// `true` if this result equals the exact binary sum `a + b + carry_in`
+    /// over the same width.
+    pub fn matches_accurate(self, a: u64, b: u64, carry_in: bool) -> bool {
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let total = (a & mask) as u128 + (b & mask) as u128 + carry_in as u128;
+        self.sum_bits == (total as u64) & mask && self.carry_out == (total >> self.width != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::StandardCell;
+
+    #[test]
+    fn accurate_chain_adds_correctly() {
+        let adder = AdderChain::uniform(StandardCell::Accurate.cell(), 8);
+        for (a, b, cin) in [(0u64, 0u64, false), (255, 1, false), (200, 100, true)] {
+            let r = adder.add(a, b, cin);
+            assert!(r.matches_accurate(a, b, cin), "{a}+{b}+{cin}");
+            assert_eq!(
+                r.value(),
+                (a & 0xFF) + (b & 0xFF) + cin as u64,
+                "{a}+{b}+{cin}"
+            );
+        }
+    }
+
+    #[test]
+    fn accurate_chain_matches_reference_exhaustively_4bit() {
+        let adder = AdderChain::uniform(StandardCell::Accurate.cell(), 4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for cin in [false, true] {
+                    assert_eq!(adder.add(a, b, cin), adder.accurate_sum(a, b, cin));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_chain_produces_known_error() {
+        // LPAA 1 errs on (A,B,Cin) = (0,1,0): sum 0 instead of 1.
+        let adder = AdderChain::uniform(StandardCell::Lpaa1.cell(), 4);
+        let r = adder.add(0b0000, 0b0001, false);
+        assert_eq!(r.sum_bits() & 1, 0, "LSB sum should be corrupted");
+        assert!(!r.matches_accurate(0, 1, false));
+    }
+
+    #[test]
+    fn carry_ripples_through_stages() {
+        let adder = AdderChain::uniform(StandardCell::Accurate.cell(), 4);
+        let r = adder.add(0b1111, 0b0001, false);
+        assert_eq!(r.sum_bits(), 0);
+        assert!(r.carry_out());
+        assert_eq!(r.value(), 16);
+    }
+
+    #[test]
+    fn operands_are_truncated_to_width() {
+        let adder = AdderChain::uniform(StandardCell::Accurate.cell(), 4);
+        let r = adder.add(0xF3, 0x02, false);
+        // Only the low nibbles participate: 3 + 2 = 5.
+        assert_eq!(r.value(), 5);
+    }
+
+    #[test]
+    fn hybrid_split_layout() {
+        let h = AdderChain::lsb_approximate(
+            StandardCell::Lpaa2.cell(),
+            StandardCell::Accurate.cell(),
+            3,
+            6,
+        );
+        for i in 0..3 {
+            assert_eq!(h.stage(i).name(), "LPAA 2");
+        }
+        for i in 3..6 {
+            assert_eq!(h.stage(i).name(), "AccuFA");
+        }
+        assert!(!h.is_accurate());
+    }
+
+    #[test]
+    fn power_and_area_aggregate_or_propagate_unknown() {
+        let known = AdderChain::uniform(StandardCell::Lpaa2.cell(), 4);
+        assert_eq!(known.total_power_nw(), Some(294.0 * 4.0));
+        assert_eq!(known.total_area_ge(), Some(1.94 * 4.0));
+        let unknown = AdderChain::uniform(StandardCell::Accurate.cell(), 4);
+        assert_eq!(unknown.total_power_nw(), None);
+    }
+
+    #[test]
+    fn error_distance_is_signed() {
+        // LPAA 1 on (A,B,Cin) = (0,1,0) outputs sum 0 / carry 1, so the
+        // chain computes 0 + 1 = 2: distance +1 against the exact result.
+        let approx = AdderChain::uniform(StandardCell::Lpaa1.cell(), 4);
+        let r = approx.add(0, 1, false);
+        let acc = approx.accurate_sum(0, 1, false);
+        assert_eq!(r.value(), 2);
+        assert_eq!(r.error_distance(acc), 1);
+        assert_eq!(acc.error_distance(r), -1);
+    }
+
+    #[test]
+    fn full_width_64_bit_masking() {
+        let adder = AdderChain::uniform(StandardCell::Accurate.cell(), 64);
+        let r = adder.add(u64::MAX, 1, false);
+        assert_eq!(r.sum_bits(), 0);
+        assert!(r.carry_out());
+        assert!(r.matches_accurate(u64::MAX, 1, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_width_panics() {
+        let _ = AdderChain::uniform(StandardCell::Accurate.cell(), 0);
+    }
+
+    #[test]
+    fn display_lists_stage_names() {
+        let h = AdderChain::from_stages(vec![
+            StandardCell::Lpaa5.cell(),
+            StandardCell::Accurate.cell(),
+        ]);
+        assert_eq!(h.to_string(), "2-bit chain [LPAA 5, AccuFA]");
+    }
+}

@@ -1,0 +1,469 @@
+//! The standard cell library: the accurate full adder and LPAA 1–7.
+
+use std::fmt;
+
+use crate::truth_table::{FaOutput, TruthTable};
+
+/// Power/area characteristics of a single-bit adder cell, as reported in
+/// paper Table 2 (originally characterised at 65 nm by Gupta et al.,
+/// IEEE TCAD 2013).
+///
+/// `power_nw` is dynamic power in nanowatts; `area_ge` is area in gate
+/// equivalents. LPAA 5 genuinely has `0` for both in the paper — it is pure
+/// wiring with no transistors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellCharacteristics {
+    /// Power consumption in nanowatts.
+    pub power_nw: f64,
+    /// Area in gate equivalents.
+    pub area_ge: f64,
+}
+
+impl CellCharacteristics {
+    /// Creates a characteristics record.
+    pub fn new(power_nw: f64, area_ge: f64) -> Self {
+        CellCharacteristics { power_nw, area_ge }
+    }
+}
+
+/// A named single-bit full-adder cell: a truth table plus optional
+/// power/area characteristics.
+///
+/// Use [`StandardCell::cell`] for the paper's cells, or [`Cell::custom`] for
+/// user-defined approximate adders.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::{Cell, FaOutput, StandardCell, TruthTable};
+///
+/// let lpaa1 = StandardCell::Lpaa1.cell();
+/// assert_eq!(lpaa1.truth_table().error_case_count(), 2);
+///
+/// // A custom cell: always propagates A as both sum and carry.
+/// let custom = Cell::custom(
+///     "pass-through",
+///     TruthTable::from_fn(|i| FaOutput::new(i.a, i.a)),
+/// );
+/// assert_eq!(custom.name(), "pass-through");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    name: String,
+    table: TruthTable,
+    characteristics: Option<CellCharacteristics>,
+}
+
+impl Cell {
+    /// Creates a custom cell without power/area characteristics.
+    pub fn custom(name: impl Into<String>, table: TruthTable) -> Self {
+        Cell {
+            name: name.into(),
+            table,
+            characteristics: None,
+        }
+    }
+
+    /// Creates a custom cell with power/area characteristics.
+    pub fn custom_with_characteristics(
+        name: impl Into<String>,
+        table: TruthTable,
+        characteristics: CellCharacteristics,
+    ) -> Self {
+        Cell {
+            name: name.into(),
+            table,
+            characteristics: Some(characteristics),
+        }
+    }
+
+    /// The cell's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell's behaviour.
+    pub fn truth_table(&self) -> &TruthTable {
+        &self.table
+    }
+
+    /// Power/area characteristics, if known (paper Table 2 covers LPAA 1–5
+    /// only).
+    pub fn characteristics(&self) -> Option<CellCharacteristics> {
+        self.characteristics
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The cells analysed in the paper: the accurate full adder (paper Table 1,
+/// "AccuFA"), the five low-power approximate adders of Gupta et al.
+/// (IEEE TCAD 2013) and the two of Almurib et al. (DATE 2016).
+///
+/// Note: the paper's "Approximate Adder 3" of Almurib et al. shares its truth
+/// table with LPAA 2 (they differ only at transistor level), so — like the
+/// paper — it is not listed separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StandardCell {
+    /// The exact full adder.
+    Accurate,
+    /// LPAA 1 — Gupta et al. approximate mirror adder 1 (2 error cases).
+    Lpaa1,
+    /// LPAA 2 — Gupta et al. approximate mirror adder 2 (2 error cases).
+    Lpaa2,
+    /// LPAA 3 — Gupta et al. approximate mirror adder 3 (3 error cases).
+    Lpaa3,
+    /// LPAA 4 — Gupta et al. approximate mirror adder 4 (3 error cases).
+    Lpaa4,
+    /// LPAA 5 — Gupta et al. approximate mirror adder 5 (4 error cases; pure
+    /// wiring, zero power/area).
+    Lpaa5,
+    /// LPAA 6 — Almurib et al. inexact adder cell 1 (2 error cases).
+    Lpaa6,
+    /// LPAA 7 — Almurib et al. inexact adder cell 2 (2 error cases).
+    Lpaa7,
+}
+
+/// Truth-table rows `(sum, carry_out)` in `FaInput::index` order, transcribed
+/// from paper Table 1.
+const LPAA_ROWS: [[(u8, u8); 8]; 7] = [
+    // LPAA 1
+    [
+        (0, 0),
+        (1, 0),
+        (0, 1),
+        (0, 1),
+        (0, 0),
+        (0, 1),
+        (0, 1),
+        (1, 1),
+    ],
+    // LPAA 2
+    [
+        (1, 0),
+        (1, 0),
+        (1, 0),
+        (0, 1),
+        (1, 0),
+        (0, 1),
+        (0, 1),
+        (0, 1),
+    ],
+    // LPAA 3
+    [
+        (1, 0),
+        (1, 0),
+        (0, 1),
+        (0, 1),
+        (1, 0),
+        (0, 1),
+        (0, 1),
+        (0, 1),
+    ],
+    // LPAA 4
+    [
+        (0, 0),
+        (1, 0),
+        (0, 0),
+        (1, 0),
+        (0, 1),
+        (0, 1),
+        (0, 1),
+        (1, 1),
+    ],
+    // LPAA 5
+    [
+        (0, 0),
+        (0, 0),
+        (1, 0),
+        (1, 0),
+        (0, 1),
+        (0, 1),
+        (1, 1),
+        (1, 1),
+    ],
+    // LPAA 6
+    [
+        (0, 0),
+        (1, 1),
+        (1, 0),
+        (0, 1),
+        (1, 0),
+        (0, 1),
+        (0, 0),
+        (1, 1),
+    ],
+    // LPAA 7
+    [
+        (0, 0),
+        (1, 0),
+        (1, 0),
+        (1, 1),
+        (1, 0),
+        (1, 1),
+        (0, 1),
+        (1, 1),
+    ],
+];
+
+impl StandardCell {
+    /// All cells, in paper order (accurate first).
+    pub const ALL: [StandardCell; 8] = [
+        StandardCell::Accurate,
+        StandardCell::Lpaa1,
+        StandardCell::Lpaa2,
+        StandardCell::Lpaa3,
+        StandardCell::Lpaa4,
+        StandardCell::Lpaa5,
+        StandardCell::Lpaa6,
+        StandardCell::Lpaa7,
+    ];
+
+    /// The seven approximate cells, in paper order.
+    pub const APPROXIMATE: [StandardCell; 7] = [
+        StandardCell::Lpaa1,
+        StandardCell::Lpaa2,
+        StandardCell::Lpaa3,
+        StandardCell::Lpaa4,
+        StandardCell::Lpaa5,
+        StandardCell::Lpaa6,
+        StandardCell::Lpaa7,
+    ];
+
+    /// The cell's display name as used in the paper ("AccuFA", "LPAA 1", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            StandardCell::Accurate => "AccuFA",
+            StandardCell::Lpaa1 => "LPAA 1",
+            StandardCell::Lpaa2 => "LPAA 2",
+            StandardCell::Lpaa3 => "LPAA 3",
+            StandardCell::Lpaa4 => "LPAA 4",
+            StandardCell::Lpaa5 => "LPAA 5",
+            StandardCell::Lpaa6 => "LPAA 6",
+            StandardCell::Lpaa7 => "LPAA 7",
+        }
+    }
+
+    /// The cell's truth table (paper Table 1).
+    pub fn truth_table(self) -> TruthTable {
+        match self {
+            StandardCell::Accurate => TruthTable::accurate(),
+            other => {
+                let idx = match other {
+                    StandardCell::Lpaa1 => 0,
+                    StandardCell::Lpaa2 => 1,
+                    StandardCell::Lpaa3 => 2,
+                    StandardCell::Lpaa4 => 3,
+                    StandardCell::Lpaa5 => 4,
+                    StandardCell::Lpaa6 => 5,
+                    StandardCell::Lpaa7 => 6,
+                    StandardCell::Accurate => unreachable!("handled above"),
+                };
+                let rows = LPAA_ROWS[idx].map(|(s, c)| FaOutput::new(s == 1, c == 1));
+                TruthTable::new(rows)
+            }
+        }
+    }
+
+    /// Power/area characteristics (paper Table 2; available for LPAA 1–5
+    /// only — the paper gives no numbers for the accurate cell or the
+    /// Almurib et al. cells).
+    pub fn characteristics(self) -> Option<CellCharacteristics> {
+        match self {
+            StandardCell::Lpaa1 => Some(CellCharacteristics::new(771.0, 4.23)),
+            StandardCell::Lpaa2 => Some(CellCharacteristics::new(294.0, 1.94)),
+            StandardCell::Lpaa3 => Some(CellCharacteristics::new(198.0, 1.59)),
+            StandardCell::Lpaa4 => Some(CellCharacteristics::new(416.0, 1.76)),
+            StandardCell::Lpaa5 => Some(CellCharacteristics::new(0.0, 0.0)),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the cell (name + table + characteristics).
+    pub fn cell(self) -> Cell {
+        Cell {
+            name: self.name().to_owned(),
+            table: self.truth_table(),
+            characteristics: self.characteristics(),
+        }
+    }
+}
+
+/// Error returned when parsing a [`StandardCell`] from an unknown name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStandardCellError {
+    input: String,
+}
+
+impl fmt::Display for ParseStandardCellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown cell {:?} (expected accurate/accufa or lpaa1..lpaa7, case/space-insensitive)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseStandardCellError {}
+
+impl std::str::FromStr for StandardCell {
+    type Err = ParseStandardCellError;
+
+    /// Parses a cell name, case- and space-insensitively: `"accurate"`,
+    /// `"AccuFA"`, `"lpaa1"`, `"LPAA 7"`, ….
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized: String = s
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        if normalized == "accurate" {
+            return Ok(StandardCell::Accurate);
+        }
+        for cell in StandardCell::ALL {
+            let canonical: String = cell
+                .name()
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .map(|c| c.to_ascii_lowercase())
+                .collect();
+            if normalized == canonical {
+                return Ok(cell);
+            }
+        }
+        Err(ParseStandardCellError {
+            input: s.to_owned(),
+        })
+    }
+}
+
+impl fmt::Display for StandardCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth_table::FaInput;
+
+    /// Paper Table 2, "Error Cases" column; LPAA 6/7 counts read off paper
+    /// Table 1 / Table 5 (two zero entries in each L matrix).
+    #[test]
+    fn error_case_counts_match_table_2() {
+        let expected = [
+            (StandardCell::Accurate, 0),
+            (StandardCell::Lpaa1, 2),
+            (StandardCell::Lpaa2, 2),
+            (StandardCell::Lpaa3, 3),
+            (StandardCell::Lpaa4, 3),
+            (StandardCell::Lpaa5, 4),
+            (StandardCell::Lpaa6, 2),
+            (StandardCell::Lpaa7, 2),
+        ];
+        for (cell, count) in expected {
+            assert_eq!(
+                cell.truth_table().error_case_count(),
+                count,
+                "error cases of {cell}"
+            );
+        }
+    }
+
+    #[test]
+    fn characteristics_match_table_2() {
+        let c = StandardCell::Lpaa1.characteristics().expect("in table 2");
+        assert_eq!((c.power_nw, c.area_ge), (771.0, 4.23));
+        let c = StandardCell::Lpaa5.characteristics().expect("in table 2");
+        assert_eq!((c.power_nw, c.area_ge), (0.0, 0.0));
+        assert!(StandardCell::Accurate.characteristics().is_none());
+        assert!(StandardCell::Lpaa6.characteristics().is_none());
+    }
+
+    #[test]
+    fn lpaa1_error_rows_are_010_and_100() {
+        let errs = StandardCell::Lpaa1.truth_table().error_cases();
+        assert_eq!(
+            errs,
+            vec![FaInput::from_index(0b010), FaInput::from_index(0b100)]
+        );
+    }
+
+    #[test]
+    fn lpaa2_and_lpaa3_differ_only_in_row_010() {
+        let t2 = StandardCell::Lpaa2.truth_table();
+        let t3 = StandardCell::Lpaa3.truth_table();
+        for input in FaInput::all() {
+            if input.index() == 0b010 {
+                assert_ne!(t2.eval(input), t3.eval(input));
+            } else {
+                assert_eq!(t2.eval(input), t3.eval(input), "at {input}");
+            }
+        }
+    }
+
+    #[test]
+    fn lpaa5_is_pass_through_wiring() {
+        // LPAA 5 in Gupta et al. is Sum = B, Cout = A — i.e. no logic, which
+        // is why Table 2 lists zero power and zero area for it.
+        let t = StandardCell::Lpaa5.truth_table();
+        for input in FaInput::all() {
+            assert_eq!(t.eval(input).carry_out, input.a, "carry at {input}");
+            assert_eq!(t.eval(input).sum, input.b, "sum at {input}");
+        }
+    }
+
+    #[test]
+    fn all_and_approximate_are_consistent() {
+        assert_eq!(StandardCell::ALL.len(), 8);
+        assert_eq!(StandardCell::APPROXIMATE.len(), 7);
+        assert!(!StandardCell::APPROXIMATE.contains(&StandardCell::Accurate));
+        for cell in StandardCell::APPROXIMATE {
+            assert!(
+                !cell.truth_table().is_accurate(),
+                "{cell} should be approximate"
+            );
+        }
+    }
+
+    #[test]
+    fn names_parse_case_and_space_insensitively() {
+        assert_eq!("lpaa1".parse::<StandardCell>(), Ok(StandardCell::Lpaa1));
+        assert_eq!("LPAA 7".parse::<StandardCell>(), Ok(StandardCell::Lpaa7));
+        assert_eq!("accufa".parse::<StandardCell>(), Ok(StandardCell::Accurate));
+        assert_eq!(
+            "Accurate".parse::<StandardCell>(),
+            Ok(StandardCell::Accurate)
+        );
+        assert!("lpaa8".parse::<StandardCell>().is_err());
+        assert!("".parse::<StandardCell>().is_err());
+        // Round trip through Display.
+        for cell in StandardCell::ALL {
+            assert_eq!(cell.name().parse::<StandardCell>(), Ok(cell));
+        }
+    }
+
+    #[test]
+    fn cell_instantiation_carries_everything() {
+        let c = StandardCell::Lpaa4.cell();
+        assert_eq!(c.name(), "LPAA 4");
+        assert_eq!(c.truth_table(), &StandardCell::Lpaa4.truth_table());
+        assert!(c.characteristics().is_some());
+    }
+
+    #[test]
+    fn custom_cell_builders() {
+        let t = TruthTable::accurate();
+        let plain = Cell::custom("mine", t);
+        assert!(plain.characteristics().is_none());
+        let with =
+            Cell::custom_with_characteristics("mine+", t, CellCharacteristics::new(100.0, 1.0));
+        assert_eq!(with.characteristics().map(|c| c.power_nw), Some(100.0));
+    }
+}

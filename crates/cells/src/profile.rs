@@ -1,0 +1,374 @@
+//! Per-bit input probabilities for a multi-bit adder.
+
+use std::fmt;
+
+use sealpaa_num::Prob;
+
+/// Errors produced when constructing an [`InputProfile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// The two operand probability vectors have different lengths.
+    MismatchedWidths {
+        /// Length of the `P(A_i)` vector.
+        a_len: usize,
+        /// Length of the `P(B_i)` vector.
+        b_len: usize,
+    },
+    /// The profile has zero width.
+    Empty,
+    /// A probability lies outside `[0, 1]`.
+    OutOfRange {
+        /// Which value was out of range, e.g. `"P(A_3)"`.
+        which: String,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::MismatchedWidths { a_len, b_len } => write!(
+                f,
+                "operand probability vectors differ in length ({a_len} vs {b_len})"
+            ),
+            ProfileError::Empty => f.write_str("input profile must cover at least one bit"),
+            ProfileError::OutOfRange { which } => {
+                write!(f, "probability {which} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Per-bit probabilities of the input operand bits and the carry-in being
+/// `1`, generic over the probability number type.
+///
+/// This is the paper's input model: all operand bits `A_i`, `B_i` and the
+/// first-stage carry-in are statistically independent Bernoulli variables
+/// with known probabilities (paper Sec. 4, "Similar to other analysis
+/// techniques, we also consider that all the operand bits and the input carry
+/// bit to the first stage are statistically independent").
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::InputProfile;
+///
+/// // All bits equally likely 0/1 — the paper's Fig. 5(a) scenario.
+/// let uniform = InputProfile::<f64>::uniform(8);
+/// assert_eq!(uniform.width(), 8);
+/// assert_eq!(*uniform.pa(3), 0.5);
+///
+/// // Per-bit probabilities — the paper's Table 4 example.
+/// let profile = InputProfile::new(
+///     vec![0.9, 0.5, 0.4, 0.8],
+///     vec![0.8, 0.7, 0.6, 0.9],
+///     0.5,
+/// )?;
+/// assert_eq!(*profile.pb(2), 0.6);
+/// # Ok::<(), sealpaa_cells::ProfileError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputProfile<T> {
+    pa: Vec<T>,
+    pb: Vec<T>,
+    p_cin: T,
+}
+
+impl<T: Prob> InputProfile<T> {
+    /// Creates a profile from per-bit probabilities (`pa[i]` = `P(A_i = 1)`,
+    /// LSB first) and the carry-in probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError`] if the vectors are empty or of different
+    /// lengths, or if any value lies outside `[0, 1]`.
+    pub fn new(pa: Vec<T>, pb: Vec<T>, p_cin: T) -> Result<Self, ProfileError> {
+        if pa.len() != pb.len() {
+            return Err(ProfileError::MismatchedWidths {
+                a_len: pa.len(),
+                b_len: pb.len(),
+            });
+        }
+        if pa.is_empty() {
+            return Err(ProfileError::Empty);
+        }
+        let in_range = |p: &T| *p >= T::zero() && *p <= T::one();
+        for (i, p) in pa.iter().enumerate() {
+            if !in_range(p) {
+                return Err(ProfileError::OutOfRange {
+                    which: format!("P(A_{i})"),
+                });
+            }
+        }
+        for (i, p) in pb.iter().enumerate() {
+            if !in_range(p) {
+                return Err(ProfileError::OutOfRange {
+                    which: format!("P(B_{i})"),
+                });
+            }
+        }
+        if !in_range(&p_cin) {
+            return Err(ProfileError::OutOfRange {
+                which: "P(Cin)".to_owned(),
+            });
+        }
+        Ok(InputProfile { pa, pb, p_cin })
+    }
+
+    /// Every operand bit and the carry-in have the same probability `p` of
+    /// being `1`.
+    ///
+    /// This covers the paper's Table 7 scenario (`p = 0.1`) and the Fig. 5
+    /// sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `p` is outside `[0, 1]`.
+    pub fn constant(width: usize, p: T) -> Self {
+        InputProfile::new(vec![p.clone(); width], vec![p.clone(); width], p)
+            .expect("constant profile construction cannot fail for valid p")
+    }
+
+    /// Every bit is equally likely `0` or `1` (`p = 1/2`) — the paper's
+    /// "equally probable" scenario (Fig. 5(a), Table 6 row 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn uniform(width: usize) -> Self {
+        InputProfile::constant(width, T::from_ratio(1, 2))
+    }
+
+    /// Number of bits covered.
+    pub fn width(&self) -> usize {
+        self.pa.len()
+    }
+
+    /// `P(A_i = 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn pa(&self, i: usize) -> &T {
+        &self.pa[i]
+    }
+
+    /// `P(B_i = 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn pb(&self, i: usize) -> &T {
+        &self.pb[i]
+    }
+
+    /// `P(Cin = 1)` of the first stage.
+    pub fn p_cin(&self) -> &T {
+        &self.p_cin
+    }
+
+    /// `true` if every operand bit shares one probability value (enables the
+    /// reduced-multiplication fast path of paper Table 8, left column).
+    pub fn is_constant(&self) -> bool {
+        let p0 = &self.pa[0];
+        self.pa.iter().all(|p| p == p0) && self.pb.iter().all(|p| p == p0)
+    }
+
+    /// The probability that a concrete assignment `(a, b, cin)` of all input
+    /// bits occurs under this profile (the product of the per-bit Bernoulli
+    /// probabilities). Bits are LSB-first; operands are truncated to
+    /// [`width`](Self::width) bits.
+    pub fn assignment_probability(&self, a: u64, b: u64, cin: bool) -> T {
+        let mut p = if cin {
+            self.p_cin.clone()
+        } else {
+            self.p_cin.complement()
+        };
+        for i in 0..self.width() {
+            let fa = if (a >> i) & 1 == 1 {
+                self.pa[i].clone()
+            } else {
+                self.pa[i].complement()
+            };
+            let fb = if (b >> i) & 1 == 1 {
+                self.pb[i].clone()
+            } else {
+                self.pb[i].complement()
+            };
+            p = p * fa * fb;
+        }
+        p
+    }
+
+    /// Converts the profile to another probability number type via `f64`
+    /// (exact when converting `f64 → Rational`).
+    pub fn convert<U: Prob>(&self) -> InputProfile<U> {
+        InputProfile {
+            pa: self.pa.iter().map(|p| U::from_f64(p.to_f64())).collect(),
+            pb: self.pb.iter().map(|p| U::from_f64(p.to_f64())).collect(),
+            p_cin: U::from_f64(self.p_cin.to_f64()),
+        }
+    }
+
+    /// Restricts the profile to the lowest `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `width > self.width()`.
+    pub fn truncate(&self, width: usize) -> InputProfile<T> {
+        assert!(
+            width > 0 && width <= self.width(),
+            "invalid truncation width"
+        );
+        InputProfile {
+            pa: self.pa[..width].to_vec(),
+            pb: self.pb[..width].to_vec(),
+            p_cin: self.p_cin.clone(),
+        }
+    }
+}
+
+impl InputProfile<f64> {
+    /// Per-bit probabilities interpolated linearly from `p_lsb` at bit 0 to
+    /// `p_msb` at the top bit (both operands identical, carry-in `p_lsb`).
+    ///
+    /// This models magnitude-limited data — e.g. sensor values whose MSBs
+    /// are rarely set — the scenario where the paper's per-cell rankings
+    /// (Fig. 5(b,c)) and hybrid designs (Sec. 5) come into play.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or either probability is outside `[0, 1]`.
+    pub fn linear_ramp(width: usize, p_lsb: f64, p_msb: f64) -> Self {
+        assert!(width > 0, "profile needs at least one bit");
+        let at = |i: usize| {
+            if width == 1 {
+                p_lsb
+            } else {
+                p_lsb + (p_msb - p_lsb) * i as f64 / (width - 1) as f64
+            }
+        };
+        let pa: Vec<f64> = (0..width).map(at).collect();
+        InputProfile::new(pa.clone(), pa, p_lsb)
+            .expect("interpolated probabilities stay within the endpoints")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_num::Rational;
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let err = InputProfile::new(vec![0.5], vec![0.5, 0.5], 0.5).unwrap_err();
+        assert!(matches!(
+            err,
+            ProfileError::MismatchedWidths { a_len: 1, b_len: 2 }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let err = InputProfile::<f64>::new(vec![], vec![], 0.5).unwrap_err();
+        assert_eq!(err, ProfileError::Empty);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = InputProfile::new(vec![1.5], vec![0.5], 0.5).unwrap_err();
+        assert!(matches!(err, ProfileError::OutOfRange { .. }));
+        let err = InputProfile::new(vec![0.5], vec![0.5], -0.1).unwrap_err();
+        assert!(matches!(err, ProfileError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn uniform_is_half_everywhere() {
+        let p = InputProfile::<f64>::uniform(5);
+        assert!(p.is_constant());
+        for i in 0..5 {
+            assert_eq!(*p.pa(i), 0.5);
+            assert_eq!(*p.pb(i), 0.5);
+        }
+        assert_eq!(*p.p_cin(), 0.5);
+    }
+
+    #[test]
+    fn constant_detection() {
+        let c = InputProfile::constant(3, 0.1);
+        assert!(c.is_constant());
+        let v = InputProfile::new(vec![0.1, 0.2], vec![0.1, 0.1], 0.1).expect("valid");
+        assert!(!v.is_constant());
+    }
+
+    #[test]
+    fn assignment_probability_uniform_is_2_pow_neg_bits() {
+        let p = InputProfile::<f64>::uniform(3);
+        // 2*3 operand bits + carry = 7 coin flips.
+        let expect = 0.5f64.powi(7);
+        for (a, b, cin) in [(0u64, 0u64, false), (5, 2, true), (7, 7, true)] {
+            assert!((p.assignment_probability(a, b, cin) - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn assignment_probabilities_sum_to_one_exactly() {
+        let p = InputProfile::<Rational>::new(
+            vec![Rational::from_ratio(1, 3), Rational::from_ratio(2, 5)],
+            vec![Rational::from_ratio(1, 7), Rational::from_ratio(9, 10)],
+            Rational::from_ratio(3, 4),
+        )
+        .expect("valid");
+        let mut total = Rational::zero();
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                for cin in [false, true] {
+                    total = total + p.assignment_probability(a, b, cin);
+                }
+            }
+        }
+        assert_eq!(total, Rational::one());
+    }
+
+    #[test]
+    fn linear_ramp_interpolates_endpoints() {
+        let p = InputProfile::<f64>::linear_ramp(5, 0.5, 0.1);
+        assert_eq!(*p.pa(0), 0.5);
+        assert!((p.pa(4) - 0.1).abs() < 1e-12);
+        assert!((p.pa(2) - 0.3).abs() < 1e-12);
+        assert_eq!(*p.p_cin(), 0.5);
+        // Width 1 degenerates to the LSB probability.
+        let single = InputProfile::<f64>::linear_ramp(1, 0.7, 0.1);
+        assert_eq!(*single.pa(0), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn linear_ramp_zero_width_panics() {
+        let _ = InputProfile::<f64>::linear_ramp(0, 0.5, 0.1);
+    }
+
+    #[test]
+    fn convert_f64_to_rational_is_exact() {
+        let p = InputProfile::<f64>::constant(2, 0.25);
+        let r: InputProfile<Rational> = p.convert();
+        assert_eq!(*r.pa(0), Rational::from_ratio(1, 4));
+    }
+
+    #[test]
+    fn truncate_keeps_lsbs() {
+        let p = InputProfile::new(vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6], 0.7).expect("valid");
+        let t = p.truncate(2);
+        assert_eq!(t.width(), 2);
+        assert_eq!(*t.pa(1), 0.2);
+        assert_eq!(*t.p_cin(), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid truncation width")]
+    fn truncate_beyond_width_panics() {
+        let p = InputProfile::<f64>::uniform(2);
+        let _ = p.truncate(3);
+    }
+}

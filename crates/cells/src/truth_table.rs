@@ -1,0 +1,404 @@
+//! Behavioural model of a single-bit full adder: the 8-row truth table.
+
+use std::fmt;
+
+/// One input combination of a single-bit full adder: `(A, B, Cin)`.
+///
+/// Each combination maps to a *row index* `(A << 2) | (B << 1) | Cin` in
+/// `0..8`, matching the row order of paper Table 1 (and therefore the element
+/// order of the M, K and L matrices of paper Table 5).
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::FaInput;
+///
+/// let input = FaInput::new(true, false, true);
+/// assert_eq!(input.index(), 0b101);
+/// assert_eq!(FaInput::from_index(0b101), input);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaInput {
+    /// Operand bit `A`.
+    pub a: bool,
+    /// Operand bit `B`.
+    pub b: bool,
+    /// Carry-in bit.
+    pub carry_in: bool,
+}
+
+impl FaInput {
+    /// Creates an input combination.
+    pub fn new(a: bool, b: bool, carry_in: bool) -> Self {
+        FaInput { a, b, carry_in }
+    }
+
+    /// The row index of this combination: `(A << 2) | (B << 1) | Cin`.
+    pub fn index(self) -> usize {
+        ((self.a as usize) << 2) | ((self.b as usize) << 1) | self.carry_in as usize
+    }
+
+    /// Inverse of [`index`](Self::index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < 8, "full-adder truth tables have exactly 8 rows");
+        FaInput {
+            a: index & 0b100 != 0,
+            b: index & 0b010 != 0,
+            carry_in: index & 0b001 != 0,
+        }
+    }
+
+    /// Iterates over all 8 input combinations in row order.
+    pub fn all() -> impl Iterator<Item = FaInput> {
+        (0..8).map(FaInput::from_index)
+    }
+}
+
+impl fmt::Display for FaInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "A={} B={} Cin={}",
+            self.a as u8, self.b as u8, self.carry_in as u8
+        )
+    }
+}
+
+/// The output of a single-bit full adder: a sum bit and a carry-out bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FaOutput {
+    /// The sum bit.
+    pub sum: bool,
+    /// The carry-out bit.
+    pub carry_out: bool,
+}
+
+impl FaOutput {
+    /// Creates an output pair.
+    pub fn new(sum: bool, carry_out: bool) -> Self {
+        FaOutput { sum, carry_out }
+    }
+}
+
+impl fmt::Display for FaOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S={} Cout={}", self.sum as u8, self.carry_out as u8)
+    }
+}
+
+/// The full behaviour of a single-bit (possibly approximate) full adder.
+///
+/// Rows are ordered by [`FaInput::index`], i.e. `000, 001, …, 111` for
+/// `(A, B, Cin)` — the same order as paper Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::{FaInput, TruthTable};
+///
+/// let accurate = TruthTable::accurate();
+/// let out = accurate.eval(FaInput::new(true, true, false));
+/// assert!(!out.sum);
+/// assert!(out.carry_out);
+/// assert_eq!(accurate.error_case_count(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    rows: [FaOutput; 8],
+}
+
+impl TruthTable {
+    /// Creates a truth table from its 8 rows in [`FaInput::index`] order.
+    pub const fn new(rows: [FaOutput; 8]) -> Self {
+        TruthTable { rows }
+    }
+
+    /// The exact (accurate) full adder: `sum = A ⊕ B ⊕ Cin`,
+    /// `carry_out = majority(A, B, Cin)`.
+    pub fn accurate() -> Self {
+        TruthTable::from_fn(|input| {
+            let FaInput { a, b, carry_in } = input;
+            FaOutput {
+                sum: a ^ b ^ carry_in,
+                carry_out: (a & b) | (a & carry_in) | (b & carry_in),
+            }
+        })
+    }
+
+    /// Builds a truth table by evaluating `f` on every input combination.
+    pub fn from_fn(f: impl Fn(FaInput) -> FaOutput) -> Self {
+        let mut rows = [FaOutput::default(); 8];
+        for input in FaInput::all() {
+            rows[input.index()] = f(input);
+        }
+        TruthTable { rows }
+    }
+
+    /// Builds a truth table from two 8-bit vectors giving, for each row
+    /// index, the sum bit and carry-out bit (`(sum_bits >> i) & 1` etc.).
+    ///
+    /// This is a compact way to write custom cells in tests and examples.
+    pub fn from_bits(sum_bits: u8, carry_bits: u8) -> Self {
+        TruthTable::from_fn(|input| {
+            let i = input.index();
+            FaOutput {
+                sum: (sum_bits >> i) & 1 == 1,
+                carry_out: (carry_bits >> i) & 1 == 1,
+            }
+        })
+    }
+
+    /// Evaluates the cell on one input combination.
+    pub fn eval(&self, input: FaInput) -> FaOutput {
+        self.rows[input.index()]
+    }
+
+    /// Borrows the 8 rows in [`FaInput::index`] order.
+    pub fn rows(&self) -> &[FaOutput; 8] {
+        &self.rows
+    }
+
+    /// `true` if this cell deviates from the accurate full adder (in sum or
+    /// carry-out) on the given input — an "error case" in the paper's sense
+    /// (shown bold red in paper Table 1).
+    pub fn is_error_case(&self, input: FaInput) -> bool {
+        self.eval(input) != TruthTable::accurate().eval(input)
+    }
+
+    /// All input combinations on which this cell deviates from the accurate
+    /// full adder.
+    pub fn error_cases(&self) -> Vec<FaInput> {
+        FaInput::all().filter(|&i| self.is_error_case(i)).collect()
+    }
+
+    /// Number of error cases (the "Error Cases" column of paper Table 2).
+    pub fn error_case_count(&self) -> usize {
+        self.error_cases().len()
+    }
+
+    /// `true` if the table equals the accurate full adder on every row.
+    pub fn is_accurate(&self) -> bool {
+        self.error_case_count() == 0
+    }
+}
+
+impl TruthTable {
+    /// Renders the table as the compact `SSSSSSSS/CCCCCCCC` spec string
+    /// (sum bits then carry bits, row 0 leftmost) accepted by
+    /// [`FromStr`](std::str::FromStr) and by the `sealpaa` CLI.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sealpaa_cells::TruthTable;
+    ///
+    /// let spec = TruthTable::accurate().to_spec_string();
+    /// assert_eq!(spec, "01101001/00010111");
+    /// let parsed: TruthTable = spec.parse()?;
+    /// assert!(parsed.is_accurate());
+    /// # Ok::<(), sealpaa_cells::ParseTruthTableError>(())
+    /// ```
+    pub fn to_spec_string(&self) -> String {
+        let mut out = String::with_capacity(17);
+        for input in FaInput::all() {
+            out.push(if self.eval(input).sum { '1' } else { '0' });
+        }
+        out.push('/');
+        for input in FaInput::all() {
+            out.push(if self.eval(input).carry_out { '1' } else { '0' });
+        }
+        out
+    }
+}
+
+/// Error returned when parsing a [`TruthTable`] from a malformed spec
+/// string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTruthTableError {
+    input: String,
+}
+
+impl fmt::Display for ParseTruthTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid truth table {:?} (expected 8 sum bits, '/', 8 carry bits, e.g. \"01101001/00010111\")",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseTruthTableError {}
+
+impl std::str::FromStr for TruthTable {
+    type Err = ParseTruthTableError;
+
+    /// Parses the `SSSSSSSS/CCCCCCCC` spec format produced by
+    /// [`TruthTable::to_spec_string`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseTruthTableError {
+            input: s.to_owned(),
+        };
+        let (sum, carry) = s.split_once('/').ok_or_else(err)?;
+        if sum.len() != 8 || carry.len() != 8 {
+            return Err(err());
+        }
+        let parse_bits = |part: &str| -> Result<u8, ParseTruthTableError> {
+            let mut bits = 0u8;
+            for (i, ch) in part.chars().enumerate() {
+                match ch {
+                    '1' => bits |= 1 << i,
+                    '0' => {}
+                    _ => return Err(err()),
+                }
+            }
+            Ok(bits)
+        };
+        Ok(TruthTable::from_bits(parse_bits(sum)?, parse_bits(carry)?))
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "A B C | S Co")?;
+        for input in FaInput::all() {
+            let out = self.eval(input);
+            let marker = if self.is_error_case(input) { " *" } else { "" };
+            writeln!(
+                f,
+                "{} {} {} | {} {}{}",
+                input.a as u8,
+                input.b as u8,
+                input.carry_in as u8,
+                out.sum as u8,
+                out.carry_out as u8,
+                marker
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..8 {
+            assert_eq!(FaInput::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 8 rows")]
+    fn from_index_out_of_range_panics() {
+        let _ = FaInput::from_index(8);
+    }
+
+    #[test]
+    fn all_yields_eight_distinct_inputs() {
+        let v: Vec<_> = FaInput::all().collect();
+        assert_eq!(v.len(), 8);
+        for (i, input) in v.iter().enumerate() {
+            assert_eq!(input.index(), i);
+        }
+    }
+
+    #[test]
+    fn accurate_adder_is_binary_addition() {
+        let t = TruthTable::accurate();
+        for input in FaInput::all() {
+            let expect = input.a as u8 + input.b as u8 + input.carry_in as u8;
+            let out = t.eval(input);
+            assert_eq!(out.sum as u8 + 2 * out.carry_out as u8, expect, "{input}");
+        }
+    }
+
+    #[test]
+    fn accurate_has_no_error_cases() {
+        assert!(TruthTable::accurate().is_accurate());
+        assert!(TruthTable::accurate().error_cases().is_empty());
+    }
+
+    #[test]
+    fn from_bits_matches_from_fn() {
+        // sum = A, carry = B (a nonsense cell, but a deterministic one).
+        let via_fn = TruthTable::from_fn(|i| FaOutput::new(i.a, i.b));
+        let mut sum_bits = 0u8;
+        let mut carry_bits = 0u8;
+        for i in FaInput::all() {
+            if i.a {
+                sum_bits |= 1 << i.index();
+            }
+            if i.b {
+                carry_bits |= 1 << i.index();
+            }
+        }
+        assert_eq!(TruthTable::from_bits(sum_bits, carry_bits), via_fn);
+    }
+
+    #[test]
+    fn error_cases_detect_both_sum_and_carry_corruption() {
+        // Flip only the carry of row 0.
+        let t = TruthTable::from_fn(|i| {
+            let mut out = TruthTable::accurate().eval(i);
+            if i.index() == 0 {
+                out.carry_out = !out.carry_out;
+            }
+            out
+        });
+        assert_eq!(t.error_cases(), vec![FaInput::from_index(0)]);
+
+        // Flip only the sum of row 5.
+        let t = TruthTable::from_fn(|i| {
+            let mut out = TruthTable::accurate().eval(i);
+            if i.index() == 5 {
+                out.sum = !out.sum;
+            }
+            out
+        });
+        assert_eq!(t.error_cases(), vec![FaInput::from_index(5)]);
+    }
+
+    #[test]
+    fn spec_string_round_trips_for_all_standard_cells() {
+        use crate::library::StandardCell;
+        for cell in StandardCell::ALL {
+            let table = cell.truth_table();
+            let parsed: TruthTable = table.to_spec_string().parse().expect("own output parses");
+            assert_eq!(parsed, table, "{cell}");
+        }
+    }
+
+    #[test]
+    fn spec_parse_rejects_malformed() {
+        for bad in [
+            "",
+            "0110100100010111",
+            "0110100/00010111",
+            "01101001/0001011",
+            "01101001/0001011x",
+            "01101001/00010111/1",
+        ] {
+            assert!(bad.parse::<TruthTable>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn display_marks_error_rows() {
+        let t = TruthTable::from_fn(|i| {
+            let mut out = TruthTable::accurate().eval(i);
+            if i.index() == 2 {
+                out.sum = !out.sum;
+            }
+            out
+        });
+        let rendered = t.to_string();
+        assert_eq!(rendered.matches('*').count(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! `sealpaa analyze` — the paper's analytical method.
+
+use std::io::Write;
+
+use sealpaa_cells::AdderChain;
+use sealpaa_core::{analyze_instrumented, exact_error_analysis};
+use sealpaa_num::Prob;
+
+use crate::args::{parse_chain_cells, parse_profile, parse_profile_rational, ParsedArgs};
+use crate::error::CliError;
+use crate::json::Json;
+
+const HELP: &str = "\
+usage: sealpaa analyze --width N (--cell NAME | --cells A,B,...) [options]
+
+Computes P(error) of a multi-bit adder with the paper's recursive method.
+
+options:
+  --width N       number of stages (required)
+  --cell NAME     homogeneous chain of NAME (accurate, lpaa1..lpaa7, or a
+                  custom truth table SSSSSSSS/CCCCCCCC)
+  --cells A,B,..  hybrid chain, one cell per stage, LSB first
+  --p P           constant P(bit = 1) for all inputs (default 0.5)
+  --pa L / --pb L per-bit probability lists, comma separated
+  --cin P         carry-in probability (default: --p)
+  --trace         print the per-stage carry recursion (paper Table 4 style)
+  --exact         run in exact rational arithmetic and print the fraction
+  --joint         also run the exact joint-chain DP (output-value semantics)
+  --ops           print the operation counts (paper Table 8 discussion)
+  --json          emit a machine-readable JSON object instead of text";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options or analysis failure.
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(
+        tokens,
+        &["width", "cell", "cells", "p", "pa", "pb", "cin"],
+        &["trace", "exact", "joint", "ops", "json"],
+    )?;
+    let width: usize = args.require("width")?;
+    if width == 0 {
+        return Err(CliError::usage("--width must be at least 1"));
+    }
+    let chain = AdderChain::from_stages(parse_chain_cells(&args, width)?);
+
+    if args.flag("json") {
+        let profile = parse_profile(&args, width)?;
+        let analysis = sealpaa_core::analyze(&chain, &profile).map_err(CliError::analysis)?;
+        let stages: Vec<Json> = analysis
+            .stages()
+            .iter()
+            .map(|s| {
+                Json::object()
+                    .field("stage", s.stage)
+                    .field("cell", chain.stage(s.stage).name())
+                    .field("p_carry_and_success", *s.carry_out.p_carry_and_success())
+                    .field(
+                        "p_not_carry_and_success",
+                        *s.carry_out.p_not_carry_and_success(),
+                    )
+                    .field("success_through", s.success_through)
+                    .build()
+            })
+            .collect();
+        let doc = Json::object()
+            .field("adder", chain.to_string())
+            .field("width", width)
+            .field("error_probability", analysis.error_probability())
+            .field("success_probability", analysis.success_probability())
+            .field("stages", stages)
+            .build();
+        writeln!(out, "{}", doc.render())?;
+        return Ok(());
+    }
+
+    writeln!(out, "adder: {chain}")?;
+    if args.flag("exact") {
+        // Probabilities are re-parsed as exact rationals ("0.9" stays 9/10)
+        // so the printed fractions are human-sized.
+        let exact_profile = parse_profile_rational(&args, width)?;
+        let (analysis, ops) =
+            analyze_instrumented(&chain, &exact_profile).map_err(CliError::analysis)?;
+        writeln!(
+            out,
+            "P(error)   = {} = {}",
+            analysis.error_probability(),
+            analysis.error_probability().to_decimal(10)
+        )?;
+        writeln!(
+            out,
+            "P(success) = {} = {}",
+            analysis.success_probability(),
+            analysis.success_probability().to_decimal(10)
+        )?;
+        if args.flag("trace") {
+            print_trace(out, &analysis)?;
+        }
+        if args.flag("ops") {
+            writeln!(out, "operations: {ops}")?;
+        }
+    } else {
+        let profile = parse_profile(&args, width)?;
+        let (analysis, ops) = analyze_instrumented(&chain, &profile).map_err(CliError::analysis)?;
+        writeln!(out, "P(error)   = {:.10}", analysis.error_probability())?;
+        writeln!(out, "P(success) = {:.10}", analysis.success_probability())?;
+        if args.flag("trace") {
+            print_trace(out, &analysis)?;
+        }
+        if args.flag("ops") {
+            writeln!(out, "operations: {ops}")?;
+        }
+    }
+    if args.flag("joint") {
+        let profile = parse_profile(&args, width)?;
+        let joint = exact_error_analysis(&chain, &profile).map_err(CliError::analysis)?;
+        writeln!(
+            out,
+            "output-value P(error) = {:.10} (first-deviation {:.10})",
+            joint.output_error, joint.stage_error
+        )?;
+    }
+    Ok(())
+}
+
+fn print_trace<W: Write, T: Prob>(
+    out: &mut W,
+    analysis: &sealpaa_core::Analysis<T>,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "\n{:>5}  {:>10}  {:>10}  {:>12}  {:>12}  {:>12}",
+        "stage", "P(A)", "P(B)", "P(C̄next∩S)", "P(Cnext∩S)", "P(Succ..i)"
+    )?;
+    for stage in analysis.stages() {
+        writeln!(
+            out,
+            "{:>5}  {:>10.6}  {:>10.6}  {:>12.6}  {:>12.6}  {:>12.6}",
+            stage.stage,
+            stage.pa.to_f64(),
+            stage.pb.to_f64(),
+            stage.carry_out.p_not_carry_and_success().to_f64(),
+            stage.carry_out.p_carry_and_success().to_f64(),
+            stage.success_through.to_f64(),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> Result<String, CliError> {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn table7_value_via_cli() {
+        let s = run_to_string(&["--width", "2", "--cell", "lpaa1", "--p", "0.1"])
+            .expect("valid invocation");
+        assert!(s.contains("P(error)   = 0.3078"), "{s}");
+    }
+
+    #[test]
+    fn exact_mode_prints_fraction() {
+        let s = run_to_string(&["--width", "2", "--cell", "lpaa5", "--p", "0.5", "--exact"])
+            .expect("valid invocation");
+        assert!(s.contains('/'), "expected a fraction in:\n{s}");
+    }
+
+    #[test]
+    fn trace_prints_one_row_per_stage() {
+        let s = run_to_string(&["--width", "4", "--cell", "lpaa1", "--p", "0.5", "--trace"])
+            .expect("valid invocation");
+        assert!(s.contains("P(Succ..i)"));
+        assert_eq!(
+            s.lines()
+                .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn hybrid_chain_via_cells() {
+        let s = run_to_string(&["--width", "2", "--cells", "lpaa6,lpaa5", "--joint"])
+            .expect("valid invocation");
+        assert!(s.contains("output-value P(error)"));
+    }
+
+    #[test]
+    fn ops_flag_prints_counts() {
+        let s =
+            run_to_string(&["--width", "8", "--cell", "lpaa2", "--ops"]).expect("valid invocation");
+        assert!(s.contains("operations: 128 mul"), "{s}");
+    }
+
+    #[test]
+    fn json_output_is_machine_readable() {
+        let s = run_to_string(&["--width", "2", "--cell", "lpaa1", "--p", "0.1", "--json"])
+            .expect("valid invocation");
+        assert!(s.starts_with('{'), "{s}");
+        assert!(s.contains("\"error_probability\":0.3077999"), "{s}");
+        assert!(s.contains("\"stages\":["), "{s}");
+    }
+
+    #[test]
+    fn missing_width_rejected() {
+        assert!(run_to_string(&["--cell", "lpaa1"]).is_err());
+        assert!(run_to_string(&["--width", "0", "--cell", "lpaa1"]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).expect("help always works");
+        assert!(s.contains("usage: sealpaa analyze"));
+    }
+}

@@ -1,0 +1,105 @@
+//! `sealpaa cells` — dump the standard cell library.
+
+use std::io::Write;
+
+use sealpaa_cells::StandardCell;
+use sealpaa_core::MklMatrices;
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+
+const HELP: &str = "\
+usage: sealpaa cells [--tables]
+
+Lists the standard cell library: error-case counts, published power/area
+(paper Table 2) and the derived M/K/L analysis matrices (paper Table 5).
+
+options:
+  --tables   additionally print each cell's full truth table";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options or output failure.
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(tokens, &[], &["tables"])?;
+    writeln!(
+        out,
+        "{:<8} {:>11} {:>10} {:>9}  {:<26} {:<26} L",
+        "cell", "error-cases", "power(nW)", "area(GE)", "M", "K"
+    )?;
+    for cell in StandardCell::ALL {
+        let mkl = MklMatrices::from_truth_table(&cell.truth_table());
+        let (power, area) = match cell.characteristics() {
+            Some(c) => (format!("{}", c.power_nw), format!("{}", c.area_ge)),
+            None => ("n/a".to_owned(), "n/a".to_owned()),
+        };
+        writeln!(
+            out,
+            "{:<8} {:>11} {:>10} {:>9}  {:<26} {:<26} {:?}",
+            cell.name(),
+            cell.truth_table().error_case_count(),
+            power,
+            area,
+            format!("{:?}", mkl.m_bits()),
+            format!("{:?}", mkl.k_bits()),
+            mkl.l_bits(),
+        )?;
+    }
+    if args.flag("tables") {
+        for cell in StandardCell::ALL {
+            writeln!(
+                out,
+                "\n{} (rows marked * deviate from AccuFA):",
+                cell.name()
+            )?;
+            write!(out, "{}", cell.truth_table())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> String {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).expect("command succeeds");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    #[test]
+    fn lists_all_cells() {
+        let s = run_to_string(&[]);
+        for name in ["AccuFA", "LPAA 1", "LPAA 7"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("771"));
+    }
+
+    #[test]
+    fn tables_flag_prints_truth_tables() {
+        let s = run_to_string(&["--tables"]);
+        assert!(s.contains("A B C | S Co"));
+        assert!(s.matches("A B C | S Co").count() >= 8);
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        let s = run_to_string(&["--help"]);
+        assert!(s.contains("usage: sealpaa cells"));
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let tokens = vec!["--bogus".to_owned()];
+        assert!(run(&tokens, &mut Vec::new()).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! `sealpaa compare` — the full per-cell scorecard, side by side.
+
+use std::io::Write;
+
+use sealpaa_cells::StandardCell;
+use sealpaa_explore::score_cells;
+
+use crate::args::{parse_cell, parse_profile, ParsedArgs};
+use crate::error::CliError;
+
+const HELP: &str = "\
+usage: sealpaa compare --width N [options]
+
+Scores candidate cells side by side as homogeneous N-bit chains: error
+probability (the paper's metric), bias and RMS error distance, the exact
+worst-case error, and power/area where published.
+
+options:
+  --width N            adder width, 1..=63 (required)
+  --candidates A,B,..  cells to compare (default: all standard cells)
+  --p/--pa/--pb/--cin  input probabilities, as in `sealpaa analyze`";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options.
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(
+        tokens,
+        &["width", "candidates", "p", "pa", "pb", "cin"],
+        &[],
+    )?;
+    let width: usize = args.require("width")?;
+    if !(1..=63).contains(&width) {
+        return Err(CliError::usage("--width must be 1..=63"));
+    }
+    let profile = parse_profile(&args, width)?;
+    let candidates = match args.option("candidates") {
+        None => StandardCell::ALL.iter().map(|c| c.cell()).collect(),
+        Some(list) => list
+            .split(',')
+            .map(parse_cell)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let scores = score_cells(&candidates, &profile);
+
+    writeln!(
+        out,
+        "{:<14} {:>10} {:>12} {:>12} {:>14} {:>10} {:>9}",
+        "cell", "P(error)", "bias E[D]", "RMS(D)", "worst case", "power(nW)", "area(GE)"
+    )?;
+    for s in &scores {
+        let power = s
+            .power_nw
+            .map(|p| format!("{p:.0}"))
+            .unwrap_or_else(|| "n/a".to_owned());
+        let area = s
+            .area_ge
+            .map(|a| format!("{a:.2}"))
+            .unwrap_or_else(|| "n/a".to_owned());
+        writeln!(
+            out,
+            "{:<14} {:>10.6} {:>+12.2} {:>12.2} {:>+14} {:>10} {:>9}",
+            s.cell.name(),
+            s.error_probability,
+            s.mean_error_distance,
+            s.rms_error_distance,
+            s.worst_case_error,
+            power,
+            area,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> Result<String, CliError> {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn compares_all_cells_by_default() {
+        let s = run_to_string(&["--width", "6", "--p", "0.1"]).expect("valid");
+        for cell in ["AccuFA", "LPAA 1", "LPAA 7"] {
+            assert!(s.contains(cell), "missing {cell} in:\n{s}");
+        }
+        assert!(s.contains("worst case"), "{s}");
+    }
+
+    #[test]
+    fn custom_candidate_subset() {
+        let s = run_to_string(&["--width", "4", "--candidates", "lpaa5,lpaa6"]).expect("valid");
+        assert!(s.contains("LPAA 5") && s.contains("LPAA 6"), "{s}");
+        assert!(!s.contains("LPAA 1"), "{s}");
+    }
+
+    #[test]
+    fn width_limit_enforced() {
+        assert!(run_to_string(&["--width", "64"]).is_err());
+        assert!(run_to_string(&["--width", "0"]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).expect("valid");
+        assert!(s.contains("usage: sealpaa compare"));
+    }
+}

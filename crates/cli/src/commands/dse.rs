@@ -1,0 +1,175 @@
+//! `sealpaa dse` — budgeted hybrid-adder design-space exploration.
+
+use std::io::Write;
+
+use sealpaa_explore::{
+    accurate_cell_with_proxy_costs, enumerate_designs, exhaustive_best, local_search_best,
+    pareto_front, Budget,
+};
+
+use crate::args::{parse_cell, parse_profile, ParsedArgs};
+use crate::error::CliError;
+
+const HELP: &str = "\
+usage: sealpaa dse --width N [options]
+
+Searches per-stage cell assignments (paper Sec. 5's hybrid adders) for the
+minimum error probability under an optional power/area budget.
+
+options:
+  --width N           adder width (required)
+  --candidates A,B,.. candidate cells (default lpaa1,lpaa2,lpaa5,accurate;
+                      'accurate' uses the estimated costs from DESIGN.md)
+  --p/--pa/--pb/--cin input probabilities, as in `sealpaa analyze`
+  --budget-power X    maximum total power in nW
+  --budget-area X     maximum total area in GE
+  --local             use hill-climbing instead of exhaustive enumeration
+                      (required for large widths/candidate sets)
+  --pareto            print the error/power/area Pareto frontier";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options, uncosted candidate cells, or an
+/// enumeration that exceeds the size cap (use `--local`).
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(
+        tokens,
+        &[
+            "width",
+            "candidates",
+            "p",
+            "pa",
+            "pb",
+            "cin",
+            "budget-power",
+            "budget-area",
+        ],
+        &["local", "pareto"],
+    )?;
+    let width: usize = args.require("width")?;
+    if width == 0 {
+        return Err(CliError::usage("--width must be at least 1"));
+    }
+    let profile = parse_profile(&args, width)?;
+    let candidates = match args.option("candidates") {
+        None => vec![
+            parse_cell("lpaa1")?,
+            parse_cell("lpaa2")?,
+            parse_cell("lpaa5")?,
+            accurate_cell_with_proxy_costs(),
+        ],
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                if name.eq_ignore_ascii_case("accurate") || name.eq_ignore_ascii_case("accufa") {
+                    Ok(accurate_cell_with_proxy_costs())
+                } else {
+                    parse_cell(name)
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let budget = Budget {
+        max_power_nw: match args.option("budget-power") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| CliError::usage(format!("--budget-power: cannot parse {v:?}")))?,
+            ),
+        },
+        max_area_ge: match args.option("budget-area") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| CliError::usage(format!("--budget-area: cannot parse {v:?}")))?,
+            ),
+        },
+    };
+
+    writeln!(
+        out,
+        "candidates: {}",
+        candidates
+            .iter()
+            .map(|c| c.name().to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )?;
+    let best = if args.flag("local") {
+        local_search_best(&candidates, &profile, &budget).map_err(CliError::analysis)?
+    } else {
+        exhaustive_best(&candidates, &profile, &budget).map_err(CliError::analysis)?
+    };
+    match best {
+        None => writeln!(out, "no design fits the budget")?,
+        Some(design) => {
+            writeln!(out, "best design: {design}")?;
+        }
+    }
+    if args.flag("pareto") {
+        let designs = enumerate_designs(&candidates, &profile).map_err(CliError::analysis)?;
+        let front = pareto_front(designs);
+        writeln!(out, "\nPareto frontier ({} designs):", front.len())?;
+        for design in front {
+            writeln!(out, "  {design}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> Result<String, CliError> {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn unconstrained_search_finds_accurate_chain() {
+        let s = run_to_string(&["--width", "3", "--p", "0.3"]).expect("valid");
+        assert!(s.contains("best design"), "{s}");
+        assert!(s.contains("AccuFA (est.)"), "{s}");
+    }
+
+    #[test]
+    fn tight_budget_forces_cheap_cells() {
+        let s =
+            run_to_string(&["--width", "3", "--p", "0.3", "--budget-power", "0"]).expect("valid");
+        // Only LPAA 5 (0 nW) chains fit a zero budget.
+        assert!(s.contains("LPAA 5, LPAA 5, LPAA 5"), "{s}");
+    }
+
+    #[test]
+    fn local_matches_reasonably() {
+        let s = run_to_string(&["--width", "4", "--p", "0.2", "--local"]).expect("valid");
+        assert!(s.contains("best design"), "{s}");
+    }
+
+    #[test]
+    fn pareto_flag_prints_frontier() {
+        let s = run_to_string(&["--width", "2", "--pareto"]).expect("valid");
+        assert!(s.contains("Pareto frontier"), "{s}");
+    }
+
+    #[test]
+    fn custom_candidates() {
+        let s = run_to_string(&["--width", "2", "--candidates", "lpaa3,lpaa5"]).expect("valid");
+        assert!(s.contains("candidates: LPAA 3, LPAA 5"), "{s}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).expect("valid");
+        assert!(s.contains("usage: sealpaa dse"));
+    }
+}

@@ -1,0 +1,126 @@
+//! `sealpaa fir` — approximate FIR filter quality on a synthetic stream.
+
+use std::io::Write;
+
+use sealpaa_datapath::FirFilter;
+
+use crate::args::{parse_cell, ParsedArgs};
+use crate::error::CliError;
+
+const HELP: &str = "\
+usage: sealpaa fir --cell NAME --taps C0,C1,... [options]
+
+Runs a constant-coefficient FIR filter (every addition through approximate
+adder chains) over a synthetic noisy-sine stream and reports PSNR-style
+quality against the exact filter.
+
+options:
+  --cell NAME      the accumulator cell (required)
+  --taps LIST      unsigned coefficients, comma separated (required)
+  --sample-bits N  input sample width (default 8)
+  --length N       stream length (default 10000)";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options or an accumulator that would exceed
+/// the evaluation width.
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(tokens, &["cell", "taps", "sample-bits", "length"], &[])?;
+    let cell = parse_cell(
+        args.option("cell")
+            .ok_or_else(|| CliError::usage("--cell is required"))?,
+    )?;
+    let taps: Vec<u64> = args
+        .option("taps")
+        .ok_or_else(|| CliError::usage("--taps is required"))?
+        .split(',')
+        .map(|t| {
+            t.parse()
+                .map_err(|_| CliError::usage(format!("--taps: cannot parse {t:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let sample_bits: usize = args.get_or("sample-bits", 8)?;
+    if !(1..=32).contains(&sample_bits) {
+        return Err(CliError::usage("--sample-bits must be 1..=32"));
+    }
+    let length: usize = args.get_or("length", 10_000)?;
+
+    let fir = FirFilter::new(cell.clone(), &taps, sample_bits).map_err(CliError::analysis)?;
+    // Deterministic noisy sine in the sample range.
+    let peak = (1u64 << sample_bits) - 1;
+    let samples: Vec<u64> = (0..length)
+        .map(|i| {
+            let clean = 0.5 + 0.35 * (i as f64 / 37.0).sin();
+            let noise = 0.1 * ((i as f64 * 977.0).sin());
+            ((clean + noise).clamp(0.0, 1.0) * peak as f64) as u64
+        })
+        .collect();
+    let q = fir.quality(&samples);
+    writeln!(
+        out,
+        "filter       : {} taps {:?}, {} accumulator",
+        fir.taps(),
+        taps,
+        cell.name()
+    )?;
+    writeln!(out, "outputs      : {}", q.outputs)?;
+    writeln!(
+        out,
+        "wrong outputs: {} ({:.4})",
+        q.wrong_outputs,
+        q.wrong_outputs as f64 / q.outputs.max(1) as f64
+    )?;
+    writeln!(out, "MSE          : {:.4}", q.mse)?;
+    if q.psnr_db.is_infinite() {
+        writeln!(out, "PSNR         : inf (error-free)")?;
+    } else {
+        writeln!(out, "PSNR         : {:.2} dB", q.psnr_db)?;
+    }
+    writeln!(out, "max |error|  : {}", q.max_absolute_error)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> Result<String, CliError> {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn exact_filter_is_error_free() {
+        let s = run_to_string(&["--cell", "accurate", "--taps", "1,2,1", "--length", "500"])
+            .expect("valid");
+        assert!(s.contains("PSNR         : inf"), "{s}");
+    }
+
+    #[test]
+    fn approximate_filter_reports_finite_psnr() {
+        let s = run_to_string(&["--cell", "lpaa5", "--taps", "1,2,1", "--length", "500"])
+            .expect("valid");
+        assert!(s.contains("dB"), "{s}");
+    }
+
+    #[test]
+    fn missing_required_options_rejected() {
+        assert!(run_to_string(&["--cell", "lpaa1"]).is_err());
+        assert!(run_to_string(&["--taps", "1,1"]).is_err());
+        assert!(run_to_string(&["--cell", "lpaa1", "--taps", "x"]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).expect("valid");
+        assert!(s.contains("usage: sealpaa fir"));
+    }
+}

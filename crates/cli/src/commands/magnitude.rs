@@ -1,0 +1,158 @@
+//! `sealpaa magnitude` — error-distance moments and distribution.
+
+use std::io::Write;
+
+use sealpaa_cells::AdderChain;
+use sealpaa_core::{error_distribution, error_magnitude, worst_case_error, MAX_DISTRIBUTION_WIDTH};
+
+use crate::args::{parse_chain_cells, parse_profile, ParsedArgs};
+use crate::error::CliError;
+
+const HELP: &str = "\
+usage: sealpaa magnitude --width N (--cell NAME | --cells A,B,...) [options]
+
+Exact error-distance statistics of the adder (an extension beyond the
+paper): bias E[D], RMS, variance, and optionally the full distribution.
+
+options:
+  --width N       number of stages (required)
+  --cell/--cells  as in `sealpaa analyze`
+  --p/--pa/--pb/--cin  input probabilities, as in `sealpaa analyze`
+  --distribution  print the complete error PMF (widths up to 20)
+  --tail B        also print P(|D| > B)
+  --worst-case    print the exact error extremes with witness operands";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options or analysis failure.
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(
+        tokens,
+        &["width", "cell", "cells", "p", "pa", "pb", "cin", "tail"],
+        &["distribution", "worst-case"],
+    )?;
+    let width: usize = args.require("width")?;
+    if width == 0 {
+        return Err(CliError::usage("--width must be at least 1"));
+    }
+    let chain = AdderChain::from_stages(parse_chain_cells(&args, width)?);
+    let profile = parse_profile(&args, width)?;
+    writeln!(out, "adder: {chain}")?;
+
+    let moments = error_magnitude(&chain, &profile).map_err(CliError::analysis)?;
+    writeln!(
+        out,
+        "E[D]   (bias)     : {:+.6}",
+        moments.mean_error_distance
+    )?;
+    writeln!(
+        out,
+        "E[D^2]            : {:.6}",
+        moments.mean_squared_error_distance
+    )?;
+    writeln!(out, "Var[D]            : {:.6}", moments.variance())?;
+    writeln!(
+        out,
+        "RMS error distance: {:.6}",
+        moments.rms_error_distance()
+    )?;
+
+    if args.flag("worst-case") {
+        let wc = worst_case_error(&chain).map_err(CliError::analysis)?;
+        writeln!(
+            out,
+            "worst overshoot   : {:+} at a={:#x} b={:#x} cin={}",
+            wc.max_error, wc.max_witness.a, wc.max_witness.b, wc.max_witness.carry_in as u8
+        )?;
+        writeln!(
+            out,
+            "worst undershoot  : {:+} at a={:#x} b={:#x} cin={}",
+            wc.min_error, wc.min_witness.a, wc.min_witness.b, wc.min_witness.carry_in as u8
+        )?;
+    }
+
+    let need_pmf = args.flag("distribution") || args.option("tail").is_some();
+    if need_pmf {
+        if width > MAX_DISTRIBUTION_WIDTH {
+            return Err(CliError::usage(format!(
+                "--distribution/--tail support widths up to {MAX_DISTRIBUTION_WIDTH}"
+            )));
+        }
+        let dist = error_distribution(&chain, &profile).map_err(CliError::analysis)?;
+        if let Some(bound) = args.option("tail") {
+            let bound: u64 = bound
+                .parse()
+                .map_err(|_| CliError::usage(format!("--tail: cannot parse {bound:?}")))?;
+            writeln!(
+                out,
+                "P(|D| > {bound})        : {:.8}",
+                dist.tail_beyond(bound)
+            )?;
+        }
+        if args.flag("distribution") {
+            writeln!(out, "\n{:>12}  probability", "D")?;
+            for (d, p) in &dist.pmf {
+                writeln!(out, "{d:>12}  {p:.8}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> Result<String, CliError> {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn moments_of_single_stage_lpaa1() {
+        let s = run_to_string(&["--width", "1", "--cell", "lpaa1", "--p", "0.5"]).expect("valid");
+        assert!(s.contains("E[D]   (bias)     : +0.000000"), "{s}");
+        assert!(s.contains("E[D^2]            : 0.250000"), "{s}");
+        assert!(s.contains("RMS error distance: 0.500000"), "{s}");
+    }
+
+    #[test]
+    fn distribution_lists_support_points() {
+        let s =
+            run_to_string(&["--width", "1", "--cell", "lpaa1", "--distribution"]).expect("valid");
+        assert!(s.contains("-1"), "{s}");
+        assert!(s.contains("0.12500000"), "{s}");
+    }
+
+    #[test]
+    fn tail_probability() {
+        let s = run_to_string(&["--width", "2", "--cell", "lpaa5", "--tail", "1"]).expect("valid");
+        assert!(s.contains("P(|D| > 1)"), "{s}");
+    }
+
+    #[test]
+    fn distribution_width_cap() {
+        assert!(run_to_string(&["--width", "21", "--cell", "lpaa1", "--distribution"]).is_err());
+    }
+
+    #[test]
+    fn worst_case_flag_prints_witnesses() {
+        let s = run_to_string(&["--width", "4", "--cell", "lpaa1", "--worst-case"]).expect("valid");
+        assert!(s.contains("worst overshoot"), "{s}");
+        assert!(s.contains("cin="), "{s}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).expect("valid");
+        assert!(s.contains("usage: sealpaa magnitude"));
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per subcommand.
+
+pub mod analyze;
+pub mod cells;
+pub mod compare;
+pub mod dse;
+pub mod fir;
+pub mod gear;
+pub mod magnitude;
+pub mod multiplier;
+pub mod simulate;
+pub mod sweep;
+pub mod verilog;

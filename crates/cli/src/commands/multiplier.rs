@@ -1,0 +1,95 @@
+//! `sealpaa multiplier` — approximate shift-add multiplier quality.
+
+use std::io::Write;
+
+use sealpaa_datapath::ShiftAddMultiplier;
+
+use crate::args::{parse_cell, ParsedArgs};
+use crate::error::CliError;
+
+const HELP: &str = "\
+usage: sealpaa multiplier --width N --cell NAME [options]
+
+Quality of a width x width shift-add multiplier whose partial products are
+accumulated through approximate adder chains.
+
+options:
+  --width N       operand width in bits, 1..=31 (required)
+  --cell NAME     the accumulator cell (required)
+  --samples M     Monte-Carlo samples (default 100000)
+  --seed S        RNG seed (default 42)";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options.
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(tokens, &["width", "cell", "samples", "seed"], &[])?;
+    let width: usize = args.require("width")?;
+    if !(1..=31).contains(&width) {
+        return Err(CliError::usage("--width must be 1..=31"));
+    }
+    let cell = parse_cell(
+        args.option("cell")
+            .ok_or_else(|| CliError::usage("--cell is required"))?,
+    )?;
+    let samples: u64 = args.get_or("samples", 100_000)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+
+    let multiplier = ShiftAddMultiplier::new(cell.clone(), width);
+    let q = multiplier.quality(samples, seed);
+    writeln!(
+        out,
+        "multiplier : {width}x{width} shift-add, {} accumulator",
+        cell.name()
+    )?;
+    writeln!(out, "samples    : {}", q.samples)?;
+    writeln!(out, "error rate : {:.6}", q.error_rate)?;
+    writeln!(out, "MRED       : {:.6}", q.mean_relative_error)?;
+    writeln!(out, "max |error|: {}", q.max_absolute_error)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> Result<String, CliError> {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn accurate_multiplier_reports_zero_error() {
+        let s = run_to_string(&["--width", "6", "--cell", "accurate", "--samples", "2000"])
+            .expect("valid");
+        assert!(s.contains("error rate : 0.000000"), "{s}");
+    }
+
+    #[test]
+    fn approximate_multiplier_reports_nonzero_error() {
+        let s = run_to_string(&["--width", "8", "--cell", "lpaa6", "--samples", "2000"])
+            .expect("valid");
+        assert!(!s.contains("error rate : 0.000000"), "{s}");
+        assert!(s.contains("MRED"), "{s}");
+    }
+
+    #[test]
+    fn width_limits() {
+        assert!(run_to_string(&["--width", "32", "--cell", "lpaa1"]).is_err());
+        assert!(run_to_string(&["--width", "0", "--cell", "lpaa1"]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).expect("valid");
+        assert!(s.contains("usage: sealpaa multiplier"));
+    }
+}

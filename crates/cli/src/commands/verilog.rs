@@ -1,0 +1,117 @@
+//! `sealpaa verilog` — emit structural Verilog.
+
+use std::io::Write;
+
+use sealpaa_cells::AdderChain;
+use sealpaa_gear::GearConfig;
+use sealpaa_hdl::{cell_verilog, chain_verilog, gear_verilog};
+
+use crate::args::{parse_cell, parse_chain_cells, ParsedArgs};
+use crate::error::CliError;
+
+const HELP: &str = "\
+usage: sealpaa verilog (--cell NAME | --width N --cell NAME | --width N --cells A,B,... | --gear N,R,P)
+
+Emits structural Verilog (two-level synthesis of the truth tables).
+
+forms:
+  --cell NAME                       one single-bit cell module
+  --width N --cell NAME             an N-bit homogeneous ripple chain
+  --width N --cells A,B,...         an N-bit hybrid ripple chain
+  --gear N,R,P                      a GeAr(N, R, P) adder";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options.
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(tokens, &["cell", "cells", "width", "gear"], &[])?;
+    if let Some(spec) = args.option("gear") {
+        let parts: Vec<&str> = spec.split(',').collect();
+        if parts.len() != 3 {
+            return Err(CliError::usage("--gear expects N,R,P"));
+        }
+        let parse = |s: &str| -> Result<usize, CliError> {
+            s.parse()
+                .map_err(|_| CliError::usage(format!("--gear: cannot parse {s:?}")))
+        };
+        let config = GearConfig::new(parse(parts[0])?, parse(parts[1])?, parse(parts[2])?)
+            .map_err(CliError::analysis)?;
+        write!(out, "{}", gear_verilog(&config))?;
+        return Ok(());
+    }
+    match args.option("width") {
+        None => {
+            let cell = parse_cell(
+                args.option("cell")
+                    .ok_or_else(|| CliError::usage("--cell, --width, or --gear is required"))?,
+            )?;
+            write!(out, "{}", cell_verilog(&cell))?;
+        }
+        Some(width) => {
+            let width: usize = width
+                .parse()
+                .map_err(|_| CliError::usage(format!("--width: cannot parse {width:?}")))?;
+            if width == 0 {
+                return Err(CliError::usage("--width must be at least 1"));
+            }
+            let chain = AdderChain::from_stages(parse_chain_cells(&args, width)?);
+            write!(out, "{}", chain_verilog(&chain))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> Result<String, CliError> {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn single_cell_module() {
+        let s = run_to_string(&["--cell", "lpaa5"]).expect("valid");
+        assert!(s.contains("module lpaa_5"), "{s}");
+        assert!(s.contains("assign sum = b;"), "{s}");
+    }
+
+    #[test]
+    fn chain_module() {
+        let s = run_to_string(&["--width", "4", "--cell", "lpaa1"]).expect("valid");
+        assert!(s.contains("module approx_adder_4"), "{s}");
+    }
+
+    #[test]
+    fn hybrid_chain_module() {
+        let s = run_to_string(&["--width", "2", "--cells", "lpaa6,accurate"]).expect("valid");
+        assert!(s.contains("LPAA 6, AccuFA"), "{s}");
+    }
+
+    #[test]
+    fn gear_module() {
+        let s = run_to_string(&["--gear", "8,2,2"]).expect("valid");
+        assert!(s.contains("module gear_n8_r2_p2"), "{s}");
+    }
+
+    #[test]
+    fn malformed_gear_rejected() {
+        assert!(run_to_string(&["--gear", "8,2"]).is_err());
+        assert!(run_to_string(&["--gear", "9,2,2"]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).expect("valid");
+        assert!(s.contains("usage: sealpaa verilog"));
+    }
+}

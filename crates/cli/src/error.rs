@@ -1,0 +1,64 @@
+//! The CLI's error type.
+
+use std::fmt;
+
+/// Anything that can go wrong while running a CLI command.
+#[derive(Debug)]
+pub enum CliError {
+    /// The user asked for something malformed; the message includes usage.
+    Usage(String),
+    /// A downstream analysis rejected the request.
+    Analysis(String),
+    /// Output could not be written.
+    Io(std::io::Error),
+}
+
+impl CliError {
+    /// Builds a usage error.
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+
+    /// Builds an analysis-failure error.
+    pub fn analysis(message: impl fmt::Display) -> Self {
+        CliError::Analysis(message.to_string())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Analysis(m) => write!(f, "analysis failed: {m}"),
+            CliError::Io(e) => write!(f, "output failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(CliError::usage("u").to_string(), "u");
+        assert!(CliError::analysis("boom").to_string().contains("boom"));
+        let io = CliError::from(std::io::Error::other("x"));
+        assert!(io.to_string().contains("output failed"));
+    }
+}

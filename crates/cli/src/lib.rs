@@ -1,0 +1,82 @@
+//! The `sealpaa` command-line tool: the paper's error analyses without
+//! writing any Rust.
+//!
+//! ```text
+//! sealpaa cells                               # the cell library + M/K/L
+//! sealpaa analyze  --cell lpaa1 --width 16 --p 0.1 --trace
+//! sealpaa simulate --cell lpaa6 --width 8 --p 0.1 --samples 100000
+//! sealpaa magnitude --cell lpaa5 --width 8 --p 0.5 --distribution
+//! sealpaa gear     --n 16 --r 2 --overlap 2 --p 0.5
+//! sealpaa sweep    --cell lpaa5 --width 8 --p 0.5
+//! sealpaa dse      --width 6 --p 0.3 --budget-power 3000
+//! ```
+//!
+//! All command logic lives in this library (writing to any `io::Write`) so
+//! the test suite can drive it end to end; `src/main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod error;
+mod json;
+
+pub use args::ParsedArgs;
+pub use error::CliError;
+
+use std::io::Write;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: sealpaa <command> [options]
+
+commands:
+  cells       list the standard cell library (truth tables, M/K/L, power/area)
+  compare     per-cell scorecard: P(error), bias, RMS, worst case, power/area
+  analyze     error probability of a (hybrid) multi-bit adder (the paper's method)
+  simulate    exhaustive or Monte-Carlo simulation of the same adder
+  magnitude   error-distance moments and (optionally) the full distribution
+  gear        error probability of a GeAr low-latency adder
+  sweep       approximate-LSB sweep: quality vs power trade-off curve
+  dse         budgeted hybrid-adder design-space exploration
+  multiplier  quality of an approximate shift-add multiplier
+  fir         quality of an approximate FIR filter on a synthetic stream
+  verilog     emit structural Verilog for a cell, chain, or GeAr adder
+  help        show this message
+
+run `sealpaa <command> --help` for the command's options";
+
+/// Executes one CLI invocation. `args` excludes the program name.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown commands, malformed options, or analysis
+/// errors; the caller decides how to render it (the binary prints it to
+/// stderr and exits non-zero).
+pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "cells" => commands::cells::run(rest, out),
+        "compare" => commands::compare::run(rest, out),
+        "analyze" => commands::analyze::run(rest, out),
+        "simulate" => commands::simulate::run(rest, out),
+        "magnitude" => commands::magnitude::run(rest, out),
+        "gear" => commands::gear::run(rest, out),
+        "sweep" => commands::sweep::run(rest, out),
+        "dse" => commands::dse::run(rest, out),
+        "multiplier" => commands::multiplier::run(rest, out),
+        "fir" => commands::fir::run(rest, out),
+        "verilog" => commands::verilog::run(rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
+    }
+}

@@ -1,0 +1,189 @@
+//! End-to-end tests that execute the compiled `sealpaa` binary.
+
+use std::process::Command;
+
+fn sealpaa(args: &[&str]) -> (String, String, Option<i32>) {
+    let output = Command::new(env!("CARGO_BIN_EXE_sealpaa"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8(output.stdout).expect("utf8 stdout"),
+        String::from_utf8(output.stderr).expect("utf8 stderr"),
+        output.status.code(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let (_, stderr, code) = sealpaa(&[]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage: sealpaa"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (_, stderr, code) = sealpaa(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn help_succeeds() {
+    let (stdout, _, code) = sealpaa(&["help"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("commands:"));
+}
+
+#[test]
+fn full_paper_workflow() {
+    // Table 4's example through the real binary, exact mode.
+    let (stdout, _, code) = sealpaa(&[
+        "analyze",
+        "--width",
+        "4",
+        "--cell",
+        "lpaa1",
+        "--pa",
+        "0.9,0.5,0.4,0.8",
+        "--pb",
+        "0.8,0.7,0.6,0.9",
+        "--cin",
+        "0.5",
+        "--exact",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("184619/250000"), "{stdout}");
+    assert!(stdout.contains("0.7384760000"), "{stdout}");
+}
+
+#[test]
+fn analyze_and_simulate_agree() {
+    let analyze = sealpaa(&["analyze", "--width", "4", "--cell", "lpaa6", "--p", "0.25"]).0;
+    let simulate = sealpaa(&[
+        "simulate",
+        "--width",
+        "4",
+        "--cell",
+        "lpaa6",
+        "--p",
+        "0.25",
+        "--exhaustive",
+    ])
+    .0;
+    let grab = |s: &str, prefix: &str| -> f64 {
+        s.lines()
+            .find(|l| l.starts_with(prefix))
+            .unwrap_or_else(|| panic!("missing {prefix} in {s}"))
+            .split(&[':', '='][..])
+            .nth(1)
+            .expect("value")
+            .trim()
+            .split(' ')
+            .next()
+            .expect("number")
+            .parse()
+            .expect("f64")
+    };
+    let analytical = grab(&analyze, "P(error)");
+    let simulated = grab(&simulate, "P(stage error)");
+    assert!((analytical - simulated).abs() < 1e-9);
+}
+
+#[test]
+fn gear_command_runs() {
+    let (stdout, _, code) = sealpaa(&[
+        "gear",
+        "--n",
+        "16",
+        "--r",
+        "4",
+        "--overlap",
+        "4",
+        "--baselines",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("GeAr(N=16, R=4, P=4)"));
+    assert!(stdout.contains("incl-excl"));
+}
+
+#[test]
+fn sweep_command_runs() {
+    let (stdout, _, code) = sealpaa(&["sweep", "--width", "4", "--cell", "lpaa5"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("LSB sweep"));
+}
+
+#[test]
+fn dse_command_runs() {
+    let (stdout, _, code) =
+        sealpaa(&["dse", "--width", "3", "--p", "0.2", "--budget-power", "600"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("best design"), "{stdout}");
+}
+
+#[test]
+fn magnitude_with_distribution() {
+    let (stdout, _, code) = sealpaa(&[
+        "magnitude",
+        "--width",
+        "2",
+        "--cell",
+        "lpaa1",
+        "--distribution",
+        "--tail",
+        "2",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("RMS error distance"));
+    assert!(stdout.contains("P(|D| > 2)"));
+}
+
+#[test]
+fn multiplier_command_runs() {
+    let (stdout, _, code) = sealpaa(&[
+        "multiplier",
+        "--width",
+        "6",
+        "--cell",
+        "lpaa6",
+        "--samples",
+        "2000",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("MRED"), "{stdout}");
+}
+
+#[test]
+fn fir_command_runs() {
+    let (stdout, _, code) = sealpaa(&[
+        "fir", "--cell", "lpaa6", "--taps", "1,2,1", "--length", "300",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("PSNR"), "{stdout}");
+}
+
+#[test]
+fn verilog_command_emits_module() {
+    let (stdout, _, code) =
+        sealpaa(&["verilog", "--width", "3", "--cells", "lpaa1,lpaa5,accurate"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("module approx_adder_3"), "{stdout}");
+    assert!(stdout.trim_end().ends_with("endmodule"), "{stdout}");
+}
+
+#[test]
+fn custom_truth_table_cell_via_binary() {
+    // The accurate adder expressed as a custom table: zero error.
+    let (stdout, _, code) = sealpaa(&[
+        "analyze",
+        "--width",
+        "3",
+        "--cell",
+        "01101001/00010111",
+        "--p",
+        "0.5",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("P(error)   = 0.0000000000"), "{stdout}");
+}

@@ -1,0 +1,103 @@
+//! The success-conditioned carry state propagated between stages.
+
+use std::fmt;
+
+use sealpaa_num::Prob;
+
+/// The pair of probabilities the proposed method propagates from stage to
+/// stage (paper Sec. 4.1):
+///
+/// * `P(C ∩ Succ)` — carry is `1` **and** every stage so far was accurate,
+/// * `P(C̄ ∩ Succ)` — carry is `0` **and** every stage so far was accurate.
+///
+/// Their sum is the probability that the chain is still error-free, which
+/// can only shrink as stages are added (the paper notes "the carry-out
+/// probabilities keep on decreasing because of the discarded error terms").
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_core::CarryState;
+///
+/// let state = CarryState::initial(&0.25f64);
+/// assert_eq!(*state.p_carry_and_success(), 0.25);
+/// assert_eq!(*state.p_not_carry_and_success(), 0.75);
+/// assert_eq!(state.success_mass(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarryState<T> {
+    carry_zero: T,
+    carry_one: T,
+}
+
+impl<T: Prob> CarryState<T> {
+    /// Creates a state from `P(C̄ ∩ Succ)` and `P(C ∩ Succ)`.
+    pub fn new(carry_zero: T, carry_one: T) -> Self {
+        CarryState {
+            carry_zero,
+            carry_one,
+        }
+    }
+
+    /// The first-stage state (paper Eq. 5): no stage has run yet, so success
+    /// is certain and the split is just the carry-in probability.
+    pub fn initial(p_cin: &T) -> Self {
+        CarryState {
+            carry_zero: p_cin.complement(),
+            carry_one: p_cin.clone(),
+        }
+    }
+
+    /// `P(C = 0 ∩ Succ)`.
+    pub fn p_not_carry_and_success(&self) -> &T {
+        &self.carry_zero
+    }
+
+    /// `P(C = 1 ∩ Succ)`.
+    pub fn p_carry_and_success(&self) -> &T {
+        &self.carry_one
+    }
+
+    /// `P(Succ)` so far: the total probability mass still error-free.
+    pub fn success_mass(&self) -> T {
+        self.carry_zero.clone() + self.carry_one.clone()
+    }
+}
+
+impl<T: Prob> fmt::Display for CarryState<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P(C̄∩S)={} P(C∩S)={}", self.carry_zero, self.carry_one)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_num::Rational;
+
+    #[test]
+    fn initial_splits_cin() {
+        let s = CarryState::initial(&0.2f64);
+        assert!((s.p_carry_and_success() - 0.2).abs() < 1e-15);
+        assert!((s.p_not_carry_and_success() - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn success_mass_is_sum() {
+        let s = CarryState::new(Rational::from_ratio(1, 8), Rational::from_ratio(3, 8));
+        assert_eq!(s.success_mass(), Rational::from_ratio(1, 2));
+    }
+
+    #[test]
+    fn initial_mass_is_one_exactly() {
+        let s = CarryState::initial(&Rational::from_ratio(7, 13));
+        assert_eq!(s.success_mass(), Rational::one());
+    }
+
+    #[test]
+    fn display_shows_both_components() {
+        let s = CarryState::new(0.25f64, 0.5);
+        let rendered = s.to_string();
+        assert!(rendered.contains("0.25") && rendered.contains("0.5"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Exact joint-chain analysis — an extension beyond the paper.
+//!
+//! The paper's `P(Error)` uses *first-deviation* semantics: the adder
+//! "fails" as soon as any stage's `(sum, carry_out)` differs from the
+//! accurate full adder's, given the accurate carry chain. For the seven
+//! paper cells on homogeneous chains this coincides with the probability
+//! that the final *output value* is wrong (their exhaustive validation
+//! matched exactly, and our tests confirm it). In general, however, a
+//! carry-only deviation can be *cancelled* downstream — e.g. an LPAA 6 stage
+//! (whose two error rows corrupt only the carry) followed by an LPAA 5 stage
+//! can re-converge with every sum bit intact — making the paper's figure a
+//! safe over-estimate of the value-error probability.
+//!
+//! This module runs both chains (approximate and accurate) *jointly* as one
+//! Markov chain over the state
+//! `(approximate carry, accurate carry, output already corrupted, some stage
+//! deviated)`, which is exact, linear-time, and yields:
+//!
+//! * the true output-value error probability (cancellation included),
+//! * the paper's first-deviation error probability (for cross-validation
+//!   against [`analyze`](crate::analyze)), and
+//! * per-bit error rates of every sum bit.
+
+use sealpaa_cells::{AdderChain, FaInput, InputProfile, TruthTable};
+use sealpaa_num::Prob;
+
+use crate::analyzer::AnalyzeError;
+
+/// Results of the exact joint-chain DP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactErrorAnalysis<T> {
+    /// Probability that the final output (all sum bits + final carry-out)
+    /// differs from the exact binary sum. Accounts for downstream
+    /// cancellation of carry-only deviations.
+    pub output_error: T,
+    /// Probability that at least one stage deviates from the accurate full
+    /// adder along the accurate carry chain — the paper's `P(Error)`
+    /// semantics. Always ≥ `output_error`.
+    pub stage_error: T,
+    /// `bit_error[i]` = probability that sum bit `i` of the approximate
+    /// chain differs from the accurate sum bit `i`.
+    pub bit_error: Vec<T>,
+}
+
+/// Joint DP state index: 2 bits of carry (approx, accurate) × output-dirty ×
+/// deviated = 16 states.
+fn state_index(c_approx: bool, c_acc: bool, dirty: bool, deviated: bool) -> usize {
+    (c_approx as usize) | (c_acc as usize) << 1 | (dirty as usize) << 2 | (deviated as usize) << 3
+}
+
+/// Runs the exact joint-chain analysis.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::WidthMismatch`] if `profile` does not cover
+/// exactly `chain.width()` bits.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
+/// use sealpaa_core::{analyze, exact_error_analysis};
+///
+/// let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), 8);
+/// let profile = InputProfile::<f64>::uniform(8);
+/// let exact = exact_error_analysis(&chain, &profile)?;
+/// let paper = analyze(&chain, &profile)?;
+/// // For the paper's cells on homogeneous chains the two notions agree.
+/// assert!((exact.output_error - paper.error_probability()).abs() < 1e-12);
+/// # Ok::<(), sealpaa_core::AnalyzeError>(())
+/// ```
+pub fn exact_error_analysis<T: Prob>(
+    chain: &AdderChain,
+    profile: &InputProfile<T>,
+) -> Result<ExactErrorAnalysis<T>, AnalyzeError> {
+    if chain.width() != profile.width() {
+        return Err(AnalyzeError::WidthMismatch {
+            chain: chain.width(),
+            profile: profile.width(),
+        });
+    }
+    let accurate = TruthTable::accurate();
+    // state[s]: probability mass in joint state s.
+    let mut state = vec![T::zero(); 16];
+    let p_cin = profile.p_cin();
+    state[state_index(true, true, false, false)] = p_cin.clone();
+    state[state_index(false, false, false, false)] = p_cin.complement();
+
+    let mut bit_error = Vec::with_capacity(chain.width());
+    for (i, cell) in chain.iter().enumerate() {
+        let mut next = vec![T::zero(); 16];
+        let mut sum_differs = T::zero();
+        for s in 0..16 {
+            if state[s].is_zero() {
+                continue;
+            }
+            let c_approx = s & 1 == 1;
+            let c_acc = s & 2 == 2;
+            let dirty = s & 4 == 4;
+            let deviated = s & 8 == 8;
+            for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+                let pa = if a {
+                    profile.pa(i).clone()
+                } else {
+                    profile.pa(i).complement()
+                };
+                let pb = if b {
+                    profile.pb(i).clone()
+                } else {
+                    profile.pb(i).complement()
+                };
+                let mass = state[s].clone() * pa * pb;
+                if mass.is_zero() {
+                    continue;
+                }
+                let approx_out = cell.truth_table().eval(FaInput::new(a, b, c_approx));
+                let acc_out = accurate.eval(FaInput::new(a, b, c_acc));
+                let differs = approx_out.sum != acc_out.sum;
+                if differs {
+                    sum_differs = sum_differs + mass.clone();
+                }
+                // "Deviated" is judged against the accurate carry chain, as
+                // in the paper's analysis.
+                let row_is_error = cell.truth_table().eval(FaInput::new(a, b, c_acc))
+                    != accurate.eval(FaInput::new(a, b, c_acc));
+                let idx = state_index(
+                    approx_out.carry_out,
+                    acc_out.carry_out,
+                    dirty || differs,
+                    deviated || row_is_error,
+                );
+                next[idx] = next[idx].clone() + mass;
+            }
+        }
+        bit_error.push(sum_differs);
+        state = next;
+    }
+
+    let mut output_error = T::zero();
+    let mut stage_error = T::zero();
+    for s in 0..16 {
+        if state[s].is_zero() {
+            continue;
+        }
+        let carry_mismatch = (s & 1 == 1) != (s & 2 == 2);
+        let dirty = s & 4 == 4;
+        let deviated = s & 8 == 8;
+        if dirty || carry_mismatch {
+            output_error = output_error + state[s].clone();
+        }
+        if deviated {
+            stage_error = stage_error + state[s].clone();
+        }
+    }
+    Ok(ExactErrorAnalysis {
+        output_error,
+        stage_error,
+        bit_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use sealpaa_cells::StandardCell;
+    use sealpaa_num::Rational;
+
+    #[test]
+    fn stage_error_matches_proposed_method_exactly() {
+        for cell in StandardCell::APPROXIMATE {
+            let chain = AdderChain::uniform(cell.cell(), 5);
+            let profile = InputProfile::<Rational>::constant(5, Rational::from_ratio(3, 10));
+            let exact = exact_error_analysis(&chain, &profile).expect("widths match");
+            let paper = analyze(&chain, &profile).expect("widths match");
+            assert_eq!(
+                exact.stage_error,
+                paper.error_probability(),
+                "stage-error semantics must coincide with the paper's method for {cell}"
+            );
+        }
+    }
+
+    #[test]
+    fn homogeneous_paper_cells_have_no_cancellation() {
+        // The paper's exhaustive validation matched its analysis exactly;
+        // that implicitly claims output error == first-deviation error for
+        // LPAA 1–7. Verify analytically.
+        for cell in StandardCell::APPROXIMATE {
+            let chain = AdderChain::uniform(cell.cell(), 6);
+            let profile = InputProfile::<Rational>::uniform(6);
+            let exact = exact_error_analysis(&chain, &profile).expect("widths match");
+            assert_eq!(
+                exact.output_error, exact.stage_error,
+                "no cancellation expected for homogeneous {cell}"
+            );
+        }
+    }
+
+    #[test]
+    fn lpaa6_then_lpaa5_hybrid_cancels_errors() {
+        // LPAA 6's error rows corrupt only the carry; a following LPAA 5
+        // stage (sum = B, carry = A) can swallow the wrong carry on (0,0)
+        // inputs, re-aligning the chains with all sum bits intact. The
+        // paper's first-deviation estimate is therefore strictly larger than
+        // the true output error for this hybrid.
+        let chain =
+            AdderChain::from_stages(vec![StandardCell::Lpaa6.cell(), StandardCell::Lpaa5.cell()]);
+        let profile = InputProfile::<Rational>::uniform(2);
+        let exact = exact_error_analysis(&chain, &profile).expect("widths match");
+        assert!(
+            exact.output_error < exact.stage_error,
+            "expected cancellation: output {} vs stage {}",
+            exact.output_error,
+            exact.stage_error
+        );
+    }
+
+    #[test]
+    fn accurate_chain_is_error_free() {
+        let chain = AdderChain::uniform(StandardCell::Accurate.cell(), 8);
+        let profile = InputProfile::<Rational>::constant(8, Rational::from_ratio(2, 7));
+        let exact = exact_error_analysis(&chain, &profile).expect("widths match");
+        assert_eq!(exact.output_error, Rational::zero());
+        assert_eq!(exact.stage_error, Rational::zero());
+        assert!(exact.bit_error.iter().all(|p| p.is_zero()));
+    }
+
+    #[test]
+    fn bit_errors_match_brute_force_2bit() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa4.cell(), 2);
+        let profile = InputProfile::<Rational>::new(
+            vec![Rational::from_ratio(1, 3), Rational::from_ratio(4, 5)],
+            vec![Rational::from_ratio(2, 9), Rational::from_ratio(1, 2)],
+            Rational::from_ratio(1, 6),
+        )
+        .expect("valid profile");
+        let exact = exact_error_analysis(&chain, &profile).expect("widths match");
+
+        let mut bit0 = Rational::zero();
+        let mut bit1 = Rational::zero();
+        let mut out_err = Rational::zero();
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                for cin in [false, true] {
+                    let w = profile.assignment_probability(a, b, cin);
+                    let approx = chain.add(a, b, cin);
+                    let acc = chain.accurate_sum(a, b, cin);
+                    if (approx.sum_bits() ^ acc.sum_bits()) & 1 != 0 {
+                        bit0 = bit0 + w.clone();
+                    }
+                    if (approx.sum_bits() ^ acc.sum_bits()) & 2 != 0 {
+                        bit1 = bit1 + w.clone();
+                    }
+                    if approx != acc {
+                        out_err = out_err + w;
+                    }
+                }
+            }
+        }
+        assert_eq!(exact.bit_error[0], bit0);
+        assert_eq!(exact.bit_error[1], bit1);
+        assert_eq!(exact.output_error, out_err);
+    }
+
+    #[test]
+    fn width_mismatch_is_reported() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 3);
+        let profile = InputProfile::<f64>::uniform(2);
+        assert!(exact_error_analysis(&chain, &profile).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Exact worst-case error analysis — an extension beyond the paper.
+//!
+//! Statistical error probability (the paper's metric) and worst-case error
+//! bound different things: an application with a hard tolerance needs the
+//! largest error the adder can *ever* produce, over all inputs. Because the
+//! signed error distance decomposes per stage over the joint carry state,
+//! its exact minimum and maximum are computable by an O(N) DP — no
+//! enumeration, any width — together with *witness* operands that achieve
+//! them (reconstructed by backtracking the DP).
+
+use sealpaa_cells::{AdderChain, FaInput, TruthTable};
+
+use crate::analyzer::AnalyzeError;
+
+/// Concrete operands achieving an extreme error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Witness {
+    /// Operand A.
+    pub a: u64,
+    /// Operand B.
+    pub b: u64,
+    /// Carry-in.
+    pub carry_in: bool,
+}
+
+/// The exact error-distance extremes of a chain, with witnesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorstCaseError {
+    /// The largest (most positive) achievable `approx − exact`.
+    pub max_error: i128,
+    /// Operands achieving `max_error`.
+    pub max_witness: Witness,
+    /// The smallest (most negative) achievable `approx − exact`.
+    pub min_error: i128,
+    /// Operands achieving `min_error`.
+    pub min_witness: Witness,
+}
+
+impl WorstCaseError {
+    /// The worst absolute error the adder can ever produce.
+    pub fn max_absolute_error(&self) -> u128 {
+        self.max_error
+            .unsigned_abs()
+            .max(self.min_error.unsigned_abs())
+    }
+}
+
+/// One DP cell: the best partial error reachable in a joint carry state,
+/// plus the backtracking link (previous state and the stage's input bits).
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    parent: usize,
+    a: bool,
+    b: bool,
+}
+
+/// Computes the exact minimum and maximum signed error distance of the
+/// chain over **all** inputs, with witnesses.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::WidthMismatch`] if `chain.width() > 63` (witness
+/// operands are reconstructed into `u64`).
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::{AdderChain, StandardCell};
+/// use sealpaa_core::worst_case_error;
+///
+/// let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 8);
+/// let wc = worst_case_error(&chain)?;
+/// // The witnesses really do produce the claimed extremes.
+/// let d = chain
+///     .add(wc.max_witness.a, wc.max_witness.b, wc.max_witness.carry_in)
+///     .error_distance(chain.accurate_sum(
+///         wc.max_witness.a,
+///         wc.max_witness.b,
+///         wc.max_witness.carry_in,
+///     ));
+/// assert_eq!(d as i128, wc.max_error);
+/// # Ok::<(), sealpaa_core::AnalyzeError>(())
+/// ```
+pub fn worst_case_error(chain: &AdderChain) -> Result<WorstCaseError, AnalyzeError> {
+    let width = chain.width();
+    if width > 63 {
+        // Reuse the width-mismatch error shape: the chain exceeds what a
+        // u64 witness can encode.
+        return Err(AnalyzeError::WidthMismatch {
+            chain: width,
+            profile: 63,
+        });
+    }
+    let accurate = TruthTable::accurate();
+
+    // states: (approx carry) | (accurate carry) << 1; two runs, one
+    // maximizing and one minimizing.
+    let run = |maximize: bool| -> (i128, Witness) {
+        let bad = if maximize { i128::MIN } else { i128::MAX };
+        let better = |a: i128, b: i128| if maximize { a > b } else { a < b };
+        // Per-stage DP tables for backtracking: table[stage][state].
+        let mut tables: Vec<[Option<Cell>; 4]> = Vec::with_capacity(width);
+        // Initial: cin = 0 → state 00; cin = 1 → state 11.
+        let mut current: [i128; 4] = [bad; 4];
+        current[0b00] = 0;
+        current[0b11] = 0;
+        for (i, cell) in chain.iter().enumerate() {
+            let mut next: [i128; 4] = [bad; 4];
+            let mut links: [Option<Cell>; 4] = [None; 4];
+            for (s, &value) in current.iter().enumerate() {
+                if value == bad {
+                    continue;
+                }
+                let c_approx = s & 1 == 1;
+                let c_acc = s & 2 == 2;
+                for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+                    let approx_out = cell.truth_table().eval(FaInput::new(a, b, c_approx));
+                    let acc_out = accurate.eval(FaInput::new(a, b, c_acc));
+                    let dv = ((approx_out.sum as i128) - (acc_out.sum as i128)) << i;
+                    let target =
+                        (approx_out.carry_out as usize) | (acc_out.carry_out as usize) << 1;
+                    let candidate = value + dv;
+                    if next[target] == bad || better(candidate, next[target]) {
+                        next[target] = candidate;
+                        links[target] = Some(Cell { parent: s, a, b });
+                    }
+                }
+            }
+            tables.push(links);
+            current = next;
+        }
+        // Fold in the final carry discrepancy and pick the best end state.
+        let carry_weight = 1i128 << width;
+        let mut best_state = usize::MAX;
+        let mut best_value = bad;
+        for (s, &value) in current.iter().enumerate() {
+            if value == bad {
+                continue;
+            }
+            let c_approx = s & 1 == 1;
+            let c_acc = s & 2 == 2;
+            let dc = (c_approx as i128 - c_acc as i128) * carry_weight;
+            let total = value + dc;
+            if best_state == usize::MAX || better(total, best_value) {
+                best_state = s;
+                best_value = total;
+            }
+        }
+        // Backtrack the witness.
+        let mut a = 0u64;
+        let mut b = 0u64;
+        let mut state = best_state;
+        for i in (0..width).rev() {
+            let link = tables[i][state].expect("reachable states have backtracking links");
+            if link.a {
+                a |= 1 << i;
+            }
+            if link.b {
+                b |= 1 << i;
+            }
+            state = link.parent;
+        }
+        // The initial state encodes the carry-in (00 → 0, 11 → 1).
+        let carry_in = state == 0b11;
+        (best_value, Witness { a, b, carry_in })
+    };
+
+    let (max_error, max_witness) = run(true);
+    let (min_error, min_witness) = run(false);
+    Ok(WorstCaseError {
+        max_error,
+        max_witness,
+        min_error,
+        min_witness,
+    })
+}
+
+/// Convenience: the worst absolute error *relative to the output range*
+/// (`2^(N+1) − 1`), a width-normalized severity score in `[0, 1]`.
+///
+/// # Errors
+///
+/// Same conditions as [`worst_case_error`].
+pub fn worst_case_relative_error(chain: &AdderChain) -> Result<f64, AnalyzeError> {
+    let wc = worst_case_error(chain)?;
+    let range = (1u128 << (chain.width() + 1)) - 1;
+    Ok(wc.max_absolute_error() as f64 / range as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::error_distribution;
+    use sealpaa_cells::{InputProfile, StandardCell};
+    use sealpaa_num::Rational;
+
+    fn verify_witness(chain: &AdderChain, w: Witness, expect: i128) {
+        let d = chain
+            .add(w.a, w.b, w.carry_in)
+            .error_distance(chain.accurate_sum(w.a, w.b, w.carry_in));
+        assert_eq!(
+            d as i128, expect,
+            "witness a={:#x} b={:#x} cin={}",
+            w.a, w.b, w.carry_in
+        );
+    }
+
+    #[test]
+    fn extremes_match_distribution_support_for_all_cells() {
+        for cell in StandardCell::APPROXIMATE {
+            let chain = AdderChain::uniform(cell.cell(), 5);
+            let wc = worst_case_error(&chain).expect("width ok");
+            // Every input has positive probability at p = 1/2, so the PMF
+            // support's extremes are the true extremes.
+            let dist = error_distribution(&chain, &InputProfile::<Rational>::uniform(5))
+                .expect("width ok");
+            let d_min = dist.pmf.first().expect("non-empty").0 as i128;
+            let d_max = dist.pmf.last().expect("non-empty").0 as i128;
+            assert_eq!(wc.min_error, d_min, "{cell} min");
+            assert_eq!(wc.max_error, d_max, "{cell} max");
+        }
+    }
+
+    #[test]
+    fn witnesses_reproduce_the_extremes() {
+        for cell in StandardCell::APPROXIMATE {
+            let chain = AdderChain::uniform(cell.cell(), 12);
+            let wc = worst_case_error(&chain).expect("width ok");
+            verify_witness(&chain, wc.max_witness, wc.max_error);
+            verify_witness(&chain, wc.min_witness, wc.min_error);
+        }
+    }
+
+    #[test]
+    fn hybrid_chain_witnesses_hold() {
+        let chain = AdderChain::from_stages(vec![
+            StandardCell::Lpaa6.cell(),
+            StandardCell::Lpaa5.cell(),
+            StandardCell::Accurate.cell(),
+            StandardCell::Lpaa2.cell(),
+            StandardCell::Lpaa7.cell(),
+        ]);
+        let wc = worst_case_error(&chain).expect("width ok");
+        verify_witness(&chain, wc.max_witness, wc.max_error);
+        verify_witness(&chain, wc.min_witness, wc.min_error);
+        assert!(wc.max_error >= 0 && wc.min_error <= 0);
+    }
+
+    #[test]
+    fn accurate_chain_has_zero_extremes() {
+        let chain = AdderChain::uniform(StandardCell::Accurate.cell(), 16);
+        let wc = worst_case_error(&chain).expect("width ok");
+        assert_eq!(wc.max_error, 0);
+        assert_eq!(wc.min_error, 0);
+        assert_eq!(wc.max_absolute_error(), 0);
+    }
+
+    #[test]
+    fn wide_chains_are_linear_time() {
+        // 60 bits would need 2^121 enumeration; the DP does it instantly.
+        let chain = AdderChain::uniform(StandardCell::Lpaa5.cell(), 60);
+        let wc = worst_case_error(&chain).expect("width ok");
+        verify_witness(&chain, wc.max_witness, wc.max_error);
+        assert!(wc.max_absolute_error() > 1 << 50);
+    }
+
+    #[test]
+    fn relative_error_is_normalized() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 8);
+        let rel = worst_case_relative_error(&chain).expect("width ok");
+        assert!((0.0..=1.0).contains(&rel));
+        assert!(rel > 0.0);
+    }
+
+    #[test]
+    fn oversized_width_rejected() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 64);
+        assert!(worst_case_error(&chain).is_err());
+    }
+}

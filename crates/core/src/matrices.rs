@@ -1,0 +1,328 @@
+//! The M, K, L row vectors and the input probability matrix (IPM).
+
+use std::fmt;
+
+use sealpaa_cells::{FaInput, TruthTable};
+use sealpaa_num::Prob;
+
+use crate::carry::CarryState;
+use crate::ops::OpCounts;
+
+/// The three constant 0/1 row vectors the proposed method needs per cell
+/// (paper Sec. 4.2, Table 5), *derived* from the cell's truth table:
+///
+/// * `M[i] = 1` iff row `i` is a success case **and** produces `Cout = 1`,
+/// * `K[i] = 1` iff row `i` is a success case **and** produces `Cout = 0`,
+/// * `L[i] = 1` iff row `i` is a success case.
+///
+/// A "success case" is a row on which the cell's `(sum, carry_out)` both
+/// equal the accurate full adder's. By construction `M + K = L` elementwise
+/// (every success row has a definite carry value), which the analysis exploits
+/// as an invariant.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::StandardCell;
+/// use sealpaa_core::MklMatrices;
+///
+/// // Paper Table 5, first row.
+/// let mkl = MklMatrices::from_truth_table(&StandardCell::Lpaa1.truth_table());
+/// assert_eq!(mkl.m_bits(), [0, 0, 0, 1, 0, 1, 1, 1]);
+/// assert_eq!(mkl.k_bits(), [1, 1, 0, 0, 0, 0, 0, 0]);
+/// assert_eq!(mkl.l_bits(), [1, 1, 0, 1, 0, 1, 1, 1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MklMatrices {
+    m: [bool; 8],
+    k: [bool; 8],
+    l: [bool; 8],
+    s1: [bool; 8],
+    s0: [bool; 8],
+}
+
+impl MklMatrices {
+    /// Derives the matrices from a cell's truth table (paper Sec. 4.2,
+    /// steps 1–3). Also derives the sum-bit selectors `S1`/`S0` (success
+    /// rows split by the sum value), which the paper notes can evaluate
+    /// "the probability of the output sum bits … using a similar matrices
+    /// based approach".
+    pub fn from_truth_table(table: &TruthTable) -> Self {
+        let accurate = TruthTable::accurate();
+        let mut m = [false; 8];
+        let mut k = [false; 8];
+        let mut l = [false; 8];
+        let mut s1 = [false; 8];
+        let mut s0 = [false; 8];
+        for input in FaInput::all() {
+            let i = input.index();
+            let out = table.eval(input);
+            let success = out == accurate.eval(input);
+            l[i] = success;
+            m[i] = success && out.carry_out;
+            k[i] = success && !out.carry_out;
+            s1[i] = success && out.sum;
+            s0[i] = success && !out.sum;
+        }
+        MklMatrices { m, k, l, s1, s0 }
+    }
+
+    /// The M vector (`Cout = 1 ∩ Succ` selector).
+    pub fn m(&self) -> &[bool; 8] {
+        &self.m
+    }
+
+    /// The K vector (`Cout = 0 ∩ Succ` selector).
+    pub fn k(&self) -> &[bool; 8] {
+        &self.k
+    }
+
+    /// The L vector (`Succ` selector).
+    pub fn l(&self) -> &[bool; 8] {
+        &self.l
+    }
+
+    /// The S1 vector (`Sum = 1 ∩ Succ` selector).
+    pub fn s1(&self) -> &[bool; 8] {
+        &self.s1
+    }
+
+    /// The S0 vector (`Sum = 0 ∩ Succ` selector).
+    pub fn s0(&self) -> &[bool; 8] {
+        &self.s0
+    }
+
+    /// The M vector as `0`/`1` integers, in paper Table 5's notation.
+    pub fn m_bits(&self) -> [u8; 8] {
+        self.m.map(u8::from)
+    }
+
+    /// The K vector as `0`/`1` integers.
+    pub fn k_bits(&self) -> [u8; 8] {
+        self.k.map(u8::from)
+    }
+
+    /// The L vector as `0`/`1` integers.
+    pub fn l_bits(&self) -> [u8; 8] {
+        self.l.map(u8::from)
+    }
+}
+
+impl fmt::Display for MklMatrices {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "M={:?} K={:?} L={:?}",
+            self.m_bits(),
+            self.k_bits(),
+            self.l_bits()
+        )
+    }
+}
+
+/// The per-stage *input probability matrix* (paper Eq. 10): the probability
+/// of each of the 8 truth-table rows occurring **jointly with success of all
+/// previous stages**, i.e. entry `i = (A≪2)|(B≪1)|C` is
+/// `P(A-term) · P(B-term) · P(C-term ∩ Succ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ipm<T> {
+    entries: [T; 8],
+}
+
+impl<T: Prob> Ipm<T> {
+    /// Builds the IPM for one stage from the operand-bit probabilities and
+    /// the success-conditioned carry state (paper Sec. 4.2, step 4).
+    ///
+    /// `ops` accumulates the exact multiplication/complement counts used
+    /// (two multiplications per entry; the two operand complements).
+    pub fn build(pa: &T, pb: &T, carry: &CarryState<T>, ops: &mut OpCounts) -> Self {
+        let na = pa.complement();
+        let nb = pb.complement();
+        ops.complements += 2;
+        let a_terms = [&na, pa];
+        let b_terms = [&nb, pb];
+        let c_terms = [carry.p_not_carry_and_success(), carry.p_carry_and_success()];
+        let entries = std::array::from_fn(|i| {
+            let a = a_terms[(i >> 2) & 1];
+            let b = b_terms[(i >> 1) & 1];
+            let c = c_terms[i & 1];
+            ops.multiplications += 2;
+            a.clone() * b.clone() * c.clone()
+        });
+        Ipm { entries }
+    }
+
+    /// Borrows the 8 entries in row-index order.
+    pub fn entries(&self) -> &[T; 8] {
+        &self.entries
+    }
+
+    /// Dot product with a 0/1 selector vector (paper Eq. 11/12). Since the
+    /// selector entries are binary, only additions are incurred.
+    pub fn dot(&self, selector: &[bool; 8], ops: &mut OpCounts) -> T {
+        let mut acc: Option<T> = None;
+        for (entry, &sel) in self.entries.iter().zip(selector) {
+            if sel {
+                acc = Some(match acc {
+                    None => entry.clone(),
+                    Some(total) => {
+                        ops.additions += 1;
+                        total + entry.clone()
+                    }
+                });
+            }
+        }
+        acc.unwrap_or_else(T::zero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_cells::StandardCell;
+
+    /// Paper Table 5, transcribed verbatim. The library must *derive* these
+    /// from the Table 1 truth tables.
+    type PaperRow = (StandardCell, [u8; 8], [u8; 8], [u8; 8]);
+    const TABLE_5: [PaperRow; 7] = [
+        (
+            StandardCell::Lpaa1,
+            [0, 0, 0, 1, 0, 1, 1, 1],
+            [1, 1, 0, 0, 0, 0, 0, 0],
+            [1, 1, 0, 1, 0, 1, 1, 1],
+        ),
+        (
+            StandardCell::Lpaa2,
+            [0, 0, 0, 1, 0, 1, 1, 0],
+            [0, 1, 1, 0, 1, 0, 0, 0],
+            [0, 1, 1, 1, 1, 1, 1, 0],
+        ),
+        (
+            StandardCell::Lpaa3,
+            [0, 0, 0, 1, 0, 1, 1, 0],
+            [0, 1, 0, 0, 1, 0, 0, 0],
+            [0, 1, 0, 1, 1, 1, 1, 0],
+        ),
+        (
+            StandardCell::Lpaa4,
+            [0, 0, 0, 0, 0, 1, 1, 1],
+            [1, 1, 0, 0, 0, 0, 0, 0],
+            [1, 1, 0, 0, 0, 1, 1, 1],
+        ),
+        (
+            StandardCell::Lpaa5,
+            [0, 0, 0, 0, 0, 1, 0, 1],
+            [1, 0, 1, 0, 0, 0, 0, 0],
+            [1, 0, 1, 0, 0, 1, 0, 1],
+        ),
+        (
+            StandardCell::Lpaa6,
+            [0, 0, 0, 1, 0, 1, 0, 1],
+            [1, 0, 1, 0, 1, 0, 0, 0],
+            [1, 0, 1, 1, 1, 1, 0, 1],
+        ),
+        (
+            StandardCell::Lpaa7,
+            [0, 0, 0, 0, 0, 0, 1, 1],
+            [1, 1, 1, 0, 1, 0, 0, 0],
+            [1, 1, 1, 0, 1, 0, 1, 1],
+        ),
+    ];
+
+    #[test]
+    fn derivation_reproduces_paper_table_5() {
+        for (cell, m, k, l) in TABLE_5 {
+            let mkl = MklMatrices::from_truth_table(&cell.truth_table());
+            assert_eq!(mkl.m_bits(), m, "M of {cell}");
+            assert_eq!(mkl.k_bits(), k, "K of {cell}");
+            assert_eq!(mkl.l_bits(), l, "L of {cell}");
+        }
+    }
+
+    #[test]
+    fn s1_plus_s0_equals_l_for_every_cell() {
+        for cell in StandardCell::ALL {
+            let mkl = MklMatrices::from_truth_table(&cell.truth_table());
+            for i in 0..8 {
+                assert_eq!(
+                    mkl.s1()[i] as u8 + mkl.s0()[i] as u8,
+                    mkl.l()[i] as u8,
+                    "{cell} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn s1_selects_success_rows_with_sum_one() {
+        // LPAA 1 success rows: 0,1,3,5,6,7; sum=1 on rows 1 and 7 only.
+        let mkl = MklMatrices::from_truth_table(&StandardCell::Lpaa1.truth_table());
+        assert_eq!(mkl.s1().map(u8::from), [0, 1, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn m_plus_k_equals_l_for_every_cell() {
+        for cell in StandardCell::ALL {
+            let mkl = MklMatrices::from_truth_table(&cell.truth_table());
+            for i in 0..8 {
+                assert_eq!(
+                    mkl.m()[i] as u8 + mkl.k()[i] as u8,
+                    mkl.l()[i] as u8,
+                    "{cell} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accurate_cell_selects_every_row() {
+        let mkl = MklMatrices::from_truth_table(&TruthTable::accurate());
+        assert_eq!(mkl.l_bits(), [1; 8]);
+        // Accurate carry-out is 1 on rows 3, 5, 6, 7 (majority function).
+        assert_eq!(mkl.m_bits(), [0, 0, 0, 1, 0, 1, 1, 1]);
+        assert_eq!(mkl.k_bits(), [1, 1, 1, 0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn ipm_entries_sum_to_carry_mass() {
+        // Σ IPM = P(Succ so far): the operand terms sum to 1.
+        let mut ops = OpCounts::default();
+        let carry = CarryState::new(0.3, 0.45);
+        let ipm = Ipm::build(&0.7, &0.2, &carry, &mut ops);
+        let total: f64 = ipm.entries().iter().sum();
+        assert!((total - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipm_matches_paper_table_4_stage_0() {
+        // Stage 0 of the paper's worked example: P(A)=0.9, P(B)=0.8,
+        // P(Cin)=0.5 → P(C̄next ∩ S) = 0.02, P(Cnext ∩ S) = 0.85.
+        let mut ops = OpCounts::default();
+        let carry = CarryState::initial(&0.5);
+        let ipm = Ipm::build(&0.9, &0.8, &carry, &mut ops);
+        let mkl = MklMatrices::from_truth_table(&StandardCell::Lpaa1.truth_table());
+        let c0 = ipm.dot(mkl.k(), &mut ops);
+        let c1 = ipm.dot(mkl.m(), &mut ops);
+        assert!((c0 - 0.02).abs() < 1e-12, "got {c0}");
+        assert!((c1 - 0.85).abs() < 1e-12, "got {c1}");
+    }
+
+    #[test]
+    fn dot_with_empty_selector_is_zero() {
+        let mut ops = OpCounts::default();
+        let carry = CarryState::initial(&0.5);
+        let ipm = Ipm::build(&0.5, &0.5, &carry, &mut ops);
+        assert_eq!(ipm.dot(&[false; 8], &mut ops), 0.0);
+    }
+
+    #[test]
+    fn op_counting_is_exact() {
+        let mut ops = OpCounts::default();
+        let carry = CarryState::initial(&0.5);
+        let ipm = Ipm::build(&0.5, &0.5, &carry, &mut ops);
+        assert_eq!(ops.multiplications, 16);
+        assert_eq!(ops.complements, 2);
+        let _ = ipm.dot(&[true; 8], &mut ops);
+        assert_eq!(ops.additions, 7);
+    }
+}

@@ -1,0 +1,158 @@
+//! Operation counting and the paper's resource model (Table 8).
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Exact counts of the arithmetic operations an analysis performed.
+///
+/// These are *measured* by instrumenting the engine (see
+/// [`analyze_instrumented`](crate::analyze_instrumented)), so they reflect
+/// this implementation's bookkeeping: two multiplications per IPM entry
+/// (operand term × operand term × carry term), one complement per operand
+/// probability, and additions only inside the binary-selector dot products.
+/// The headline property they demonstrate is the paper's: cost grows
+/// *linearly* in the number of stages, versus the exponential growth of both
+/// exhaustive simulation (paper Fig. 1) and inclusion–exclusion analysis
+/// (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Number of probability multiplications.
+    pub multiplications: u64,
+    /// Number of probability additions.
+    pub additions: u64,
+    /// Number of `1 − p` complement operations.
+    pub complements: u64,
+}
+
+impl OpCounts {
+    /// Total arithmetic operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.multiplications + self.additions + self.complements
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        self.multiplications += rhs.multiplications;
+        self.additions += rhs.additions;
+        self.complements += rhs.complements;
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} mul, {} add, {} compl",
+            self.multiplications, self.additions, self.complements
+        )
+    }
+}
+
+/// The paper's own per-design resource accounting (Table 8): hardware-style
+/// counts of multipliers, adders and memory units needed to evaluate the
+/// method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceEstimate {
+    /// Multiplier count (constant per Table 8, independent of width).
+    pub multipliers: u64,
+    /// Adder count (constant per Table 8).
+    pub adders: u64,
+    /// Memory units: 3 when all operand bits share one probability, width+1
+    /// otherwise.
+    pub memory_units: u64,
+}
+
+impl fmt::Display for ResourceEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} multipliers, {} adders, {} memory units",
+            self.multipliers, self.adders, self.memory_units
+        )
+    }
+}
+
+/// Paper Table 8 verbatim: the resource utilisation of the proposed method.
+///
+/// * Operand bits equally probable: 32 multipliers, 21 adders, 3 memory
+///   units (repeated per-stage products can be reused).
+/// * Operand bits with per-bit probabilities: 48 multipliers, 21 adders,
+///   `width + 1` memory units (one slot per bit probability plus the carry
+///   state).
+///
+/// The counts are per design (the datapath is reused each of the `width`
+/// iterations); only the memory scales with width, and then only linearly —
+/// the contrast to paper Table 3's exponential inclusion–exclusion costs.
+pub fn table8_resource_model(width: usize, equal_probabilities: bool) -> ResourceEstimate {
+    if equal_probabilities {
+        ResourceEstimate {
+            multipliers: 32,
+            adders: 21,
+            memory_units: 3,
+        }
+    } else {
+        ResourceEstimate {
+            multipliers: 48,
+            adders: 21,
+            memory_units: width as u64 + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = OpCounts {
+            multiplications: 1,
+            additions: 2,
+            complements: 3,
+        };
+        a += OpCounts {
+            multiplications: 10,
+            additions: 20,
+            complements: 30,
+        };
+        assert_eq!(a.multiplications, 11);
+        assert_eq!(a.additions, 22);
+        assert_eq!(a.complements, 33);
+        assert_eq!(a.total(), 66);
+    }
+
+    #[test]
+    fn table8_values_match_paper() {
+        let equal = table8_resource_model(32, true);
+        assert_eq!(
+            (equal.multipliers, equal.adders, equal.memory_units),
+            (32, 21, 3)
+        );
+        let varying = table8_resource_model(32, false);
+        assert_eq!(
+            (varying.multipliers, varying.adders, varying.memory_units),
+            (48, 21, 33)
+        );
+    }
+
+    #[test]
+    fn memory_scales_linearly_only_for_varying_probabilities() {
+        assert_eq!(table8_resource_model(8, true).memory_units, 3);
+        assert_eq!(table8_resource_model(1024, true).memory_units, 3);
+        assert_eq!(table8_resource_model(1024, false).memory_units, 1025);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = OpCounts {
+            multiplications: 5,
+            additions: 6,
+            complements: 7,
+        };
+        assert_eq!(c.to_string(), "5 mul, 6 add, 7 compl");
+        assert!(table8_resource_model(4, true)
+            .to_string()
+            .contains("32 multipliers"));
+    }
+}

@@ -1,0 +1,374 @@
+//! Carry-save (3:2 compressor) trees built from approximate full adders.
+//!
+//! The paper names the Carry Save Adder alongside the ripple-carry adder as
+//! the multi-bit topologies LPAAs are cascaded into ("e.g., traditional
+//! Ripple Carry Adder (RCA) and Carry Save Adder (CSA), which are used as
+//! building blocks of digital signal processors"). In a CSA tree each full
+//! adder acts as a 3:2 compressor — three input rows become a sum row and a
+//! carry row with *no* horizontal carry propagation — so an approximate
+//! cell's error behaviour shows up very differently than in a ripple chain:
+//! there is no carry chain for errors to ride, but every row passes through
+//! more cells.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sealpaa_cells::{AdderChain, Cell, FaInput, InputProfile, TruthTable};
+use sealpaa_core::analyze;
+
+/// A multi-operand adder that reduces its inputs with layers of 3:2
+/// compressors (each built from the configured cell) and merges the final
+/// two rows with a ripple chain of the same cell.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::StandardCell;
+/// use sealpaa_datapath::CsaTree;
+///
+/// let tree = CsaTree::new(StandardCell::Accurate.cell(), 8, 4);
+/// assert_eq!(tree.add_all(&[100, 200, 50, 25]), 375);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsaTree {
+    cell: Cell,
+    merge: AdderChain,
+    operand_bits: usize,
+    operands: usize,
+    working_bits: usize,
+}
+
+impl CsaTree {
+    /// Builds a tree for `operands` inputs of `operand_bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands < 2`, `operand_bits == 0`, or the worst-case
+    /// result exceeds 63 bits.
+    pub fn new(cell: Cell, operand_bits: usize, operands: usize) -> Self {
+        assert!(operands >= 2, "a CSA tree needs at least two operands");
+        assert!(operand_bits > 0, "operands need at least one bit");
+        let growth = 64 - (operands as u64).leading_zeros() as usize;
+        let working_bits = operand_bits + growth;
+        assert!(working_bits <= 63, "worst-case result exceeds 63 bits");
+        CsaTree {
+            merge: AdderChain::uniform(cell.clone(), working_bits),
+            cell,
+            operand_bits,
+            operands,
+            working_bits,
+        }
+    }
+
+    /// Number of operands the tree accepts.
+    pub fn operand_count(&self) -> usize {
+        self.operands
+    }
+
+    /// One 3:2 compression of three rows into (sum row, carry row): per bit
+    /// the cell maps `(x_i, y_i, z_i)` to `sum_i` and `carry_{i+1}`, with no
+    /// horizontal propagation.
+    pub fn compress(&self, x: u64, y: u64, z: u64) -> (u64, u64) {
+        let table = self.cell.truth_table();
+        let mut sum = 0u64;
+        let mut carry = 0u64;
+        for i in 0..self.working_bits {
+            let out = table.eval(FaInput::new(
+                (x >> i) & 1 == 1,
+                (y >> i) & 1 == 1,
+                (z >> i) & 1 == 1,
+            ));
+            if out.sum {
+                sum |= 1 << i;
+            }
+            if out.carry_out && i + 1 < self.working_bits {
+                carry |= 1 << (i + 1);
+            }
+        }
+        (sum, carry)
+    }
+
+    /// Reduces all operands to two rows via repeated 3:2 compression
+    /// (Wallace-style: greedily compress triples per layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.operand_count()`.
+    pub fn reduce(&self, values: &[u64]) -> (u64, u64) {
+        assert_eq!(values.len(), self.operands, "operand count mismatch");
+        let mask = if self.operand_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.operand_bits) - 1
+        };
+        let mut rows: Vec<u64> = values.iter().map(|v| v & mask).collect();
+        while rows.len() > 2 {
+            let mut next = Vec::with_capacity(rows.len().div_ceil(3) * 2);
+            let mut chunks = rows.chunks_exact(3);
+            for triple in &mut chunks {
+                let (s, c) = self.compress(triple[0], triple[1], triple[2]);
+                next.push(s);
+                next.push(c);
+            }
+            next.extend_from_slice(chunks.remainder());
+            rows = next;
+        }
+        if rows.len() == 1 {
+            rows.push(0);
+        }
+        (rows[0], rows[1])
+    }
+
+    /// Full multi-operand addition: reduce to two rows, then merge with the
+    /// ripple chain (the "vector-merge" adder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.operand_count()`.
+    pub fn add_all(&self, values: &[u64]) -> u64 {
+        let (sum_row, carry_row) = self.reduce(values);
+        self.merge.add(sum_row, carry_row, false).sum_bits()
+    }
+
+    /// The exact reference sum (operands truncated to their width).
+    pub fn exact_sum(&self, values: &[u64]) -> u64 {
+        let mask = if self.operand_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.operand_bits) - 1
+        };
+        values.iter().map(|v| v & mask).sum()
+    }
+
+    /// Analytical estimate of the tree's error probability by propagating
+    /// per-bit signal probabilities through the compressor layers (bit
+    /// independence assumed — rows produced by shared compressors are in
+    /// truth correlated, so this is a heuristic; [`quality`](Self::quality)
+    /// is the ground truth) and scoring the final merge chain with the
+    /// paper's exact per-adder analysis.
+    ///
+    /// `operand_probs[k][i]` is `P(bit i of operand k = 1)`; missing high
+    /// bits default to 0.
+    ///
+    /// Returns `(p_any_compressor_deviates, p_merge_deviates, p_any)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operand_probs.len() != self.operand_count()` or any
+    /// probability is outside `[0, 1]`.
+    pub fn estimate(&self, operand_probs: &[Vec<f64>]) -> (f64, f64, f64) {
+        assert_eq!(operand_probs.len(), self.operands, "operand count mismatch");
+        let extend = |src: &[f64]| -> Vec<f64> {
+            assert!(
+                src.iter().all(|p| (0.0..=1.0).contains(p)),
+                "probabilities must be in [0, 1]"
+            );
+            let mut v = src.to_vec();
+            v.truncate(self.operand_bits);
+            v.resize(self.working_bits, 0.0);
+            v
+        };
+        let accurate = TruthTable::accurate();
+        let table = self.cell.truth_table();
+        let mut rows: Vec<Vec<f64>> = operand_probs.iter().map(|p| extend(p)).collect();
+        let mut no_deviation = 1.0f64;
+        while rows.len() > 2 {
+            let mut next: Vec<Vec<f64>> = Vec::new();
+            let mut chunks = rows.chunks_exact(3);
+            for triple in &mut chunks {
+                let mut sum_row = vec![0.0; self.working_bits];
+                let mut carry_row = vec![0.0; self.working_bits];
+                for i in 0..self.working_bits {
+                    let probs = [triple[0][i], triple[1][i], triple[2][i]];
+                    let mut p_sum = 0.0;
+                    let mut p_carry = 0.0;
+                    let mut p_err = 0.0;
+                    for input in FaInput::all() {
+                        let w = [input.a, input.b, input.carry_in]
+                            .iter()
+                            .zip(&probs)
+                            .map(|(&bit, &p)| if bit { p } else { 1.0 - p })
+                            .product::<f64>();
+                        let out = table.eval(input);
+                        if out.sum {
+                            p_sum += w;
+                        }
+                        if out.carry_out {
+                            p_carry += w;
+                        }
+                        if out != accurate.eval(input) {
+                            p_err += w;
+                        }
+                    }
+                    sum_row[i] = p_sum;
+                    if i + 1 < self.working_bits {
+                        carry_row[i + 1] = p_carry;
+                    }
+                    no_deviation *= 1.0 - p_err;
+                }
+                next.push(sum_row);
+                next.push(carry_row);
+            }
+            for rest in chunks.remainder() {
+                next.push(rest.clone());
+            }
+            rows = next;
+        }
+        if rows.len() == 1 {
+            rows.push(vec![0.0; self.working_bits]);
+        }
+        let p_compressors = 1.0 - no_deviation;
+        let profile = InputProfile::new(rows[0].clone(), rows[1].clone(), 0.0)
+            .expect("propagated probabilities stay in [0, 1]");
+        let p_merge = analyze(&self.merge, &profile)
+            .expect("widths match by construction")
+            .error_probability()
+            .clamp(0.0, 1.0);
+        let p_any = 1.0 - (1.0 - p_compressors) * (1.0 - p_merge);
+        (p_compressors, p_merge, p_any)
+    }
+
+    /// Monte-Carlo error rate and mean absolute error over uniformly random
+    /// operand vectors: `(error_rate, mean_abs_error)`.
+    pub fn quality(&self, samples: u64, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = (1u64 << self.operand_bits) - 1;
+        let mut errors = 0u64;
+        let mut abs_sum = 0.0f64;
+        for _ in 0..samples {
+            let values: Vec<u64> = (0..self.operands)
+                .map(|_| rng.gen::<u64>() & mask)
+                .collect();
+            let approx = self.add_all(&values);
+            let exact = self.exact_sum(&values);
+            if approx != exact {
+                errors += 1;
+            }
+            abs_sum += approx.abs_diff(exact) as f64;
+        }
+        (
+            errors as f64 / samples.max(1) as f64,
+            abs_sum / samples.max(1) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_cells::StandardCell;
+
+    #[test]
+    fn accurate_tree_sums_exactly_for_many_shapes() {
+        for operands in [2usize, 3, 4, 5, 7, 9] {
+            let tree = CsaTree::new(StandardCell::Accurate.cell(), 8, operands);
+            let values: Vec<u64> = (0..operands as u64).map(|i| (i * 37 + 11) % 256).collect();
+            assert_eq!(
+                tree.add_all(&values),
+                values.iter().sum::<u64>(),
+                "{operands} operands"
+            );
+        }
+    }
+
+    #[test]
+    fn accurate_compress_preserves_value() {
+        // 3:2 compression is value-preserving: x + y + z = sum + carry.
+        let tree = CsaTree::new(StandardCell::Accurate.cell(), 8, 3);
+        for (x, y, z) in [(0u64, 0, 0), (255, 255, 255), (170, 85, 204), (1, 2, 4)] {
+            let (s, c) = tree.compress(x, y, z);
+            assert_eq!(s + c, x + y + z, "{x}+{y}+{z}");
+        }
+    }
+
+    #[test]
+    fn approximate_tree_errs_but_is_bounded() {
+        let tree = CsaTree::new(StandardCell::Lpaa6.cell(), 8, 8);
+        let (err, mean_abs) = tree.quality(2_000, 5);
+        assert!(err > 0.0, "LPAA 6 CSA should err");
+        assert!(
+            mean_abs < 2048.0,
+            "errors should stay bounded, got {mean_abs}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_zero_for_accurate_cells() {
+        let tree = CsaTree::new(StandardCell::Accurate.cell(), 8, 6);
+        let probs = vec![vec![0.5; 8]; 6];
+        let (pc, pm, pa) = tree.estimate(&probs);
+        assert!(pc.abs() < 1e-12);
+        assert!(pm.abs() < 1e-12);
+        assert!(pa.abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_tracks_monte_carlo_regime() {
+        let tree = CsaTree::new(StandardCell::Lpaa6.cell(), 6, 6);
+        let probs = vec![vec![0.3; 6]; 6];
+        let (_, _, p_any) = tree.estimate(&probs);
+        let (mc, _) = tree.quality(20_000, 9);
+        // Deviation semantics upper-bound output error; the independence
+        // heuristic keeps it in the same regime.
+        assert!(p_any >= mc - 0.05, "est {p_any} vs mc {mc}");
+        assert!((p_any - mc).abs() < 0.35, "est {p_any} vs mc {mc}");
+    }
+
+    #[test]
+    fn estimate_validates_inputs() {
+        let tree = CsaTree::new(StandardCell::Lpaa1.cell(), 4, 3);
+        let bad_len = std::panic::catch_unwind(|| tree.estimate(&vec![vec![0.5; 4]; 2]));
+        assert!(bad_len.is_err());
+        let bad_prob = std::panic::catch_unwind(|| tree.estimate(&vec![vec![1.5; 4]; 3]));
+        assert!(bad_prob.is_err());
+    }
+
+    #[test]
+    fn csa_and_sequential_accumulation_differ() {
+        // Same cell, same operands, different topology → generally different
+        // results: in the CSA there is no carry chain to ride.
+        let cell = StandardCell::Lpaa1.cell();
+        let tree = CsaTree::new(cell.clone(), 8, 4);
+        let chain = AdderChain::uniform(cell, 10);
+        let values = [200u64, 100, 50, 255];
+        let csa = tree.add_all(&values);
+        let mut seq = 0u64;
+        for v in values {
+            seq = chain.add(seq, v, false).sum_bits();
+        }
+        let exact: u64 = values.iter().sum();
+        // At least one of them errs on this carry-heavy input; they need not
+        // agree with each other.
+        assert!(csa != exact || seq != exact);
+    }
+
+    #[test]
+    fn lpaa5_compressor_tree_is_wiring_only() {
+        // LPAA 5 (sum = b, carry = a) as a 3:2 compressor forwards rows:
+        // compress(x, y, z) = (y, x << 1 masked).
+        let tree = CsaTree::new(StandardCell::Lpaa5.cell(), 6, 3);
+        let (s, c) = tree.compress(0b101010, 0b010101, 0b111000);
+        assert_eq!(s, 0b010101);
+        assert_eq!(c, 0b1010100 & ((1 << tree.working_bits) - 1));
+    }
+
+    #[test]
+    fn operand_count_is_enforced() {
+        let tree = CsaTree::new(StandardCell::Accurate.cell(), 8, 4);
+        assert_eq!(tree.operand_count(), 4);
+        let result = std::panic::catch_unwind(|| tree.add_all(&[1, 2, 3]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two operands")]
+    fn single_operand_rejected() {
+        let _ = CsaTree::new(StandardCell::Accurate.cell(), 8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 63 bits")]
+    fn oversized_tree_rejected() {
+        let _ = CsaTree::new(StandardCell::Accurate.cell(), 60, 32);
+    }
+}

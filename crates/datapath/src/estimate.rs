@@ -1,0 +1,298 @@
+//! Analytical composition over a datapath.
+//!
+//! Per adder, the paper's method is exact given its operands' bit
+//! probabilities and bit independence. Across a datapath those operands are
+//! intermediate signals — we propagate their *marginal* bit probabilities
+//! node by node (using [`signal_probabilities`] per adder) and treat them as
+//! independent at each adder's inputs. That independence is an
+//! approximation (shared fan-in correlates signals), so the composed figure
+//! is an *estimate*; the tests quantify its agreement with Monte-Carlo on
+//! realistic topologies, and [`simulate`] is always available for ground
+//! truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sealpaa_cells::InputProfile;
+use sealpaa_core::{analyze, signal_probabilities};
+
+use crate::graph::{Datapath, DatapathError, Node, Signal};
+
+/// The analytical estimate for one adder node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdderEstimate {
+    /// The adder's output signal.
+    pub signal: Signal,
+    /// Analytical `P(error)` of this adder under the propagated operand
+    /// probabilities (paper semantics: any stage deviates).
+    pub error_probability: f64,
+}
+
+/// The composed analytical estimate for a whole datapath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatapathEstimate {
+    /// Per-adder estimates, in node order.
+    pub adders: Vec<AdderEstimate>,
+    /// `1 − Π (1 − pᵢ)`: the probability that *some* adder deviates, under
+    /// the independence heuristic. An upper-bound-flavoured proxy for the
+    /// output error rate.
+    pub any_adder_error: f64,
+    /// Propagated `P(bit = 1)` for every signal (indexed by
+    /// [`Signal::index`]).
+    pub signal_probabilities: Vec<Vec<f64>>,
+}
+
+/// Propagates input-bit probabilities through the datapath and scores every
+/// adder with the paper's analysis.
+///
+/// `inputs` pairs each input name with its per-bit `P(bit = 1)` vector (LSB
+/// first, matching the declared width).
+///
+/// # Errors
+///
+/// * [`DatapathError::MissingInput`] / [`DatapathError::UnknownInput`] on
+///   name mismatches,
+/// * [`DatapathError::BadProbabilities`] if a vector has the wrong length
+///   or out-of-range values.
+pub fn estimate(
+    dp: &Datapath,
+    inputs: &[(&str, Vec<f64>)],
+) -> Result<DatapathEstimate, DatapathError> {
+    for (name, _) in inputs {
+        if !dp.input_names().any(|n| n == *name) {
+            return Err(DatapathError::UnknownInput {
+                name: (*name).to_owned(),
+            });
+        }
+    }
+    let mut probs: Vec<Vec<f64>> = Vec::with_capacity(dp.len());
+    let mut adders = Vec::new();
+    for index in 0..dp.len() {
+        let signal = signal_at(dp, index);
+        let width = dp.width(signal);
+        let bit_probs = match dp.node(signal) {
+            Node::Input { name } => {
+                let (_, p) = inputs
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .ok_or_else(|| DatapathError::MissingInput { name: name.clone() })?;
+                if p.len() != width || p.iter().any(|&v| !(0.0..=1.0).contains(&v)) {
+                    return Err(DatapathError::BadProbabilities { name: name.clone() });
+                }
+                p.clone()
+            }
+            Node::Const { value } => (0..width).map(|i| ((value >> i) & 1) as f64).collect(),
+            Node::Shl { a, amount } => {
+                let mut v = vec![0.0; *amount];
+                v.extend_from_slice(&probs[a.index()]);
+                v
+            }
+            Node::Add { a, b, chain } => {
+                let extend = |src: &[f64]| {
+                    let mut v = src.to_vec();
+                    v.resize(chain.width(), 0.0);
+                    v
+                };
+                let profile =
+                    InputProfile::new(extend(&probs[a.index()]), extend(&probs[b.index()]), 0.0)
+                        .expect("propagated probabilities stay in [0, 1]");
+                let analysis = analyze(chain, &profile).expect("widths match by construction");
+                adders.push(AdderEstimate {
+                    signal,
+                    error_probability: analysis.error_probability().clamp(0.0, 1.0),
+                });
+                let signals =
+                    signal_probabilities(chain, &profile).expect("widths match by construction");
+                let mut out = signals.sum;
+                out.push(signals.carry[chain.width()]);
+                out
+            }
+        };
+        probs.push(bit_probs);
+    }
+    let any_adder_error = 1.0
+        - adders
+            .iter()
+            .map(|a| 1.0 - a.error_probability)
+            .product::<f64>();
+    Ok(DatapathEstimate {
+        adders,
+        any_adder_error,
+        signal_probabilities: probs,
+    })
+}
+
+/// Monte-Carlo ground truth for a datapath output: draws inputs from the
+/// same per-bit Bernoulli model and measures the real error rate of
+/// `output` against the exact evaluation.
+///
+/// Returns `(output_error_rate, mean_abs_error_distance)`.
+///
+/// # Errors
+///
+/// Same conditions as [`estimate`].
+pub fn simulate(
+    dp: &Datapath,
+    output: Signal,
+    inputs: &[(&str, Vec<f64>)],
+    samples: u64,
+    seed: u64,
+) -> Result<(f64, f64), DatapathError> {
+    // Validate names/lengths by reusing the estimator's checks.
+    let _ = estimate(dp, inputs)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errors = 0u64;
+    let mut abs_ed_sum = 0.0f64;
+    for _ in 0..samples {
+        let drawn: Vec<(&str, u64)> = inputs
+            .iter()
+            .map(|(name, probs)| {
+                let mut v = 0u64;
+                for (i, &p) in probs.iter().enumerate() {
+                    if rng.gen::<f64>() < p {
+                        v |= 1 << i;
+                    }
+                }
+                (*name, v)
+            })
+            .collect();
+        let approx = dp.evaluate(&drawn)?.value(output);
+        let exact = dp.evaluate_exact(&drawn)?.value(output);
+        if approx != exact {
+            errors += 1;
+        }
+        abs_ed_sum += (approx as i64 - exact as i64).unsigned_abs() as f64;
+    }
+    Ok((
+        errors as f64 / samples.max(1) as f64,
+        abs_ed_sum / samples.max(1) as f64,
+    ))
+}
+
+fn signal_at(_dp: &Datapath, index: usize) -> Signal {
+    // Signals are created densely; the caller iterates 0..dp.len().
+    Signal::new(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_cells::{AdderChain, StandardCell};
+
+    fn chain(cell: StandardCell, width: usize) -> AdderChain {
+        AdderChain::uniform(cell.cell(), width)
+    }
+
+    fn tree(cell: StandardCell) -> (Datapath, Signal) {
+        let mut dp = Datapath::new();
+        let a = dp.input("a", 6);
+        let b = dp.input("b", 6);
+        let c = dp.input("c", 6);
+        let d = dp.input("d", 6);
+        let ab = dp.add(a, b, chain(cell, 6)).expect("fits");
+        let cd = dp.add(c, d, chain(cell, 6)).expect("fits");
+        let sum = dp.add(ab, cd, chain(cell, 7)).expect("fits");
+        (dp, sum)
+    }
+
+    fn uniform_inputs() -> Vec<(&'static str, Vec<f64>)> {
+        ["a", "b", "c", "d"]
+            .into_iter()
+            .map(|n| (n, vec![0.5; 6]))
+            .collect()
+    }
+
+    #[test]
+    fn accurate_tree_estimates_zero_error() {
+        let (dp, _) = tree(StandardCell::Accurate);
+        let est = estimate(&dp, &uniform_inputs()).expect("valid inputs");
+        assert_eq!(est.adders.len(), 3);
+        for a in &est.adders {
+            assert!(a.error_probability.abs() < 1e-12);
+        }
+        assert!(est.any_adder_error.abs() < 1e-12);
+    }
+
+    #[test]
+    fn signal_probabilities_propagate_through_adders() {
+        let (dp, sum) = tree(StandardCell::Accurate);
+        let est = estimate(&dp, &uniform_inputs()).expect("valid inputs");
+        // A fair exact adder keeps bits balanced.
+        for &p in &est.signal_probabilities[sum.index()] {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert!((est.signal_probabilities[sum.index()][0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_tracks_monte_carlo_on_a_tree() {
+        let (dp, sum) = tree(StandardCell::Lpaa6);
+        let inputs = uniform_inputs();
+        let est = estimate(&dp, &inputs).expect("valid inputs");
+        let (mc_error, _) = simulate(&dp, sum, &inputs, 40_000, 11).expect("valid inputs");
+        // `any_adder_error` counts stage deviations under an independence
+        // heuristic; it must land in the right regime (same order, upper
+        // side) of the true output error.
+        assert!(
+            est.any_adder_error >= mc_error - 0.02,
+            "est {} vs mc {mc_error}",
+            est.any_adder_error
+        );
+        assert!(
+            (est.any_adder_error - mc_error).abs() < 0.15,
+            "est {} vs mc {mc_error}",
+            est.any_adder_error
+        );
+    }
+
+    #[test]
+    fn constants_and_shifts_propagate_deterministic_bits() {
+        let mut dp = Datapath::new();
+        let x = dp.input("x", 4);
+        let k = dp.constant(0b1010, 4);
+        let shifted = dp.shl(k, 1).expect("fits");
+        let sum = dp
+            .add(x, shifted, chain(StandardCell::Accurate, 5))
+            .expect("fits");
+        let est = estimate(&dp, &[("x", vec![0.5; 4])]).expect("valid inputs");
+        assert_eq!(
+            est.signal_probabilities[k.index()],
+            vec![0.0, 1.0, 0.0, 1.0]
+        );
+        assert_eq!(
+            est.signal_probabilities[shifted.index()],
+            vec![0.0, 0.0, 1.0, 0.0, 1.0]
+        );
+        assert_eq!(est.signal_probabilities[sum.index()].len(), dp.width(sum));
+    }
+
+    #[test]
+    fn bad_probability_vectors_rejected() {
+        let mut dp = Datapath::new();
+        let _ = dp.input("x", 4);
+        assert!(matches!(
+            estimate(&dp, &[("x", vec![0.5; 3])]),
+            Err(DatapathError::BadProbabilities { .. })
+        ));
+        assert!(matches!(
+            estimate(&dp, &[("x", vec![0.5, 0.5, 0.5, 1.5])]),
+            Err(DatapathError::BadProbabilities { .. })
+        ));
+        assert!(matches!(
+            estimate(&dp, &[("y", vec![0.5; 4])]),
+            Err(DatapathError::UnknownInput { .. })
+        ));
+        assert!(matches!(
+            estimate(&dp, &[]),
+            Err(DatapathError::MissingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn simulation_of_accurate_tree_never_errs() {
+        let (dp, sum) = tree(StandardCell::Accurate);
+        let (err, med) = simulate(&dp, sum, &uniform_inputs(), 2_000, 5).expect("valid");
+        assert_eq!(err, 0.0);
+        assert_eq!(med, 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Side-by-side cell scorecards: everything a designer asks about a cell at
+//! a given width and input profile, in one pass.
+
+use sealpaa_cells::{AdderChain, Cell, InputProfile};
+use sealpaa_core::{analyze, error_magnitude, worst_case_error};
+
+/// All the per-cell figures of merit the library can produce for one
+/// deployment context (width + input profile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellScore {
+    /// The scored cell.
+    pub cell: Cell,
+    /// The paper's analytical error probability.
+    pub error_probability: f64,
+    /// Mean signed error distance (bias) — drives drift in accumulators.
+    pub mean_error_distance: f64,
+    /// RMS error distance.
+    pub rms_error_distance: f64,
+    /// Largest-magnitude error the chain can ever produce.
+    pub worst_case_error: i128,
+    /// Total power in nW, when the cell has characteristics.
+    pub power_nw: Option<f64>,
+    /// Total area in gate equivalents, when the cell has characteristics.
+    pub area_ge: Option<f64>,
+}
+
+/// Scores each candidate cell as a homogeneous chain over the profile.
+///
+/// # Panics
+///
+/// Panics if `profile.width() > 63` (the worst-case analysis reconstructs
+/// `u64` witnesses) or `candidates` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::{InputProfile, StandardCell};
+/// use sealpaa_explore::score_cells;
+///
+/// let scores = score_cells(
+///     &[StandardCell::Lpaa1.cell(), StandardCell::Lpaa7.cell()],
+///     &InputProfile::constant(8, 0.1),
+/// );
+/// // At p = 0.1 LPAA 7 is far more accurate than LPAA 1 (paper Table 7).
+/// assert!(scores[1].error_probability < scores[0].error_probability / 10.0);
+/// ```
+pub fn score_cells(candidates: &[Cell], profile: &InputProfile<f64>) -> Vec<CellScore> {
+    assert!(!candidates.is_empty(), "candidate cell list is empty");
+    let width = profile.width();
+    candidates
+        .iter()
+        .map(|cell| {
+            let chain = AdderChain::uniform(cell.clone(), width);
+            let analysis = analyze(&chain, profile).expect("widths match by construction");
+            let moments = error_magnitude(&chain, profile).expect("widths match by construction");
+            let wc = worst_case_error(&chain).expect("width is validated by the caller");
+            let worst = if wc.max_error.unsigned_abs() >= wc.min_error.unsigned_abs() {
+                wc.max_error
+            } else {
+                wc.min_error
+            };
+            CellScore {
+                cell: cell.clone(),
+                error_probability: analysis.error_probability().clamp(0.0, 1.0),
+                mean_error_distance: moments.mean_error_distance,
+                rms_error_distance: moments.rms_error_distance(),
+                worst_case_error: worst,
+                power_nw: chain.total_power_nw(),
+                area_ge: chain.total_area_ge(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_cells::StandardCell;
+
+    fn all_cells() -> Vec<Cell> {
+        StandardCell::ALL.iter().map(|c| c.cell()).collect()
+    }
+
+    #[test]
+    fn accurate_cell_scores_clean() {
+        let scores = score_cells(&all_cells(), &InputProfile::constant(8, 0.3));
+        let accurate = &scores[0];
+        assert_eq!(accurate.cell.name(), "AccuFA");
+        assert!(accurate.error_probability.abs() < 1e-12);
+        assert_eq!(accurate.worst_case_error, 0);
+        assert_eq!(accurate.rms_error_distance, 0.0);
+        assert_eq!(accurate.power_nw, None);
+    }
+
+    #[test]
+    fn costed_cells_report_power() {
+        let scores = score_cells(
+            &[StandardCell::Lpaa2.cell()],
+            &InputProfile::constant(4, 0.5),
+        );
+        assert_eq!(scores[0].power_nw, Some(4.0 * 294.0));
+        assert_eq!(scores[0].area_ge, Some(4.0 * 1.94));
+    }
+
+    #[test]
+    fn table7_ordering_shows_up_in_scores() {
+        let scores = score_cells(
+            &[StandardCell::Lpaa2.cell(), StandardCell::Lpaa7.cell()],
+            &InputProfile::constant(8, 0.1),
+        );
+        assert!(scores[1].error_probability < scores[0].error_probability);
+    }
+
+    #[test]
+    fn worst_case_sign_prefers_larger_magnitude() {
+        // LPAA 7 never undershoots, so its worst case is positive.
+        let scores = score_cells(
+            &[StandardCell::Lpaa7.cell()],
+            &InputProfile::constant(8, 0.5),
+        );
+        assert!(scores[0].worst_case_error > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_candidates_panics() {
+        let _ = score_cells(&[], &InputProfile::constant(4, 0.5));
+    }
+}

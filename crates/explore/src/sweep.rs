@@ -1,0 +1,155 @@
+//! The classic "approximate the k LSBs" sweep.
+//!
+//! The most common way the LPAA cells are deployed (Gupta et al., TCAD'13)
+//! is not a fully approximate adder but a split one: approximate cells in
+//! the `k` least-significant stages, accurate cells above. This module
+//! sweeps `k` and scores every point with the paper's analysis plus the
+//! error-magnitude extension, giving the quality/power trade-off curve a
+//! designer actually tunes.
+
+use sealpaa_cells::{AdderChain, Cell, InputProfile};
+use sealpaa_core::{analyze, error_magnitude};
+
+use crate::search::{evaluate, Evaluation, ExploreError};
+
+/// One point of an LSB-approximation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsbSweepPoint {
+    /// Number of approximate least-significant stages.
+    pub approximate_bits: usize,
+    /// The chain realising this point.
+    pub chain: AdderChain,
+    /// Error probability / power / area.
+    pub evaluation: Evaluation,
+    /// Mean signed error distance (bias).
+    pub mean_error_distance: f64,
+    /// RMS error distance.
+    pub rms_error_distance: f64,
+}
+
+/// Sweeps `k = 0..=width` approximate LSB stages and scores each point.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::MissingCharacteristics`] if either cell lacks
+/// power/area data.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::{InputProfile, StandardCell};
+/// use sealpaa_explore::{accurate_cell_with_proxy_costs, lsb_sweep};
+///
+/// let points = lsb_sweep(
+///     StandardCell::Lpaa5.cell(),
+///     accurate_cell_with_proxy_costs(),
+///     &InputProfile::constant(8, 0.3),
+/// )?;
+/// assert_eq!(points.len(), 9); // k = 0..=8
+/// // More approximation → no more power, no less error.
+/// assert!(points[0].evaluation.error_probability.abs() < 1e-12);
+/// assert!(points[8].evaluation.power_nw < points[0].evaluation.power_nw);
+/// # Ok::<(), sealpaa_explore::ExploreError>(())
+/// ```
+pub fn lsb_sweep(
+    approximate: Cell,
+    accurate: Cell,
+    profile: &InputProfile<f64>,
+) -> Result<Vec<LsbSweepPoint>, ExploreError> {
+    let width = profile.width();
+    let mut points = Vec::with_capacity(width + 1);
+    for k in 0..=width {
+        let chain = AdderChain::lsb_approximate(approximate.clone(), accurate.clone(), k, width);
+        let evaluation = evaluate(&chain, profile)?;
+        let magnitude = error_magnitude(&chain, profile).expect("widths are equal by construction");
+        debug_assert!(
+            (analyze(&chain, profile)
+                .expect("widths are equal by construction")
+                .error_probability()
+                - evaluation.error_probability)
+                .abs()
+                < 1e-12
+        );
+        points.push(LsbSweepPoint {
+            approximate_bits: k,
+            chain,
+            evaluation,
+            mean_error_distance: magnitude.mean_error_distance,
+            rms_error_distance: magnitude.rms_error_distance(),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::accurate_cell_with_proxy_costs;
+    use sealpaa_cells::StandardCell;
+
+    fn sweep(cell: StandardCell, width: usize, p: f64) -> Vec<LsbSweepPoint> {
+        lsb_sweep(
+            cell.cell(),
+            accurate_cell_with_proxy_costs(),
+            &InputProfile::constant(width, p),
+        )
+        .expect("all cells costed")
+    }
+
+    #[test]
+    fn endpoint_k0_is_exact_and_expensive() {
+        let points = sweep(StandardCell::Lpaa2, 6, 0.5);
+        let p0 = &points[0];
+        assert_eq!(p0.approximate_bits, 0);
+        assert_eq!(p0.evaluation.error_probability, 0.0);
+        assert_eq!(p0.rms_error_distance, 0.0);
+        assert!((p0.evaluation.power_nw - 6.0 * 1080.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_monotonically_grows_with_k() {
+        let points = sweep(StandardCell::Lpaa1, 8, 0.5);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].evaluation.error_probability
+                    >= pair[0].evaluation.error_probability - 1e-12,
+                "k={}..{}",
+                pair[0].approximate_bits,
+                pair[1].approximate_bits
+            );
+        }
+    }
+
+    #[test]
+    fn power_monotonically_falls_with_k() {
+        let points = sweep(StandardCell::Lpaa3, 8, 0.5);
+        for pair in points.windows(2) {
+            assert!(pair[1].evaluation.power_nw < pair[0].evaluation.power_nw);
+        }
+    }
+
+    #[test]
+    fn rms_grows_with_k_for_lsb_splits() {
+        // Approximating one more LSB can only add error mass at a new
+        // position; at uniform inputs the RMS should not shrink.
+        let points = sweep(StandardCell::Lpaa5, 8, 0.5);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].rms_error_distance >= pair[0].rms_error_distance - 1e-12,
+                "k={}",
+                pair[1].approximate_bits
+            );
+        }
+    }
+
+    #[test]
+    fn missing_characteristics_rejected() {
+        let err = lsb_sweep(
+            StandardCell::Lpaa1.cell(),
+            StandardCell::Accurate.cell(), // no published characteristics
+            &InputProfile::constant(4, 0.5),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::MissingCharacteristics { .. }));
+    }
+}

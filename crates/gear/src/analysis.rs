@@ -1,0 +1,405 @@
+//! Analytical error probabilities for GeAr adders.
+//!
+//! A sub-adder `j ≥ 1` of `GeAr(N, R, P)` errs exactly when the *true* carry
+//! arriving at its window start is `1` **and** all `P` of its prediction
+//! bits propagate (`a ⊕ b = 1`): a propagating run preserves the carry, so
+//! the mis-predicted carry-in (0 instead of 1) survives into the block's
+//! result bits and flips the sum bit there. Sub-adder 0 receives the real
+//! carry-in and never errs.
+//!
+//! Because a propagating run *preserves* the carry value, the whole union
+//! event can be tracked by a linear DP over the joint state
+//! `(true carry, propagate-run-length capped at P)` — the GeAr analogue of
+//! the paper's recursive method, in O(N·P) instead of the `2^k`-term
+//! inclusion–exclusion expansion of Mazahir et al.
+
+use sealpaa_num::Prob;
+
+use crate::config::{GearConfig, GearError};
+
+/// Per-(a,b) weights of one bit position: `(probability, propagate, generate)`.
+fn bit_cases<T: Prob>(pa: &T, pb: &T) -> [(T, bool, bool); 4] {
+    let na = pa.complement();
+    let nb = pb.complement();
+    [
+        (na.clone() * nb.clone(), false, false), // kill
+        (na * pb.clone(), true, false),          // propagate
+        (pa.clone() * nb, true, false),          // propagate
+        (pa.clone() * pb.clone(), false, true),  // generate
+    ]
+}
+
+fn check_widths(
+    config: &GearConfig,
+    pa: &[impl Sized],
+    pb: &[impl Sized],
+) -> Result<(), GearError> {
+    for len in [pa.len(), pb.len()] {
+        if len != config.width() {
+            return Err(GearError::WidthMismatch {
+                expected: config.width(),
+                actual: len,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Positions (bit indices) at which each fallible block's error condition is
+/// decided: block `j ≥ 1` is checked once bits `R·j .. R·j+P−1` have been
+/// consumed.
+fn check_positions(config: &GearConfig) -> Vec<usize> {
+    (1..config.block_count())
+        .map(|j| config.result_bits() * j + config.prediction_bits())
+        .collect()
+}
+
+/// Exact error probability of a GeAr adder by the linear-time DP — the
+/// recursive-analysis analogue the paper advertises for LLAAs (Sec. 1.1).
+///
+/// `pa[i]`/`pb[i]` are `P(A_i = 1)`/`P(B_i = 1)` (LSB first) and `p_cin` is
+/// the external carry-in probability; all bits are independent.
+///
+/// # Errors
+///
+/// Returns [`GearError::WidthMismatch`] if the probability slices do not
+/// cover exactly `N` bits.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_gear::{GearConfig, error_probability};
+///
+/// // A single full-width block is an exact adder.
+/// let exact = GearConfig::new(8, 8, 0)?;
+/// let p = error_probability::<f64>(&exact, &[0.5; 8], &[0.5; 8], 0.5)?;
+/// assert_eq!(p, 0.0);
+/// # Ok::<(), sealpaa_gear::GearError>(())
+/// ```
+pub fn error_probability<T: Prob>(
+    config: &GearConfig,
+    pa: &[T],
+    pb: &[T],
+    p_cin: T,
+) -> Result<T, GearError> {
+    check_widths(config, pa, pb)?;
+    let p = config.prediction_bits();
+    let checks = check_positions(config);
+    // dp[carry][run] = mass of error-free paths with this true carry value
+    // and this propagate-run length (capped at P).
+    let mut dp = vec![vec![T::zero(); p + 1]; 2];
+    dp[0][0] = p_cin.complement();
+    dp[1][0] = p_cin;
+    for t in 0..config.width() {
+        if checks.contains(&t) {
+            // A block's overlap just completed: paths with carry 1 that
+            // propagated through all P prediction bits are erroneous.
+            dp[1][p] = T::zero();
+        }
+        let cases = bit_cases(&pa[t], &pb[t]);
+        let mut next = vec![vec![T::zero(); p + 1]; 2];
+        for carry in 0..2usize {
+            for run in 0..=p {
+                if dp[carry][run].is_zero() {
+                    continue;
+                }
+                for (weight, propagate, generate) in &cases {
+                    let new_carry = if *propagate {
+                        carry
+                    } else {
+                        *generate as usize
+                    };
+                    let new_run = if *propagate { (run + 1).min(p) } else { 0 };
+                    next[new_carry][new_run] =
+                        next[new_carry][new_run].clone() + dp[carry][run].clone() * weight.clone();
+                }
+            }
+        }
+        dp = next;
+    }
+    let mut success = T::zero();
+    for row in &dp {
+        for cell in row {
+            success = success + cell.clone();
+        }
+    }
+    Ok(success.complement())
+}
+
+/// Exact error probability via the traditional inclusion–exclusion
+/// expansion over block subsets (the \[12\]-style analysis the paper compares
+/// against): `2^{k−1} − 1` joint terms, each solved by a carry-chain DP.
+/// Returns the probability and the number of subset terms evaluated.
+///
+/// Must agree exactly with [`error_probability`]; kept as the baseline for
+/// cross-validation and cost comparison.
+///
+/// # Errors
+///
+/// Returns [`GearError::WidthMismatch`] if the probability slices do not
+/// cover exactly `N` bits.
+///
+/// # Panics
+///
+/// Panics if the configuration has more than 24 fallible blocks (the subset
+/// expansion — the very cost this baseline demonstrates — becomes
+/// impractical).
+pub fn error_probability_inclexcl<T: Prob>(
+    config: &GearConfig,
+    pa: &[T],
+    pb: &[T],
+    p_cin: T,
+) -> Result<(T, u64), GearError> {
+    check_widths(config, pa, pb)?;
+    let fallible = config.block_count() - 1;
+    assert!(
+        fallible <= 24,
+        "inclusion-exclusion over >24 blocks refused"
+    );
+    let checks = check_positions(config);
+    let p = config.prediction_bits();
+
+    let mut positive = T::zero();
+    let mut negative = T::zero();
+    let mut terms = 0u64;
+    for subset in 1u64..1 << fallible {
+        // Joint probability that *every* block in the subset errs: keep only
+        // mass satisfying the error condition at each selected check point.
+        let mut dp = vec![vec![T::zero(); p + 1]; 2];
+        dp[0][0] = p_cin.complement();
+        dp[1][0] = p_cin.clone();
+        for t in 0..config.width() {
+            if let Some(j) = checks.iter().position(|&c| c == t) {
+                if (subset >> j) & 1 == 1 {
+                    let keep = dp[1][p].clone();
+                    dp = vec![vec![T::zero(); p + 1]; 2];
+                    dp[1][p] = keep;
+                }
+            }
+            let cases = bit_cases(&pa[t], &pb[t]);
+            let mut next = vec![vec![T::zero(); p + 1]; 2];
+            for carry in 0..2usize {
+                for run in 0..=p {
+                    if dp[carry][run].is_zero() {
+                        continue;
+                    }
+                    for (weight, propagate, generate) in &cases {
+                        let new_carry = if *propagate {
+                            carry
+                        } else {
+                            *generate as usize
+                        };
+                        let new_run = if *propagate { (run + 1).min(p) } else { 0 };
+                        next[new_carry][new_run] = next[new_carry][new_run].clone()
+                            + dp[carry][run].clone() * weight.clone();
+                    }
+                }
+            }
+            dp = next;
+        }
+        let mut joint = T::zero();
+        for row in &dp {
+            for cell in row {
+                joint = joint + cell.clone();
+            }
+        }
+        terms += 1;
+        if subset.count_ones() % 2 == 1 {
+            positive = positive + joint;
+        } else {
+            negative = negative + joint;
+        }
+    }
+    Ok((positive - negative, terms))
+}
+
+/// The cheap approximation that treats block errors as independent:
+/// `P ≈ 1 − ∏_j (1 − P(E_j))`. Useful to quantify how much the exact
+/// treatment of the shared carry chain matters.
+///
+/// # Errors
+///
+/// Returns [`GearError::WidthMismatch`] if the probability slices do not
+/// cover exactly `N` bits.
+pub fn error_probability_block_independent<T: Prob>(
+    config: &GearConfig,
+    pa: &[T],
+    pb: &[T],
+    p_cin: T,
+) -> Result<T, GearError> {
+    check_widths(config, pa, pb)?;
+    let fallible = config.block_count() - 1;
+    let mut no_error = T::one();
+    for j in 0..fallible {
+        let (single, _) = single_block_error(config, pa, pb, p_cin.clone(), j);
+        no_error = no_error * single.complement();
+    }
+    Ok(no_error.complement())
+}
+
+/// Per-block marginal error probabilities `P(E_j)` for the fallible blocks
+/// (sub-adders `1..k`, in order) — useful for deciding *where* to spend
+/// correction hardware.
+///
+/// # Errors
+///
+/// Returns [`GearError::WidthMismatch`] if the probability slices do not
+/// cover exactly `N` bits.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_gear::{block_error_probabilities, GearConfig};
+///
+/// let config = GearConfig::new(8, 2, 2)?;
+/// let blocks = block_error_probabilities::<f64>(&config, &[0.5; 8], &[0.5; 8], 0.0)?;
+/// assert_eq!(blocks.len(), config.block_count() - 1);
+/// # Ok::<(), sealpaa_gear::GearError>(())
+/// ```
+pub fn block_error_probabilities<T: Prob>(
+    config: &GearConfig,
+    pa: &[T],
+    pb: &[T],
+    p_cin: T,
+) -> Result<Vec<T>, GearError> {
+    check_widths(config, pa, pb)?;
+    Ok((0..config.block_count() - 1)
+        .map(|j| single_block_error(config, pa, pb, p_cin.clone(), j).0)
+        .collect())
+}
+
+/// `P(E_j)` for one fallible block (0-based among blocks 1..k).
+fn single_block_error<T: Prob>(
+    config: &GearConfig,
+    pa: &[T],
+    pb: &[T],
+    p_cin: T,
+    j: usize,
+) -> (T, usize) {
+    let p = config.prediction_bits();
+    let check = check_positions(config)[j];
+    let mut dp = vec![vec![T::zero(); p + 1]; 2];
+    dp[0][0] = p_cin.complement();
+    dp[1][0] = p_cin;
+    for t in 0..check {
+        let cases = bit_cases(&pa[t], &pb[t]);
+        let mut next = vec![vec![T::zero(); p + 1]; 2];
+        for carry in 0..2usize {
+            for run in 0..=p {
+                if dp[carry][run].is_zero() {
+                    continue;
+                }
+                for (weight, propagate, generate) in &cases {
+                    let new_carry = if *propagate {
+                        carry
+                    } else {
+                        *generate as usize
+                    };
+                    let new_run = if *propagate { (run + 1).min(p) } else { 0 };
+                    next[new_carry][new_run] =
+                        next[new_carry][new_run].clone() + dp[carry][run].clone() * weight.clone();
+                }
+            }
+        }
+        dp = next;
+    }
+    (dp[1][p].clone(), check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::GearAdder;
+    use sealpaa_num::Rational;
+
+    fn uniform_rational(n: usize) -> Vec<Rational> {
+        vec![Rational::from_ratio(1, 2); n]
+    }
+
+    #[test]
+    fn single_block_config_is_error_free() {
+        let config = GearConfig::new(8, 8, 0).expect("valid");
+        let p = error_probability::<f64>(&config, &[0.3; 8], &[0.7; 8], 0.5).expect("widths");
+        assert!(p.abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn matches_exhaustive_functional_count_exactly() {
+        for (n, r, p) in [(8, 2, 2), (8, 4, 0), (6, 2, 2), (9, 1, 2), (8, 2, 4)] {
+            let config = GearConfig::new(n, r, p).expect("valid");
+            let adder = GearAdder::new(config);
+            let (errors, total) = adder.exhaustive_error_count();
+            let analytical = error_probability(
+                &config,
+                &uniform_rational(n),
+                &uniform_rational(n),
+                Rational::from_ratio(1, 2),
+            )
+            .expect("widths");
+            assert_eq!(
+                analytical,
+                Rational::from_ratio(errors as i64, total as i64),
+                "GeAr(N={n}, R={r}, P={p})"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_dp_equals_inclusion_exclusion() {
+        let config = GearConfig::new(12, 2, 2).expect("valid");
+        let pa: Vec<Rational> = (0..12)
+            .map(|i| Rational::from_ratio(i as i64 + 1, 20))
+            .collect();
+        let pb: Vec<Rational> = (0..12)
+            .map(|i| Rational::from_ratio(19 - i as i64, 20))
+            .collect();
+        let cin = Rational::from_ratio(1, 3);
+        let linear = error_probability(&config, &pa, &pb, cin.clone()).expect("widths");
+        let (ie, terms) = error_probability_inclexcl(&config, &pa, &pb, cin).expect("widths");
+        assert_eq!(linear, ie);
+        assert_eq!(terms, (1 << (config.block_count() - 1)) - 1);
+    }
+
+    #[test]
+    fn independent_approximation_overestimates_here() {
+        // Block errors are positively correlated through the shared carry
+        // chain, so the independence approximation should not match exactly
+        // (and typically overestimates the union for these configs).
+        let config = GearConfig::new(12, 2, 2).expect("valid");
+        let exact = error_probability::<f64>(&config, &[0.5; 12], &[0.5; 12], 0.5).expect("ok");
+        let approx =
+            error_probability_block_independent::<f64>(&config, &[0.5; 12], &[0.5; 12], 0.5)
+                .expect("ok");
+        assert!(
+            (exact - approx).abs() > 1e-6,
+            "exact {exact} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn more_prediction_bits_reduce_error() {
+        let pa = [0.5f64; 14];
+        let pb = [0.5f64; 14];
+        let mut last = 1.0f64;
+        for p in [0usize, 2, 4, 6] {
+            let config = GearConfig::new(14, 2, p).expect("valid");
+            let err = error_probability(&config, &pa, &pb, 0.0).expect("widths");
+            assert!(err < last, "P={p}: {err} should beat {last}");
+            last = err;
+        }
+    }
+
+    #[test]
+    fn zero_carry_inputs_never_err() {
+        // All A bits zero → no carry is ever generated → GeAr is exact.
+        let config = GearConfig::new(8, 2, 2).expect("valid");
+        let p = error_probability::<f64>(&config, &[0.0; 8], &[0.7; 8], 0.0).expect("widths");
+        assert!(p.abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let config = GearConfig::new(8, 2, 2).expect("valid");
+        assert!(error_probability::<f64>(&config, &[0.5; 7], &[0.5; 8], 0.5).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! GeAr configuration arithmetic.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Errors produced when constructing a [`GearConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GearError {
+    /// `R` must be at least 1 (each sub-adder must contribute result bits).
+    ZeroResultBits,
+    /// The total width must be at least one sub-adder length (`N ≥ R + P`).
+    WidthTooSmall {
+        /// Requested total width `N`.
+        n: usize,
+        /// Sub-adder length `L = R + P`.
+        l: usize,
+    },
+    /// `(N − L)` must be divisible by `R` for the blocks to tile the width
+    /// (paper: `k = ((N − L)/R) + 1`).
+    NotTileable {
+        /// Requested total width `N`.
+        n: usize,
+        /// Result bits per block `R`.
+        r: usize,
+        /// Prediction bits per block `P`.
+        p: usize,
+    },
+    /// Probability vectors must cover exactly `N` bits.
+    WidthMismatch {
+        /// Expected width `N`.
+        expected: usize,
+        /// Provided vector length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for GearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GearError::ZeroResultBits => f.write_str("R must be at least 1"),
+            GearError::WidthTooSmall { n, l } => {
+                write!(
+                    f,
+                    "total width {n} is smaller than one sub-adder of length {l}"
+                )
+            }
+            GearError::NotTileable { n, r, p } => write!(
+                f,
+                "GeAr(N={n}, R={r}, P={p}) does not tile: (N - R - P) must be divisible by R"
+            ),
+            GearError::WidthMismatch { expected, actual } => write!(
+                f,
+                "probability vector covers {actual} bits but the adder is {expected} bits wide"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GearError {}
+
+/// A GeAr adder configuration `GeAr(N, R, P)` (paper Sec. 2.2):
+///
+/// * `N` — operand width,
+/// * `R` — result bits contributed by each sub-adder,
+/// * `P` — previous (prediction/overlap) bits each sub-adder uses to
+///   estimate its carry-in,
+/// * `L = R + P` — sub-adder length, `k = (N − L)/R + 1` sub-adders.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_gear::GearConfig;
+///
+/// let config = GearConfig::new(16, 4, 4)?;
+/// assert_eq!(config.sub_adder_length(), 8);
+/// assert_eq!(config.block_count(), 3);
+/// assert_eq!(config.block_window(0), 0..8);
+/// assert_eq!(config.block_window(2), 8..16);
+/// # Ok::<(), sealpaa_gear::GearError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GearConfig {
+    n: usize,
+    r: usize,
+    p: usize,
+}
+
+impl GearConfig {
+    /// Creates a configuration, validating the paper's tiling constraints.
+    ///
+    /// # Errors
+    ///
+    /// See [`GearError`].
+    pub fn new(n: usize, r: usize, p: usize) -> Result<Self, GearError> {
+        if r == 0 {
+            return Err(GearError::ZeroResultBits);
+        }
+        let l = r + p;
+        if n < l {
+            return Err(GearError::WidthTooSmall { n, l });
+        }
+        if !(n - l).is_multiple_of(r) {
+            return Err(GearError::NotTileable { n, r, p });
+        }
+        Ok(GearConfig { n, r, p })
+    }
+
+    /// The ACA-style configuration (Verma et al., DATE 2008, the paper's
+    /// ref.\ 19): every result bit is predicted from the `l − 1` bits below
+    /// it, i.e. `GeAr(N, 1, l − 1)`. GeAr captures it as a special case
+    /// (paper Sec. 2.2: GeAr "captures all of the prominent previously
+    /// proposed LLAAs").
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn aca(n: usize, l: usize) -> Result<Self, GearError> {
+        if l == 0 {
+            return Err(GearError::ZeroResultBits);
+        }
+        GearConfig::new(n, 1, l - 1)
+    }
+
+    /// The ETAII-style configuration: non-overlapping result blocks of `r`
+    /// bits, each predicting its carry from the previous `r` bits, i.e.
+    /// `GeAr(N, r, r)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn etaii(n: usize, r: usize) -> Result<Self, GearError> {
+        GearConfig::new(n, r, r)
+    }
+
+    /// Operand width `N`.
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Result bits per sub-adder `R`.
+    pub fn result_bits(&self) -> usize {
+        self.r
+    }
+
+    /// Prediction/overlap bits per sub-adder `P`.
+    pub fn prediction_bits(&self) -> usize {
+        self.p
+    }
+
+    /// Sub-adder length `L = R + P`.
+    pub fn sub_adder_length(&self) -> usize {
+        self.r + self.p
+    }
+
+    /// Number of sub-adders `k = (N − L)/R + 1`.
+    pub fn block_count(&self) -> usize {
+        (self.n - self.sub_adder_length()) / self.r + 1
+    }
+
+    /// The bit window sub-adder `i` (0-based, LSB block first) reads:
+    /// `[R·i, R·i + L)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.block_count()`.
+    pub fn block_window(&self, i: usize) -> Range<usize> {
+        assert!(i < self.block_count(), "block index out of range");
+        let start = self.r * i;
+        start..start + self.sub_adder_length()
+    }
+
+    /// The bit positions sub-adder `i` actually contributes to the output:
+    /// block 0 contributes its full window, later blocks only their top `R`
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.block_count()`.
+    pub fn block_result_bits(&self, i: usize) -> Range<usize> {
+        let window = self.block_window(i);
+        if i == 0 {
+            window
+        } else {
+            window.start + self.p..window.end
+        }
+    }
+}
+
+impl fmt::Display for GearConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GeAr(N={}, R={}, P={})", self.n, self.r, self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_dimensions() {
+        // GeAr(N=8, R=2, P=2): L = 4, k = (8-4)/2 + 1 = 3.
+        let g = GearConfig::new(8, 2, 2).expect("valid");
+        assert_eq!(g.sub_adder_length(), 4);
+        assert_eq!(g.block_count(), 3);
+        assert_eq!(g.block_window(0), 0..4);
+        assert_eq!(g.block_window(1), 2..6);
+        assert_eq!(g.block_window(2), 4..8);
+    }
+
+    #[test]
+    fn result_bits_tile_the_width_exactly() {
+        for (n, r, p) in [(8, 2, 2), (16, 4, 4), (12, 3, 0), (16, 2, 6), (9, 1, 2)] {
+            let g = GearConfig::new(n, r, p).expect("valid config");
+            let mut covered = vec![false; n];
+            for i in 0..g.block_count() {
+                for bit in g.block_result_bits(i) {
+                    assert!(!covered[bit], "bit {bit} doubly assigned in {g}");
+                    covered[bit] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "coverage gap in {g}");
+        }
+    }
+
+    #[test]
+    fn top_block_reaches_msb() {
+        let g = GearConfig::new(16, 4, 4).expect("valid");
+        assert_eq!(g.block_window(g.block_count() - 1).end, 16);
+    }
+
+    #[test]
+    fn p_zero_is_plain_block_partition() {
+        let g = GearConfig::new(12, 3, 0).expect("valid");
+        assert_eq!(g.block_count(), 4);
+        for i in 0..4 {
+            assert_eq!(g.block_result_bits(i).len(), 3);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert_eq!(GearConfig::new(8, 0, 2), Err(GearError::ZeroResultBits));
+        assert!(matches!(
+            GearConfig::new(3, 2, 2),
+            Err(GearError::WidthTooSmall { .. })
+        ));
+        assert!(matches!(
+            GearConfig::new(9, 2, 2),
+            Err(GearError::NotTileable { .. })
+        ));
+    }
+
+    #[test]
+    fn full_width_single_block_is_exact_adder() {
+        let g = GearConfig::new(8, 8, 0).expect("valid");
+        assert_eq!(g.block_count(), 1);
+        assert_eq!(g.block_result_bits(0), 0..8);
+    }
+
+    #[test]
+    fn named_configurations_are_gear_special_cases() {
+        let aca = GearConfig::aca(16, 4).expect("valid");
+        assert_eq!((aca.result_bits(), aca.prediction_bits()), (1, 3));
+        assert_eq!(aca.sub_adder_length(), 4);
+        let etaii = GearConfig::etaii(16, 4).expect("valid");
+        assert_eq!((etaii.result_bits(), etaii.prediction_bits()), (4, 4));
+        assert!(GearConfig::aca(16, 0).is_err());
+        assert!(GearConfig::etaii(15, 4).is_err()); // does not tile
+    }
+
+    #[test]
+    fn display_and_errors_format() {
+        let g = GearConfig::new(8, 2, 2).expect("valid");
+        assert_eq!(g.to_string(), "GeAr(N=8, R=2, P=2)");
+        assert!(GearConfig::new(9, 2, 2)
+            .unwrap_err()
+            .to_string()
+            .contains("does not tile"));
+    }
+}

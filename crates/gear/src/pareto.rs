@@ -1,0 +1,193 @@
+//! Configuration-space exploration for GeAr — the "accuracy configurable"
+//! promise, quantified.
+//!
+//! GeAr's entire reason to exist (paper Sec. 2.2) is the trade-off knob: a
+//! larger sub-adder length `L = R + P` buys accuracy with latency (the
+//! carry path is `L` bits) and area (`k · L` full adders instead of `N`).
+//! With the exact linear-time error analysis, the *whole* configuration
+//! space of a width can be scored in microseconds and reduced to its Pareto
+//! frontier.
+
+use std::fmt;
+
+use sealpaa_num::Prob;
+
+use crate::analysis::error_probability;
+use crate::config::{GearConfig, GearError};
+
+/// One scored GeAr configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GearDesign {
+    /// The configuration.
+    pub config: GearConfig,
+    /// Exact error probability at the given input probability.
+    pub error_probability: f64,
+    /// Critical-path proxy: the sub-adder length `L` (the carry ripples at
+    /// most `L` bits; an exact RCA would be `N`).
+    pub latency_bits: usize,
+    /// Area proxy: total full-adder count `k · L` (an exact RCA is `N`).
+    pub full_adders: usize,
+}
+
+impl fmt::Display for GearDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} → P(err)={:.6}, latency {} bits, {} FAs",
+            self.config, self.error_probability, self.latency_bits, self.full_adders
+        )
+    }
+}
+
+/// Enumerates every valid `GeAr(N, R, P)` for a width (all `R ≥ 1`,
+/// `P ≥ 0` that tile), including the exact single-block `GeAr(N, N, 0)`.
+pub fn enumerate_configs(n: usize) -> Vec<GearConfig> {
+    let mut out = Vec::new();
+    for r in 1..=n {
+        for p in 0..n {
+            if let Ok(config) = GearConfig::new(n, r, p) {
+                out.push(config);
+            }
+        }
+    }
+    out
+}
+
+/// Scores every valid configuration of width `n` at constant input-bit
+/// probability `p_input` and returns all designs (use [`pareto_front`] to
+/// filter).
+///
+/// # Errors
+///
+/// Propagates [`GearError`] from the analysis (cannot occur for the
+/// configurations this function itself enumerates; the signature allows
+/// future probability validation).
+pub fn score_configs<T: Prob>(n: usize, p_input: T) -> Result<Vec<GearDesign>, GearError> {
+    let pa = vec![p_input.clone(); n];
+    let mut out = Vec::new();
+    for config in enumerate_configs(n) {
+        let err = error_probability(&config, &pa, &pa, T::zero())?;
+        out.push(GearDesign {
+            config,
+            error_probability: err.to_f64().clamp(0.0, 1.0),
+            latency_bits: config.sub_adder_length(),
+            full_adders: config.block_count() * config.sub_adder_length(),
+        });
+    }
+    Ok(out)
+}
+
+/// Filters designs down to the Pareto frontier over
+/// (error probability ↓, latency ↓, area ↓), sorted by ascending latency.
+pub fn pareto_front(mut designs: Vec<GearDesign>) -> Vec<GearDesign> {
+    let dominates = |a: &GearDesign, b: &GearDesign| {
+        let no_worse = a.error_probability <= b.error_probability
+            && a.latency_bits <= b.latency_bits
+            && a.full_adders <= b.full_adders;
+        let better = a.error_probability < b.error_probability
+            || a.latency_bits < b.latency_bits
+            || a.full_adders < b.full_adders;
+        no_worse && better
+    };
+    designs.sort_by(|a, b| {
+        a.latency_bits
+            .cmp(&b.latency_bits)
+            .then(a.error_probability.total_cmp(&b.error_probability))
+    });
+    let mut front: Vec<GearDesign> = Vec::new();
+    for design in designs {
+        if !front.iter().any(|kept| dominates(kept, &design)) {
+            front.retain(|kept| !dominates(&design, kept));
+            front.push(design);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_includes_known_configs() {
+        let configs = enumerate_configs(8);
+        assert!(configs.contains(&GearConfig::new(8, 2, 2).expect("valid")));
+        assert!(configs.contains(&GearConfig::new(8, 8, 0).expect("valid")));
+        assert!(configs.contains(&GearConfig::new(8, 1, 0).expect("valid")));
+        // Everything enumerated really tiles.
+        for c in &configs {
+            assert_eq!(
+                (8 - c.sub_adder_length()) % c.result_bits(),
+                0,
+                "{c} does not tile"
+            );
+        }
+    }
+
+    #[test]
+    fn scores_are_probabilities_and_exact_config_is_error_free() {
+        let designs = score_configs(8, 0.5f64).expect("valid probabilities");
+        assert!(!designs.is_empty());
+        for d in &designs {
+            assert!((0.0..=1.0).contains(&d.error_probability), "{d}");
+        }
+        let exact = designs
+            .iter()
+            .find(|d| d.config == GearConfig::new(8, 8, 0).expect("valid"))
+            .expect("single-block config is enumerated");
+        assert_eq!(exact.error_probability, 0.0);
+        assert_eq!(exact.latency_bits, 8);
+    }
+
+    #[test]
+    fn frontier_is_mutually_non_dominated_and_spans_the_tradeoff() {
+        let designs = score_configs(16, 0.5f64).expect("valid probabilities");
+        let total = designs.len();
+        let front = pareto_front(designs);
+        assert!(!front.is_empty());
+        // With three objectives many configurations survive; the frontier
+        // must never grow, and at 16 bits some configuration is dominated
+        // (e.g. a long-latency, high-area, high-error straggler).
+        assert!(front.len() <= total);
+        for a in &front {
+            for b in &front {
+                if a != b {
+                    let no_worse = a.error_probability <= b.error_probability
+                        && a.latency_bits <= b.latency_bits
+                        && a.full_adders <= b.full_adders;
+                    let better = a.error_probability < b.error_probability
+                        || a.latency_bits < b.latency_bits
+                        || a.full_adders < b.full_adders;
+                    assert!(!(no_worse && better), "{a} dominates {b}");
+                }
+            }
+        }
+        // The exact design (zero error) and a minimal-latency design must
+        // both survive — the frontier spans the trade-off.
+        assert!(front.iter().any(|d| d.error_probability == 0.0));
+        let min_latency = front
+            .iter()
+            .map(|d| d.latency_bits)
+            .min()
+            .expect("non-empty");
+        assert!(min_latency < 16);
+    }
+
+    #[test]
+    fn longer_sub_adders_mean_less_error_along_fixed_r() {
+        let designs = score_configs(16, 0.5f64).expect("valid probabilities");
+        let mut r2: Vec<&GearDesign> = designs
+            .iter()
+            .filter(|d| d.config.result_bits() == 2)
+            .collect();
+        r2.sort_by_key(|d| d.config.prediction_bits());
+        for pair in r2.windows(2) {
+            assert!(
+                pair[1].error_probability <= pair[0].error_probability + 1e-12,
+                "{} then {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}

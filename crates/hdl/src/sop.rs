@@ -1,0 +1,267 @@
+//! Two-level (sum-of-products) synthesis of a single-bit adder output.
+
+use std::fmt;
+
+use sealpaa_cells::{FaInput, TruthTable};
+
+/// One product term over the three full-adder inputs: for each input, an
+/// optional required polarity (`None` = don't care).
+///
+/// Terms produced by the minimizer never have all three entries `None`
+/// unless the function is constant-1 (represented by a single all-`None`
+/// term).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProductTerm {
+    /// Required value of `A`, if constrained.
+    pub a: Option<bool>,
+    /// Required value of `B`, if constrained.
+    pub b: Option<bool>,
+    /// Required value of `Cin`, if constrained.
+    pub cin: Option<bool>,
+}
+
+impl ProductTerm {
+    /// `true` if the input combination satisfies the term.
+    pub fn covers(&self, input: FaInput) -> bool {
+        self.a.is_none_or(|v| v == input.a)
+            && self.b.is_none_or(|v| v == input.b)
+            && self.cin.is_none_or(|v| v == input.carry_in)
+    }
+
+    /// Number of literals in the term.
+    pub fn literals(&self) -> usize {
+        [self.a, self.b, self.cin].iter().flatten().count()
+    }
+}
+
+/// A sum-of-products cover of one output column of a truth table, minimized
+/// by a small exact Quine–McCluskey pass (3 variables, so the prime-implicant
+/// table is tiny).
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::{StandardCell, TruthTable};
+/// use sealpaa_hdl::SumOfProducts;
+///
+/// // The accurate carry-out is the majority function: 3 terms of 2 literals.
+/// let carry = SumOfProducts::for_carry(&TruthTable::accurate());
+/// assert_eq!(carry.terms().len(), 3);
+/// assert_eq!(carry.literal_count(), 6);
+///
+/// // LPAA 5's carry-out is just A: one single-literal term.
+/// let lpaa5 = SumOfProducts::for_carry(&StandardCell::Lpaa5.truth_table());
+/// assert_eq!(lpaa5.literal_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SumOfProducts {
+    terms: Vec<ProductTerm>,
+    constant: Option<bool>,
+}
+
+impl SumOfProducts {
+    /// Synthesizes the sum output of a truth table.
+    pub fn for_sum(table: &TruthTable) -> Self {
+        SumOfProducts::from_fn(|input| table.eval(input).sum)
+    }
+
+    /// Synthesizes the carry-out output of a truth table.
+    pub fn for_carry(table: &TruthTable) -> Self {
+        SumOfProducts::from_fn(|input| table.eval(input).carry_out)
+    }
+
+    /// Synthesizes an arbitrary 3-input function.
+    pub fn from_fn(f: impl Fn(FaInput) -> bool) -> Self {
+        let minterms: Vec<FaInput> = FaInput::all().filter(|&i| f(i)).collect();
+        if minterms.is_empty() {
+            return SumOfProducts {
+                terms: Vec::new(),
+                constant: Some(false),
+            };
+        }
+        if minterms.len() == 8 {
+            return SumOfProducts {
+                terms: Vec::new(),
+                constant: Some(true),
+            };
+        }
+        // Enumerate all 26 possible non-trivial cubes (3^3 − 1 polarity
+        // patterns), keep those entirely inside the on-set, then pick a
+        // minimal cover greedily by coverage then literal count. With only
+        // 8 minterms the greedy pick is exact for these functions' sizes.
+        let on = |input: FaInput| f(input);
+        let mut cubes = Vec::new();
+        let choices = [None, Some(false), Some(true)];
+        for &a in &choices {
+            for &b in &choices {
+                for &cin in &choices {
+                    let term = ProductTerm { a, b, cin };
+                    let covered: Vec<FaInput> =
+                        FaInput::all().filter(|&i| term.covers(i)).collect();
+                    if !covered.is_empty() && covered.iter().all(|&i| on(i)) {
+                        cubes.push(term);
+                    }
+                }
+            }
+        }
+        let mut remaining: Vec<FaInput> = minterms;
+        let mut cover = Vec::new();
+        while !remaining.is_empty() {
+            let best = cubes
+                .iter()
+                .max_by_key(|t| {
+                    let coverage = remaining.iter().filter(|&&i| t.covers(i)).count();
+                    // Prefer wide coverage; break ties toward fewer literals.
+                    (coverage, 3usize.saturating_sub(t.literals()))
+                })
+                .copied()
+                .expect("the minterm cubes always remain available");
+            remaining.retain(|&i| !best.covers(i));
+            cover.push(best);
+        }
+        SumOfProducts {
+            terms: cover,
+            constant: None,
+        }
+    }
+
+    /// The product terms (empty iff the function is constant).
+    pub fn terms(&self) -> &[ProductTerm] {
+        &self.terms
+    }
+
+    /// `Some(value)` if the function is constant.
+    pub fn constant(&self) -> Option<bool> {
+        self.constant
+    }
+
+    /// Evaluates the cover on an input combination.
+    pub fn eval(&self, input: FaInput) -> bool {
+        match self.constant {
+            Some(v) => v,
+            None => self.terms.iter().any(|t| t.covers(input)),
+        }
+    }
+
+    /// Total literal count — the classic two-level area proxy.
+    pub fn literal_count(&self) -> usize {
+        self.terms.iter().map(ProductTerm::literals).sum()
+    }
+
+    /// Renders the cover as a Verilog boolean expression over nets
+    /// `a`, `b`, `cin`.
+    pub fn to_verilog_expr(&self) -> String {
+        match self.constant {
+            Some(true) => "1'b1".to_owned(),
+            Some(false) => "1'b0".to_owned(),
+            None => {
+                let terms: Vec<String> = self
+                    .terms
+                    .iter()
+                    .map(|t| {
+                        let mut lits = Vec::new();
+                        for (name, polarity) in [("a", t.a), ("b", t.b), ("cin", t.cin)] {
+                            match polarity {
+                                Some(true) => lits.push(name.to_owned()),
+                                Some(false) => lits.push(format!("~{name}")),
+                                None => {}
+                            }
+                        }
+                        if lits.is_empty() {
+                            "1'b1".to_owned()
+                        } else if lits.len() == 1 {
+                            lits.pop().expect("one literal")
+                        } else {
+                            format!("({})", lits.join(" & "))
+                        }
+                    })
+                    .collect();
+                terms.join(" | ")
+            }
+        }
+    }
+}
+
+impl fmt::Display for SumOfProducts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_verilog_expr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_cells::StandardCell;
+
+    #[test]
+    fn synthesis_is_exact_for_every_standard_cell_output() {
+        for cell in StandardCell::ALL {
+            let table = cell.truth_table();
+            let sum = SumOfProducts::for_sum(&table);
+            let carry = SumOfProducts::for_carry(&table);
+            for input in FaInput::all() {
+                assert_eq!(sum.eval(input), table.eval(input).sum, "{cell} sum {input}");
+                assert_eq!(
+                    carry.eval(input),
+                    table.eval(input).carry_out,
+                    "{cell} carry {input}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_functions_are_detected() {
+        let zero = SumOfProducts::from_fn(|_| false);
+        assert_eq!(zero.constant(), Some(false));
+        assert_eq!(zero.to_verilog_expr(), "1'b0");
+        let one = SumOfProducts::from_fn(|_| true);
+        assert_eq!(one.constant(), Some(true));
+        assert_eq!(one.literal_count(), 0);
+    }
+
+    #[test]
+    fn majority_synthesizes_to_three_two_literal_terms() {
+        let carry = SumOfProducts::for_carry(&TruthTable::accurate());
+        assert_eq!(carry.terms().len(), 3);
+        assert!(carry.terms().iter().all(|t| t.literals() == 2));
+    }
+
+    #[test]
+    fn xor3_requires_four_minterms() {
+        // Parity has no cube larger than a single minterm.
+        let sum = SumOfProducts::for_sum(&TruthTable::accurate());
+        assert_eq!(sum.terms().len(), 4);
+        assert_eq!(sum.literal_count(), 12);
+    }
+
+    #[test]
+    fn pass_through_cells_become_single_literals() {
+        // LPAA 5: sum = b, carry = a.
+        let t = StandardCell::Lpaa5.truth_table();
+        assert_eq!(SumOfProducts::for_sum(&t).to_verilog_expr(), "b");
+        assert_eq!(SumOfProducts::for_carry(&t).to_verilog_expr(), "a");
+    }
+
+    #[test]
+    fn literal_count_tracks_cell_simplicity() {
+        // Approximate cells must not need more literals than the exact
+        // adder — that is the entire point of LPAA design.
+        let exact = SumOfProducts::for_sum(&TruthTable::accurate()).literal_count()
+            + SumOfProducts::for_carry(&TruthTable::accurate()).literal_count();
+        for cell in StandardCell::APPROXIMATE {
+            let t = cell.truth_table();
+            let total = SumOfProducts::for_sum(&t).literal_count()
+                + SumOfProducts::for_carry(&t).literal_count();
+            assert!(total <= exact, "{cell}: {total} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn verilog_expression_shape() {
+        let carry = SumOfProducts::for_carry(&TruthTable::accurate());
+        let expr = carry.to_verilog_expr();
+        assert_eq!(expr.matches('|').count(), 2);
+        assert!(expr.contains('&'));
+    }
+}

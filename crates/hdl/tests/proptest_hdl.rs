@@ -1,0 +1,91 @@
+//! Property tests: the synthesized logic is equivalent to the behavioural
+//! model for *arbitrary* truth tables and chains, not just the library's.
+
+use proptest::prelude::*;
+use sealpaa_cells::{AdderChain, Cell, FaInput, StandardCell, TruthTable};
+use sealpaa_hdl::{cell_netlist, cell_verilog, chain_netlist, SumOfProducts};
+
+fn any_table() -> impl Strategy<Value = TruthTable> {
+    (any::<u8>(), any::<u8>()).prop_map(|(s, c)| TruthTable::from_bits(s, c))
+}
+
+proptest! {
+    #[test]
+    fn sop_synthesis_is_exact_for_random_tables(table in any_table()) {
+        let sum = SumOfProducts::for_sum(&table);
+        let carry = SumOfProducts::for_carry(&table);
+        for input in FaInput::all() {
+            prop_assert_eq!(sum.eval(input), table.eval(input).sum);
+            prop_assert_eq!(carry.eval(input), table.eval(input).carry_out);
+        }
+    }
+
+    #[test]
+    fn netlist_matches_table_for_random_cells(table in any_table()) {
+        let cell = Cell::custom("random", table);
+        let netlist = cell_netlist(&cell);
+        for input in FaInput::all() {
+            let out = netlist.eval(&[
+                ("a", input.a),
+                ("b", input.b),
+                ("cin", input.carry_in),
+            ]);
+            let expect = table.eval(input);
+            prop_assert_eq!(out["sum"], expect.sum);
+            prop_assert_eq!(out["cout"], expect.carry_out);
+        }
+    }
+
+    #[test]
+    fn random_hybrid_chain_netlists_match_functional_model(
+        tables in prop::collection::vec(any_table(), 1..=3),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        cin in any::<bool>(),
+    ) {
+        let chain = AdderChain::from_stages(
+            tables
+                .iter()
+                .enumerate()
+                .map(|(i, t)| Cell::custom(format!("r{i}"), *t))
+                .collect(),
+        );
+        let width = chain.width();
+        let netlist = chain_netlist(&chain);
+        let a_names: Vec<String> = (0..width).map(|i| format!("a{i}")).collect();
+        let b_names: Vec<String> = (0..width).map(|i| format!("b{i}")).collect();
+        let mut assignments: Vec<(&str, bool)> = Vec::new();
+        for (i, n) in a_names.iter().enumerate() {
+            assignments.push((n.as_str(), (a >> i) & 1 == 1));
+        }
+        for (i, n) in b_names.iter().enumerate() {
+            assignments.push((n.as_str(), (b >> i) & 1 == 1));
+        }
+        assignments.push(("cin", cin));
+        let out = netlist.eval(&assignments);
+        let expect = chain.add(a, b, cin);
+        for i in 0..width {
+            prop_assert_eq!(out[&format!("s{i}")], (expect.sum_bits() >> i) & 1 == 1);
+        }
+        prop_assert_eq!(out["cout"], expect.carry_out());
+    }
+
+    #[test]
+    fn literal_count_never_exceeds_minterm_expansion(table in any_table()) {
+        for sop in [SumOfProducts::for_sum(&table), SumOfProducts::for_carry(&table)] {
+            let minterms = FaInput::all()
+                .filter(|&i| sop.eval(i))
+                .count();
+            prop_assert!(sop.literal_count() <= minterms * 3);
+        }
+    }
+}
+
+#[test]
+fn verilog_for_every_standard_cell_is_emitted() {
+    for cell in StandardCell::ALL {
+        let v = cell_verilog(&cell.cell());
+        assert!(v.starts_with("// "), "{cell}");
+        assert!(v.contains("endmodule"), "{cell}");
+    }
+}

@@ -1,0 +1,351 @@
+//! The working inclusion–exclusion evaluator.
+
+use std::fmt;
+
+use sealpaa_cells::{AdderChain, FaInput, InputProfile, TruthTable};
+use sealpaa_num::Prob;
+
+/// Errors produced by the baseline evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InclExclError {
+    /// The input profile covers a different number of bits than the chain.
+    WidthMismatch {
+        /// Stages in the chain.
+        chain: usize,
+        /// Bits in the profile.
+        profile: usize,
+    },
+    /// The `2^k − 1` subset expansion is refused beyond this width — the
+    /// blow-up paper Table 3 quantifies.
+    WidthTooLarge {
+        /// Requested stage count.
+        width: usize,
+        /// Maximum accepted stage count.
+        max: usize,
+    },
+}
+
+impl fmt::Display for InclExclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InclExclError::WidthMismatch { chain, profile } => write!(
+                f,
+                "adder chain has {chain} stages but input profile covers {profile} bits"
+            ),
+            InclExclError::WidthTooLarge { width, max } => write!(
+                f,
+                "inclusion-exclusion over {width} stages needs 2^{width} - 1 terms; \
+                 widths above {max} are refused"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InclExclError {}
+
+/// Widest chain the baseline will expand (`2^24` terms is already ~17 M
+/// carry-chain passes).
+pub const MAX_INCLEXCL_WIDTH: usize = 24;
+
+/// Joint probability `P(∩_{i∈S} E_i)` that **every** stage in the bit-mask
+/// `subset` hits one of its error cases, where error cases are judged along
+/// the accurate carry chain (the shared dependency that makes the events
+/// non-independent — paper Sec. 3, challenge 1).
+///
+/// Computed by one exact pass over the accurate-carry Markov chain, so each
+/// inclusion–exclusion term is cheap; it is the *number* of terms that kills
+/// the approach.
+///
+/// # Errors
+///
+/// Returns [`InclExclError::WidthMismatch`] if `profile` does not match the
+/// chain.
+pub fn joint_error_probability<T: Prob>(
+    chain: &AdderChain,
+    profile: &InputProfile<T>,
+    subset: u64,
+) -> Result<T, InclExclError> {
+    if chain.width() != profile.width() {
+        return Err(InclExclError::WidthMismatch {
+            chain: chain.width(),
+            profile: profile.width(),
+        });
+    }
+    let accurate = TruthTable::accurate();
+    // dp[c] = probability mass with accurate carry value c, restricted to
+    // paths that err at every subset stage seen so far.
+    let mut dp = [profile.p_cin().complement(), profile.p_cin().clone()];
+    for (i, cell) in chain.iter().enumerate() {
+        let must_err = (subset >> i) & 1 == 1;
+        let mut next = [T::zero(), T::zero()];
+        for c in 0..2usize {
+            if dp[c].is_zero() {
+                continue;
+            }
+            for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+                let input = FaInput::new(a, b, c == 1);
+                let is_error = cell.truth_table().eval(input) != accurate.eval(input);
+                if must_err && !is_error {
+                    continue;
+                }
+                let pa = if a {
+                    profile.pa(i).clone()
+                } else {
+                    profile.pa(i).complement()
+                };
+                let pb = if b {
+                    profile.pb(i).clone()
+                } else {
+                    profile.pb(i).complement()
+                };
+                let c_out = accurate.eval(input).carry_out as usize;
+                next[c_out] = next[c_out].clone() + dp[c].clone() * pa * pb;
+            }
+        }
+        dp = next;
+    }
+    Ok(dp[0].clone() + dp[1].clone())
+}
+
+/// The full inclusion–exclusion evaluation of
+/// `P(Error) = P(E₀ ∪ … ∪ E_{k−1})`, returning the probability and the
+/// number of subset terms evaluated (`2^k − 1`).
+///
+/// This is the honest baseline: exponential in the stage count by
+/// construction. Its result must agree exactly with
+/// `sealpaa_core::analyze` (the proposed method computes the same quantity
+/// in O(k)); the integration tests assert that equality in rational
+/// arithmetic.
+///
+/// # Errors
+///
+/// * [`InclExclError::WidthMismatch`] if `profile` does not match the chain.
+/// * [`InclExclError::WidthTooLarge`] above [`MAX_INCLEXCL_WIDTH`] stages.
+pub fn error_probability<T: Prob>(
+    chain: &AdderChain,
+    profile: &InputProfile<T>,
+) -> Result<(T, u64), InclExclError> {
+    let k = chain.width();
+    if k != profile.width() {
+        return Err(InclExclError::WidthMismatch {
+            chain: k,
+            profile: profile.width(),
+        });
+    }
+    if k > MAX_INCLEXCL_WIDTH {
+        return Err(InclExclError::WidthTooLarge {
+            width: k,
+            max: MAX_INCLEXCL_WIDTH,
+        });
+    }
+    let mut positive = T::zero();
+    let mut negative = T::zero();
+    let mut terms = 0u64;
+    for subset in 1..(1u64 << k) {
+        let joint = joint_error_probability(chain, profile, subset)?;
+        terms += 1;
+        if subset.count_ones() % 2 == 1 {
+            positive = positive + joint;
+        } else {
+            negative = negative + joint;
+        }
+    }
+    // Accumulate positive and negative parts separately so subtraction
+    // happens once — keeps `T = Rational` denominators small and avoids
+    // transient negative values.
+    Ok((positive - negative, terms))
+}
+
+/// Measured work of one full inclusion–exclusion evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BaselineOps {
+    /// Subset terms evaluated (`2^k − 1`).
+    pub terms: u64,
+    /// Probability multiplications performed.
+    pub multiplications: u64,
+    /// Probability additions performed.
+    pub additions: u64,
+}
+
+/// Like [`error_probability`], but also measures the arithmetic actually
+/// performed — the empirical counterpart to the paper's Table 3 cost model
+/// (`cost`): both must grow ~2× per added stage.
+///
+/// # Errors
+///
+/// Same conditions as [`error_probability`].
+pub fn error_probability_instrumented<T: Prob>(
+    chain: &AdderChain,
+    profile: &InputProfile<T>,
+) -> Result<(T, BaselineOps), InclExclError> {
+    let k = chain.width();
+    if k != profile.width() {
+        return Err(InclExclError::WidthMismatch {
+            chain: k,
+            profile: profile.width(),
+        });
+    }
+    if k > MAX_INCLEXCL_WIDTH {
+        return Err(InclExclError::WidthTooLarge {
+            width: k,
+            max: MAX_INCLEXCL_WIDTH,
+        });
+    }
+    let accurate = TruthTable::accurate();
+    let mut ops = BaselineOps::default();
+    let mut positive = T::zero();
+    let mut negative = T::zero();
+    for subset in 1..(1u64 << k) {
+        // Inline the joint-term DP so every multiply/add is tallied.
+        let mut dp = [profile.p_cin().complement(), profile.p_cin().clone()];
+        for (i, cell) in chain.iter().enumerate() {
+            let must_err = (subset >> i) & 1 == 1;
+            let mut next = [T::zero(), T::zero()];
+            for c in 0..2usize {
+                if dp[c].is_zero() {
+                    continue;
+                }
+                for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+                    let input = FaInput::new(a, b, c == 1);
+                    let is_error = cell.truth_table().eval(input) != accurate.eval(input);
+                    if must_err && !is_error {
+                        continue;
+                    }
+                    let pa = if a {
+                        profile.pa(i).clone()
+                    } else {
+                        profile.pa(i).complement()
+                    };
+                    let pb = if b {
+                        profile.pb(i).clone()
+                    } else {
+                        profile.pb(i).complement()
+                    };
+                    let c_out = accurate.eval(input).carry_out as usize;
+                    ops.multiplications += 2;
+                    ops.additions += 1;
+                    next[c_out] = next[c_out].clone() + dp[c].clone() * pa * pb;
+                }
+            }
+            dp = next;
+        }
+        ops.terms += 1;
+        ops.additions += 2;
+        let joint = dp[0].clone() + dp[1].clone();
+        if subset.count_ones() % 2 == 1 {
+            positive = positive + joint;
+        } else {
+            negative = negative + joint;
+        }
+    }
+    Ok((positive - negative, ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_cells::StandardCell;
+    use sealpaa_num::Rational;
+
+    #[test]
+    fn singleton_subset_is_stage_error_mass() {
+        // P(E₀) for a 1-stage LPAA 1 at uniform inputs = 2 error rows / 8.
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 1);
+        let profile = InputProfile::<Rational>::uniform(1);
+        let p = joint_error_probability(&chain, &profile, 0b1).expect("widths match");
+        assert_eq!(p, Rational::from_ratio(1, 4));
+    }
+
+    #[test]
+    fn empty_subset_is_total_mass_one() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa2.cell(), 3);
+        let profile = InputProfile::<Rational>::uniform(3);
+        let p = joint_error_probability(&chain, &profile, 0).expect("widths match");
+        assert_eq!(p, Rational::one());
+    }
+
+    #[test]
+    fn joint_probability_shrinks_with_subset_growth() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa5.cell(), 4);
+        let profile = InputProfile::<Rational>::uniform(4);
+        let p1 = joint_error_probability(&chain, &profile, 0b0001).expect("widths match");
+        let p2 = joint_error_probability(&chain, &profile, 0b0011).expect("widths match");
+        let p4 = joint_error_probability(&chain, &profile, 0b1111).expect("widths match");
+        assert!(p1 > p2);
+        assert!(p2 > p4);
+        assert!(!p4.is_zero());
+    }
+
+    #[test]
+    fn accurate_chain_has_zero_union() {
+        let chain = AdderChain::uniform(StandardCell::Accurate.cell(), 5);
+        let profile = InputProfile::<Rational>::constant(5, Rational::from_ratio(2, 5));
+        let (p, terms) = error_probability(&chain, &profile).expect("widths match");
+        assert_eq!(p, Rational::zero());
+        assert_eq!(terms, 31);
+    }
+
+    #[test]
+    fn two_stage_union_matches_hand_expansion() {
+        // P(E₀ ∪ E₁) = P(E₀) + P(E₁) − P(E₀ ∩ E₁).
+        let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), 2);
+        let profile = InputProfile::<Rational>::constant(2, Rational::from_ratio(1, 3));
+        let e0 = joint_error_probability(&chain, &profile, 0b01).expect("ok");
+        let e1 = joint_error_probability(&chain, &profile, 0b10).expect("ok");
+        let e01 = joint_error_probability(&chain, &profile, 0b11).expect("ok");
+        let (union, terms) = error_probability(&chain, &profile).expect("ok");
+        assert_eq!(union, e0 + e1 - e01);
+        assert_eq!(terms, 3);
+    }
+
+    #[test]
+    fn term_count_is_2_pow_k_minus_1() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa4.cell(), 6);
+        let profile = InputProfile::<f64>::uniform(6);
+        let (_, terms) = error_probability(&chain, &profile).expect("ok");
+        assert_eq!(terms, 63);
+    }
+
+    #[test]
+    fn instrumented_matches_plain_and_grows_exponentially() {
+        let profile3 = InputProfile::<Rational>::constant(3, Rational::from_ratio(1, 5));
+        let chain3 = AdderChain::uniform(StandardCell::Lpaa1.cell(), 3);
+        let (p_inst, ops3) = error_probability_instrumented(&chain3, &profile3).expect("ok");
+        let (p_plain, terms) = error_probability(&chain3, &profile3).expect("ok");
+        assert_eq!(p_inst, p_plain);
+        assert_eq!(ops3.terms, terms);
+
+        // Work roughly doubles per added stage — the Table 3 blow-up,
+        // measured rather than modelled.
+        let mut last = ops3.multiplications;
+        for k in 4..=8usize {
+            let profile = InputProfile::<Rational>::constant(k, Rational::from_ratio(1, 5));
+            let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), k);
+            let (_, ops) = error_probability_instrumented(&chain, &profile).expect("ok");
+            assert!(
+                ops.multiplications > 17 * last / 10,
+                "k={k}: {} vs {last}",
+                ops.multiplications
+            );
+            last = ops.multiplications;
+        }
+    }
+
+    #[test]
+    fn oversized_width_refused() {
+        let w = MAX_INCLEXCL_WIDTH + 1;
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), w);
+        let profile = InputProfile::<f64>::uniform(w);
+        assert!(matches!(
+            error_probability(&chain, &profile),
+            Err(InclExclError::WidthTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 2);
+        let profile = InputProfile::<f64>::uniform(3);
+        assert!(joint_error_probability(&chain, &profile, 1).is_err());
+    }
+}

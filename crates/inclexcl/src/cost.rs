@@ -1,0 +1,124 @@
+//! Closed-form cost model of the inclusion–exclusion analysis
+//! (paper Table 3).
+
+use std::fmt;
+
+/// Resource requirements of a traditional inclusion–exclusion analysis of a
+/// `k`-stage adder (paper Table 3).
+///
+/// Formulas (derived to match the table's exactly-printed rows `k = 4, 8,
+/// 12`; the paper's larger rows carry obvious typesetting glitches — e.g.
+/// `52427` for `k = 16` where `k·(2^{k−1}−1) = 524272` — which
+/// `EXPERIMENTS.md` documents):
+///
+/// * terms = `2^k − 1` (every non-empty stage subset),
+/// * multiplications = `k · (2^{k−1} − 1)`,
+/// * additions = `2^k − 2` (combining all terms),
+/// * memory units = `2^{k+1} − 1` (the paper's text says `Σ 2^i = 2^{k+1}−2`;
+///   its table prints `2^{k+1} − 1` — we follow the table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InclExclCost {
+    /// Number of stages analysed.
+    pub stages: u32,
+    /// Inclusion–exclusion terms.
+    pub terms: u128,
+    /// Probability multiplications.
+    pub multiplications: u128,
+    /// Probability additions.
+    pub additions: u128,
+    /// Memory elements for the joint-probability history.
+    pub memory_units: u128,
+}
+
+impl fmt::Display for InclExclCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k={}: {} terms, {} mults, {} adds, {} memory units",
+            self.stages, self.terms, self.multiplications, self.additions, self.memory_units
+        )
+    }
+}
+
+/// Evaluates the paper-Table-3 cost model for a `k`-stage adder.
+///
+/// # Panics
+///
+/// Panics if `stages` is 0 or exceeds 100 (the `u128` counters would
+/// overflow long after the analysis stopped being computable anyway).
+pub fn cost(stages: u32) -> InclExclCost {
+    assert!(
+        (1..=100).contains(&stages),
+        "stage count must be in 1..=100"
+    );
+    let k = stages as u128;
+    InclExclCost {
+        stages,
+        terms: (1u128 << stages) - 1,
+        multiplications: k * ((1u128 << (stages - 1)) - 1),
+        additions: (1u128 << stages) - 2,
+        memory_units: (1u128 << (stages + 1)) - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The rows of paper Table 3 that are printed without typos.
+    #[test]
+    fn matches_paper_table_3_exact_rows() {
+        let c4 = cost(4);
+        assert_eq!(
+            (c4.terms, c4.multiplications, c4.additions, c4.memory_units),
+            (15, 28, 14, 31)
+        );
+        let c8 = cost(8);
+        assert_eq!(
+            (c8.terms, c8.multiplications, c8.additions, c8.memory_units),
+            (255, 1016, 254, 511)
+        );
+        let c12 = cost(12);
+        assert_eq!(
+            (
+                c12.terms,
+                c12.multiplications,
+                c12.additions,
+                c12.memory_units
+            ),
+            (4095, 24564, 4094, 8191)
+        );
+    }
+
+    #[test]
+    fn matches_paper_table_3_magnitudes_for_large_k() {
+        // k = 20 row: ~10.5e6 multiplications, ~2.10e6 memory units.
+        let c20 = cost(20);
+        assert_eq!(c20.multiplications, 10_485_740);
+        assert_eq!(c20.memory_units, 2_097_151);
+        // k = 32 row: ~68.7e9 multiplications, ~8.5e9 memory units.
+        let c32 = cost(32);
+        assert_eq!(c32.multiplications, 32 * ((1u128 << 31) - 1));
+        assert!((c32.multiplications as f64 - 68.7e9).abs() / 68.7e9 < 0.01);
+        assert!((c32.memory_units as f64 - 8.5e9).abs() / 8.5e9 < 0.02);
+    }
+
+    #[test]
+    fn growth_is_exponential() {
+        for k in 2..30 {
+            assert!(cost(k + 1).terms > 19 * cost(k).terms / 10, "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=100")]
+    fn zero_stages_panics() {
+        let _ = cost(0);
+    }
+
+    #[test]
+    fn display_mentions_all_counts() {
+        let s = cost(4).to_string();
+        assert!(s.contains("15 terms") && s.contains("28 mults"));
+    }
+}

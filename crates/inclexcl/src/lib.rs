@@ -1,0 +1,51 @@
+//! The traditional inclusion–exclusion analysis — the baseline the paper
+//! argues against (Sec. 3, Table 3).
+//!
+//! Prior analytical work (Mazahir et al., *Probabilistic Error Modeling for
+//! Approximate Adders*, IEEE TC 2016) computes the multi-bit error
+//! probability as `P(E₁ ∪ E₂ ∪ … ∪ E_k)` where `E_i` is "stage `i` hits an
+//! error case", expanded by the principle of inclusion–exclusion:
+//!
+//! ```text
+//! P(∪ E_i) = Σ_{∅ ≠ S ⊆ {1..k}} (−1)^{|S|+1} · P(∩_{i∈S} E_i)
+//! ```
+//!
+//! The expansion has `2^k − 1` terms — `40 × 10¹²` for a 32-bit adder (paper
+//! Table 3) — which is why the paper's recursive method matters. This crate
+//! implements the baseline *honestly*:
+//!
+//! * [`error_probability`] evaluates the full alternating sum, one joint
+//!   probability per subset (each joint term via an exact carry-chain pass),
+//!   so its cost really is Θ(2^k · k) and its result must equal the
+//!   proposed method's — the cross-validation our integration tests rely on.
+//! * [`cost`] is the closed-form resource model behind paper Table 3
+//!   (term / multiplication / addition / memory counts vs. stage count).
+//!
+//! # Examples
+//!
+//! ```
+//! use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
+//! use sealpaa_inclexcl::error_probability;
+//!
+//! let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 4);
+//! let profile = InputProfile::constant(4, 0.1);
+//! let (p, terms) = error_probability(&chain, &profile)?;
+//! assert_eq!(terms, (1 << 4) - 1); // 2^k − 1 subset terms
+//! assert!((p - 0.53090).abs() < 5e-6); // paper Table 7, LPAA 1, N = 4
+//! # Ok::<(), sealpaa_inclexcl::InclExclError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// DP state indices (carry value, joint-state bits, run length) are semantic
+// values, not mere positions; indexed loops read clearer than iterators here.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod cost;
+
+pub use baseline::{
+    error_probability, error_probability_instrumented, joint_error_probability, BaselineOps,
+    InclExclError, MAX_INCLEXCL_WIDTH,
+};
+pub use cost::{cost, InclExclCost};

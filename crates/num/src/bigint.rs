@@ -1,0 +1,306 @@
+//! Signed arbitrary-precision integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::BigUint;
+
+/// An arbitrary-precision signed integer: a sign plus a [`BigUint`] magnitude.
+///
+/// Invariant: zero is never negative.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_num::BigInt;
+///
+/// let a = BigInt::from(-7i64);
+/// let b = BigInt::from(3i64);
+/// assert_eq!((a + b).to_string(), "-4");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigInt {
+    negative: bool,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt {
+            negative: false,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt {
+            negative: false,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// Builds a value from an explicit sign and magnitude.
+    ///
+    /// A zero magnitude always yields the non-negative zero.
+    pub fn from_sign_magnitude(negative: bool, mag: BigUint) -> Self {
+        BigInt {
+            negative: negative && !mag.is_zero(),
+            mag,
+        }
+    }
+
+    /// `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Borrows the magnitude `|self|`.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Consumes `self`, returning `(is_negative, magnitude)`.
+    pub fn into_sign_magnitude(self) -> (bool, BigUint) {
+        (self.negative, self.mag)
+    }
+
+    /// Nearest-`f64` approximation.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        if self.negative {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Splits into `(signed mantissa, exponent)`, see
+    /// [`BigUint::to_f64_parts`].
+    pub fn to_f64_parts(&self) -> (f64, i64) {
+        let (m, e) = self.mag.to_f64_parts();
+        (if self.negative { -m } else { m }, e)
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let mag = self.mag.to_u64()?;
+        if self.negative {
+            if mag <= i64::MAX as u64 + 1 {
+                Some((mag as i64).wrapping_neg())
+            } else {
+                None
+            }
+        } else {
+            i64::try_from(mag).ok()
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        BigInt::from_sign_magnitude(v < 0, BigUint::from(v.unsigned_abs()))
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_sign_magnitude(false, BigUint::from(v))
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt::from_sign_magnitude(false, mag)
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+
+    fn neg(self) -> BigInt {
+        BigInt::from_sign_magnitude(!self.negative, self.mag)
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+
+    fn neg(self) -> BigInt {
+        BigInt::from_sign_magnitude(!self.negative, self.mag.clone())
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.negative == rhs.negative {
+            BigInt::from_sign_magnitude(self.negative, &self.mag + &rhs.mag)
+        } else {
+            // Opposite signs: the larger magnitude wins.
+            match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_sign_magnitude(self.negative, &self.mag - &rhs.mag)
+                }
+                Ordering::Less => BigInt::from_sign_magnitude(rhs.negative, &rhs.mag - &self.mag),
+            }
+        }
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+
+    fn add(self, rhs: BigInt) -> BigInt {
+        &self + &rhs
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+
+    fn sub(self, rhs: BigInt) -> BigInt {
+        &self - &rhs
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_sign_magnitude(self.negative != rhs.negative, &self.mag * &rhs.mag)
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+
+    fn mul(self, rhs: BigInt) -> BigInt {
+        &self * &rhs
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.mag.cmp(&other.mag),
+            (true, true) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negative {
+            write!(f, "-{}", self.mag)
+        } else {
+            write!(f, "{}", self.mag)
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn signs_on_construction() {
+        assert!(!int(0).is_negative());
+        assert!(int(-1).is_negative());
+        assert!(!BigInt::from_sign_magnitude(true, BigUint::zero()).is_negative());
+    }
+
+    #[test]
+    fn add_matches_i64() {
+        for a in [-7i64, -1, 0, 3, 100] {
+            for b in [-50i64, -3, 0, 7, 99] {
+                assert_eq!((int(a) + int(b)).to_i64(), Some(a + b), "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_matches_i64() {
+        for a in [-7i64, 0, 42] {
+            for b in [-9i64, 0, 41, 43] {
+                assert_eq!((int(a) - int(b)).to_i64(), Some(a - b), "{a} - {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_sign_rules() {
+        assert_eq!((int(-3) * int(4)).to_i64(), Some(-12));
+        assert_eq!((int(-3) * int(-4)).to_i64(), Some(12));
+        assert_eq!((int(-3) * int(0)).to_i64(), Some(0));
+        assert!(!(int(-3) * int(0)).is_negative());
+    }
+
+    #[test]
+    fn neg_round_trip() {
+        assert_eq!(-(-int(5)), int(5));
+        assert_eq!(-int(0), int(0));
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(int(-2) < int(1));
+        assert!(int(-2) > int(-3));
+        assert!(int(3) > int(2));
+        assert_eq!(int(0).cmp(&int(0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(int(-42).to_string(), "-42");
+        assert_eq!(int(0).to_string(), "0");
+    }
+
+    #[test]
+    fn to_i64_limits() {
+        assert_eq!(BigInt::from(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(BigInt::from(i64::MAX).to_i64(), Some(i64::MAX));
+        let too_big = BigInt::from(u64::MAX);
+        assert_eq!(too_big.to_i64(), None);
+    }
+
+    #[test]
+    fn to_f64_signed() {
+        assert_eq!(int(-1024).to_f64(), -1024.0);
+    }
+}

@@ -1,0 +1,717 @@
+//! Arbitrary-precision unsigned integers on `u64` limbs.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian `u64` limbs with no trailing zero limbs (so the
+/// value `0` is the empty limb vector). Sizes in this library stay modest —
+/// products of a few hundred 64-bit probabilities — so the schoolbook
+/// algorithms used here (O(n²) multiplication, shift-subtract division,
+/// binary GCD) are more than fast enough and easy to audit.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_num::BigUint;
+///
+/// let a = BigUint::from(u64::MAX);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "340282366920938463426481119284349108225");
+/// assert_eq!((&b / &a), a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Creates a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// `true` if the lowest bit is clear (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => self.limbs.len() * 64 - hi.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i` (little-endian, bit 0 is the least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i`, growing the limb vector as needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let (limb, off) = (i / 64, i % 64);
+        if self.limbs.len() <= limb {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1u64 << off;
+    }
+
+    /// Number of trailing zero bits, or `None` for the value zero.
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i * 64 + l.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Splits the value into `(mantissa, exponent)` with
+    /// `self ≈ mantissa * 2^exponent` and `mantissa` in `[0.5, 1)` (or `0`).
+    ///
+    /// Used to convert huge values to `f64` without overflowing the `f64`
+    /// exponent range mid-computation.
+    pub fn to_f64_parts(&self) -> (f64, i64) {
+        let bl = self.bit_len();
+        if bl == 0 {
+            return (0.0, 0);
+        }
+        // Take the top (up to) 64 bits as an integer mantissa.
+        let take = bl.min(64);
+        let shift = bl - take;
+        let mut top: u64 = 0;
+        for i in 0..take {
+            if self.bit(shift + i) {
+                top |= 1u64 << i;
+            }
+        }
+        // top is in [2^(take-1), 2^take); normalize to [0.5, 1).
+        let mantissa = top as f64 / (take as f64).exp2();
+        (mantissa, (shift + take) as i64)
+    }
+
+    /// Nearest-`f64` approximation (may be `inf` for astronomically large
+    /// values, which never occur in this library's workloads).
+    pub fn to_f64(&self) -> f64 {
+        let (m, e) = self.to_f64_parts();
+        m * (e as f64).exp2()
+    }
+
+    /// `self * 2^bits`.
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift > 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self / 2^bits` (floor).
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() - limb_shift];
+        for i in 0..out.len() {
+            out[i] = self.limbs[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 {
+                if let Some(&next) = self.limbs.get(i + limb_shift + 1) {
+                    out[i] |= next << (64 - bit_shift);
+                }
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - other` if non-negative, `None` otherwise.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in out.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 || b2) as u64;
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(out))
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)`.
+    ///
+    /// Uses bit-at-a-time shift-subtract, which is O(bits × limbs); fine for
+    /// the modest operand sizes this library produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divmod(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if divisor.limbs.len() == 1 {
+            return self.divmod_u64(divisor.limbs[0]);
+        }
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        let mut quotient = BigUint::zero();
+        let mut remainder = BigUint::zero();
+        for i in (0..self.bit_len()).rev() {
+            remainder = remainder.shl_bits(1);
+            if self.bit(i) {
+                remainder.set_bit(0);
+            }
+            if remainder >= *divisor {
+                remainder = remainder
+                    .checked_sub(divisor)
+                    .expect("remainder >= divisor was just checked");
+                quotient.set_bit(i);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Fast path of [`divmod`](Self::divmod) for single-limb divisors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divmod_u64(&self, divisor: u64) -> (BigUint, BigUint) {
+        assert!(divisor != 0, "division by zero");
+        let mut rem = 0u128;
+        let mut out = vec![0u64; self.limbs.len()];
+        for i in (0..self.limbs.len()).rev() {
+            let acc = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (acc / divisor as u128) as u64;
+            rem = acc % divisor as u128;
+        }
+        (BigUint::from_limbs(out), BigUint::from(rem as u64))
+    }
+
+    /// Greatest common divisor (binary / Stein's algorithm; no division).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let ta = self.trailing_zeros().expect("non-zero");
+        let tb = other.trailing_zeros().expect("non-zero");
+        let common = ta.min(tb);
+        let mut a = self.shr_bits(ta);
+        let mut b = other.shr_bits(tb);
+        // Both odd from here on.
+        loop {
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).expect("b >= a after swap");
+            if b.is_zero() {
+                return a.shl_bits(common);
+            }
+            b = b.shr_bits(b.trailing_zeros().expect("non-zero"));
+        }
+    }
+
+    /// `self^exp` by square-and-multiply.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_limbs(vec![v])
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = long.limbs.clone();
+        let mut carry = 0u64;
+        for (i, limb) in out.iter_mut().enumerate() {
+            let rhs_limb = short.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(rhs_limb);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = (c1 || c2) as u64;
+            if carry == 0 && i >= short.limbs.len() {
+                break;
+            }
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+
+    fn add(self, rhs: BigUint) -> BigUint {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    ///
+    /// Panics if the result would be negative; use
+    /// [`BigUint::checked_sub`] when underflow is possible.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflowed")
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let acc = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let acc = out[k] as u128 + carry;
+                out[k] = acc as u64;
+                carry = acc >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl std::ops::Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.divmod(rhs).0
+    }
+}
+
+impl std::ops::Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.divmod(rhs).1
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+
+    fn shl(self, bits: usize) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+
+    fn shr(self, bits: usize) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19-digit decimal chunks (10^19 fits in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut v = self.clone();
+        while !v.is_zero() {
+            let (q, r) = v.divmod_u64(CHUNK);
+            chunks.push(r.to_u64().expect("remainder < 10^19"));
+            v = q;
+        }
+        let mut s = chunks.pop().expect("non-zero value").to_string();
+        for c in chunks.into_iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl fmt::Binary for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut s = String::new();
+        for i in (0..self.bit_len()).rev() {
+            s.push(if self.bit(i) { '1' } else { '0' });
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut s = format!("{:x}", self.limbs.last().expect("non-zero"));
+        for &l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+/// Error returned when parsing a [`BigUint`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    offending: char,
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal digit {:?}", self.offending)
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigUintError { offending: ' ' });
+        }
+        let mut acc = BigUint::zero();
+        let ten = BigUint::from(10u64);
+        for ch in s.chars() {
+            let digit = ch.to_digit(10).ok_or(ParseBigUintError { offending: ch })?;
+            acc = &(&acc * &ten) + &BigUint::from(digit as u64);
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_properties() {
+        let z = BigUint::zero();
+        assert!(z.is_zero());
+        assert!(z.is_even());
+        assert_eq!(z.bit_len(), 0);
+        assert_eq!(z.to_u64(), Some(0));
+        assert_eq!(z.to_string(), "0");
+        assert_eq!(z.trailing_zeros(), None);
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = big(u128::MAX);
+        let b = BigUint::one();
+        let sum = &a + &b;
+        assert_eq!(sum.bit_len(), 129);
+        assert_eq!(sum.shr_bits(128).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn sub_round_trips_add() {
+        let a = big(0xDEAD_BEEF_0123_4567_89AB_CDEF);
+        let b = big(0x1234_5678_9ABC_DEF0);
+        assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn checked_sub_underflow_is_none() {
+        assert_eq!(big(3).checked_sub(&big(4)), None);
+        assert_eq!(big(4).checked_sub(&big(3)), Some(BigUint::one()));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0x1234_5678_9ABCu128;
+        let b = 0xFEDC_BA98_7654u128;
+        assert_eq!((&big(a) * &big(b)).to_u128(), Some(a * b));
+    }
+
+    #[test]
+    fn mul_by_zero() {
+        assert!((&big(12345) * &BigUint::zero()).is_zero());
+    }
+
+    #[test]
+    fn divmod_matches_u128() {
+        let a = 0xFFEE_DDCC_BBAA_9988_7766_5544u128;
+        let b = 0x1_0000_0001u128;
+        let (q, r) = big(a).divmod(&big(b));
+        assert_eq!(q.to_u128(), Some(a / b));
+        assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn divmod_small_divisor() {
+        let a = big(1_000_000_007u128 * 999_999_937);
+        let (q, r) = a.divmod_u64(999_999_937);
+        assert_eq!(q.to_u64(), Some(1_000_000_007));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divide_by_zero_panics() {
+        let _ = big(1).divmod(&BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(big(12).gcd(&big(18)).to_u64(), Some(6));
+        assert_eq!(big(17).gcd(&big(5)).to_u64(), Some(1));
+        assert_eq!(big(0).gcd(&big(7)).to_u64(), Some(7));
+        assert_eq!(big(7).gcd(&big(0)).to_u64(), Some(7));
+    }
+
+    #[test]
+    fn gcd_large_power_of_two_factor() {
+        let a = big(1u128 << 100);
+        let b = big(3u128 << 60);
+        assert_eq!(a.gcd(&b), big(1u128 << 60));
+    }
+
+    #[test]
+    fn shifts_round_trip() {
+        let a = big(0xABCDEF);
+        assert_eq!(a.shl_bits(77).shr_bits(77), a);
+        assert_eq!(a.shl_bits(0), a);
+        assert_eq!(big(0b1011).shr_bits(2).to_u64(), Some(0b10));
+    }
+
+    #[test]
+    fn bit_access() {
+        let mut v = BigUint::zero();
+        v.set_bit(130);
+        assert!(v.bit(130));
+        assert!(!v.bit(129));
+        assert_eq!(v.bit_len(), 131);
+        assert_eq!(v.trailing_zeros(), Some(130));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let s = "123456789012345678901234567890123456789";
+        let v: BigUint = s.parse().expect("valid decimal");
+        assert_eq!(v.to_string(), s);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("12x3".parse::<BigUint>().is_err());
+        assert!("".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(big(3).pow(5).to_u64(), Some(243));
+        assert_eq!(big(2).pow(0).to_u64(), Some(1));
+        assert_eq!(big(10).pow(20).to_string(), "100000000000000000000");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(5) < big(6));
+        assert!(big(1u128 << 90) > big(u64::MAX as u128));
+        assert_eq!(big(42).cmp(&big(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn to_f64_small_and_large() {
+        assert_eq!(big(12345).to_f64(), 12345.0);
+        let v = big(1u128 << 100);
+        assert!((v.to_f64() - (2f64).powi(100)).abs() / (2f64).powi(100) < 1e-12);
+    }
+
+    #[test]
+    fn to_f64_parts_mantissa_in_range() {
+        for v in [1u128, 2, 3, 255, 1 << 70, (1 << 90) + 12345] {
+            let (m, e) = big(v).to_f64_parts();
+            assert!((0.5..1.0).contains(&m), "mantissa {m} out of range");
+            let recon = m * (e as f64).exp2();
+            assert!((recon - v as f64).abs() / (v as f64) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hex_and_binary_formatting() {
+        assert_eq!(format!("{:x}", big(0xDEADBEEFu128)), "deadbeef");
+        assert_eq!(format!("{:b}", big(0b1011)), "1011");
+        assert_eq!(format!("{:x}", BigUint::zero()), "0");
+        let wide = big((1u128 << 64) | 5);
+        assert_eq!(format!("{wide:x}"), "10000000000000005");
+    }
+}

@@ -1,0 +1,46 @@
+//! Exact arbitrary-precision arithmetic for statistical error analysis.
+//!
+//! The SEALPAA analytical method (see the `sealpaa-core` crate) is a chain of
+//! additions and multiplications over probabilities. Run over `f64` it is fast
+//! but inexact; the paper's strongest validation claim — that the analytical
+//! result matches exhaustive simulation *"precisely up to any decimal place"*
+//! for equally probable inputs — can only be machine-checked in exact
+//! arithmetic. This crate provides that substrate:
+//!
+//! * [`BigUint`] — arbitrary-precision unsigned integer,
+//! * [`BigInt`] — signed wrapper around [`BigUint`],
+//! * [`Rational`] — exact reduced fraction, and
+//! * [`Prob`] — the numeric abstraction the analysis engine is generic over,
+//!   implemented for both `f64` (fast) and [`Rational`] (exact).
+//!
+//! No third-party big-integer crate is used; everything here is implemented
+//! from scratch on `u64` limbs.
+//!
+//! # Examples
+//!
+//! ```
+//! use sealpaa_num::{Rational, Prob};
+//!
+//! // 1/10 is not representable in binary floating point…
+//! let tenth = Rational::from_ratio(1, 10);
+//! // …but is exact here: 3 * 1/10 == 3/10 precisely.
+//! let three_tenths = tenth.clone() + tenth.clone() + tenth.clone();
+//! assert_eq!(three_tenths, Rational::from_ratio(3, 10));
+//! assert!((three_tenths.to_f64() - 0.3).abs() < 1e-15);
+//! ```
+
+#![forbid(unsafe_code)]
+// DP state indices (carry value, joint-state bits, run length) are semantic
+// values, not mere positions; indexed loops read clearer than iterators here.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod biguint;
+mod rational;
+mod traits;
+
+pub use bigint::BigInt;
+pub use biguint::{BigUint, ParseBigUintError};
+pub use rational::{ParseRationalError, Rational};
+pub use traits::Prob;

@@ -1,0 +1,548 @@
+//! Exact rational numbers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::{BigInt, BigUint};
+
+/// An exact rational number, always stored in lowest terms with a positive
+/// denominator.
+///
+/// This is the number type behind the library's *exact* analysis mode: the
+/// paper validates its analytical method against exhaustive simulation and
+/// reports a match "precisely up to any decimal place" for equally probable
+/// inputs; running both sides over [`Rational`] lets the test suite assert
+/// literal equality instead of an epsilon comparison.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_num::Rational;
+///
+/// let p = Rational::from_ratio(1, 2);
+/// let q = Rational::from_ratio(1, 3);
+/// assert_eq!(p * q, Rational::from_ratio(1, 6));
+/// assert_eq!(Rational::from_f64(0.5), Rational::from_ratio(1, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    /// Numerator; carries the sign.
+    num: BigInt,
+    /// Denominator; invariant: non-zero, and `gcd(|num|, den) == 1`.
+    /// A zero value is stored as `0/1`.
+    den: BigUint,
+}
+
+impl Rational {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Rational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Rational {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Builds `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn from_ratio(num: i64, den: i64) -> Self {
+        assert!(den != 0, "denominator must be non-zero");
+        let negative = (num < 0) != (den < 0);
+        Rational::from_parts(
+            BigInt::from_sign_magnitude(negative, BigUint::from(num.unsigned_abs())),
+            BigUint::from(den.unsigned_abs()),
+        )
+    }
+
+    /// Builds `num / den` in lowest terms from big components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn from_parts(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "denominator must be non-zero");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        let (negative, mag) = num.into_sign_magnitude();
+        Rational {
+            num: BigInt::from_sign_magnitude(negative, &mag / &g),
+            den: &den / &g,
+        }
+    }
+
+    /// Exact conversion from a finite `f64` (every finite `f64` is a dyadic
+    /// rational `mantissa × 2^exponent`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or infinite.
+    pub fn from_f64(value: f64) -> Self {
+        assert!(
+            value.is_finite(),
+            "cannot convert non-finite f64 to Rational"
+        );
+        if value == 0.0 {
+            return Rational::zero();
+        }
+        let bits = value.to_bits();
+        let negative = bits >> 63 == 1;
+        let exp_bits = ((bits >> 52) & 0x7FF) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mantissa, exponent) = if exp_bits == 0 {
+            // Subnormal.
+            (frac, -1074i64)
+        } else {
+            (frac | (1u64 << 52), exp_bits - 1075)
+        };
+        let mag = BigUint::from(mantissa);
+        if exponent >= 0 {
+            Rational::from_parts(
+                BigInt::from_sign_magnitude(negative, mag.shl_bits(exponent as usize)),
+                BigUint::one(),
+            )
+        } else {
+            Rational::from_parts(
+                BigInt::from_sign_magnitude(negative, mag),
+                BigUint::one().shl_bits((-exponent) as usize),
+            )
+        }
+    }
+
+    /// Nearest-`f64` approximation.
+    pub fn to_f64(&self) -> f64 {
+        if self.num.is_zero() {
+            return 0.0;
+        }
+        let (mn, en) = self.num.to_f64_parts();
+        let (md, ed) = self.den.to_f64_parts();
+        (mn / md) * ((en - ed) as f64).exp2()
+    }
+
+    /// Borrows the numerator (sign carrier).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Borrows the (positive) denominator.
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Renders the value as a decimal string with `digits` fractional digits
+    /// (truncated towards zero), e.g. for table output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sealpaa_num::Rational;
+    ///
+    /// assert_eq!(Rational::from_ratio(1, 3).to_decimal(5), "0.33333");
+    /// assert_eq!(Rational::from_ratio(-7, 2).to_decimal(2), "-3.50");
+    /// ```
+    pub fn to_decimal(&self, digits: usize) -> String {
+        let scale = BigUint::from(10u64).pow(digits as u32);
+        let scaled = &(self.num.magnitude() * &scale) / &self.den;
+        let (int_part, frac_part) = scaled.divmod(&scale);
+        let sign = if self.is_negative() { "-" } else { "" };
+        if digits == 0 {
+            format!("{sign}{int_part}")
+        } else {
+            format!(
+                "{sign}{int_part}.{:0>width$}",
+                frac_part.to_string(),
+                width = digits
+            )
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+/// Error returned when parsing a [`Rational`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    input: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid rational {:?} (expected e.g. \"3/4\", \"0.25\", or \"-7\")",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl std::str::FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"n/d"` fractions, decimal strings like `"0.25"` (kept exact:
+    /// `0.9` becomes `9/10`, not the nearest dyadic), and plain integers,
+    /// with an optional leading `-`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRationalError {
+            input: s.to_owned(),
+        };
+        let (negative, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        if body.is_empty() {
+            return Err(err());
+        }
+        let magnitude = if let Some((num, den)) = body.split_once('/') {
+            let num: BigUint = num.parse().map_err(|_| err())?;
+            let den: BigUint = den.parse().map_err(|_| err())?;
+            if den.is_zero() {
+                return Err(err());
+            }
+            Rational::from_parts(BigInt::from(num), den)
+        } else if let Some((int_part, frac_part)) = body.split_once('.') {
+            if frac_part.is_empty() || frac_part.len() > 500 {
+                return Err(err());
+            }
+            let int_part = if int_part.is_empty() { "0" } else { int_part };
+            let int: BigUint = int_part.parse().map_err(|_| err())?;
+            let frac: BigUint = frac_part.parse().map_err(|_| err())?;
+            let scale = BigUint::from(10u64).pow(frac_part.len() as u32);
+            let num = &(&int * &scale) + &frac;
+            Rational::from_parts(BigInt::from(num), scale)
+        } else {
+            let int: BigUint = body.parse().map_err(|_| err())?;
+            Rational::from_parts(BigInt::from(int), BigUint::one())
+        };
+        Ok(if negative { -magnitude } else { magnitude })
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_ratio(v, 1)
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(num: BigInt) -> Self {
+        Rational::from_parts(num, BigUint::one())
+    }
+}
+
+impl Add<&Rational> for &Rational {
+    type Output = Rational;
+
+    fn add(self, rhs: &Rational) -> Rational {
+        let num = &(&self.num * &BigInt::from(rhs.den.clone()))
+            + &(&rhs.num * &BigInt::from(self.den.clone()));
+        Rational::from_parts(num, &self.den * &rhs.den)
+    }
+}
+
+impl Sub<&Rational> for &Rational {
+    type Output = Rational;
+
+    fn sub(self, rhs: &Rational) -> Rational {
+        let num = &(&self.num * &BigInt::from(rhs.den.clone()))
+            - &(&rhs.num * &BigInt::from(self.den.clone()));
+        Rational::from_parts(num, &self.den * &rhs.den)
+    }
+}
+
+impl Mul<&Rational> for &Rational {
+    type Output = Rational;
+
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::from_parts(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div<&Rational> for &Rational {
+    type Output = Rational;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division by zero");
+        // self/(n/d) = (self.num * ±d) / (self.den * |n|); moving rhs's sign
+        // into the new numerator keeps the denominator positive.
+        let num = &self.num * &BigInt::from_sign_magnitude(rhs.num.is_negative(), rhs.den.clone());
+        Rational::from_parts(num, &self.den * rhs.num.magnitude())
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+forward_owned_binop!(Div, div);
+
+impl Neg for Rational {
+    type Output = Rational;
+
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, v| acc + v)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, v| acc + v)
+    }
+}
+
+impl std::iter::Product for Rational {
+    fn product<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::one(), |acc, v| acc * v)
+    }
+}
+
+impl<'a> std::iter::Product<&'a Rational> for Rational {
+    fn product<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::one(), |acc, v| acc * v)
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+
+    fn neg(self) -> Rational {
+        -self.clone()
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0)
+        let lhs = &self.num * &BigInt::from(other.den.clone());
+        let rhs = &other.num * &BigInt::from(self.den.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-6, -9), rat(2, 3));
+        assert_eq!(rat(6, -9), rat(-2, 3));
+        assert_eq!(rat(0, 5), Rational::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_panics() {
+        let _ = rat(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_matches_hand_values() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(1, 2) / rat(1, 4), rat(2, 1));
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        assert_eq!(rat(-1, 2) + rat(1, 2), Rational::zero());
+        assert_eq!(rat(-1, 2) * rat(-1, 2), rat(1, 4));
+        assert_eq!(rat(1, 2) / rat(-1, 4), rat(-2, 1));
+        assert_eq!(-rat(3, 7), rat(-3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = rat(1, 2) / Rational::zero();
+    }
+
+    #[test]
+    fn from_f64_exact_dyadics() {
+        assert_eq!(Rational::from_f64(0.5), rat(1, 2));
+        assert_eq!(Rational::from_f64(0.75), rat(3, 4));
+        assert_eq!(Rational::from_f64(-2.25), rat(-9, 4));
+        assert_eq!(Rational::from_f64(0.0), Rational::zero());
+        assert_eq!(Rational::from_f64(3.0), rat(3, 1));
+    }
+
+    #[test]
+    fn from_f64_nondyadic_round_trips_through_f64() {
+        for v in [0.1, 0.3, 1e-10, 123456.789, f64::MIN_POSITIVE] {
+            let r = Rational::from_f64(v);
+            assert_eq!(r.to_f64(), v, "round trip {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn from_f64_nan_panics() {
+        let _ = Rational::from_f64(f64::NAN);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(7, 7) == rat(1, 1));
+        assert!(rat(-1, 2) < Rational::zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rat(1, 2).to_string(), "1/2");
+        assert_eq!(rat(4, 2).to_string(), "2");
+        assert_eq!(rat(-1, 3).to_string(), "-1/3");
+        assert_eq!(Rational::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn decimal_rendering() {
+        assert_eq!(rat(1, 4).to_decimal(4), "0.2500");
+        assert_eq!(rat(2, 3).to_decimal(6), "0.666666");
+        assert_eq!(rat(5, 1).to_decimal(0), "5");
+        assert_eq!(rat(-1, 8).to_decimal(3), "-0.125");
+        assert_eq!(rat(1, 1000).to_decimal(5), "0.00100");
+    }
+
+    #[test]
+    fn to_f64_of_tiny_ratio_of_huge_parts() {
+        // (2^200 + 1) / 2^201 ≈ 0.5 without overflowing f64 range.
+        let num = BigInt::from(BigUint::one().shl_bits(200) + BigUint::one());
+        let den = BigUint::one().shl_bits(201);
+        let r = Rational::from_parts(num, den);
+        assert!((r.to_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let parts = [rat(1, 2), rat(1, 3), rat(1, 6)];
+        assert_eq!(parts.iter().sum::<Rational>(), Rational::one());
+        assert_eq!(parts.into_iter().sum::<Rational>(), Rational::one());
+        let factors = [rat(2, 3), rat(3, 4), rat(4, 2)];
+        assert_eq!(factors.iter().product::<Rational>(), Rational::one());
+        let empty: [Rational; 0] = [];
+        assert_eq!(empty.iter().sum::<Rational>(), Rational::zero());
+        assert_eq!(empty.iter().product::<Rational>(), Rational::one());
+    }
+
+    #[test]
+    fn parse_fractions_decimals_integers() {
+        assert_eq!("3/4".parse::<Rational>().expect("valid"), rat(3, 4));
+        assert_eq!("0.25".parse::<Rational>().expect("valid"), rat(1, 4));
+        assert_eq!("0.9".parse::<Rational>().expect("valid"), rat(9, 10));
+        assert_eq!(".5".parse::<Rational>().expect("valid"), rat(1, 2));
+        assert_eq!("-1.5".parse::<Rational>().expect("valid"), rat(-3, 2));
+        assert_eq!("-7/2".parse::<Rational>().expect("valid"), rat(-7, 2));
+        assert_eq!("42".parse::<Rational>().expect("valid"), rat(42, 1));
+        assert_eq!("0".parse::<Rational>().expect("valid"), Rational::zero());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "-", "1/0", "a.b", "1.2.3", "1/", "/2", "0x10"] {
+            assert!(bad.parse::<Rational>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn numer_denom_accessors() {
+        let r = rat(-3, 6);
+        assert_eq!(r.numer().to_i64(), Some(-1));
+        assert_eq!(r.denom().to_u64(), Some(2));
+    }
+}

@@ -1,0 +1,162 @@
+//! The numeric abstraction used throughout the analysis crates.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, Mul, Sub};
+
+use crate::Rational;
+
+/// Number type a probability analysis can run over.
+///
+/// The SEALPAA engine only ever needs a commutative semiring with subtraction
+/// of smaller-from-larger values (all intermediate quantities are
+/// probabilities in `[0, 1]`), plus conversions from/to `f64` for I/O. Two
+/// implementations are provided:
+///
+/// * `f64` — fast, inexact; what the paper's MATLAB library uses.
+/// * [`Rational`] — exact; lets tests assert *bit-for-bit* equality between
+///   the analytical method and exhaustive enumeration (paper Table 6, row 1).
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_num::{Prob, Rational};
+///
+/// fn half<T: Prob>() -> T {
+///     T::from_ratio(1, 2)
+/// }
+///
+/// assert_eq!(half::<f64>(), 0.5);
+/// assert_eq!(half::<Rational>(), Rational::from_ratio(1, 2));
+/// ```
+pub trait Prob:
+    Clone
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Sized
+{
+    /// The additive identity.
+    fn zero() -> Self;
+
+    /// The multiplicative identity.
+    fn one() -> Self;
+
+    /// Exact conversion from the ratio `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    fn from_ratio(num: u64, den: u64) -> Self;
+
+    /// Conversion from an `f64`.
+    ///
+    /// For [`Rational`] the conversion is *exact* (every finite `f64` is a
+    /// dyadic rational).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    fn from_f64(value: f64) -> Self;
+
+    /// Nearest-`f64` rendering of the value, used for reporting.
+    fn to_f64(&self) -> f64;
+
+    /// `1 - self`; the probability of the complementary event.
+    fn complement(&self) -> Self {
+        Self::one() - self.clone()
+    }
+
+    /// `true` if the value is exactly zero.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+impl Prob for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn from_ratio(num: u64, den: u64) -> Self {
+        assert!(den != 0, "denominator must be non-zero");
+        num as f64 / den as f64
+    }
+
+    fn from_f64(value: f64) -> Self {
+        assert!(value.is_finite(), "probability must be finite");
+        value
+    }
+
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl Prob for Rational {
+    fn zero() -> Self {
+        Rational::zero()
+    }
+
+    fn one() -> Self {
+        Rational::one()
+    }
+
+    fn from_ratio(num: u64, den: u64) -> Self {
+        Rational::from_ratio(num as i64, den as i64)
+    }
+
+    fn from_f64(value: f64) -> Self {
+        Rational::from_f64(value)
+    }
+
+    fn to_f64(&self) -> f64 {
+        Rational::to_f64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_complement() {
+        assert_eq!(0.25f64.complement(), 0.75);
+    }
+
+    #[test]
+    fn f64_identities() {
+        assert_eq!(<f64 as Prob>::zero(), 0.0);
+        assert_eq!(<f64 as Prob>::one(), 1.0);
+        assert!(<f64 as Prob>::zero().is_zero());
+        assert!(!<f64 as Prob>::one().is_zero());
+    }
+
+    #[test]
+    fn rational_complement_is_exact() {
+        let p = Rational::from_ratio(1, 3);
+        assert_eq!(p.complement(), Rational::from_ratio(2, 3));
+    }
+
+    #[test]
+    fn from_ratio_matches_between_impls() {
+        for (n, d) in [(0, 1), (1, 2), (3, 4), (7, 8), (1, 10)] {
+            let f = <f64 as Prob>::from_ratio(n, d);
+            let r = <Rational as Prob>::from_ratio(n, d);
+            assert!((f - r.to_f64()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn f64_from_ratio_zero_den_panics() {
+        let _ = <f64 as Prob>::from_ratio(1, 0);
+    }
+}

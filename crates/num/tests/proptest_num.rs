@@ -1,0 +1,157 @@
+//! Property-based tests for the arbitrary-precision types, checked against
+//! native `u128`/`i128` arithmetic as the reference implementation.
+
+use proptest::prelude::*;
+use sealpaa_num::{BigInt, BigUint, Prob, Rational};
+
+fn big(v: u128) -> BigUint {
+    BigUint::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = &big(a as u128) + &big(b as u128);
+        prop_assert_eq!(sum.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = &big(a as u128) * &big(b as u128);
+        prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!((&big(hi) - &big(lo)).to_u128(), Some(hi - lo));
+        if hi != lo {
+            prop_assert_eq!(big(lo).checked_sub(&big(hi)), None);
+        }
+    }
+
+    #[test]
+    fn divmod_matches_u128(a in any::<u128>(), b in 1..=u128::MAX) {
+        let (q, r) = big(a).divmod(&big(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn divmod_reconstructs(a in any::<u128>(), b in 1u128..=u128::MAX) {
+        let (q, r) = big(a).divmod(&big(b));
+        let recon = &(&q * &big(b)) + &r;
+        prop_assert_eq!(recon, big(a));
+        prop_assert!(r < big(b));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in 1u128..1u128 << 100, b in 1u128..1u128 << 100) {
+        let g = big(a).gcd(&big(b));
+        prop_assert!((&big(a) % &g).is_zero());
+        prop_assert!((&big(b) % &g).is_zero());
+        // Maximality: (a/g) and (b/g) are coprime.
+        let ga = &big(a) / &g;
+        let gb = &big(b) / &g;
+        prop_assert!(ga.gcd(&gb).is_one());
+    }
+
+    #[test]
+    fn shift_round_trip(a in any::<u128>(), s in 0usize..300) {
+        prop_assert_eq!(big(a).shl_bits(s).shr_bits(s), big(a));
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in any::<u128>()) {
+        let v = big(a);
+        let parsed: BigUint = v.to_string().parse().expect("own Display output parses");
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative(
+        a in any::<u128>(), b in any::<u128>(), c in any::<u64>()
+    ) {
+        let (a, b, c) = (big(a), big(b), big(c as u128));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn distributivity(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (big(a as u128), big(b as u128), big(c as u128));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn bigint_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let sum = BigInt::from(a) + BigInt::from(b);
+        let expect = a as i128 + b as i128;
+        prop_assert_eq!(sum.to_string(), expect.to_string());
+    }
+
+    #[test]
+    fn bigint_ordering_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(BigInt::from(a).cmp(&BigInt::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn rational_field_axioms(
+        (an, ad) in (any::<i32>(), 1i32..10_000),
+        (bn, bd) in (any::<i32>(), 1i32..10_000),
+        (cn, cd) in (any::<i32>(), 1i32..10_000),
+    ) {
+        let a = Rational::from_ratio(an as i64, ad as i64);
+        let b = Rational::from_ratio(bn as i64, bd as i64);
+        let c = Rational::from_ratio(cn as i64, cd as i64);
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        prop_assert_eq!(&a + Rational::zero(), a.clone());
+        prop_assert_eq!(&a * Rational::one(), a.clone());
+        if !a.is_zero() {
+            prop_assert_eq!(&a / &a, Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_sub_is_add_neg(
+        (an, ad) in (any::<i32>(), 1i32..10_000),
+        (bn, bd) in (any::<i32>(), 1i32..10_000),
+    ) {
+        let a = Rational::from_ratio(an as i64, ad as i64);
+        let b = Rational::from_ratio(bn as i64, bd as i64);
+        prop_assert_eq!(&a - &b, &a + (-&b));
+    }
+
+    #[test]
+    fn rational_f64_round_trip(v in any::<i64>().prop_map(|b| f64::from_bits(b as u64))) {
+        prop_assume!(v.is_finite());
+        prop_assert_eq!(Rational::from_f64(v).to_f64(), v);
+    }
+
+    #[test]
+    fn rational_ordering_consistent_with_f64(
+        (an, ad) in (-1000i64..1000, 1i64..1000),
+        (bn, bd) in (-1000i64..1000, 1i64..1000),
+    ) {
+        let a = Rational::from_ratio(an, ad);
+        let b = Rational::from_ratio(bn, bd);
+        let fa = an as f64 / ad as f64;
+        let fb = bn as f64 / bd as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn prob_complement_involution(p in 0.0f64..=1.0) {
+        let r = Rational::from_f64(p);
+        // Exact in rational arithmetic…
+        prop_assert_eq!(r.complement().complement(), r);
+        // …only approximate in f64 (1 - (1 - p) rounds).
+        prop_assert!((p.complement().complement() - p).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,277 @@
+//! Exhaustive (all input combinations) simulation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sealpaa_cells::{AdderChain, FaInput, InputProfile, TruthTable};
+use sealpaa_num::Prob;
+
+use crate::metrics::{ErrorMetrics, MetricsAccumulator};
+
+/// Errors produced by [`exhaustive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The input profile covers a different number of bits than the chain.
+    WidthMismatch {
+        /// Stages in the chain.
+        chain: usize,
+        /// Bits in the profile.
+        profile: usize,
+    },
+    /// Exhaustive enumeration of `2^(2N+1)` cases is infeasible for this
+    /// width — the very effect paper Fig. 1 plots.
+    WidthTooLarge {
+        /// Requested adder width.
+        width: usize,
+        /// Maximum width this build will enumerate.
+        max: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WidthMismatch { chain, profile } => write!(
+                f,
+                "adder chain has {chain} stages but input profile covers {profile} bits"
+            ),
+            SimError::WidthTooLarge { width, max } => write!(
+                f,
+                "exhaustive simulation of a {width}-bit adder needs 2^{} cases; \
+                 widths above {max} are refused",
+                2 * width + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Widest adder [`exhaustive`] will enumerate (`2^(2·16+1)` ≈ 8.6 G cases is
+/// already hours of work — the paper's Fig. 1 point).
+pub const MAX_EXHAUSTIVE_WIDTH: usize = 16;
+
+/// The amount of raw work an exhaustive run performed — the paper's Fig. 1
+/// "number of computations" axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimWork {
+    /// Input combinations evaluated (`2^(2N+1)`).
+    pub cases: u64,
+    /// Single-bit full-adder evaluations (`N` per case, for both the
+    /// approximate and the reference chain).
+    pub bit_additions: u64,
+    /// Output comparisons (one per case).
+    pub comparisons: u64,
+}
+
+/// The result of an exhaustive sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExhaustiveReport<T> {
+    /// Input combinations evaluated.
+    pub cases: u64,
+    /// Combinations on which the output value was wrong (unweighted count —
+    /// for equally probable inputs `error_cases / cases` *is* the error
+    /// probability).
+    pub error_cases: u64,
+    /// Exactly weighted probability that the output value is wrong.
+    pub output_error_probability: T,
+    /// Exactly weighted probability that some stage deviated from the
+    /// accurate full adder along the accurate carry chain — the paper's
+    /// error semantics. `≥ output_error_probability`.
+    pub stage_error_probability: T,
+    /// `f64` quality metrics (error distances etc.).
+    pub metrics: ErrorMetrics,
+    /// Unweighted case count per signed error distance (the empirical error
+    /// histogram; for equally probable inputs `count / cases` equals the
+    /// exact PMF of `sealpaa_core::error_distribution`).
+    pub histogram: BTreeMap<i64, u64>,
+    /// Raw work performed (paper Fig. 1).
+    pub work: SimWork,
+}
+
+/// Enumerates every input combination of the chain, weighting each by its
+/// exact probability under `profile` (paper Table 6: for equally probable
+/// inputs this checks all `2^(2N+1)` cases and the comparison against the
+/// analytical method is exact).
+///
+/// # Errors
+///
+/// * [`SimError::WidthMismatch`] if `profile` does not match the chain.
+/// * [`SimError::WidthTooLarge`] if `chain.width() > MAX_EXHAUSTIVE_WIDTH`.
+pub fn exhaustive<T: Prob>(
+    chain: &AdderChain,
+    profile: &InputProfile<T>,
+) -> Result<ExhaustiveReport<T>, SimError> {
+    let width = chain.width();
+    if width != profile.width() {
+        return Err(SimError::WidthMismatch {
+            chain: width,
+            profile: profile.width(),
+        });
+    }
+    if width > MAX_EXHAUSTIVE_WIDTH {
+        return Err(SimError::WidthTooLarge {
+            width,
+            max: MAX_EXHAUSTIVE_WIDTH,
+        });
+    }
+
+    let accurate = TruthTable::accurate();
+    let mut error_cases = 0u64;
+    let mut output_error = T::zero();
+    let mut stage_error = T::zero();
+    let mut acc = MetricsAccumulator::default();
+    let mut work = SimWork::default();
+    let mut histogram: BTreeMap<i64, u64> = BTreeMap::new();
+
+    let operand_count = 1u64 << width;
+    for a in 0..operand_count {
+        for b in 0..operand_count {
+            for cin in [false, true] {
+                let weight = profile.assignment_probability(a, b, cin);
+                let approx = chain.add(a, b, cin);
+                let exact = chain.accurate_sum(a, b, cin);
+                work.cases += 1;
+                work.bit_additions += width as u64;
+                work.comparisons += 1;
+
+                let wrong = approx != exact;
+                if wrong {
+                    error_cases += 1;
+                    output_error = output_error + weight.clone();
+                }
+                acc.record(weight.to_f64(), approx.error_distance(exact));
+                *histogram.entry(approx.error_distance(exact)).or_insert(0) += 1;
+
+                // First-deviation semantics: walk the accurate carry chain
+                // and ask whether any stage sits on an error row.
+                let mut carry = cin;
+                let mut deviated = false;
+                for (i, cell) in chain.iter().enumerate() {
+                    let input = FaInput::new((a >> i) & 1 == 1, (b >> i) & 1 == 1, carry);
+                    if cell.truth_table().eval(input) != accurate.eval(input) {
+                        deviated = true;
+                        break;
+                    }
+                    carry = accurate.eval(input).carry_out;
+                }
+                if deviated {
+                    stage_error = stage_error + weight;
+                }
+            }
+        }
+    }
+
+    Ok(ExhaustiveReport {
+        cases: work.cases,
+        error_cases,
+        output_error_probability: output_error,
+        stage_error_probability: stage_error,
+        metrics: acc.finish(),
+        histogram,
+        work,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_cells::StandardCell;
+    use sealpaa_num::Rational;
+
+    #[test]
+    fn accurate_adder_never_errs() {
+        let chain = AdderChain::uniform(StandardCell::Accurate.cell(), 5);
+        let profile = InputProfile::<f64>::uniform(5);
+        let r = exhaustive(&chain, &profile).expect("feasible width");
+        assert_eq!(r.error_cases, 0);
+        assert_eq!(r.output_error_probability, 0.0);
+        assert_eq!(r.stage_error_probability, 0.0);
+        assert_eq!(r.metrics.max_absolute_error_distance, 0);
+    }
+
+    #[test]
+    fn case_count_is_2_pow_2n_plus_1() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 3);
+        let profile = InputProfile::<f64>::uniform(3);
+        let r = exhaustive(&chain, &profile).expect("feasible width");
+        assert_eq!(r.cases, 1 << 7);
+        assert_eq!(r.work.bit_additions, (1 << 7) * 3);
+        assert_eq!(r.work.comparisons, 1 << 7);
+    }
+
+    #[test]
+    fn uniform_weighting_equals_case_fraction() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa5.cell(), 4);
+        let profile = InputProfile::<Rational>::uniform(4);
+        let r = exhaustive(&chain, &profile).expect("feasible width");
+        assert_eq!(
+            r.output_error_probability,
+            Rational::from_ratio(r.error_cases as i64, r.cases as i64)
+        );
+    }
+
+    #[test]
+    fn stage_error_at_least_output_error() {
+        for cell in StandardCell::APPROXIMATE {
+            let chain = AdderChain::uniform(cell.cell(), 3);
+            let profile = InputProfile::<Rational>::constant(3, Rational::from_ratio(1, 5));
+            let r = exhaustive(&chain, &profile).expect("feasible width");
+            assert!(
+                r.stage_error_probability >= r.output_error_probability,
+                "{cell}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 3);
+        let profile = InputProfile::<f64>::uniform(4);
+        assert!(matches!(
+            exhaustive(&chain, &profile),
+            Err(SimError::WidthMismatch {
+                chain: 3,
+                profile: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_width_rejected() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), MAX_EXHAUSTIVE_WIDTH + 1);
+        let profile = InputProfile::<f64>::uniform(MAX_EXHAUSTIVE_WIDTH + 1);
+        let err = exhaustive(&chain, &profile).unwrap_err();
+        assert!(matches!(err, SimError::WidthTooLarge { .. }));
+        assert!(err.to_string().contains("refused"));
+    }
+
+    #[test]
+    fn histogram_counts_all_cases() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 3);
+        let profile = InputProfile::<f64>::uniform(3);
+        let r = exhaustive(&chain, &profile).expect("feasible width");
+        let total: u64 = r.histogram.values().sum();
+        assert_eq!(total, r.cases);
+        let wrong: u64 = r
+            .histogram
+            .iter()
+            .filter(|(d, _)| **d != 0)
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(wrong, r.error_cases);
+    }
+
+    #[test]
+    fn error_distance_metrics_for_known_single_stage() {
+        // 1-bit LPAA 1, uniform inputs. Error rows: (0,1,0) → value 2 vs 1
+        // (ED +1); (1,0,0) → value 0 vs 1 (ED −1). Each has weight 1/8.
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 1);
+        let profile = InputProfile::<f64>::uniform(1);
+        let r = exhaustive(&chain, &profile).expect("feasible width");
+        assert!((r.metrics.error_probability - 0.25).abs() < 1e-12);
+        assert!((r.metrics.mean_error_distance - 0.0).abs() < 1e-12);
+        assert!((r.metrics.mean_absolute_error_distance - 0.25).abs() < 1e-12);
+        assert_eq!(r.metrics.max_absolute_error_distance, 1);
+    }
+}

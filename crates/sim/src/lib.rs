@@ -1,0 +1,43 @@
+//! Bit-true simulation of approximate adder chains.
+//!
+//! The paper validates its analytical method against two simulation regimes
+//! (Table 6):
+//!
+//! * **Exhaustive** — every one of the `2^(2N+1)` input combinations of an
+//!   N-bit adder, exactly weighted by the per-bit input probabilities
+//!   ([`exhaustive`]); feasible only for small N, which is precisely the
+//!   paper's Fig. 1 argument for an analytical method.
+//! * **Monte-Carlo** — a configurable number of random samples drawn from
+//!   the input profile ([`monte_carlo`]); the paper uses one million samples
+//!   and reports agreement to the third decimal place (Table 7).
+//!
+//! Both simulators report the error probability under two semantics (final
+//! output value differs vs. any stage deviates — see
+//! `sealpaa-core::exact_error_analysis` for why they can differ on exotic
+//! hybrids) plus standard approximate-computing quality metrics
+//! ([`ErrorMetrics`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
+//! use sealpaa_sim::exhaustive;
+//!
+//! let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 4);
+//! let profile = InputProfile::<f64>::uniform(4);
+//! let report = exhaustive(&chain, &profile)?;
+//! assert_eq!(report.cases, 1 << 9); // 2^(2·4+1)
+//! assert!(report.metrics.error_probability > 0.0);
+//! # Ok::<(), sealpaa_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exhaustive;
+mod metrics;
+mod monte_carlo;
+
+pub use exhaustive::{exhaustive, ExhaustiveReport, SimError, SimWork};
+pub use metrics::ErrorMetrics;
+pub use monte_carlo::{monte_carlo, MonteCarloConfig, MonteCarloReport};

@@ -1,0 +1,80 @@
+//! Hybrid-adder design (paper Sec. 5): pick a different LPAA per stage to
+//! match a known input-probability profile under a power budget.
+//!
+//! Scenario: an 8-bit datapath whose operands are magnitude-limited sensor
+//! values — LSBs are noisy (p ≈ 0.5) while MSBs are almost always 0. The
+//! paper observes that LPAA 7 excels at low input probabilities and LPAA 1
+//! at high ones; a budgeted search over hybrid chains exploits exactly that.
+//!
+//! Run with: `cargo run --release --example hybrid_design`
+
+use sealpaa::cells::InputProfile;
+use sealpaa::explore::{
+    accurate_cell_with_proxy_costs, enumerate_designs, exhaustive_best, pareto_front, Budget,
+};
+use sealpaa::{analyze, AdderChain, StandardCell};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let width = 8;
+    // P(bit = 1) decays from 0.5 at the LSB to 0.05 at the MSB.
+    let pa: Vec<f64> = (0..width)
+        .map(|i| 0.5 - 0.45 * i as f64 / (width - 1) as f64)
+        .collect();
+    let profile = InputProfile::new(pa.clone(), pa, 0.0)?;
+
+    let candidates = vec![
+        StandardCell::Lpaa1.cell(),
+        StandardCell::Lpaa2.cell(),
+        StandardCell::Lpaa3.cell(),
+        StandardCell::Lpaa5.cell(),
+        accurate_cell_with_proxy_costs(),
+    ];
+
+    // Homogeneous baselines first.
+    println!("homogeneous baselines:");
+    for cell in &candidates {
+        let chain = AdderChain::uniform(cell.clone(), width);
+        let analysis = analyze(&chain, &profile)?;
+        let power = chain.total_power_nw().expect("all candidates are costed");
+        println!(
+            "  {:<12} P(err) = {:.6}   power = {:>5.0} nW",
+            cell.name(),
+            analysis.error_probability(),
+            power
+        );
+    }
+
+    // Budgeted optimum: the best hybrid chain at several power caps.
+    println!(
+        "\nbudgeted hybrid optimum (exhaustive over {} designs):",
+        5usize.pow(8)
+    );
+    for cap in [1000.0, 2500.0, 5000.0, f64::INFINITY] {
+        let budget = Budget {
+            max_power_nw: if cap.is_finite() { Some(cap) } else { None },
+            max_area_ge: None,
+        };
+        let best = exhaustive_best(&candidates, &profile, &budget)?
+            .expect("the zero-power all-LPAA5 chain always fits");
+        let cap_str = if cap.is_finite() {
+            format!("{cap:>6.0} nW")
+        } else {
+            "  none  ".to_owned()
+        };
+        println!(
+            "  budget {cap_str}: {}  (P(err) = {:.6}, {:.0} nW)",
+            best.chain, best.evaluation.error_probability, best.evaluation.power_nw
+        );
+    }
+
+    // The full error/power Pareto frontier.
+    let front = pareto_front(enumerate_designs(&candidates, &profile)?);
+    println!("\nPareto frontier ({} designs):", front.len());
+    for design in front.iter().take(10) {
+        println!("  {design}");
+    }
+    if front.len() > 10 {
+        println!("  … and {} more", front.len() - 10);
+    }
+    Ok(())
+}

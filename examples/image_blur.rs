@@ -1,0 +1,98 @@
+//! Gaussian blur on a synthetic image with approximate adders — the paper's
+//! image-processing motivation, end to end.
+//!
+//! PSNR is driven by error *magnitude*, not just error probability — and in
+//! an accumulator, by the error's *bias*: a cell that errs high feeds a
+//! bigger accumulator back into its own inputs (more carries → more error
+//! rows), while a cell that errs low self-damps. This example measures
+//! operand-bit statistics from an exact run, computes each cell's
+//! per-addition bias and RMS analytically (this library's error-magnitude
+//! extension), and compares them with the PSNR the cell actually achieves.
+//!
+//! Run with: `cargo run --release --example image_blur`
+
+use sealpaa::analysis::error_magnitude;
+use sealpaa::datapath::{Conv2d, Image};
+use sealpaa::{analyze, AdderChain, InputProfile, StandardCell};
+
+const ACC_BITS: usize = 12; // 8-bit pixels, kernel gain 16
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = Image::synthetic(64, 64, 8);
+    let kernel = vec![vec![1u64, 2, 1], vec![2, 4, 2], vec![1, 2, 1]];
+
+    // Measure the bit statistics the accumulator's two operands actually
+    // see, by replaying the kernel with exact additions.
+    let exact_chain = AdderChain::uniform(StandardCell::Accurate.cell(), ACC_BITS);
+    let mut ones_a = [0u64; ACC_BITS];
+    let mut ones_b = [0u64; ACC_BITS];
+    let mut adds = 0u64;
+    for y in 0..image.height() - 2 {
+        for x in 0..image.width() - 2 {
+            let mut acc = 0u64;
+            for (ky, row) in kernel.iter().enumerate() {
+                for (kx, &coeff) in row.iter().enumerate() {
+                    let p = image.pixel(x + kx, y + ky);
+                    for bit in 0..5 {
+                        if (coeff >> bit) & 1 == 1 {
+                            let term = p << bit;
+                            for i in 0..ACC_BITS {
+                                ones_a[i] += (acc >> i) & 1;
+                                ones_b[i] += (term >> i) & 1;
+                            }
+                            adds += 1;
+                            acc = exact_chain.accurate_sum(acc, term, false).sum_bits();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let pa: Vec<f64> = ones_a.iter().map(|&c| c as f64 / adds as f64).collect();
+    let pb: Vec<f64> = ones_b.iter().map(|&c| c as f64 / adds as f64).collect();
+    let profile = InputProfile::new(pa, pb, 0.0)?;
+
+    let exact = Conv2d::new(StandardCell::Accurate.cell(), &kernel, 8)?.apply(&image);
+    println!("3x3 Gaussian blur, 64x64 synthetic image, 8-bit pixels");
+    println!("(per-add predictions use operand statistics measured from the exact run)\n");
+    println!("cell     per-add P(err)  bias E[D]  RMS(D)   blur PSNR (dB)");
+    println!("---------------------------------------------------------------");
+    for cell in [
+        StandardCell::Accurate,
+        StandardCell::Lpaa1,
+        StandardCell::Lpaa6,
+        StandardCell::Lpaa7,
+        StandardCell::Lpaa4,
+        StandardCell::Lpaa2,
+    ] {
+        let chain = AdderChain::uniform(cell.cell(), ACC_BITS);
+        let p_err = analyze(&chain, &profile)?.error_probability();
+        let moments = error_magnitude(&chain, &profile)?;
+        let rms = moments.rms_error_distance();
+        let bias = moments.mean_error_distance;
+        let blurred = Conv2d::new(cell.cell(), &kernel, 8)?.apply(&image);
+        let psnr = blurred.psnr_against(&exact);
+        let psnr_str = if psnr.is_infinite() {
+            "inf (exact)".to_owned()
+        } else {
+            format!("{psnr:.1}")
+        };
+        println!(
+            "{:<8} {:>14.4}  {:>+9.1}  {:>7.1}  {:>14}",
+            cell.name(),
+            p_err,
+            bias,
+            rms,
+            psnr_str
+        );
+    }
+    println!(
+        "\nThe sign of the analytical bias separates the field: cells that err\n\
+         low (negative E[D] — LPAA 1, LPAA 6) self-damp inside an accumulator\n\
+         (a smaller accumulator sees fewer carries, hence fewer error rows)\n\
+         and keep the best PSNR, while cells that err high (positive E[D] —\n\
+         LPAA 7, LPAA 4, LPAA 2) self-amplify and degrade hardest. The\n\
+         per-addition moments flag this before convolving a single image."
+    );
+    Ok(())
+}

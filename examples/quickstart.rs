@@ -1,0 +1,40 @@
+//! Quickstart: analyze a multi-bit approximate adder in a few lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sealpaa::{analyze, exhaustive, AdderChain, InputProfile, StandardCell};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16-bit ripple-carry adder built entirely from LPAA 6 cells (the
+    // paper's "four-season adder"), with every input bit being 1 with
+    // probability 0.1 — e.g. sparse sensor data.
+    let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), 16);
+    let profile = InputProfile::constant(16, 0.1);
+
+    // The paper's analytical method: one linear pass, microseconds.
+    let analysis = analyze(&chain, &profile)?;
+    println!("adder        : {chain}");
+    println!("P(error)     : {:.6}", analysis.error_probability());
+    println!("P(success)   : {:.6}", analysis.success_probability());
+
+    // How the success probability decays stage by stage (paper Table 4's
+    // trace, here for 16 bits):
+    println!("\nstage  P(success through stage)");
+    for stage in analysis.stages() {
+        println!("{:>5}  {:.6}", stage.stage, stage.success_through);
+    }
+
+    // Cross-check against exhaustive simulation — feasible at 16 bits only
+    // because this is a one-off demo; the analysis above is what scales.
+    let truncated = InputProfile::constant(8, 0.1);
+    let small_chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), 8);
+    let sim = exhaustive(&small_chain, &truncated)?;
+    let ana = analyze(&small_chain, &truncated)?;
+    println!("\n8-bit cross-check:");
+    println!("  analytical : {:.6}", ana.error_probability());
+    println!(
+        "  exhaustive : {:.6}  ({} of {} cases err)",
+        sim.output_error_probability, sim.error_cases, sim.cases
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # SEALPAA — Statistical Error Analysis for Low Power Approximate Adders
+//!
+//! A from-scratch Rust reproduction of Ayub, Hasan & Shafique,
+//! *"Statistical Error Analysis for Low Power Approximate Adders"*
+//! (DAC 2017): a recursive, matrix-based analytical method that computes the
+//! output error probability of multi-bit low-power approximate adders in
+//! linear time, plus every substrate the paper validates it against.
+//!
+//! This umbrella crate re-exports the workspace so applications can depend
+//! on one crate:
+//!
+//! * [`cells`] — truth tables, the LPAA 1–7 cell library, multi-bit adder
+//!   chains and input-probability profiles,
+//! * [`analysis`] — the paper's proposed method (Algorithm 1), signal
+//!   probabilities, operation counting and the exact joint-chain extension,
+//! * [`sim`] — exhaustive and Monte-Carlo bit-true simulators,
+//! * [`inclexcl`] — the traditional inclusion–exclusion baseline and its
+//!   cost model,
+//! * [`gear`] — the GeAr low-latency adder and its analyses,
+//! * [`explore`] — hybrid-adder design-space exploration,
+//! * [`datapath`] — accelerator datapaths (adder trees, multipliers, FIR
+//!   filters, 2-D convolution) built from approximate adders,
+//! * [`hdl`] — structural Verilog emission for cells, chains and GeAr,
+//! * [`num`] — exact arbitrary-precision rationals for exact-mode analysis.
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sealpaa::{analyze, AdderChain, InputProfile, StandardCell};
+//!
+//! // How often does a 16-bit ripple adder built from LPAA 2 cells err when
+//! // its input bits are 1 with probability 0.1?
+//! let chain = AdderChain::uniform(StandardCell::Lpaa2.cell(), 16);
+//! let profile = InputProfile::constant(16, 0.1);
+//! let analysis = analyze(&chain, &profile)?;
+//! assert!(analysis.error_probability() > 0.99); // LPAA 2 is hopeless here
+//! # Ok::<(), sealpaa::AnalyzeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sealpaa_cells as cells;
+pub use sealpaa_core as analysis;
+pub use sealpaa_datapath as datapath;
+pub use sealpaa_explore as explore;
+pub use sealpaa_gear as gear;
+pub use sealpaa_hdl as hdl;
+pub use sealpaa_inclexcl as inclexcl;
+pub use sealpaa_num as num;
+pub use sealpaa_sim as sim;
+
+pub use sealpaa_cells::{AdderChain, Cell, InputProfile, StandardCell, TruthTable};
+pub use sealpaa_core::{
+    analyze, error_distribution, error_magnitude, exact_error_analysis, Analysis, AnalyzeError,
+    MklMatrices,
+};
+pub use sealpaa_num::{Prob, Rational};
+pub use sealpaa_sim::{exhaustive, monte_carlo, MonteCarloConfig};

@@ -1,0 +1,185 @@
+//! Cross-validation between the four independent implementations of the
+//! same quantity: the proposed recursive method, exhaustive enumeration,
+//! the inclusion–exclusion baseline, and the exact joint-chain DP. All
+//! comparisons run in exact rational arithmetic, so equality is literal —
+//! the strongest form of the paper's Table 6 validation.
+
+use sealpaa::analysis::{analyze, exact_error_analysis};
+use sealpaa::cells::{AdderChain, InputProfile, StandardCell};
+use sealpaa::inclexcl::error_probability as inclexcl_error;
+use sealpaa::num::Rational;
+use sealpaa::sim::{exhaustive, monte_carlo, MonteCarloConfig};
+
+/// A deterministic selection of awkward rational probabilities.
+fn profile(width: usize, salt: i64) -> InputProfile<Rational> {
+    let pa = (0..width)
+        .map(|i| Rational::from_ratio((i as i64 * 3 + salt) % 7 + 1, 9))
+        .collect();
+    let pb = (0..width)
+        .map(|i| Rational::from_ratio((i as i64 * 5 + salt * 2) % 9 + 1, 11))
+        .collect();
+    InputProfile::new(pa, pb, Rational::from_ratio(salt % 5 + 1, 6)).expect("valid profile")
+}
+
+#[test]
+fn analytical_equals_exhaustive_exactly_for_all_cells() {
+    for cell in StandardCell::APPROXIMATE {
+        for width in [1usize, 2, 3, 4, 5] {
+            let chain = AdderChain::uniform(cell.cell(), width);
+            let p = profile(width, 3);
+            let analytical = analyze(&chain, &p)
+                .expect("widths match")
+                .error_probability();
+            let report = exhaustive(&chain, &p).expect("feasible width");
+            assert_eq!(
+                analytical, report.stage_error_probability,
+                "{cell} N={width}: first-deviation semantics"
+            );
+            assert_eq!(
+                analytical, report.output_error_probability,
+                "{cell} N={width}: output-value semantics (no cancellation for homogeneous paper cells)"
+            );
+        }
+    }
+}
+
+#[test]
+fn analytical_equals_inclusion_exclusion_exactly() {
+    for cell in [
+        StandardCell::Lpaa1,
+        StandardCell::Lpaa4,
+        StandardCell::Lpaa6,
+    ] {
+        for width in [2usize, 4, 6, 8] {
+            let chain = AdderChain::uniform(cell.cell(), width);
+            let p = profile(width, 1);
+            let analytical = analyze(&chain, &p)
+                .expect("widths match")
+                .error_probability();
+            let (baseline, terms) = inclexcl_error(&chain, &p).expect("widths match");
+            assert_eq!(analytical, baseline, "{cell} N={width}");
+            assert_eq!(terms, (1 << width) - 1);
+        }
+    }
+}
+
+#[test]
+fn analytical_equals_joint_dp_stage_error() {
+    for cell in StandardCell::APPROXIMATE {
+        let chain = AdderChain::uniform(cell.cell(), 7);
+        let p = profile(7, 2);
+        let analytical = analyze(&chain, &p)
+            .expect("widths match")
+            .error_probability();
+        let joint = exact_error_analysis(&chain, &p).expect("widths match");
+        assert_eq!(analytical, joint.stage_error, "{cell}");
+    }
+}
+
+#[test]
+fn hybrid_chains_cross_validate_exactly() {
+    // Mixed-cell chains: all four implementations must still agree on the
+    // first-deviation probability.
+    let chains = [
+        vec![
+            StandardCell::Lpaa1,
+            StandardCell::Lpaa2,
+            StandardCell::Lpaa3,
+            StandardCell::Lpaa4,
+        ],
+        vec![
+            StandardCell::Lpaa5,
+            StandardCell::Accurate,
+            StandardCell::Lpaa7,
+            StandardCell::Lpaa6,
+        ],
+        vec![
+            StandardCell::Lpaa6,
+            StandardCell::Lpaa5,
+            StandardCell::Lpaa6,
+            StandardCell::Lpaa5,
+        ],
+    ];
+    for cells in chains {
+        let chain = AdderChain::from_stages(cells.iter().map(|c| c.cell()).collect());
+        let p = profile(4, 4);
+        let analytical = analyze(&chain, &p)
+            .expect("widths match")
+            .error_probability();
+        let report = exhaustive(&chain, &p).expect("feasible width");
+        let (baseline, _) = inclexcl_error(&chain, &p).expect("widths match");
+        let joint = exact_error_analysis(&chain, &p).expect("widths match");
+        assert_eq!(analytical, report.stage_error_probability, "{cells:?}");
+        assert_eq!(analytical, baseline, "{cells:?}");
+        assert_eq!(analytical, joint.stage_error, "{cells:?}");
+        // Output-value error can legitimately be smaller (cancellation); the
+        // joint DP and exhaustive simulation must agree on it exactly.
+        assert_eq!(
+            joint.output_error, report.output_error_probability,
+            "{cells:?}"
+        );
+    }
+}
+
+#[test]
+fn lpaa6_lpaa5_hybrid_shows_cancellation_and_sim_confirms() {
+    let chain = AdderChain::from_stages(vec![
+        StandardCell::Lpaa6.cell(),
+        StandardCell::Lpaa5.cell(),
+        StandardCell::Lpaa5.cell(),
+    ]);
+    let p = InputProfile::<Rational>::uniform(3);
+    let report = exhaustive(&chain, &p).expect("feasible width");
+    assert!(
+        report.output_error_probability < report.stage_error_probability,
+        "cancellation must be visible in simulation too"
+    );
+    let joint = exact_error_analysis(&chain, &p).expect("widths match");
+    assert_eq!(joint.output_error, report.output_error_probability);
+    assert_eq!(joint.stage_error, report.stage_error_probability);
+}
+
+#[test]
+fn monte_carlo_agrees_within_statistical_tolerance() {
+    // The paper's Table 6 row 2: MC at 10⁶ samples matches to ~3 decimals.
+    // We use fewer samples and a 5-sigma bound to stay fast and non-flaky.
+    for cell in [StandardCell::Lpaa1, StandardCell::Lpaa7] {
+        let chain = AdderChain::uniform(cell.cell(), 10);
+        let p = InputProfile::constant(10, 0.1);
+        let analytical = analyze(&chain, &p)
+            .expect("widths match")
+            .error_probability();
+        let mc = monte_carlo(
+            &chain,
+            &p,
+            MonteCarloConfig {
+                samples: 150_000,
+                seed: 99,
+                ..Default::default()
+            },
+        )
+        .expect("widths match");
+        assert!(
+            (mc.error_probability() - analytical).abs() <= 5.0 * mc.standard_error + 1e-9,
+            "{cell}: MC {} vs analytical {analytical}",
+            mc.error_probability()
+        );
+    }
+}
+
+#[test]
+fn per_bit_error_rates_sum_consistency() {
+    // The union bound: P(output error) ≤ Σ P(bit i wrong) + P(carry wrong);
+    // and each bit error rate is ≤ the stage error probability.
+    let chain = AdderChain::uniform(StandardCell::Lpaa3.cell(), 6);
+    let p = profile(6, 5);
+    let joint = exact_error_analysis(&chain, &p).expect("widths match");
+    let bit_sum = joint
+        .bit_error
+        .iter()
+        .fold(Rational::zero(), |acc, b| acc + b.clone());
+    assert!(joint.output_error <= bit_sum + joint.stage_error.clone());
+    for b in &joint.bit_error {
+        assert!(*b <= joint.stage_error);
+    }
+}

@@ -1,0 +1,276 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Regression tests pinning every number the paper publishes that this
+//! library re-derives: Tables 2, 3, 4, 5 and Table 7's analytical column.
+
+use sealpaa::analysis::{analyze, table8_resource_model, MklMatrices};
+use sealpaa::cells::{AdderChain, InputProfile, StandardCell};
+use sealpaa::inclexcl::cost;
+use sealpaa::num::Rational;
+
+#[test]
+fn table2_error_cases_and_characteristics() {
+    let rows = [
+        (StandardCell::Lpaa1, 2, Some((771.0, 4.23))),
+        (StandardCell::Lpaa2, 2, Some((294.0, 1.94))),
+        (StandardCell::Lpaa3, 3, Some((198.0, 1.59))),
+        (StandardCell::Lpaa4, 3, Some((416.0, 1.76))),
+        (StandardCell::Lpaa5, 4, Some((0.0, 0.0))),
+    ];
+    for (cell, errors, chars) in rows {
+        assert_eq!(cell.truth_table().error_case_count(), errors, "{cell}");
+        let c = cell.characteristics().map(|c| (c.power_nw, c.area_ge));
+        assert_eq!(c, chars, "{cell}");
+    }
+}
+
+#[test]
+fn table3_exact_rows() {
+    for (k, terms, mults, adds, mem) in [
+        (4u32, 15u128, 28u128, 14u128, 31u128),
+        (8, 255, 1016, 254, 511),
+        (12, 4095, 24564, 4094, 8191),
+        (16, 65535, 524_272, 65534, 131_071),
+    ] {
+        let c = cost(k);
+        assert_eq!(c.terms, terms, "terms k={k}");
+        assert_eq!(c.multiplications, mults, "mults k={k}");
+        assert_eq!(c.additions, adds, "adds k={k}");
+        assert_eq!(c.memory_units, mem, "memory k={k}");
+    }
+}
+
+#[test]
+fn table4_every_intermediate_value() {
+    let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 4);
+    let profile = InputProfile::new(
+        vec![
+            Rational::from_ratio(9, 10),
+            Rational::from_ratio(1, 2),
+            Rational::from_ratio(2, 5),
+            Rational::from_ratio(4, 5),
+        ],
+        vec![
+            Rational::from_ratio(4, 5),
+            Rational::from_ratio(7, 10),
+            Rational::from_ratio(3, 5),
+            Rational::from_ratio(9, 10),
+        ],
+        Rational::from_ratio(1, 2),
+    )
+    .expect("valid profile");
+    let a = analyze(&chain, &profile).expect("widths match");
+    let expect = [
+        // (C̄curr∩S, Ccurr∩S) entering each stage, as printed in the paper.
+        ((1, 2), (1, 2)),
+        ((2, 100), (85, 100)),
+        ((1305, 10000), (7295, 10000)),
+        ((2064, 10000), (58574, 100000)),
+    ];
+    for (i, ((n0, d0), (n1, d1))) in expect.into_iter().enumerate() {
+        let s = &a.stages()[i];
+        assert_eq!(
+            *s.carry_in.p_not_carry_and_success(),
+            Rational::from_ratio(n0, d0),
+            "stage {i} C̄curr"
+        );
+        assert_eq!(
+            *s.carry_in.p_carry_and_success(),
+            Rational::from_ratio(n1, d1),
+            "stage {i} Ccurr"
+        );
+    }
+    assert_eq!(
+        a.success_probability(),
+        Rational::from_ratio(738_476, 1_000_000)
+    );
+}
+
+#[test]
+fn table5_all_matrices() {
+    type PaperRow = (StandardCell, [u8; 8], [u8; 8], [u8; 8]);
+    let rows: [PaperRow; 7] = [
+        (
+            StandardCell::Lpaa1,
+            [0, 0, 0, 1, 0, 1, 1, 1],
+            [1, 1, 0, 0, 0, 0, 0, 0],
+            [1, 1, 0, 1, 0, 1, 1, 1],
+        ),
+        (
+            StandardCell::Lpaa2,
+            [0, 0, 0, 1, 0, 1, 1, 0],
+            [0, 1, 1, 0, 1, 0, 0, 0],
+            [0, 1, 1, 1, 1, 1, 1, 0],
+        ),
+        (
+            StandardCell::Lpaa3,
+            [0, 0, 0, 1, 0, 1, 1, 0],
+            [0, 1, 0, 0, 1, 0, 0, 0],
+            [0, 1, 0, 1, 1, 1, 1, 0],
+        ),
+        (
+            StandardCell::Lpaa4,
+            [0, 0, 0, 0, 0, 1, 1, 1],
+            [1, 1, 0, 0, 0, 0, 0, 0],
+            [1, 1, 0, 0, 0, 1, 1, 1],
+        ),
+        (
+            StandardCell::Lpaa5,
+            [0, 0, 0, 0, 0, 1, 0, 1],
+            [1, 0, 1, 0, 0, 0, 0, 0],
+            [1, 0, 1, 0, 0, 1, 0, 1],
+        ),
+        (
+            StandardCell::Lpaa6,
+            [0, 0, 0, 1, 0, 1, 0, 1],
+            [1, 0, 1, 0, 1, 0, 0, 0],
+            [1, 0, 1, 1, 1, 1, 0, 1],
+        ),
+        (
+            StandardCell::Lpaa7,
+            [0, 0, 0, 0, 0, 0, 1, 1],
+            [1, 1, 1, 0, 1, 0, 0, 0],
+            [1, 1, 1, 0, 1, 0, 1, 1],
+        ),
+    ];
+    for (cell, m, k, l) in rows {
+        let mkl = MklMatrices::from_truth_table(&cell.truth_table());
+        assert_eq!(mkl.m_bits(), m, "M of {cell}");
+        assert_eq!(mkl.k_bits(), k, "K of {cell}");
+        assert_eq!(mkl.l_bits(), l, "L of {cell}");
+    }
+}
+
+#[test]
+fn table7_analytical_column_within_rounding() {
+    let paper: [(usize, [f64; 7]); 6] = [
+        (
+            2,
+            [0.30780, 0.9271, 0.95707, 0.31851, 0.27000, 0.1143, 0.01980],
+        ),
+        (
+            4,
+            [
+                0.53090, 0.99468, 0.99763, 0.54033, 0.40950, 0.13533, 0.02333,
+            ],
+        ),
+        (
+            6,
+            [
+                0.68240, 0.99961, 0.99986, 0.68999, 0.52170, 0.15266, 0.02685,
+            ],
+        ),
+        (
+            8,
+            [
+                0.78498, 0.99997, 0.99999, 0.79092, 0.61258, 0.16953, 0.03035,
+            ],
+        ),
+        (
+            10,
+            [
+                0.85443, 0.99999, 0.99999, 0.85899, 0.68618, 0.18605, 0.03385,
+            ],
+        ),
+        (
+            12,
+            [
+                0.90145, 0.99999, 0.99999, 0.90490, 0.74581, 0.20225, 0.03733,
+            ],
+        ),
+    ];
+    for (n, row) in paper {
+        for (c, cell) in StandardCell::APPROXIMATE.into_iter().enumerate() {
+            let chain = AdderChain::uniform(cell.cell(), n);
+            let profile = InputProfile::constant(n, 0.1);
+            let ours = analyze(&chain, &profile)
+                .expect("widths match")
+                .error_probability();
+            assert!(
+                (ours - row[c]).abs() < 2e-4,
+                "{cell} N={n}: ours {ours:.6} vs paper {:.6}",
+                row[c]
+            );
+        }
+    }
+}
+
+#[test]
+fn table8_model_values() {
+    let equal = table8_resource_model(32, true);
+    assert_eq!(
+        (equal.multipliers, equal.adders, equal.memory_units),
+        (32, 21, 3)
+    );
+    let varying = table8_resource_model(32, false);
+    assert_eq!(
+        (varying.multipliers, varying.adders, varying.memory_units),
+        (48, 21, 33)
+    );
+}
+
+#[test]
+fn fig5_qualitative_rankings() {
+    // Sec. 5's qualitative observations about Fig. 5:
+    let success = |cell: StandardCell, n: usize, p: f64| {
+        analyze(
+            &AdderChain::uniform(cell.cell(), n),
+            &InputProfile::constant(n, p),
+        )
+        .expect("widths match")
+        .success_probability()
+    };
+    // (1) LPAA 1 and LPAA 7 tie exactly at equal probabilities…
+    for n in 1..=12 {
+        let s1 = success(StandardCell::Lpaa1, n, 0.5);
+        let s7 = success(StandardCell::Lpaa7, n, 0.5);
+        assert!((s1 - s7).abs() < 1e-12, "N={n}: {s1} vs {s7}");
+    }
+    // (2) …but LPAA 7 wins at low input probabilities and LPAA 1 at high.
+    assert!(success(StandardCell::Lpaa7, 8, 0.2) > success(StandardCell::Lpaa1, 8, 0.2));
+    assert!(success(StandardCell::Lpaa1, 8, 0.8) > success(StandardCell::Lpaa7, 8, 0.8));
+    // (3) LPAA 6 is the "four-season adder": no cell is good in *every*
+    // regime, but LPAA 6's worst case across low/equal/high probabilities
+    // beats every other cell's worst case (and it dominates LPAA 2-5
+    // outright in all three regimes).
+    let regimes = [0.2, 0.5, 0.8];
+    let minimax = |cell: StandardCell| {
+        regimes
+            .iter()
+            .map(|&p| success(cell, 8, p))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let s6 = minimax(StandardCell::Lpaa6);
+    for cell in StandardCell::APPROXIMATE {
+        if cell != StandardCell::Lpaa6 {
+            assert!(
+                s6 > minimax(cell),
+                "LPAA 6 worst-case {s6} should beat {cell} worst-case {}",
+                minimax(cell)
+            );
+        }
+    }
+    for p in regimes {
+        let s6 = success(StandardCell::Lpaa6, 8, p);
+        for cell in [
+            StandardCell::Lpaa2,
+            StandardCell::Lpaa3,
+            StandardCell::Lpaa4,
+            StandardCell::Lpaa5,
+        ] {
+            assert!(
+                s6 >= success(cell, 8, p),
+                "LPAA 6 should dominate {cell} at p={p}"
+            );
+        }
+    }
+    // (4) At equal probabilities, no LPAA is useful beyond ~10 bits: even
+    // the best of LPAA 1-5 succeeds less than half the time.
+    for cell in [
+        StandardCell::Lpaa1,
+        StandardCell::Lpaa4,
+        StandardCell::Lpaa5,
+    ] {
+        assert!(success(cell, 10, 0.5) < 0.5, "{cell}");
+    }
+}

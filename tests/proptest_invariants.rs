@@ -1,0 +1,238 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property-based invariants spanning the whole workspace, driven by
+//! randomly generated chains and input profiles.
+
+use proptest::prelude::*;
+
+use sealpaa::analysis::{analyze, exact_error_analysis, signal_probabilities};
+use sealpaa::cells::{AdderChain, Cell, InputProfile, StandardCell};
+use sealpaa::gear::{
+    error_probability as gear_error, error_probability_inclexcl as gear_inclexcl, GearAdder,
+    GearConfig,
+};
+use sealpaa::inclexcl::error_probability as inclexcl_error;
+use sealpaa::num::Rational;
+use sealpaa::sim::exhaustive;
+
+/// Any of the 8 standard cells.
+fn any_cell() -> impl Strategy<Value = Cell> {
+    (0..StandardCell::ALL.len()).prop_map(|i| StandardCell::ALL[i].cell())
+}
+
+/// A hybrid chain of 1..=5 standard cells.
+fn any_chain() -> impl Strategy<Value = AdderChain> {
+    prop::collection::vec(any_cell(), 1..=5).prop_map(AdderChain::from_stages)
+}
+
+/// A small exact rational probability in [0, 1].
+fn any_prob() -> impl Strategy<Value = Rational> {
+    (0i64..=12, 1i64..=12).prop_map(|(n, d)| {
+        let n = n.min(d);
+        Rational::from_ratio(n, d)
+    })
+}
+
+/// A rational profile matching `width`.
+fn profile_for(width: usize) -> impl Strategy<Value = InputProfile<Rational>> {
+    (
+        prop::collection::vec(any_prob(), width),
+        prop::collection::vec(any_prob(), width),
+        any_prob(),
+    )
+        .prop_map(|(pa, pb, cin)| InputProfile::new(pa, pb, cin).expect("probs are in range"))
+}
+
+fn chain_and_profile() -> impl Strategy<Value = (AdderChain, InputProfile<Rational>)> {
+    any_chain().prop_flat_map(|chain| {
+        let width = chain.width();
+        profile_for(width).prop_map(move |p| (chain.clone(), p))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline theorem: the proposed O(N) recursion equals exhaustive
+    /// enumeration exactly, for arbitrary hybrid chains and arbitrary
+    /// rational profiles.
+    #[test]
+    fn analytical_equals_exhaustive((chain, profile) in chain_and_profile()) {
+        let analytical = analyze(&chain, &profile).expect("widths match").error_probability();
+        let report = exhaustive(&chain, &profile).expect("small width");
+        prop_assert_eq!(analytical, report.stage_error_probability);
+    }
+
+    /// …and equals the 2^k-term inclusion-exclusion baseline exactly.
+    #[test]
+    fn analytical_equals_inclexcl((chain, profile) in chain_and_profile()) {
+        let analytical = analyze(&chain, &profile).expect("widths match").error_probability();
+        let (baseline, _) = inclexcl_error(&chain, &profile).expect("widths match");
+        prop_assert_eq!(analytical, baseline);
+    }
+
+    /// All reported probabilities stay inside [0, 1].
+    #[test]
+    fn probabilities_in_unit_interval((chain, profile) in chain_and_profile()) {
+        let analysis = analyze(&chain, &profile).expect("widths match");
+        let zero = Rational::zero();
+        let one = Rational::one();
+        prop_assert!(analysis.error_probability() >= zero);
+        prop_assert!(analysis.error_probability() <= one);
+        for stage in analysis.stages() {
+            prop_assert!(*stage.carry_out.p_carry_and_success() >= zero);
+            prop_assert!(stage.success_through <= one);
+        }
+    }
+
+    /// The success-conditioned mass can only shrink stage over stage (the
+    /// paper: "the carry-out probabilities keep on decreasing").
+    #[test]
+    fn success_mass_monotone((chain, profile) in chain_and_profile()) {
+        let analysis = analyze(&chain, &profile).expect("widths match");
+        let mut prev = Rational::one();
+        for stage in analysis.stages() {
+            prop_assert!(stage.success_through <= prev);
+            prev = stage.success_through.clone();
+        }
+    }
+
+    /// M + K = L pointwise implies: success mass after the stage equals
+    /// IPM·L, so the final success always equals the last stage's carry mass.
+    #[test]
+    fn success_equals_final_carry_mass((chain, profile) in chain_and_profile()) {
+        let analysis = analyze(&chain, &profile).expect("widths match");
+        let last = analysis.stages().last().expect("chains are non-empty");
+        prop_assert_eq!(
+            analysis.success_probability(),
+            last.carry_out.success_mass()
+        );
+    }
+
+    /// Output-value error never exceeds first-deviation error, and both
+    /// agree with simulation exactly.
+    #[test]
+    fn output_error_bounded_by_stage_error((chain, profile) in chain_and_profile()) {
+        let joint = exact_error_analysis(&chain, &profile).expect("widths match");
+        prop_assert!(joint.output_error <= joint.stage_error);
+        let report = exhaustive(&chain, &profile).expect("small width");
+        prop_assert_eq!(joint.output_error, report.output_error_probability);
+    }
+
+    /// Signal probabilities agree with exhaustive enumeration of the
+    /// approximate chain.
+    #[test]
+    fn signal_probabilities_match_enumeration((chain, profile) in chain_and_profile()) {
+        prop_assume!(chain.width() <= 3);
+        let signals = signal_probabilities(&chain, &profile).expect("widths match");
+        let width = chain.width();
+        let mut sum_mass = vec![Rational::zero(); width];
+        let mut carry_mass = Rational::zero();
+        for a in 0..1u64 << width {
+            for b in 0..1u64 << width {
+                for cin in [false, true] {
+                    let w = profile.assignment_probability(a, b, cin);
+                    let r = chain.add(a, b, cin);
+                    for (i, mass) in sum_mass.iter_mut().enumerate() {
+                        if (r.sum_bits() >> i) & 1 == 1 {
+                            *mass = mass.clone() + w.clone();
+                        }
+                    }
+                    if r.carry_out() {
+                        carry_mass = carry_mass + w;
+                    }
+                }
+            }
+        }
+        for i in 0..width {
+            prop_assert_eq!(&signals.sum[i], &sum_mass[i], "sum bit {}", i);
+        }
+        prop_assert_eq!(&signals.carry[width], &carry_mass);
+    }
+
+    /// Analysing a prefix of the profile equals the prefix of the analysis.
+    #[test]
+    fn prefix_consistency((chain, profile) in chain_and_profile(), cut in 1usize..=5) {
+        let width = chain.width();
+        let cut = cut.min(width);
+        let full = analyze(&chain, &profile).expect("widths match");
+        let prefix_chain = AdderChain::from_stages(
+            chain.iter().take(cut).cloned().collect()
+        );
+        let prefix = analyze(&prefix_chain, &profile.truncate(cut)).expect("widths match");
+        prop_assert_eq!(full.prefix_success(cut - 1), prefix.success_probability());
+    }
+
+    /// GeAr: the linear DP equals both the inclusion-exclusion expansion and
+    /// (at uniform probabilities) the exhaustive functional error count.
+    #[test]
+    fn gear_three_way_agreement(r in 1usize..=3, p in 0usize..=3, extra in 0usize..=3) {
+        let n = (r + p) + r * extra;
+        prop_assume!(n <= 9);
+        let config = GearConfig::new(n, r, p).expect("constructed to tile");
+        let pa = vec![Rational::from_ratio(1, 2); n];
+        let cin = Rational::zero();
+        let linear = gear_error(&config, &pa, &pa, cin.clone()).expect("widths match");
+        let (ie, _) = gear_inclexcl(&config, &pa, &pa, cin).expect("widths match");
+        prop_assert_eq!(&linear, &ie);
+        let adder = GearAdder::new(config);
+        // Count errors over cin = 0 only (the analytical cin is fixed to 0).
+        let mut errors = 0u64;
+        let mut total = 0u64;
+        for a in 0..1u64 << n {
+            for b in 0..1u64 << n {
+                total += 1;
+                if !adder.matches_accurate(a, b, false) {
+                    errors += 1;
+                }
+            }
+        }
+        prop_assert_eq!(linear, Rational::from_ratio(errors as i64, total as i64));
+    }
+
+    /// Worst-case extremes: the DP's claimed extremes are achieved by their
+    /// witnesses and bound the exact PMF support for random hybrid chains.
+    #[test]
+    fn worst_case_extremes_are_tight((chain, profile) in chain_and_profile()) {
+        use sealpaa::analysis::{error_distribution, worst_case_error};
+        let wc = worst_case_error(&chain).expect("small width");
+        for (witness, expect) in [(wc.max_witness, wc.max_error), (wc.min_witness, wc.min_error)] {
+            let d = chain
+                .add(witness.a, witness.b, witness.carry_in)
+                .error_distance(chain.accurate_sum(witness.a, witness.b, witness.carry_in));
+            prop_assert_eq!(d as i128, expect);
+        }
+        // Every achievable error under any profile lies within the extremes;
+        // at uniform inputs (all inputs possible) the PMF support endpoints
+        // coincide with them.
+        let dist = error_distribution(&chain, &profile).expect("small width");
+        for (d, _) in &dist.pmf {
+            prop_assert!((*d as i128) <= wc.max_error);
+            prop_assert!((*d as i128) >= wc.min_error);
+        }
+        let uniform = InputProfile::<Rational>::uniform(chain.width());
+        let full = error_distribution(&chain, &uniform).expect("small width");
+        prop_assert_eq!(full.pmf.first().expect("non-empty").0 as i128, wc.min_error);
+        prop_assert_eq!(full.pmf.last().expect("non-empty").0 as i128, wc.max_error);
+    }
+
+    /// Functional evaluation sanity: an all-accurate chain equals u64
+    /// addition for random operands.
+    #[test]
+    fn accurate_chain_is_binary_addition(a in any::<u64>(), b in any::<u64>(), cin in any::<bool>()) {
+        let chain = AdderChain::uniform(StandardCell::Accurate.cell(), 16);
+        let r = chain.add(a, b, cin);
+        prop_assert!(r.matches_accurate(a, b, cin));
+    }
+
+    /// Profile round-trip through f64 is exact for dyadic probabilities.
+    #[test]
+    fn profile_conversion_round_trip(num in 0u8..=16) {
+        let p = num as f64 / 16.0;
+        let f = InputProfile::<f64>::constant(3, p);
+        let r: InputProfile<Rational> = f.convert();
+        let back: InputProfile<f64> = r.convert();
+        prop_assert_eq!(*back.pa(0), p);
+        prop_assert_eq!(r.pa(0), &Rational::from_ratio(num as i64, 16));
+    }
+}

@@ -1,0 +1,98 @@
+//! Wide-chain stress tests: the analytical machinery must stay exact and
+//! well-behaved far beyond any width a simulator could touch.
+
+use sealpaa::analysis::{analyze, error_magnitude, signal_probabilities};
+use sealpaa::cells::{AdderChain, InputProfile, StandardCell};
+use sealpaa::num::Rational;
+
+#[test]
+fn analysis_at_96_bits_in_exact_rationals() {
+    let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), 96);
+    let profile = InputProfile::<Rational>::constant(96, Rational::from_ratio(1, 10));
+    let analysis = analyze(&chain, &profile).expect("widths match");
+    let err = analysis.error_probability();
+    assert!(err > Rational::zero() && err < Rational::one());
+    // The invariants survive at scale: success mass is monotone and the
+    // final success equals the last carry mass.
+    let mut prev = Rational::one();
+    for stage in analysis.stages() {
+        assert!(stage.success_through <= prev);
+        prev = stage.success_through.clone();
+    }
+    assert_eq!(
+        analysis.success_probability(),
+        analysis
+            .stages()
+            .last()
+            .expect("non-empty")
+            .carry_out
+            .success_mass()
+    );
+}
+
+#[test]
+fn f64_and_rational_agree_at_64_bits() {
+    let chain = AdderChain::uniform(StandardCell::Lpaa7.cell(), 64);
+    let f = analyze(&chain, &InputProfile::constant(64, 0.125))
+        .expect("widths match")
+        .error_probability();
+    let r = analyze(
+        &chain,
+        &InputProfile::<Rational>::constant(64, Rational::from_ratio(1, 8)),
+    )
+    .expect("widths match")
+    .error_probability();
+    assert!(
+        (f - r.to_f64()).abs() < 1e-9,
+        "f64 {f} vs exact {}",
+        r.to_f64()
+    );
+}
+
+#[test]
+fn stage_contributions_sum_exactly_at_scale() {
+    let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 120);
+    let profile = InputProfile::<Rational>::constant(120, Rational::from_ratio(3, 7));
+    let analysis = analyze(&chain, &profile).expect("widths match");
+    let total: Rational = analysis.stage_error_contributions().into_iter().sum();
+    assert_eq!(total, analysis.error_probability());
+}
+
+#[test]
+fn magnitude_moments_stay_consistent_at_64_bits() {
+    // E[D²] ≥ E[D]² must hold exactly even with 2^64-scale weights.
+    let chain = AdderChain::uniform(StandardCell::Lpaa4.cell(), 64);
+    let profile = InputProfile::<Rational>::constant(64, Rational::from_ratio(2, 9));
+    let m = error_magnitude(&chain, &profile).expect("widths match");
+    assert!(m.variance() >= Rational::zero());
+    assert!(!m.mean_squared_error_distance.is_zero());
+}
+
+#[test]
+fn signal_probabilities_remain_probabilities_at_scale() {
+    let chain = AdderChain::uniform(StandardCell::Lpaa2.cell(), 96);
+    let profile = InputProfile::<Rational>::constant(96, Rational::from_ratio(4, 11));
+    let signals = signal_probabilities(&chain, &profile).expect("widths match");
+    assert_eq!(signals.sum.len(), 96);
+    assert_eq!(signals.carry.len(), 97);
+    for p in signals.sum.iter().chain(&signals.carry) {
+        assert!(*p >= Rational::zero() && *p <= Rational::one());
+    }
+}
+
+#[test]
+fn hybrid_megachain_mixing_every_cell() {
+    let stages: Vec<_> = (0..96)
+        .map(|i| StandardCell::ALL[i % StandardCell::ALL.len()].cell())
+        .collect();
+    let chain = AdderChain::from_stages(stages);
+    let profile = InputProfile::<Rational>::constant(96, Rational::from_ratio(1, 6));
+    let analysis = analyze(&chain, &profile).expect("widths match");
+    // Accurate stages contribute exactly zero error.
+    let contributions = analysis.stage_error_contributions();
+    for (i, c) in contributions.iter().enumerate() {
+        if chain.stage(i).truth_table().is_accurate() {
+            assert!(c.is_zero(), "accurate stage {i} must not contribute");
+        }
+    }
+}
