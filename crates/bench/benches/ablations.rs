@@ -7,7 +7,8 @@
 //! * the exact joint-chain DP vs the paper's recursion — the price of the
 //!   cancellation-aware extension.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sealpaa_bench::microbench::{black_box, Criterion};
+use sealpaa_bench::{criterion_group, criterion_main};
 use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
 use sealpaa_core::{analyze, exact_error_analysis, CarryState, Ipm, MklMatrices, OpCounts};
 use sealpaa_num::Rational;

@@ -6,7 +6,8 @@
 //! per-width estimates should grow proportionally to N and stay far under a
 //! millisecond even at widths no simulation could ever touch.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sealpaa_bench::microbench::{black_box, BenchmarkId, Criterion};
+use sealpaa_bench::{criterion_group, criterion_main};
 use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
 use sealpaa_core::analyze;
 

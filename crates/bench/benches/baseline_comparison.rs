@@ -3,7 +3,8 @@
 //! The same contrast holds for GeAr: the 2^k-term analysis of [12] vs our
 //! linear DP.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sealpaa_bench::microbench::{black_box, BenchmarkId, Criterion};
+use sealpaa_bench::{criterion_group, criterion_main};
 use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
 use sealpaa_core::analyze;
 use sealpaa_gear::{error_probability, error_probability_inclexcl, GearConfig};

@@ -2,7 +2,8 @@
 //! full error distributions, datapath composition, and HDL synthesis — so
 //! their costs relative to the core O(N) analysis are on record.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sealpaa_bench::microbench::{black_box, BenchmarkId, Criterion};
+use sealpaa_bench::{criterion_group, criterion_main};
 use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
 use sealpaa_core::{error_distribution, error_magnitude};
 use sealpaa_datapath::{estimate, Datapath};

@@ -3,7 +3,8 @@
 //! sample is flat but its precision is only ~3 decimals at 10⁶ samples
 //! (paper Table 6).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sealpaa_bench::microbench::{black_box, BenchmarkId, Criterion, Throughput};
+use sealpaa_bench::{criterion_group, criterion_main};
 use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
 use sealpaa_sim::{exhaustive, monte_carlo, MonteCarloConfig};
 

@@ -2,9 +2,6 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
 use sealpaa_core::{analyze, analyze_instrumented, table8_resource_model, MklMatrices};
 use sealpaa_explore::{
@@ -16,6 +13,7 @@ use sealpaa_gear::{
 };
 use sealpaa_inclexcl::cost;
 use sealpaa_num::Rational;
+use sealpaa_sim::Xoshiro256pp;
 use sealpaa_sim::{exhaustive, monte_carlo, MonteCarloConfig};
 
 use crate::report::Table;
@@ -437,11 +435,11 @@ pub fn gear_sweep(mc_samples: u64) -> Table {
         let (ie, terms) = gear_inclexcl(&config, &pa, &pa, 0.0).expect("widths match");
         let indep = gear_independent(&config, &pa, &pa, 0.0).expect("widths match");
         let adder = GearAdder::new(config);
-        let mut rng = StdRng::seed_from_u64(0x6EA2 + r as u64 * 31 + p as u64);
+        let mut rng = Xoshiro256pp::seed_from_u64(0x6EA2 + r as u64 * 31 + p as u64);
         let mut errors = 0u64;
         for _ in 0..mc_samples {
-            let a: u64 = rng.gen::<u64>() & 0xFFFF;
-            let b: u64 = rng.gen::<u64>() & 0xFFFF;
+            let a: u64 = rng.next_u64() & 0xFFFF;
+            let b: u64 = rng.next_u64() & 0xFFFF;
             if !adder.matches_accurate(a, b, false) {
                 errors += 1;
             }

@@ -24,4 +24,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;

@@ -1,0 +1,307 @@
+//! A dependency-free microbenchmark harness with a Criterion-shaped API.
+//!
+//! The benchmark files under `benches/` were written against Criterion; this
+//! module reproduces the small API subset they use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! on top of `std::time::Instant` only, so the suite builds and runs with no
+//! network access. The statistics are deliberately simple (median of wall
+//!-clock samples after a calibration pass); for paper-grade claims, run
+//! longer with `MICROBENCH_SAMPLE_MS`.
+//!
+//! Environment knobs:
+//!
+//! * `MICROBENCH_SAMPLE_MS` — target wall-clock per sample (default 20 ms),
+//! * `MICROBENCH_QUICK` — if set, one sample per benchmark (smoke mode).
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::time::{Duration, Instant};
+
+/// An opaque sink that prevents the optimizer from deleting the benchmarked
+/// computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation (reported as elements/second next to the time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmarked operation processes this many logical elements.
+    Elements(u64),
+    /// The benchmarked operation processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` — a parameterized benchmark within a group.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter — for groups whose name already says it all.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+/// Runs one benchmark body repeatedly and measures it.
+pub struct Bencher {
+    sample_budget: Duration,
+    samples: usize,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count against the sample budget, then times
+    /// `samples` batches of the closure and records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration: time a single call (running it at least once also
+        // warms caches and lazy statics).
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("MICROBENCH_QUICK").is_some()
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("MICROBENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20u64);
+    Duration::from_millis(ms.max(1))
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_budget: sample_budget(),
+        samples: if quick_mode() { 1 } else { samples },
+        result_ns: 0.0,
+    };
+    f(&mut bencher);
+    let name = match group {
+        Some(group) => format!("{group}/{}", id.label),
+        None => id.label.clone(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if bencher.result_ns > 0.0 => {
+            format!("  ({:.3e} elem/s)", n as f64 / (bencher.result_ns * 1e-9))
+        }
+        Some(Throughput::Bytes(n)) if bencher.result_ns > 0.0 => {
+            format!("  ({:.3e} B/s)", n as f64 / (bencher.result_ns * 1e-9))
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} {:>12}/iter{rate}", format_ns(bencher.result_ns));
+}
+
+/// The harness entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(None, &id.into(), 10, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id.into(),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id,
+            self.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner function, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::microbench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a benchmark binary, mirroring Criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut bencher = Bencher {
+            sample_budget: Duration::from_micros(200),
+            samples: 3,
+            result_ns: 0.0,
+        };
+        let mut acc = 0u64;
+        bencher.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        assert!(bencher.result_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("proposed", 64).label, "proposed/64");
+        assert_eq!(BenchmarkId::from_parameter(128).label, "128");
+        assert_eq!(BenchmarkId::from("f64").label, "f64");
+    }
+
+    #[test]
+    fn group_and_function_apis_run_without_panicking() {
+        std::env::set_var("MICROBENCH_QUICK", "1");
+        std::env::set_var("MICROBENCH_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

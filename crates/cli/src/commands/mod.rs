@@ -8,6 +8,7 @@ pub mod fir;
 pub mod gear;
 pub mod magnitude;
 pub mod multiplier;
+pub mod serve;
 pub mod simulate;
 pub mod sweep;
 pub mod verilog;

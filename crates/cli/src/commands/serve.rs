@@ -1,0 +1,100 @@
+//! `sealpaa serve` — run the analysis-as-a-service daemon.
+
+use std::io::Write;
+
+use sealpaa_server::server::{run_stdio, Server, ServerConfig};
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+
+const HELP: &str = "\
+usage: sealpaa serve [options]
+
+Runs the analysis daemon: newline-delimited JSON requests in, newline-
+delimited JSON responses out. Request kinds: analyze, simulate, compare,
+gear, stats, shutdown. Results are cached under a canonicalized adder
+configuration, so equivalent requests are answered without recomputation.
+
+Example session (see docs/SERVER.md for the full protocol):
+
+  {\"id\":1,\"kind\":\"analyze\",\"width\":8,\"cell\":\"lpaa1\",\"p\":0.1}
+  {\"id\":2,\"kind\":\"stats\"}
+  {\"id\":3,\"kind\":\"shutdown\"}
+
+options:
+  --addr A:P         TCP listen address (default 127.0.0.1:4517; port 0
+                     picks an ephemeral port and prints it)
+  --threads N        analysis worker threads (default 4)
+  --cache-entries N  result-cache capacity, 0 disables caching (default 1024)
+  --stdio            serve stdin/stdout instead of TCP (one-shot pipelines);
+                     end-of-input shuts the daemon down gracefully
+
+Stop a TCP daemon with a {\"kind\":\"shutdown\"} request: it stops accepting,
+finishes every job already queued, then exits.";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options or if the listen address cannot be
+/// bound.
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(tokens, &["addr", "threads", "cache-entries"], &["stdio"])?;
+    let config = ServerConfig {
+        addr: args.get_or("addr", "127.0.0.1:4517".to_owned())?,
+        threads: args.get_or("threads", 4usize)?,
+        cache_entries: args.get_or("cache-entries", 1024usize)?,
+        ..Default::default()
+    };
+    if config.threads == 0 {
+        return Err(CliError::usage("--threads must be at least 1"));
+    }
+
+    if args.flag("stdio") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let mut output = stdout.lock();
+        run_stdio(&config, stdin.lock(), &mut output)?;
+        return Ok(());
+    }
+
+    let server = Server::bind(config).map_err(|e| CliError::usage(format!("cannot bind: {e}")))?;
+    writeln!(out, "sealpaa-server listening on {}", server.local_addr())?;
+    out.flush()?;
+    server.run()?;
+    writeln!(out, "sealpaa-server stopped")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> Result<String, CliError> {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).expect("help always works");
+        assert!(s.contains("usage: sealpaa serve"));
+        assert!(s.contains("--cache-entries"));
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        assert!(run_to_string(&["--threads", "0"]).is_err());
+        assert!(run_to_string(&["--port", "80"]).is_err(), "unknown option");
+        assert!(
+            run_to_string(&["--addr", "definitely not an address"]).is_err(),
+            "unbindable address"
+        );
+    }
+}

@@ -1,189 +1,6 @@
-//! A minimal JSON writer (no external dependencies) for machine-readable
-//! CLI output.
+//! The CLI's machine-readable output model. The implementation lives in
+//! [`sealpaa_server::json`] so the server's wire protocol and the CLI's
+//! `--json` output share one writer (and the server adds a parser on top);
+//! this module re-exports it under the CLI's historical path.
 
-use std::fmt::Write as _;
-
-/// A JSON value assembled programmatically.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null` (kept for completeness of the JSON data model; the CLI's own
-    /// documents currently never need it outside tests).
-    #[allow(dead_code)]
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// A finite number (rendered via Rust's shortest-round-trip `f64`
-    /// formatting; non-finite values render as `null` per JSON's rules).
-    Number(f64),
-    /// A string (escaped on render).
-    String(String),
-    /// An ordered array.
-    Array(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Object(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Shorthand for an object builder.
-    pub fn object() -> JsonObject {
-        JsonObject::default()
-    }
-
-    /// Renders the value as compact JSON.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Number(n) => {
-                if n.is_finite() {
-                    let _ = write!(out, "{n}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::String(s) => {
-                out.push('"');
-                for ch in s.chars() {
-                    match ch {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Array(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Object(fields) => {
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::String(key.clone()).write(out);
-                    out.push(':');
-                    value.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl From<f64> for Json {
-    fn from(n: f64) -> Self {
-        Json::Number(n)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Self {
-        Json::String(s.to_owned())
-    }
-}
-
-impl From<String> for Json {
-    fn from(s: String) -> Self {
-        Json::String(s)
-    }
-}
-
-impl From<bool> for Json {
-    fn from(b: bool) -> Self {
-        Json::Bool(b)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(n: usize) -> Self {
-        Json::Number(n as f64)
-    }
-}
-
-impl From<Vec<Json>> for Json {
-    fn from(items: Vec<Json>) -> Self {
-        Json::Array(items)
-    }
-}
-
-/// An insertion-ordered JSON object builder.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct JsonObject {
-    fields: Vec<(String, Json)>,
-}
-
-impl JsonObject {
-    /// Adds a field; returns `self` for chaining.
-    pub fn field(mut self, key: impl Into<String>, value: impl Into<Json>) -> Self {
-        self.fields.push((key.into(), value.into()));
-        self
-    }
-
-    /// Finishes the object.
-    pub fn build(self) -> Json {
-        Json::Object(self.fields)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars_render() {
-        assert_eq!(Json::Null.render(), "null");
-        assert_eq!(Json::Bool(true).render(), "true");
-        assert_eq!(Json::Number(0.25).render(), "0.25");
-        assert_eq!(Json::Number(f64::NAN).render(), "null");
-        assert_eq!(Json::from("hi").render(), "\"hi\"");
-    }
-
-    #[test]
-    fn strings_are_escaped() {
-        let s = Json::from("a\"b\\c\nd\te\u{1}");
-        assert_eq!(s.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
-    }
-
-    #[test]
-    fn objects_and_arrays_compose() {
-        let value = Json::object()
-            .field("name", "LPAA 1")
-            .field("error", 0.125)
-            .field(
-                "stages",
-                Json::Array(vec![Json::from(1usize), Json::from(2usize)]),
-            )
-            .field("exact", false)
-            .build();
-        assert_eq!(
-            value.render(),
-            "{\"name\":\"LPAA 1\",\"error\":0.125,\"stages\":[1,2],\"exact\":false}"
-        );
-    }
-
-    #[test]
-    fn empty_object_and_array() {
-        assert_eq!(Json::object().build().render(), "{}");
-        assert_eq!(Json::Array(Vec::new()).render(), "[]");
-    }
-}
+pub use sealpaa_server::json::Json;

@@ -10,11 +10,9 @@
 //! there is no carry chain for errors to ride, but every row passes through
 //! more cells.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sealpaa_cells::{AdderChain, Cell, FaInput, InputProfile, TruthTable};
 use sealpaa_core::analyze;
+use sealpaa_sim::Xoshiro256pp;
 
 /// A multi-operand adder that reduces its inputs with layers of 3:2
 /// compressors (each built from the configured cell) and merges the final
@@ -231,14 +229,12 @@ impl CsaTree {
     /// Monte-Carlo error rate and mean absolute error over uniformly random
     /// operand vectors: `(error_rate, mean_abs_error)`.
     pub fn quality(&self, samples: u64, seed: u64) -> (f64, f64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mask = (1u64 << self.operand_bits) - 1;
         let mut errors = 0u64;
         let mut abs_sum = 0.0f64;
         for _ in 0..samples {
-            let values: Vec<u64> = (0..self.operands)
-                .map(|_| rng.gen::<u64>() & mask)
-                .collect();
+            let values: Vec<u64> = (0..self.operands).map(|_| rng.next_u64() & mask).collect();
             let approx = self.add_all(&values);
             let exact = self.exact_sum(&values);
             if approx != exact {

@@ -10,11 +10,9 @@
 //! realistic topologies, and [`simulate`] is always available for ground
 //! truth.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sealpaa_cells::InputProfile;
 use sealpaa_core::{analyze, signal_probabilities};
+use sealpaa_sim::Xoshiro256pp;
 
 use crate::graph::{Datapath, DatapathError, Node, Signal};
 
@@ -140,7 +138,7 @@ pub fn simulate(
 ) -> Result<(f64, f64), DatapathError> {
     // Validate names/lengths by reusing the estimator's checks.
     let _ = estimate(dp, inputs)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut errors = 0u64;
     let mut abs_ed_sum = 0.0f64;
     for _ in 0..samples {
@@ -149,7 +147,7 @@ pub fn simulate(
             .map(|(name, probs)| {
                 let mut v = 0u64;
                 for (i, &p) in probs.iter().enumerate() {
-                    if rng.gen::<f64>() < p {
+                    if rng.next_f64() < p {
                         v |= 1 << i;
                     }
                 }

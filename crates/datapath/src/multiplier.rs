@@ -7,10 +7,8 @@
 //! the classic shift-add scheme with a configurable accumulator chain and
 //! measures the resulting arithmetic quality.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sealpaa_cells::{AdderChain, Cell};
+use sealpaa_sim::Xoshiro256pp;
 
 /// A `width × width` unsigned multiplier whose partial-product accumulation
 /// runs through approximate adder chains.
@@ -84,14 +82,14 @@ impl ShiftAddMultiplier {
 
     /// Monte-Carlo quality metrics over uniformly random operands.
     pub fn quality(&self, samples: u64, seed: u64) -> MultiplierQuality {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mask = (1u64 << self.width) - 1;
         let mut errors = 0u64;
         let mut rel_ed_sum = 0.0f64;
         let mut max_abs = 0u64;
         for _ in 0..samples {
-            let a = rng.gen::<u64>() & mask;
-            let b = rng.gen::<u64>() & mask;
+            let a = rng.next_u64() & mask;
+            let b = rng.next_u64() & mask;
             let approx = self.multiply(a, b);
             let exact = a * b;
             if approx != exact {

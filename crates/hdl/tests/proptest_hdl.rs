@@ -1,56 +1,64 @@
 //! Property tests: the synthesized logic is equivalent to the behavioural
 //! model for *arbitrary* truth tables and chains, not just the library's.
+//!
+//! Random tables come from the workspace's seeded xoshiro256++ generator, so
+//! failures replay deterministically.
 
-use proptest::prelude::*;
 use sealpaa_cells::{AdderChain, Cell, FaInput, StandardCell, TruthTable};
 use sealpaa_hdl::{cell_netlist, cell_verilog, chain_netlist, SumOfProducts};
+use sealpaa_sim::Xoshiro256pp;
 
-fn any_table() -> impl Strategy<Value = TruthTable> {
-    (any::<u8>(), any::<u8>()).prop_map(|(s, c)| TruthTable::from_bits(s, c))
+/// Randomized trials per property.
+const CASES: u64 = 128;
+
+fn rand_table(rng: &mut Xoshiro256pp) -> TruthTable {
+    let bits = rng.next_u64();
+    TruthTable::from_bits(bits as u8, (bits >> 8) as u8)
 }
 
-proptest! {
-    #[test]
-    fn sop_synthesis_is_exact_for_random_tables(table in any_table()) {
+#[test]
+fn sop_synthesis_is_exact_for_random_tables() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB001);
+    for _ in 0..CASES {
+        let table = rand_table(&mut rng);
         let sum = SumOfProducts::for_sum(&table);
         let carry = SumOfProducts::for_carry(&table);
         for input in FaInput::all() {
-            prop_assert_eq!(sum.eval(input), table.eval(input).sum);
-            prop_assert_eq!(carry.eval(input), table.eval(input).carry_out);
+            assert_eq!(sum.eval(input), table.eval(input).sum);
+            assert_eq!(carry.eval(input), table.eval(input).carry_out);
         }
     }
+}
 
-    #[test]
-    fn netlist_matches_table_for_random_cells(table in any_table()) {
+#[test]
+fn netlist_matches_table_for_random_cells() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB002);
+    for _ in 0..CASES {
+        let table = rand_table(&mut rng);
         let cell = Cell::custom("random", table);
         let netlist = cell_netlist(&cell);
         for input in FaInput::all() {
-            let out = netlist.eval(&[
-                ("a", input.a),
-                ("b", input.b),
-                ("cin", input.carry_in),
-            ]);
+            let out = netlist.eval(&[("a", input.a), ("b", input.b), ("cin", input.carry_in)]);
             let expect = table.eval(input);
-            prop_assert_eq!(out["sum"], expect.sum);
-            prop_assert_eq!(out["cout"], expect.carry_out);
+            assert_eq!(out["sum"], expect.sum);
+            assert_eq!(out["cout"], expect.carry_out);
         }
     }
+}
 
-    #[test]
-    fn random_hybrid_chain_netlists_match_functional_model(
-        tables in prop::collection::vec(any_table(), 1..=3),
-        a in any::<u64>(),
-        b in any::<u64>(),
-        cin in any::<bool>(),
-    ) {
+#[test]
+fn random_hybrid_chain_netlists_match_functional_model() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB003);
+    for case in 0..CASES {
+        let width = 1 + rng.next_below(3) as usize;
         let chain = AdderChain::from_stages(
-            tables
-                .iter()
-                .enumerate()
-                .map(|(i, t)| Cell::custom(format!("r{i}"), *t))
+            (0..width)
+                .map(|i| Cell::custom(format!("r{i}"), rand_table(&mut rng)))
                 .collect(),
         );
-        let width = chain.width();
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        let cin = rng.next_bool(0.5);
         let netlist = chain_netlist(&chain);
         let a_names: Vec<String> = (0..width).map(|i| format!("a{i}")).collect();
         let b_names: Vec<String> = (0..width).map(|i| format!("b{i}")).collect();
@@ -65,18 +73,27 @@ proptest! {
         let out = netlist.eval(&assignments);
         let expect = chain.add(a, b, cin);
         for i in 0..width {
-            prop_assert_eq!(out[&format!("s{i}")], (expect.sum_bits() >> i) & 1 == 1);
+            assert_eq!(
+                out[&format!("s{i}")],
+                (expect.sum_bits() >> i) & 1 == 1,
+                "case {case}: sum bit {i}"
+            );
         }
-        prop_assert_eq!(out["cout"], expect.carry_out());
+        assert_eq!(out["cout"], expect.carry_out(), "case {case}");
     }
+}
 
-    #[test]
-    fn literal_count_never_exceeds_minterm_expansion(table in any_table()) {
-        for sop in [SumOfProducts::for_sum(&table), SumOfProducts::for_carry(&table)] {
-            let minterms = FaInput::all()
-                .filter(|&i| sop.eval(i))
-                .count();
-            prop_assert!(sop.literal_count() <= minterms * 3);
+#[test]
+fn literal_count_never_exceeds_minterm_expansion() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB004);
+    for _ in 0..CASES {
+        let table = rand_table(&mut rng);
+        for sop in [
+            SumOfProducts::for_sum(&table),
+            SumOfProducts::for_carry(&table),
+        ] {
+            let minterms = FaInput::all().filter(|&i| sop.eval(i)).count();
+            assert!(sop.literal_count() <= minterms * 3);
         }
     }
 }

@@ -1,0 +1,236 @@
+//! Canonical cache keys for analysis requests.
+//!
+//! Two requests that describe the *same mathematical problem* must map to the
+//! same cache entry even when they are spelled differently on the wire. The
+//! canonical form is name-independent and bit-exact:
+//!
+//! * each stage is reduced to its 16-bit truth-table encoding (8 sum bits +
+//!   8 carry bits over the row order of [`FaInput::index`]), so `"lpaa1"` and
+//!   the equivalent `SSSSSSSS/CCCCCCCC` custom spec collide as they should;
+//! * probabilities are keyed by their IEEE-754 bit patterns with `-0.0`
+//!   normalized to `+0.0` (the only distinct-bits pair that compares equal),
+//!   so a constant `p` and an explicit per-bit list of the same value agree;
+//! * when every stage's truth table is symmetric in its `a`/`b` operands the
+//!   analysis cannot distinguish the two operand profiles, so the `(pa, pb)`
+//!   vector pair is sorted — swapping the operands hits the same entry.
+//!
+//! `simulate` keys additionally carry the simulation regime: exhaustive runs
+//! depend only on the adder, while Monte-Carlo runs are deterministic in
+//! `(samples, seed, threads)` and those parameters are part of the key.
+//!
+//! [`FaInput::index`]: sealpaa_cells::FaInput::index
+
+use sealpaa_cells::{AdderChain, FaInput, InputProfile, TruthTable};
+
+use crate::protocol::{AdderSpec, GearSpec, RequestBody, SimMode, SimulateSpec};
+
+/// Returns the canonical cache key for a request body, or `None` when the
+/// request is not cacheable (`stats`, `shutdown`).
+pub fn cache_key(body: &RequestBody) -> Option<String> {
+    match body {
+        RequestBody::Analyze(spec) => Some(format!("analyze|{}", adder_key(spec))),
+        RequestBody::Compare(spec) => Some(format!("compare|{}", adder_key(spec))),
+        RequestBody::Simulate(spec) => Some(simulate_key(spec)),
+        RequestBody::Gear(spec) => Some(gear_key(spec)),
+        RequestBody::Stats | RequestBody::Shutdown => None,
+    }
+}
+
+/// Encodes one truth table as 16 bits: bit `i` of the low byte is the sum
+/// output for [`FaInput::from_index`]`(i)`, bit `i` of the high byte the
+/// carry output.
+fn table_code(table: &TruthTable) -> u16 {
+    let mut sum_bits = 0u16;
+    let mut carry_bits = 0u16;
+    for (i, row) in table.rows().iter().enumerate() {
+        if row.sum {
+            sum_bits |= 1 << i;
+        }
+        if row.carry_out {
+            carry_bits |= 1 << i;
+        }
+    }
+    (carry_bits << 8) | sum_bits
+}
+
+/// True when `eval(a, b, cin) == eval(b, a, cin)` for all eight rows.
+fn is_ab_symmetric(table: &TruthTable) -> bool {
+    FaInput::all().all(|input| {
+        let swapped = FaInput::new(input.b, input.a, input.carry_in);
+        table.eval(input) == table.eval(swapped)
+    })
+}
+
+/// One probability as a stable hex token: the IEEE-754 bit pattern with
+/// `-0.0` folded into `+0.0`.
+fn prob_token(p: f64) -> u64 {
+    let p = if p == 0.0 { 0.0 } else { p };
+    p.to_bits()
+}
+
+fn chain_tokens(chain: &AdderChain) -> (String, bool) {
+    let mut symmetric = true;
+    let tokens: Vec<String> = chain
+        .iter()
+        .map(|cell| {
+            symmetric &= is_ab_symmetric(cell.truth_table());
+            format!("{:04x}", table_code(cell.truth_table()))
+        })
+        .collect();
+    (tokens.join(","), symmetric)
+}
+
+fn profile_vec_token(profile: &InputProfile<f64>, pick_a: bool) -> String {
+    (0..profile.width())
+        .map(|i| {
+            let p = if pick_a { profile.pa(i) } else { profile.pb(i) };
+            format!("{:016x}", prob_token(*p))
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The canonical token for an adder configuration (chain + profile).
+fn adder_key(spec: &AdderSpec) -> String {
+    let (chain, symmetric) = chain_tokens(&spec.chain);
+    let mut pa = profile_vec_token(&spec.profile, true);
+    let mut pb = profile_vec_token(&spec.profile, false);
+    if symmetric && pb < pa {
+        std::mem::swap(&mut pa, &mut pb);
+    }
+    format!(
+        "{chain}|{pa}|{pb}|{:016x}",
+        prob_token(*spec.profile.p_cin())
+    )
+}
+
+fn simulate_key(spec: &SimulateSpec) -> String {
+    let adder = adder_key(&spec.adder);
+    match spec.mode {
+        SimMode::Exhaustive => format!("simulate.exhaustive|{adder}"),
+        SimMode::MonteCarlo {
+            samples,
+            seed,
+            threads,
+        } => format!("simulate.mc|{samples}|{seed}|{threads}|{adder}"),
+    }
+}
+
+fn gear_key(spec: &GearSpec) -> String {
+    format!(
+        "gear|{}|{}|{}|{:016x}|{:016x}|{}",
+        spec.n,
+        spec.r,
+        spec.overlap,
+        prob_token(spec.p),
+        prob_token(spec.cin),
+        spec.blocks
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    fn key_of(line: &str) -> String {
+        let req = Request::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        cache_key(&req.body).expect("cacheable")
+    }
+
+    #[test]
+    fn named_cell_and_equivalent_truth_table_share_a_key() {
+        let named = key_of(r#"{"kind":"analyze","width":4,"cell":"lpaa1"}"#);
+        let spec = sealpaa_cells::StandardCell::Lpaa1
+            .truth_table()
+            .to_spec_string();
+        let spelled = key_of(&format!(
+            r#"{{"kind":"analyze","width":4,"cell":"{spec}"}}"#
+        ));
+        assert_eq!(named, spelled);
+    }
+
+    #[test]
+    fn constant_p_and_explicit_lists_share_a_key() {
+        let constant = key_of(r#"{"kind":"analyze","width":3,"cell":"lpaa2","p":0.25}"#);
+        let listed = key_of(
+            r#"{"kind":"analyze","width":3,"cell":"lpaa2","pa":[0.25,0.25,0.25],"pb":[0.25,0.25,0.25],"cin":0.25}"#,
+        );
+        assert_eq!(constant, listed);
+    }
+
+    #[test]
+    fn negative_zero_folds_into_zero() {
+        let plus = key_of(r#"{"kind":"analyze","width":2,"cell":"lpaa1","p":0.0}"#);
+        let minus = key_of(r#"{"kind":"analyze","width":2,"cell":"lpaa1","p":-0.0}"#);
+        assert_eq!(plus, minus);
+    }
+
+    #[test]
+    fn operand_swap_shares_a_key_for_symmetric_cells() {
+        // The accurate full adder is a/b-symmetric.
+        let ab = key_of(
+            r#"{"kind":"analyze","width":2,"cell":"accurate","pa":[0.1,0.2],"pb":[0.3,0.4]}"#,
+        );
+        let ba = key_of(
+            r#"{"kind":"analyze","width":2,"cell":"accurate","pa":[0.3,0.4],"pb":[0.1,0.2]}"#,
+        );
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn operand_swap_distinguished_for_asymmetric_cells() {
+        // LPAA5 (approximate mirror adder 3 in the paper's numbering) treats
+        // its operands asymmetrically, so the swap must NOT collide. Guard
+        // with an explicit symmetry check so the test tracks the library.
+        let table = sealpaa_cells::StandardCell::Lpaa5.truth_table();
+        assert!(!is_ab_symmetric(&table), "pick an asymmetric cell");
+        let ab =
+            key_of(r#"{"kind":"analyze","width":2,"cell":"lpaa5","pa":[0.1,0.2],"pb":[0.3,0.4]}"#);
+        let ba =
+            key_of(r#"{"kind":"analyze","width":2,"cell":"lpaa5","pa":[0.3,0.4],"pb":[0.1,0.2]}"#);
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn different_kinds_never_collide() {
+        let analyze = key_of(r#"{"kind":"analyze","width":4,"cell":"lpaa1"}"#);
+        let compare = key_of(r#"{"kind":"compare","width":4,"cell":"lpaa1"}"#);
+        let simulate = key_of(r#"{"kind":"simulate","width":4,"cell":"lpaa1"}"#);
+        assert_ne!(analyze, compare);
+        assert_ne!(analyze, simulate);
+        assert_ne!(compare, simulate);
+    }
+
+    #[test]
+    fn monte_carlo_key_tracks_sampling_parameters() {
+        let a = key_of(r#"{"kind":"simulate","width":4,"cell":"lpaa1","samples":100,"seed":1}"#);
+        let b = key_of(r#"{"kind":"simulate","width":4,"cell":"lpaa1","samples":100,"seed":2}"#);
+        let c = key_of(r#"{"kind":"simulate","width":4,"cell":"lpaa1","samples":200,"seed":1}"#);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gear_key_covers_every_parameter() {
+        let base = key_of(r#"{"kind":"gear","n":8,"r":2,"overlap":2}"#);
+        for other in [
+            r#"{"kind":"gear","n":16,"r":2,"overlap":2}"#,
+            r#"{"kind":"gear","n":8,"r":4,"overlap":2}"#,
+            r#"{"kind":"gear","n":8,"r":2,"overlap":4}"#,
+            r#"{"kind":"gear","n":8,"r":2,"overlap":2,"p":0.3}"#,
+            r#"{"kind":"gear","n":8,"r":2,"overlap":2,"cin":1.0}"#,
+            r#"{"kind":"gear","n":8,"r":2,"overlap":2,"blocks":true}"#,
+        ] {
+            assert_ne!(base, key_of(other), "{other}");
+        }
+    }
+
+    #[test]
+    fn control_requests_are_uncacheable() {
+        for line in [r#"{"kind":"stats"}"#, r#"{"kind":"shutdown"}"#] {
+            let req = Request::parse(line).expect("valid");
+            assert!(cache_key(&req.body).is_none());
+        }
+    }
+}

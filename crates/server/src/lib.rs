@@ -1,0 +1,38 @@
+//! SEALPAA analysis-as-a-service: a std-only daemon serving the paper's
+//! error analyses over a newline-delimited JSON protocol.
+//!
+//! The DAC'17 method's selling point is that error analysis is `O(N)` —
+//! cheap enough to sit inside design-space-exploration loops that evaluate
+//! thousands of candidate adders. This crate turns the batch engines into a
+//! long-running service:
+//!
+//! * [`json`] — the JSON value model shared with the CLI (writer + parser),
+//! * [`protocol`] — typed request/response model for the wire format,
+//! * [`canonical`] — canonicalization of adder configurations so equivalent
+//!   requests share one cache entry,
+//! * [`cache`] — a sharded LRU result cache,
+//! * [`pool`] — a fixed-size worker pool over a bounded job queue with
+//!   backpressure,
+//! * [`metrics`] — request counters and a fixed-bucket latency histogram,
+//! * [`server`] — the TCP daemon and the `--stdio` pipeline mode.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use sealpaa_server::server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default()).expect("bind");
+//! println!("listening on {}", server.local_addr());
+//! server.run().expect("serve");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod canonical;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod server;

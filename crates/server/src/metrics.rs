@@ -1,0 +1,170 @@
+//! Lock-free request counters and a fixed-bucket latency histogram.
+//!
+//! Latencies are recorded in microseconds into power-of-two buckets
+//! (`<1 µs`, `<2 µs`, `<4 µs`, …). Quantiles are answered from the bucket
+//! counts: the reported p50/p99 is the *upper bound* of the bucket holding
+//! that quantile, i.e. exact to within a factor of two — plenty for "is the
+//! cache working" dashboards, and recording stays a single relaxed atomic
+//! increment on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets. Bucket `i` counts latencies in
+/// `[2^i, 2^(i+1)) µs` (bucket 0 is `[0, 2)`); the last bucket absorbs
+/// everything from `2^30 µs` (~18 minutes) up.
+const BUCKETS: usize = 31;
+
+/// Shared request counters for the daemon.
+pub struct Metrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests that produced a successful response.
+    pub requests: u64,
+    /// Requests rejected with an error response.
+    pub errors: u64,
+    /// Median service latency in microseconds (bucket upper bound).
+    pub p50_micros: u64,
+    /// 99th-percentile service latency in microseconds (bucket upper bound).
+    pub p99_micros: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one successfully served request and its latency.
+    pub fn record_ok(&self, micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let bucket = if micros < 2 {
+            0
+        } else {
+            (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request that was answered with an error.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads all counters. Concurrent recording may tear between counters
+    /// (a snapshot is not an atomic cut), which is fine for monitoring.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            p50_micros: quantile(&counts, 0.50),
+            p99_micros: quantile(&counts, 0.99),
+        }
+    }
+}
+
+/// The upper bound (in µs) of the bucket containing the `q`-quantile sample.
+fn quantile(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // Rank of the quantile sample, 1-based: ceil(q * total), clamped to ≥1.
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &count) in counts.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (i + 1);
+        }
+    }
+    1u64 << BUCKETS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_report_zero() {
+        let snap = Metrics::new().snapshot();
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.errors, 0);
+        assert_eq!(snap.p50_micros, 0);
+        assert_eq!(snap.p99_micros, 0);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let metrics = Metrics::new();
+        // 99 fast requests (~1 µs) and one slow outlier (~1 ms).
+        for _ in 0..99 {
+            metrics.record_ok(1);
+        }
+        metrics.record_ok(1000);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.requests, 100);
+        assert_eq!(snap.p50_micros, 2, "median is in the fastest bucket");
+        // Rank ceil(0.99 * 100) = 99 still falls in the fast bucket; the
+        // outlier only shows up beyond p99.
+        assert_eq!(snap.p99_micros, 2);
+
+        // Two more slow requests drag p99 into the outlier bucket
+        // (rank ceil(.99*102) = 101 > 99 fast ones).
+        metrics.record_ok(1000);
+        metrics.record_ok(1000);
+        let snap = metrics.snapshot();
+        // 1000 µs lies in [512, 1024) → bucket 9 → upper bound 1024.
+        assert_eq!(snap.p99_micros, 1024);
+    }
+
+    #[test]
+    fn uniform_latencies_give_that_bucket_for_all_quantiles() {
+        let metrics = Metrics::new();
+        for _ in 0..10 {
+            metrics.record_ok(300); // [256, 512) → upper bound 512
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.p50_micros, 512);
+        assert_eq!(snap.p99_micros, 512);
+    }
+
+    #[test]
+    fn huge_latencies_clamp_to_the_last_bucket() {
+        let metrics = Metrics::new();
+        metrics.record_ok(u64::MAX);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.p99_micros, 1u64 << BUCKETS);
+    }
+
+    #[test]
+    fn errors_are_counted_separately() {
+        let metrics = Metrics::new();
+        metrics.record_ok(5);
+        metrics.record_error();
+        metrics.record_error();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.errors, 2);
+    }
+}

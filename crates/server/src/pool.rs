@@ -1,0 +1,240 @@
+//! A fixed-size worker thread pool over a bounded job queue.
+//!
+//! Connection threads submit closures; `threads` workers drain them. The
+//! queue is bounded: when it is full, [`WorkerPool::submit`] blocks the
+//! caller until a slot frees up. That blocking *is* the backpressure — a
+//! client flooding the daemon ends up waiting on its own socket rather than
+//! growing an unbounded in-memory backlog.
+//!
+//! Shutdown is graceful by construction: [`WorkerPool::shutdown`] closes the
+//! queue to new submissions, and workers keep draining already-accepted jobs
+//! until the queue is empty before exiting. Dropping the pool implies
+//! shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work executed on a pool worker.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+    capacity: usize,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a job is pushed or the queue closes (workers wait).
+    job_ready: Condvar,
+    /// Signalled when a job is popped (blocked submitters wait).
+    slot_free: Condvar,
+}
+
+/// The pool proper. See the module docs for semantics.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers sharing a queue bounded at `queue_capacity`
+    /// pending jobs. Both values are clamped to at least 1.
+    pub fn new(threads: usize, queue_capacity: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                closed: false,
+                capacity: queue_capacity.max(1),
+            }),
+            job_ready: Condvar::new(),
+            slot_free: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sealpaa-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Enqueues a job, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back if the pool has been shut down.
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        loop {
+            if queue.closed {
+                return Err(job);
+            }
+            if queue.jobs.len() < queue.capacity {
+                queue.jobs.push_back(job);
+                drop(queue);
+                self.shared.job_ready.notify_one();
+                return Ok(());
+            }
+            queue = self
+                .shared
+                .slot_free
+                .wait(queue)
+                .expect("pool queue poisoned");
+        }
+    }
+
+    /// The number of jobs currently waiting (not counting jobs already
+    /// running on a worker).
+    pub fn depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Closes the queue and waits for the workers to drain every accepted
+    /// job and exit. Idempotent; callable from any thread except a pool
+    /// worker itself.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            if queue.closed {
+                return;
+            }
+            queue.closed = true;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.slot_free.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("pool workers poisoned"));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared.job_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        shared.slot_free.notify_one();
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_every_submitted_job() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(4, 8);
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }))
+            .ok()
+            .expect("pool open");
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_jobs() {
+        // One worker, slow jobs: everything accepted before shutdown must
+        // still run to completion.
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(1, 16);
+        for _ in 0..5 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .ok()
+            .expect("pool open");
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn submit_after_shutdown_returns_the_job() {
+        let pool = WorkerPool::new(1, 1);
+        pool.shutdown();
+        assert!(pool.submit(Box::new(|| {})).is_err());
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        // Block the single worker, fill the 1-slot queue, then verify the
+        // next submit does not return until the worker makes progress.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let pool = Arc::new(WorkerPool::new(1, 1));
+        pool.submit(Box::new(move || {
+            gate_rx.recv().ok();
+        }))
+        .ok()
+        .expect("pool open");
+        // Give the worker a moment to pick up the blocking job, then fill
+        // the queue's single slot.
+        std::thread::sleep(Duration::from_millis(20));
+        pool.submit(Box::new(|| {})).ok().expect("fills the queue");
+        assert_eq!(pool.depth(), 1);
+
+        let (probe_tx, probe_rx) = mpsc::channel::<&'static str>();
+        let submitter = {
+            let pool = Arc::clone(&pool);
+            let probe_tx = probe_tx.clone();
+            std::thread::spawn(move || {
+                pool.submit(Box::new(|| {})).ok().expect("pool open");
+                probe_tx.send("submitted").ok();
+            })
+        };
+        // The submitter must be blocked while the worker is gated.
+        assert!(
+            probe_rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "submit returned although the queue was full"
+        );
+        gate_tx.send(()).expect("worker waiting");
+        assert_eq!(
+            probe_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("submit unblocked"),
+            "submitted"
+        );
+        submitter.join().expect("no panic");
+        pool.shutdown();
+    }
+}

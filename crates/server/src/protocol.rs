@@ -1,0 +1,526 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every request is one JSON object on one line with a `"kind"` field and an
+//! optional client-chosen `"id"` that is echoed back verbatim. Adder-shaped
+//! requests (`analyze`, `simulate`, `compare`) accept the same configuration
+//! vocabulary as the CLI: `width` + `cell`/`cells`, and `p`/`pa`/`pb`/`cin`
+//! input probabilities. See `docs/SERVER.md` for a worked example per kind.
+
+use std::str::FromStr;
+
+use sealpaa_cells::{AdderChain, Cell, InputProfile, StandardCell, TruthTable};
+
+use crate::json::{Json, JsonObject};
+
+/// The maximum accepted line length (1 MiB) — a guard against unbounded
+/// memory growth from a misbehaving client.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One parsed request: the echoed `id` plus the typed body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back verbatim (any JSON value).
+    pub id: Option<Json>,
+    /// The request proper.
+    pub body: RequestBody,
+}
+
+/// The typed request kinds the daemon serves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// The paper's O(N) analytical method.
+    Analyze(AdderSpec),
+    /// Bit-true simulation (exhaustive or Monte-Carlo).
+    Simulate(SimulateSpec),
+    /// Proposed method vs. the 2^k-term inclusion–exclusion baseline.
+    Compare(AdderSpec),
+    /// GeAr low-latency adder analysis.
+    Gear(GearSpec),
+    /// Server counters (served inline, never queued).
+    Stats,
+    /// Graceful shutdown: drain in-flight jobs, answer, stop.
+    Shutdown,
+}
+
+impl RequestBody {
+    /// The wire name of this request kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestBody::Analyze(_) => "analyze",
+            RequestBody::Simulate(_) => "simulate",
+            RequestBody::Compare(_) => "compare",
+            RequestBody::Gear(_) => "gear",
+            RequestBody::Stats => "stats",
+            RequestBody::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A multi-bit adder configuration: the per-stage cells plus the input
+/// profile, exactly the inputs of the paper's analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdderSpec {
+    /// The (possibly hybrid) chain, LSB first.
+    pub chain: AdderChain,
+    /// Per-bit input probabilities.
+    pub profile: InputProfile<f64>,
+}
+
+/// How to simulate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimMode {
+    /// Enumerate all `2^(2N+1)` input combinations.
+    Exhaustive,
+    /// Draw random samples (deterministic for a fixed `(seed, threads)`).
+    MonteCarlo {
+        /// Number of samples.
+        samples: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Internal worker threads of the simulator itself.
+        threads: usize,
+    },
+}
+
+/// A `simulate` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateSpec {
+    /// The adder under test.
+    pub adder: AdderSpec,
+    /// Simulation regime.
+    pub mode: SimMode,
+}
+
+/// A `gear` request: GeAr(N, R, P) plus input probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GearSpec {
+    /// Operand width.
+    pub n: usize,
+    /// Result bits per sub-adder.
+    pub r: usize,
+    /// Prediction/overlap bits per sub-adder.
+    pub overlap: usize,
+    /// Constant `P(bit = 1)` for all operand bits.
+    pub p: f64,
+    /// External carry-in probability.
+    pub cin: f64,
+    /// Also report each fallible sub-adder's `P(E_j)`.
+    pub blocks: bool,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, unknown kinds,
+    /// or invalid configuration values.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(format!(
+                "request exceeds {MAX_LINE_BYTES} bytes; split it or shrink the profile"
+            ));
+        }
+        let doc = Json::parse(line).map_err(|e| e.to_string())?;
+        if !matches!(doc, Json::Object(_)) {
+            return Err("a request must be a JSON object".to_owned());
+        }
+        let id = doc.get("id").cloned();
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing string field \"kind\"")?;
+        let body = match kind {
+            "analyze" => RequestBody::Analyze(AdderSpec::from_json(&doc)?),
+            "simulate" => RequestBody::Simulate(SimulateSpec::from_json(&doc)?),
+            "compare" => RequestBody::Compare(AdderSpec::from_json(&doc)?),
+            "gear" => RequestBody::Gear(GearSpec::from_json(&doc)?),
+            "stats" => RequestBody::Stats,
+            "shutdown" => RequestBody::Shutdown,
+            other => {
+                return Err(format!(
+                    "unknown kind {other:?} (expected analyze, simulate, compare, gear, stats \
+                     or shutdown)"
+                ))
+            }
+        };
+        Ok(Request { id, body })
+    }
+}
+
+/// Resolves a cell name: `accurate`/`accufa`, `lpaa1`…`lpaa7`, or a custom
+/// truth table `SSSSSSSS/CCCCCCCC` (row 0 first; same syntax as the CLI).
+///
+/// # Errors
+///
+/// Returns a message for unknown names or malformed tables.
+pub fn resolve_cell(spec: &str) -> Result<Cell, String> {
+    if let Ok(std_cell) = StandardCell::from_str(spec) {
+        return Ok(std_cell.cell());
+    }
+    if spec.contains('/') {
+        let table = TruthTable::from_str(spec).map_err(|e| e.to_string())?;
+        return Ok(Cell::custom(format!("custom({spec})"), table));
+    }
+    Err(format!(
+        "unknown cell {spec:?} (use accurate, lpaa1..lpaa7, or SSSSSSSS/CCCCCCCC)"
+    ))
+}
+
+fn prob_field(doc: &Json, key: &str) -> Result<Option<f64>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let p = v
+                .as_f64()
+                .ok_or_else(|| format!("\"{key}\" must be a number"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("\"{key}\" must lie in [0, 1], got {p}"));
+            }
+            Ok(Some(p))
+        }
+    }
+}
+
+fn prob_list(doc: &Json, key: &str, width: usize) -> Result<Option<Vec<f64>>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| format!("\"{key}\" must be an array of numbers"))?;
+            if items.len() != width {
+                return Err(format!(
+                    "\"{key}\" lists {} values but the adder has {width} stages",
+                    items.len()
+                ));
+            }
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let p = item
+                    .as_f64()
+                    .ok_or_else(|| format!("\"{key}\"[{i}] must be a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("\"{key}\"[{i}] must lie in [0, 1], got {p}"));
+                }
+                out.push(p);
+            }
+            Ok(Some(out))
+        }
+    }
+}
+
+impl AdderSpec {
+    /// Builds the chain + profile from the request object's `width`,
+    /// `cell`/`cells`, and `p`/`pa`/`pb`/`cin` fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for missing or inconsistent fields.
+    pub fn from_json(doc: &Json) -> Result<AdderSpec, String> {
+        let cells: Vec<Cell> = match (doc.get("cell"), doc.get("cells")) {
+            (Some(_), Some(_)) => {
+                return Err("\"cell\" and \"cells\" are mutually exclusive".to_owned())
+            }
+            (Some(one), None) => {
+                let name = one.as_str().ok_or("\"cell\" must be a string")?;
+                let width = doc
+                    .get("width")
+                    .and_then(Json::as_u64)
+                    .ok_or("\"width\" (a positive integer) is required with \"cell\"")?
+                    as usize;
+                if width == 0 || width > 64 {
+                    return Err("\"width\" must be 1..=64".to_owned());
+                }
+                vec![resolve_cell(name)?; width]
+            }
+            (None, Some(many)) => {
+                let names = many
+                    .as_array()
+                    .ok_or("\"cells\" must be an array of cell names")?;
+                if names.is_empty() || names.len() > 64 {
+                    return Err("\"cells\" must list 1..=64 stages".to_owned());
+                }
+                if let Some(w) = doc.get("width").and_then(Json::as_u64) {
+                    if w as usize != names.len() {
+                        return Err(format!(
+                            "\"width\" is {w} but \"cells\" lists {} stages",
+                            names.len()
+                        ));
+                    }
+                }
+                names
+                    .iter()
+                    .map(|n| {
+                        n.as_str()
+                            .ok_or_else(|| "\"cells\" entries must be strings".to_owned())
+                            .and_then(resolve_cell)
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            (None, None) => return Err("one of \"cell\" or \"cells\" is required".to_owned()),
+        };
+        let width = cells.len();
+        let p = prob_field(doc, "p")?.unwrap_or(0.5);
+        let pa = prob_list(doc, "pa", width)?.unwrap_or_else(|| vec![p; width]);
+        let pb = prob_list(doc, "pb", width)?.unwrap_or_else(|| vec![p; width]);
+        let cin = prob_field(doc, "cin")?.unwrap_or(p);
+        let profile = InputProfile::new(pa, pb, cin).map_err(|e| e.to_string())?;
+        Ok(AdderSpec {
+            chain: AdderChain::from_stages(cells),
+            profile,
+        })
+    }
+}
+
+impl SimulateSpec {
+    fn from_json(doc: &Json) -> Result<SimulateSpec, String> {
+        let adder = AdderSpec::from_json(doc)?;
+        let mode_name = doc.get("mode").and_then(Json::as_str);
+        let has_samples = doc.get("samples").is_some();
+        let mode = match (mode_name, has_samples) {
+            (Some("exhaustive"), false) => SimMode::Exhaustive,
+            (Some("exhaustive"), true) => {
+                return Err("\"samples\" is meaningless with mode \"exhaustive\"".to_owned())
+            }
+            (Some("monte_carlo"), _) | (None, true) => SimMode::MonteCarlo {
+                samples: doc
+                    .get("samples")
+                    .map(|v| {
+                        v.as_u64()
+                            .ok_or("\"samples\" must be a non-negative integer")
+                    })
+                    .transpose()?
+                    .unwrap_or(1_000_000),
+                seed: doc
+                    .get("seed")
+                    .map(|v| v.as_u64().ok_or("\"seed\" must be a non-negative integer"))
+                    .transpose()?
+                    .unwrap_or(0xDAC1_7ADD),
+                threads: doc
+                    .get("threads")
+                    .map(|v| v.as_u64().ok_or("\"threads\" must be a positive integer"))
+                    .transpose()?
+                    .unwrap_or(1) as usize,
+            },
+            (None, false) => SimMode::Exhaustive,
+            (Some(other), _) => {
+                return Err(format!(
+                    "unknown mode {other:?} (expected exhaustive or monte_carlo)"
+                ))
+            }
+        };
+        Ok(SimulateSpec { adder, mode })
+    }
+}
+
+impl GearSpec {
+    fn from_json(doc: &Json) -> Result<GearSpec, String> {
+        let int = |key: &str| -> Result<usize, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("\"{key}\" (a non-negative integer) is required"))
+        };
+        Ok(GearSpec {
+            n: int("n")?,
+            r: int("r")?,
+            overlap: int("overlap")?,
+            p: prob_field(doc, "p")?.unwrap_or(0.5),
+            cin: prob_field(doc, "cin")?.unwrap_or(0.0),
+            blocks: doc.get("blocks").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// Builds a success response line (without the trailing newline).
+pub fn ok_response(id: Option<&Json>, kind: &str, cached: bool, micros: u64, result: Json) -> Json {
+    let mut obj = JsonObject::default();
+    if let Some(id) = id {
+        obj = obj.field("id", id.clone());
+    }
+    obj.field("ok", true)
+        .field("kind", kind)
+        .field("cached", cached)
+        .field("micros", micros)
+        .field("result", result)
+        .build()
+}
+
+/// Builds an error response line (without the trailing newline).
+pub fn error_response(id: Option<&Json>, message: &str) -> Json {
+    let mut obj = JsonObject::default();
+    if let Some(id) = id {
+        obj = obj.field("id", id.clone());
+    }
+    obj.field("ok", false).field("error", message).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_request_kind() {
+        let cases = [
+            (
+                r#"{"kind":"analyze","width":4,"cell":"lpaa1","p":0.1}"#,
+                "analyze",
+            ),
+            (
+                r#"{"kind":"simulate","cells":["lpaa1","accurate"],"samples":1000,"seed":7}"#,
+                "simulate",
+            ),
+            (r#"{"kind":"compare","width":3,"cell":"lpaa5"}"#, "compare"),
+            (r#"{"kind":"gear","n":8,"r":2,"overlap":2}"#, "gear"),
+            (r#"{"kind":"stats"}"#, "stats"),
+            (r#"{"kind":"shutdown"}"#, "shutdown"),
+        ];
+        for (line, kind) in cases {
+            let req = Request::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(req.body.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn id_is_preserved_any_json_type() {
+        let req = Request::parse(r#"{"id":17,"kind":"stats"}"#).expect("valid");
+        assert_eq!(req.id, Some(Json::Number(17.0)));
+        let req = Request::parse(r#"{"id":"abc","kind":"stats"}"#).expect("valid");
+        assert_eq!(req.id, Some(Json::from("abc")));
+        let req = Request::parse(r#"{"kind":"stats"}"#).expect("valid");
+        assert_eq!(req.id, None);
+    }
+
+    #[test]
+    fn analyze_profile_fields() {
+        let req = Request::parse(
+            r#"{"kind":"analyze","width":2,"cell":"lpaa1","pa":[0.1,0.2],"pb":[0.3,0.4],"cin":0.9}"#,
+        )
+        .expect("valid");
+        let RequestBody::Analyze(spec) = req.body else {
+            panic!("wrong kind")
+        };
+        assert_eq!(*spec.profile.pa(1), 0.2);
+        assert_eq!(*spec.profile.pb(0), 0.3);
+        assert_eq!(*spec.profile.p_cin(), 0.9);
+        assert_eq!(spec.chain.width(), 2);
+    }
+
+    #[test]
+    fn custom_truth_table_cells_resolve() {
+        let accurate = TruthTable::accurate().to_spec_string();
+        let req = Request::parse(&format!(
+            r#"{{"kind":"analyze","width":2,"cell":"{accurate}"}}"#
+        ))
+        .expect("valid");
+        let RequestBody::Analyze(spec) = req.body else {
+            panic!("wrong kind")
+        };
+        assert!(spec.chain.is_accurate());
+    }
+
+    #[test]
+    fn simulate_mode_selection() {
+        let exhaustive =
+            Request::parse(r#"{"kind":"simulate","width":3,"cell":"lpaa1"}"#).expect("valid");
+        let RequestBody::Simulate(s) = exhaustive.body else {
+            panic!()
+        };
+        assert_eq!(s.mode, SimMode::Exhaustive);
+
+        let mc = Request::parse(
+            r#"{"kind":"simulate","width":3,"cell":"lpaa1","samples":10,"threads":2}"#,
+        )
+        .expect("valid");
+        let RequestBody::Simulate(s) = mc.body else {
+            panic!()
+        };
+        assert_eq!(
+            s.mode,
+            SimMode::MonteCarlo {
+                samples: 10,
+                seed: 0xDAC1_7ADD,
+                threads: 2
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"id":1}"#, "kind"),
+            (r#"{"kind":"frobnicate"}"#, "unknown kind"),
+            (r#"{"kind":"analyze"}"#, "\"cell\""),
+            (r#"{"kind":"analyze","cell":"lpaa1"}"#, "\"width\""),
+            (r#"{"kind":"analyze","width":0,"cell":"lpaa1"}"#, "1..=64"),
+            (
+                r#"{"kind":"analyze","width":2,"cell":"nope"}"#,
+                "unknown cell",
+            ),
+            (
+                r#"{"kind":"analyze","width":2,"cell":"lpaa1","p":1.5}"#,
+                "[0, 1]",
+            ),
+            (
+                r#"{"kind":"analyze","width":3,"cell":"lpaa1","pa":[0.5]}"#,
+                "3 stages",
+            ),
+            (
+                r#"{"kind":"analyze","width":2,"cell":"lpaa1","cells":["lpaa1","lpaa1"]}"#,
+                "mutually exclusive",
+            ),
+            (
+                r#"{"kind":"simulate","width":2,"cell":"lpaa1","mode":"quantum"}"#,
+                "unknown mode",
+            ),
+            (r#"{"kind":"gear","n":8}"#, "\"r\""),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err} (wanted {needle})");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_parser() {
+        let ok = ok_response(
+            Some(&Json::Number(3.0)),
+            "analyze",
+            true,
+            125,
+            Json::object().field("error_probability", 0.25).build(),
+        );
+        let parsed = Json::parse(&ok.render()).expect("own output parses");
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("micros").and_then(Json::as_u64), Some(125));
+        assert_eq!(
+            parsed
+                .get("result")
+                .and_then(|r| r.get("error_probability"))
+                .and_then(Json::as_f64),
+            Some(0.25)
+        );
+
+        let err = error_response(None, "boom \"quoted\"");
+        let parsed = Json::parse(&err.render()).expect("own output parses");
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some("boom \"quoted\"")
+        );
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected() {
+        let huge = format!(
+            r#"{{"kind":"stats","pad":"{}"}}"#,
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        assert!(Request::parse(&huge)
+            .expect_err("too big")
+            .contains("bytes"));
+    }
+}

@@ -1,0 +1,615 @@
+//! The daemon: TCP listener, connection threads, and the `--stdio` mode.
+//!
+//! One thread accepts connections; each connection gets a reader thread that
+//! parses newline-delimited requests and writes newline-delimited responses.
+//! Analysis work never runs on connection threads — it is submitted to the
+//! shared [`WorkerPool`], whose bounded queue pushes back on flooding
+//! clients. Results are cached under their [canonical key](crate::canonical)
+//! so a repeated request is answered without recomputation (`"cached": true`
+//! in the response).
+//!
+//! # Shutdown
+//!
+//! A `{"kind":"shutdown"}` request (or end-of-input in `--stdio` mode) stops
+//! the daemon gracefully: the listener stops accepting, the worker pool
+//! drains every job it has already accepted, in-flight responses are
+//! written, and only then are the remaining connections closed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sealpaa_cells::StandardCell;
+
+use crate::cache::ResultCache;
+use crate::canonical::cache_key;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
+use crate::protocol::{
+    error_response, ok_response, AdderSpec, GearSpec, Request, RequestBody, SimMode, SimulateSpec,
+};
+
+/// Daemon configuration; [`Default`] gives sensible local settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:4517`. Port 0 picks an ephemeral
+    /// port (query it via [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing analyses.
+    pub threads: usize,
+    /// Total result-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Bounded job-queue capacity; submissions beyond it block.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:4517".to_owned(),
+            threads: 4,
+            cache_entries: 1024,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Everything shared between connection threads.
+struct ServerState {
+    cache: ResultCache,
+    metrics: Metrics,
+    pool: WorkerPool,
+    threads: usize,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn new(config: &ServerConfig) -> ServerState {
+        ServerState {
+            cache: ResultCache::new(config.cache_entries),
+            metrics: Metrics::new(),
+            pool: WorkerPool::new(config.threads, config.queue_capacity),
+            threads: config.threads.max(1),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listen socket and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the address cannot be bound.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let addr = config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::other(format!("unresolvable address {}", config.addr))
+        })?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            state: Arc::new(ServerState::new(&config)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the accept loop fails (per-client
+    /// errors only terminate that client).
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    if let Ok(clone) = stream.try_clone() {
+                        connections.lock().expect("connection registry").push(clone);
+                    }
+                    let state = Arc::clone(&self.state);
+                    handles.push(std::thread::spawn(move || {
+                        let reader = BufReader::new(match stream.try_clone() {
+                            Ok(s) => s,
+                            Err(_) => return,
+                        });
+                        let mut writer = stream;
+                        serve_lines(&state, reader, &mut writer).ok();
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: stop taking new work, finish everything already accepted …
+        self.state.pool.shutdown();
+        // … then unblock readers stuck on idle connections. Only the read
+        // half is shut — a connection thread may still be writing the
+        // response for a job the drain just finished, and that write must
+        // land before the socket closes (when the joined thread drops it).
+        for stream in connections.lock().expect("connection registry").iter() {
+            stream.shutdown(Shutdown::Read).ok();
+        }
+        for handle in handles {
+            handle.join().ok();
+        }
+        Ok(())
+    }
+}
+
+/// Runs the protocol over an arbitrary line stream — the `--stdio` mode.
+/// Returns at end-of-input or after a `shutdown` request, draining the
+/// worker pool before returning.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if reading or writing fails.
+pub fn run_stdio<R: BufRead, W: Write>(
+    config: &ServerConfig,
+    input: R,
+    output: &mut W,
+) -> std::io::Result<()> {
+    let state = Arc::new(ServerState::new(config));
+    serve_lines(&state, input, output)?;
+    state.pool.shutdown();
+    Ok(())
+}
+
+/// The per-connection loop shared by TCP and stdio transports.
+fn serve_lines<R: BufRead, W: Write>(
+    state: &Arc<ServerState>,
+    input: R,
+    output: &mut W,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = match line {
+            Ok(line) => line,
+            // A reset/closed socket just ends this connection.
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = process_line(state, &line);
+        writeln!(output, "{response}")?;
+        output.flush()?;
+        if shutdown {
+            state.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves one request line. Returns the rendered response and whether the
+/// request asked the daemon to stop.
+fn process_line(state: &Arc<ServerState>, line: &str) -> (String, bool) {
+    let started = Instant::now();
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => {
+            state.metrics.record_error();
+            // The id is worth salvaging even from an invalid request.
+            let id = Json::parse(line).ok().and_then(|d| d.get("id").cloned());
+            return (error_response(id.as_ref(), &message).render(), false);
+        }
+    };
+    let id = request.id;
+    let kind = request.body.kind();
+
+    // Control requests are served inline: they must work even when every
+    // worker is busy (that is exactly when you want `stats`).
+    match request.body {
+        RequestBody::Stats => {
+            let result = stats_result(state);
+            let micros = started.elapsed().as_micros() as u64;
+            state.metrics.record_ok(micros);
+            return (
+                ok_response(id.as_ref(), kind, false, micros, result).render(),
+                false,
+            );
+        }
+        RequestBody::Shutdown => {
+            let micros = started.elapsed().as_micros() as u64;
+            state.metrics.record_ok(micros);
+            let result = Json::object().field("stopping", true).build();
+            return (
+                ok_response(id.as_ref(), kind, false, micros, result).render(),
+                true,
+            );
+        }
+        _ => {}
+    }
+
+    let key = cache_key(&request.body);
+    if let Some(key) = &key {
+        if let Some(rendered) = state.cache.get(key) {
+            let result = Json::parse(&rendered).expect("cache holds rendered JSON");
+            let micros = started.elapsed().as_micros() as u64;
+            state.metrics.record_ok(micros);
+            return (
+                ok_response(id.as_ref(), kind, true, micros, result).render(),
+                false,
+            );
+        }
+    }
+
+    // Miss: run the analysis on a pool worker and wait for its answer. The
+    // blocking `submit` (bounded queue) and the blocking `recv` are the
+    // backpressure path that keeps a flooding client on its own socket.
+    let (tx, rx) = mpsc::channel::<Result<Json, String>>();
+    let body = request.body;
+    let submitted = state.pool.submit(Box::new(move || {
+        tx.send(compute_result(&body)).ok();
+    }));
+    if submitted.is_err() {
+        state.metrics.record_error();
+        return (
+            error_response(id.as_ref(), "server is shutting down").render(),
+            false,
+        );
+    }
+    match rx.recv() {
+        Ok(Ok(result)) => {
+            if let Some(key) = key {
+                state.cache.insert(key, result.render());
+            }
+            let micros = started.elapsed().as_micros() as u64;
+            state.metrics.record_ok(micros);
+            (
+                ok_response(id.as_ref(), kind, false, micros, result).render(),
+                false,
+            )
+        }
+        Ok(Err(message)) => {
+            state.metrics.record_error();
+            (error_response(id.as_ref(), &message).render(), false)
+        }
+        Err(_) => {
+            state.metrics.record_error();
+            (
+                error_response(id.as_ref(), "worker dropped the job").render(),
+                false,
+            )
+        }
+    }
+}
+
+fn stats_result(state: &ServerState) -> Json {
+    let cache = state.cache.stats();
+    let metrics = state.metrics.snapshot();
+    Json::object()
+        .field("requests", metrics.requests)
+        .field("errors", metrics.errors)
+        .field("queue_depth", state.pool.depth() as u64)
+        .field("workers", state.threads as u64)
+        .field("p50_micros", metrics.p50_micros)
+        .field("p99_micros", metrics.p99_micros)
+        .field(
+            "cache",
+            Json::object()
+                .field("hits", cache.hits)
+                .field("misses", cache.misses)
+                .field("evictions", cache.evictions)
+                .field("entries", cache.entries as u64)
+                .build(),
+        )
+        .build()
+}
+
+/// Runs the engine for one queued request kind and renders its result.
+fn compute_result(body: &RequestBody) -> Result<Json, String> {
+    match body {
+        RequestBody::Analyze(spec) => analyze_result(spec),
+        RequestBody::Simulate(spec) => simulate_result(spec),
+        RequestBody::Compare(spec) => compare_result(spec),
+        RequestBody::Gear(spec) => gear_result(spec),
+        RequestBody::Stats | RequestBody::Shutdown => {
+            unreachable!("control requests are served inline")
+        }
+    }
+}
+
+fn analyze_result(spec: &AdderSpec) -> Result<Json, String> {
+    let analysis = sealpaa_core::analyze(&spec.chain, &spec.profile).map_err(|e| e.to_string())?;
+    let stages: Vec<Json> = analysis
+        .stages()
+        .iter()
+        .map(|s| {
+            Json::object()
+                .field("stage", s.stage)
+                .field("cell", spec.chain.stage(s.stage).name())
+                .field("p_carry_and_success", *s.carry_out.p_carry_and_success())
+                .field(
+                    "p_not_carry_and_success",
+                    *s.carry_out.p_not_carry_and_success(),
+                )
+                .field("success_through", s.success_through)
+                .build()
+        })
+        .collect();
+    Ok(Json::object()
+        .field("adder", spec.chain.to_string())
+        .field("width", spec.chain.width())
+        .field("error_probability", analysis.error_probability())
+        .field("success_probability", analysis.success_probability())
+        .field("stages", stages)
+        .build())
+}
+
+fn simulate_result(spec: &SimulateSpec) -> Result<Json, String> {
+    let adder = &spec.adder;
+    match spec.mode {
+        SimMode::Exhaustive => {
+            let report =
+                sealpaa_sim::exhaustive(&adder.chain, &adder.profile).map_err(|e| e.to_string())?;
+            Ok(Json::object()
+                .field("mode", "exhaustive")
+                .field("adder", adder.chain.to_string())
+                .field("cases", report.cases)
+                .field("error_cases", report.error_cases)
+                .field("error_probability", report.output_error_probability)
+                .field("stage_error_probability", report.stage_error_probability)
+                .field("mean_error_distance", report.metrics.mean_error_distance)
+                .field(
+                    "mean_absolute_error_distance",
+                    report.metrics.mean_absolute_error_distance,
+                )
+                .field(
+                    "max_absolute_error_distance",
+                    report.metrics.max_absolute_error_distance,
+                )
+                .build())
+        }
+        SimMode::MonteCarlo {
+            samples,
+            seed,
+            threads,
+        } => {
+            let config = sealpaa_sim::MonteCarloConfig {
+                samples,
+                seed,
+                threads,
+            };
+            let report = sealpaa_sim::monte_carlo(&adder.chain, &adder.profile, config)
+                .map_err(|e| e.to_string())?;
+            Ok(Json::object()
+                .field("mode", "monte_carlo")
+                .field("adder", adder.chain.to_string())
+                .field("samples", report.samples)
+                .field("seed", seed)
+                .field("threads", threads as u64)
+                .field("error_samples", report.error_samples)
+                .field("error_probability", report.error_probability())
+                .field("standard_error", report.standard_error)
+                .field("mean_error_distance", report.metrics.mean_error_distance)
+                .build())
+        }
+    }
+}
+
+fn compare_result(spec: &AdderSpec) -> Result<Json, String> {
+    let analysis = sealpaa_core::analyze(&spec.chain, &spec.profile).map_err(|e| e.to_string())?;
+    let (baseline, terms) = sealpaa_inclexcl::error_probability(&spec.chain, &spec.profile)
+        .map_err(|e| e.to_string())?;
+    let proposed = analysis.error_probability();
+    Ok(Json::object()
+        .field("adder", spec.chain.to_string())
+        .field("width", spec.chain.width())
+        .field("proposed", proposed)
+        .field("inclusion_exclusion", baseline)
+        .field("terms", terms)
+        .field("abs_difference", (proposed - baseline).abs())
+        .build())
+}
+
+fn gear_result(spec: &GearSpec) -> Result<Json, String> {
+    let config =
+        sealpaa_gear::GearConfig::new(spec.n, spec.r, spec.overlap).map_err(|e| e.to_string())?;
+    let pa = vec![spec.p; spec.n];
+    let p_error =
+        sealpaa_gear::error_probability(&config, &pa, &pa, spec.cin).map_err(|e| e.to_string())?;
+    let mut obj = Json::object()
+        .field("n", spec.n)
+        .field("r", spec.r)
+        .field("overlap", spec.overlap)
+        .field("blocks_total", config.block_count())
+        .field("error_probability", p_error);
+    if spec.blocks {
+        let blocks = sealpaa_gear::block_error_probabilities(&config, &pa, &pa, spec.cin)
+            .map_err(|e| e.to_string())?;
+        obj = obj.field(
+            "block_error_probabilities",
+            blocks.into_iter().map(Json::from).collect::<Vec<_>>(),
+        );
+    }
+    Ok(obj.build())
+}
+
+/// Resolves a human-readable list of the standard cells — used by the CLI's
+/// `serve --help` so the daemon and CLI agree on the vocabulary.
+pub fn standard_cell_names() -> Vec<&'static str> {
+    StandardCell::ALL.iter().map(|c| c.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run_lines(config: &ServerConfig, lines: &str) -> Vec<Json> {
+        let mut out = Vec::new();
+        run_stdio(config, Cursor::new(lines.to_owned()), &mut out).expect("stdio run");
+        String::from_utf8(out)
+            .expect("utf8")
+            .lines()
+            .map(|l| Json::parse(l).expect("valid response JSON"))
+            .collect()
+    }
+
+    #[test]
+    fn stdio_serves_analyze_and_matches_the_library() {
+        let responses = run_lines(
+            &ServerConfig::default(),
+            "{\"id\":1,\"kind\":\"analyze\",\"width\":2,\"cell\":\"lpaa1\",\"p\":0.1}\n",
+        );
+        assert_eq!(responses.len(), 1);
+        let r = &responses[0];
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(r.get("cached").and_then(Json::as_bool), Some(false));
+        let served = r
+            .get("result")
+            .and_then(|x| x.get("error_probability"))
+            .and_then(Json::as_f64)
+            .expect("error probability");
+        // Paper Table 7: 2-bit LPAA1 at p = 0.1.
+        assert!((served - 0.3078).abs() < 1e-4, "served {served}");
+    }
+
+    #[test]
+    fn repeated_request_is_served_from_cache() {
+        let line = "{\"kind\":\"analyze\",\"width\":4,\"cell\":\"lpaa2\"}\n";
+        let responses = run_lines(
+            &ServerConfig::default(),
+            &format!("{line}{line}{{\"kind\":\"stats\"}}\n"),
+        );
+        assert_eq!(responses.len(), 3);
+        assert_eq!(
+            responses[0].get("cached").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            responses[1].get("cached").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            responses[0].get("result"),
+            responses[1].get("result"),
+            "cache must return the identical result"
+        );
+        let stats = responses[2].get("result").expect("stats result");
+        assert_eq!(
+            stats
+                .get("cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_stream_and_later_lines_are_ignored() {
+        let responses = run_lines(
+            &ServerConfig::default(),
+            "{\"kind\":\"shutdown\"}\n{\"kind\":\"stats\"}\n",
+        );
+        assert_eq!(responses.len(), 1, "no responses after shutdown");
+        assert_eq!(
+            responses[0]
+                .get("result")
+                .and_then(|r| r.get("stopping"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_per_request_and_do_not_kill_the_stream() {
+        let responses = run_lines(
+            &ServerConfig::default(),
+            "{\"kind\":\"analyze\"}\nnot json at all\n{\"id\":9,\"kind\":\"stats\"}\n",
+        );
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(responses[2].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(responses[2].get("id").and_then(Json::as_u64), Some(9));
+        assert_eq!(
+            responses[2]
+                .get("result")
+                .and_then(|r| r.get("errors"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn compare_agrees_with_the_inclusion_exclusion_baseline() {
+        let responses = run_lines(
+            &ServerConfig::default(),
+            "{\"kind\":\"compare\",\"width\":5,\"cell\":\"lpaa3\",\"p\":0.3}\n",
+        );
+        let result = responses[0].get("result").expect("result");
+        let diff = result
+            .get("abs_difference")
+            .and_then(Json::as_f64)
+            .expect("difference");
+        assert!(diff < 1e-12, "methods disagree by {diff}");
+        assert_eq!(result.get("terms").and_then(Json::as_u64), Some(31));
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed_and_distinct_across_seeds() {
+        let mk = |seed: u64| {
+            format!("{{\"kind\":\"simulate\",\"width\":8,\"cell\":\"lpaa6\",\"samples\":20000,\"seed\":{seed}}}\n")
+        };
+        let p_of = |responses: &[Json]| {
+            responses[0]
+                .get("result")
+                .and_then(|r| r.get("error_probability"))
+                .and_then(Json::as_f64)
+                .expect("estimate")
+        };
+        let config = ServerConfig {
+            cache_entries: 0, // force recomputation: determinism, not caching
+            ..Default::default()
+        };
+        let a1 = p_of(&run_lines(&config, &mk(7)));
+        let a2 = p_of(&run_lines(&config, &mk(7)));
+        let b = p_of(&run_lines(&config, &mk(8)));
+        assert_eq!(a1, a2, "same seed must reproduce exactly");
+        assert_ne!(a1, b, "different seeds should differ");
+    }
+
+    #[test]
+    fn gear_result_includes_blocks_on_request() {
+        let responses = run_lines(
+            &ServerConfig::default(),
+            "{\"kind\":\"gear\",\"n\":8,\"r\":2,\"overlap\":2,\"blocks\":true}\n",
+        );
+        let result = responses[0].get("result").expect("result");
+        let blocks = result
+            .get("block_error_probabilities")
+            .and_then(Json::as_array)
+            .expect("blocks");
+        let config = sealpaa_gear::GearConfig::new(8, 2, 2).expect("valid");
+        assert_eq!(blocks.len(), config.block_count() - 1);
+        let direct =
+            sealpaa_gear::error_probability(&config, &[0.5; 8], &[0.5; 8], 0.0).expect("direct");
+        assert_eq!(
+            result.get("error_probability").and_then(Json::as_f64),
+            Some(direct)
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! End-to-end tests: a real TCP daemon on an ephemeral port, exercised by
+//! real client sockets, with every response checked against a direct call
+//! into the analysis libraries.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
+use sealpaa_server::json::Json;
+use sealpaa_server::server::{Server, ServerConfig};
+
+/// Binds a daemon on an ephemeral port, runs it on a background thread, and
+/// returns its address plus the join handle.
+fn spawn_server(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..config
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("receive");
+        Json::parse(response.trim_end()).expect("response is valid JSON")
+    }
+}
+
+fn result_f64(response: &Json, key: &str) -> f64 {
+    response
+        .get("result")
+        .and_then(|r| r.get(key))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing result.{key} in {}", response.render()))
+}
+
+#[test]
+fn tcp_serves_all_four_analysis_kinds_and_matches_the_libraries() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr);
+
+    // analyze — against sealpaa_core.
+    let response = client.request(r#"{"id":1,"kind":"analyze","width":8,"cell":"lpaa1","p":0.1}"#);
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(response.get("id").and_then(Json::as_u64), Some(1));
+    let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 8);
+    let profile = InputProfile::constant(8, 0.1);
+    let direct = sealpaa_core::analyze(&chain, &profile)
+        .expect("direct analyze")
+        .error_probability();
+    assert_eq!(result_f64(&response, "error_probability"), direct);
+
+    // simulate (Monte-Carlo, fixed seed) — against sealpaa_sim.
+    let response = client.request(
+        r#"{"id":2,"kind":"simulate","width":8,"cell":"lpaa6","samples":30000,"seed":42,"threads":2}"#,
+    );
+    let direct = sealpaa_sim::monte_carlo(
+        &AdderChain::uniform(StandardCell::Lpaa6.cell(), 8),
+        &InputProfile::<f64>::uniform(8),
+        sealpaa_sim::MonteCarloConfig {
+            samples: 30000,
+            seed: 42,
+            threads: 2,
+        },
+    )
+    .expect("direct simulate");
+    assert_eq!(
+        result_f64(&response, "error_probability"),
+        direct.error_probability()
+    );
+
+    // compare — against sealpaa_inclexcl, and internally consistent.
+    let response = client.request(r#"{"id":3,"kind":"compare","width":6,"cell":"lpaa3","p":0.3}"#);
+    let chain = AdderChain::uniform(StandardCell::Lpaa3.cell(), 6);
+    let profile = InputProfile::constant(6, 0.3);
+    let (baseline, terms) =
+        sealpaa_inclexcl::error_probability(&chain, &profile).expect("direct baseline");
+    assert_eq!(result_f64(&response, "inclusion_exclusion"), baseline);
+    assert_eq!(
+        response
+            .get("result")
+            .and_then(|r| r.get("terms"))
+            .and_then(Json::as_u64),
+        Some(terms)
+    );
+
+    // gear — against sealpaa_gear.
+    let response = client.request(r#"{"id":4,"kind":"gear","n":8,"r":2,"overlap":2,"p":0.5}"#);
+    let config = sealpaa_gear::GearConfig::new(8, 2, 2).expect("valid config");
+    let direct =
+        sealpaa_gear::error_probability(&config, &[0.5; 8], &[0.5; 8], 0.0).expect("direct gear");
+    assert_eq!(result_f64(&response, "error_probability"), direct);
+
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn repeated_analyze_is_answered_from_cache_and_stats_count_the_hit() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr);
+
+    let line = r#"{"kind":"analyze","width":12,"cell":"lpaa4","p":0.25}"#;
+    let first = client.request(line);
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    // A differently-spelled but canonically identical request must also hit:
+    // explicit per-bit lists of the same constant probability.
+    let listed = format!(
+        r#"{{"kind":"analyze","width":12,"cell":"lpaa4","pa":{p},"pb":{p},"cin":0.25}}"#,
+        p = "[0.25,0.25,0.25,0.25,0.25,0.25,0.25,0.25,0.25,0.25,0.25,0.25]"
+    );
+    let second = client.request(&listed);
+    assert_eq!(
+        second.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "canonically equivalent request must be a cache hit: {}",
+        second.render()
+    );
+    assert_eq!(first.get("result"), second.get("result"));
+
+    let stats = client.request(r#"{"kind":"stats"}"#);
+    let cache = stats
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .expect("cache stats");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        stats
+            .get("result")
+            .and_then(|r| r.get("requests"))
+            .and_then(Json::as_u64),
+        Some(2),
+        "the two analyzes (the stats snapshot precedes its own count)"
+    );
+
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn concurrent_mixed_clients_all_get_correct_answers() {
+    // 2 workers, small queue: with 8 clients hammering concurrently this
+    // exercises queuing, backpressure, and cache sharing across connections.
+    let (addr, handle) = spawn_server(ServerConfig {
+        threads: 2,
+        queue_capacity: 4,
+        ..Default::default()
+    });
+
+    let expected_analyze: Vec<f64> = (1..=4)
+        .map(|w| {
+            let chain = AdderChain::uniform(StandardCell::Lpaa2.cell(), 4 * w);
+            let profile = InputProfile::constant(4 * w, 0.2);
+            sealpaa_core::analyze(&chain, &profile)
+                .expect("direct")
+                .error_probability()
+        })
+        .collect();
+    let expected_gear = sealpaa_gear::error_probability(
+        &sealpaa_gear::GearConfig::new(8, 2, 2).expect("valid"),
+        &[0.5; 8],
+        &[0.5; 8],
+        0.0,
+    )
+    .expect("direct");
+
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            let expected_analyze = expected_analyze.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for round in 0..6 {
+                    if (c + round) % 2 == 0 {
+                        let w = 4 * (1 + (c + round) % 4);
+                        let response = client.request(&format!(
+                            r#"{{"id":"{c}-{round}","kind":"analyze","width":{w},"cell":"lpaa2","p":0.2}}"#
+                        ));
+                        assert_eq!(
+                            response.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "{}",
+                            response.render()
+                        );
+                        assert_eq!(
+                            response.get("id").and_then(Json::as_str),
+                            Some(format!("{c}-{round}").as_str()),
+                            "responses must pair with their requests"
+                        );
+                        let got = result_f64(&response, "error_probability");
+                        assert_eq!(got, expected_analyze[(w / 4) - 1], "width {w}");
+                    } else {
+                        let response = client.request(&format!(
+                            r#"{{"id":"{c}-{round}","kind":"gear","n":8,"r":2,"overlap":2}}"#
+                        ));
+                        assert_eq!(result_f64(&response, "error_probability"), expected_gear);
+                    }
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    // After 48 mixed requests over 5 distinct configurations, the cache must
+    // have served most of them.
+    let mut client = Client::connect(addr);
+    let stats = client.request(r#"{"kind":"stats"}"#);
+    let hits = stats
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_u64)
+        .expect("hit counter");
+    // 48 requests over 5 distinct configurations: only first-time computes
+    // (and concurrent first-round races on the same key) may miss.
+    assert!(hits >= 36, "expected ≥36 cache hits, got {hits}");
+
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn shutdown_drains_requests_already_in_flight() {
+    // One worker: occupy it with a slow Monte-Carlo job, queue a second one
+    // behind it, then request shutdown from a third connection while both
+    // are still outstanding. The drain guarantee: both accepted jobs are
+    // finished and their responses written before the daemon exits.
+    let (addr, handle) = spawn_server(ServerConfig {
+        threads: 1,
+        queue_capacity: 16,
+        cache_entries: 0, // no caching: every request does real work
+        ..Default::default()
+    });
+
+    let slow_client = |id: u64, seed: u64| {
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr);
+            let response = client.request(&format!(
+                r#"{{"id":{id},"kind":"simulate","width":16,"cell":"lpaa5","samples":3000000,"seed":{seed},"threads":1}}"#
+            ));
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "in-flight request {id} must be served: {}",
+                response.render()
+            );
+            assert_eq!(response.get("id").and_then(Json::as_u64), Some(id));
+            assert!(result_f64(&response, "error_probability") > 0.0);
+        })
+    };
+    let running = slow_client(1, 11);
+    // Let the first job reach the worker, then queue a second behind it.
+    std::thread::sleep(Duration::from_millis(100));
+    let queued = slow_client(2, 22);
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut stopper = Client::connect(addr);
+    let response = stopper.request(r#"{"kind":"shutdown"}"#);
+    assert_eq!(
+        response
+            .get("result")
+            .and_then(|r| r.get("stopping"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // The daemon exits only after the drain, and both clients must have
+    // received their answers rather than a closed socket.
+    handle.join().expect("daemon exits cleanly");
+    running.join().expect("running job answered");
+    queued.join().expect("queued job answered");
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_error_responses_not_disconnects() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr);
+
+    let bad = client.request(r#"{"id":"x","kind":"analyze","width":2,"cell":"nope"}"#);
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(bad.get("id").and_then(Json::as_str), Some("x"));
+    assert!(bad
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("message")
+        .contains("unknown cell"));
+
+    // Oversized lines are refused with an error, not a disconnect.
+    let huge = format!(
+        r#"{{"id":"big","kind":"analyze","width":2,"cell":"lpaa1","pad":"{}"}}"#,
+        "x".repeat(1 << 20)
+    );
+    let too_big = client.request(&huge);
+    assert_eq!(too_big.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(too_big
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("message")
+        .contains("bytes"));
+
+    // The connection survives and keeps serving.
+    let good = client.request(r#"{"kind":"analyze","width":2,"cell":"lpaa1"}"#);
+    assert_eq!(good.get("ok").and_then(Json::as_bool), Some(true));
+
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+}

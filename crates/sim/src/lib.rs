@@ -37,7 +37,9 @@
 mod exhaustive;
 mod metrics;
 mod monte_carlo;
+mod rng;
 
 pub use exhaustive::{exhaustive, ExhaustiveReport, SimError, SimWork};
 pub use metrics::ErrorMetrics;
 pub use monte_carlo::{monte_carlo, MonteCarloConfig, MonteCarloReport};
+pub use rng::{SplitMix64, Xoshiro256pp};

@@ -1,13 +1,11 @@
 //! Monte-Carlo simulation with inputs drawn from the profile.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sealpaa_cells::{AdderChain, InputProfile};
 use sealpaa_num::Prob;
 
 use crate::exhaustive::SimError;
 use crate::metrics::{ErrorMetrics, MetricsAccumulator};
+use crate::rng::Xoshiro256pp;
 
 /// Configuration of a Monte-Carlo run.
 ///
@@ -112,21 +110,21 @@ pub fn monte_carlo<T: Prob>(
         let seed = config
             .seed
             .wrapping_add(worker.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut acc = MetricsAccumulator::default();
         let mut errors = 0u64;
         for _ in 0..samples {
             let mut a = 0u64;
             let mut b = 0u64;
             for i in 0..width {
-                if rng.gen::<f64>() < pa[i] {
+                if rng.next_f64() < pa[i] {
                     a |= 1 << i;
                 }
-                if rng.gen::<f64>() < pb[i] {
+                if rng.next_f64() < pb[i] {
                     b |= 1 << i;
                 }
             }
-            let cin = rng.gen::<f64>() < p_cin;
+            let cin = rng.next_f64() < p_cin;
             let approx = chain.add(a, b, cin);
             let exact = chain.accurate_sum(a, b, cin);
             if approx != exact {

@@ -12,9 +12,7 @@
 //!
 //! Run with: `cargo run --release --example image_filter`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use sealpaa::sim::Xoshiro256pp;
 use sealpaa::{analyze, AdderChain, InputProfile, StandardCell};
 
 const WIDTH: usize = 10; // accumulator width: 4 samples of 8 bits fit in 10
@@ -22,11 +20,11 @@ const SAMPLES: usize = 50_000;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Synthetic signal: slow sine + uniform noise, quantized to 8 bits.
-    let mut rng = StdRng::seed_from_u64(2017);
+    let mut rng = Xoshiro256pp::seed_from_u64(2017);
     let signal: Vec<u64> = (0..SAMPLES)
         .map(|i| {
             let clean = 100.0 + 80.0 * (i as f64 / 97.0).sin();
-            let noisy = clean + rng.gen_range(-20.0..20.0);
+            let noisy = clean + rng.next_range_f64(-20.0, 20.0);
             noisy.clamp(0.0, 255.0) as u64
         })
         .collect();

@@ -1,0 +1,82 @@
+//! A self-contained client for the analysis daemon: starts `sealpaa-server`
+//! in-process on an ephemeral port, talks to it over a real TCP socket, and
+//! shows the cache answering a repeated question.
+//!
+//! Run with: `cargo run --release --example server_client`
+//!
+//! Against an already-running daemon (`sealpaa serve`), the protocol is the
+//! same — connect to its address instead of spawning one.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use sealpaa::{Json, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Spawn the daemon exactly as `sealpaa serve` would, but on port 0 so
+    // the OS picks a free port.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        ..Default::default()
+    })?;
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+    println!("daemon listening on {addr}\n");
+
+    // One connection, several requests. Responses come back one line each,
+    // in request order.
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut ask = |line: &str| -> Result<Json, Box<dyn std::error::Error>> {
+        println!("-> {line}");
+        writeln!(writer, "{line}")?;
+        let mut response = String::new();
+        reader.read_line(&mut response)?;
+        let parsed = Json::parse(response.trim_end())?;
+        let micros = parsed.get("micros").and_then(Json::as_u64).unwrap_or(0);
+        let cached = parsed
+            .get("cached")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        println!("<- ok in {micros} us (cached: {cached})");
+        Ok(parsed)
+    };
+
+    // The paper's analytical method, as a service call.
+    let analyzed = ask(r#"{"id":1,"kind":"analyze","width":16,"cell":"lpaa6","p":0.1}"#)?;
+    let p_error = analyzed
+        .get("result")
+        .and_then(|r| r.get("error_probability"))
+        .and_then(Json::as_f64)
+        .ok_or("missing error probability")?;
+    println!("   P(error) = {p_error:.6}\n");
+
+    // The identical question again — answered from the cache, no recompute.
+    ask(r#"{"id":2,"kind":"analyze","width":16,"cell":"lpaa6","p":0.1}"#)?;
+    println!();
+
+    // A Monte-Carlo cross-check of the same adder, fixed seed.
+    let simulated = ask(
+        r#"{"id":3,"kind":"simulate","width":16,"cell":"lpaa6","p":0.1,"samples":200000,"seed":7,"threads":2}"#,
+    )?;
+    let estimate = simulated
+        .get("result")
+        .and_then(|r| r.get("error_probability"))
+        .and_then(Json::as_f64)
+        .ok_or("missing estimate")?;
+    println!("   simulated = {estimate:.6} (analytical {p_error:.6})\n");
+
+    // Daemon introspection, then a graceful stop.
+    let stats = ask(r#"{"id":4,"kind":"stats"}"#)?;
+    println!(
+        "   stats: {}\n",
+        stats.get("result").map(Json::render).unwrap_or_default()
+    );
+    ask(r#"{"id":5,"kind":"shutdown"}"#)?;
+
+    daemon.join().expect("daemon thread")?;
+    println!("daemon stopped cleanly");
+    Ok(())
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# The local CI gate: everything a change must pass before it lands.
+#
+#   scripts/ci.sh            # full gate
+#   scripts/ci.sh --quick    # skip the release build (iterating on tests)
+#
+# Runs entirely offline — the workspace has no third-party dependencies.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+if [[ $quick -eq 0 ]]; then
+    run cargo build --release
+fi
+
+# The tier-1 gate: the root package's cross-crate integration + property
+# tests, exactly as the roadmap specifies them.
+run cargo test -q
+
+# The rest of the workspace (every crate's unit, integration and doc tests).
+run cargo test --workspace -q
+
+run cargo fmt --all --check
+
+echo
+echo "ci: all green"

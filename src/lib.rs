@@ -21,7 +21,9 @@
 //! * [`datapath`] — accelerator datapaths (adder trees, multipliers, FIR
 //!   filters, 2-D convolution) built from approximate adders,
 //! * [`hdl`] — structural Verilog emission for cells, chains and GeAr,
-//! * [`num`] — exact arbitrary-precision rationals for exact-mode analysis.
+//! * [`num`] — exact arbitrary-precision rationals for exact-mode analysis,
+//! * [`server`] — the analysis-as-a-service daemon (JSON over TCP/stdio)
+//!   behind `sealpaa serve`, with its worker pool and result cache.
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
@@ -50,6 +52,7 @@ pub use sealpaa_gear as gear;
 pub use sealpaa_hdl as hdl;
 pub use sealpaa_inclexcl as inclexcl;
 pub use sealpaa_num as num;
+pub use sealpaa_server as server;
 pub use sealpaa_sim as sim;
 
 pub use sealpaa_cells::{AdderChain, Cell, InputProfile, StandardCell, TruthTable};
@@ -58,4 +61,6 @@ pub use sealpaa_core::{
     MklMatrices,
 };
 pub use sealpaa_num::{Prob, Rational};
+pub use sealpaa_server::json::Json;
+pub use sealpaa_server::server::{Server, ServerConfig};
 pub use sealpaa_sim::{exhaustive, monte_carlo, MonteCarloConfig};
