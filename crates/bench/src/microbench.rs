@@ -17,12 +17,30 @@
 //! [`criterion_group!`]: crate::criterion_group
 //! [`criterion_main!`]: crate::criterion_main
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// An opaque sink that prevents the optimizer from deleting the benchmarked
 /// computation.
 pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
+}
+
+/// One completed measurement, captured by the harness so benchmark binaries
+/// can emit machine-readable reports next to the human-readable lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Fully qualified benchmark name (`group/id`).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded since the last call, in run order.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().expect("bench results mutex"))
 }
 
 /// Throughput annotation (reported as elements/second next to the time).
@@ -154,6 +172,13 @@ fn run_one(
         _ => String::new(),
     };
     println!("{name:<50} {:>12}/iter{rate}", format_ns(bencher.result_ns));
+    RESULTS
+        .lock()
+        .expect("bench results mutex")
+        .push(BenchResult {
+            name,
+            ns_per_iter: bencher.result_ns,
+        });
 }
 
 /// The harness entry point handed to every benchmark function.
@@ -266,6 +291,20 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_one_records_results_for_machine_readable_reports() {
+        std::env::set_var("MICROBENCH_QUICK", "1");
+        std::env::set_var("MICROBENCH_SAMPLE_MS", "1");
+        let _ = take_results(); // isolate from other tests in this process
+        let mut c = Criterion::default();
+        c.bench_function("recorded", |b| b.iter(|| black_box(3 * 3)));
+        let results = take_results();
+        assert!(results
+            .iter()
+            .any(|r| r.name == "recorded" && r.ns_per_iter > 0.0));
+        assert!(take_results().is_empty(), "take drains the registry");
+    }
 
     #[test]
     fn bencher_measures_something_positive() {

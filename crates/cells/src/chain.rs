@@ -272,6 +272,32 @@ mod tests {
     }
 
     #[test]
+    fn accurate_sum_native_arithmetic_matches_truth_table_walk() {
+        // `accurate_sum` uses native wrapping arithmetic; an accurate-cell
+        // chain walks the truth table bit by bit. Both must agree for random
+        // widths and operands (including deliberately over-wide operands).
+        let mut state = 0x5EA1_9AA5u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..200 {
+            let width = 1 + (next() % 64) as usize;
+            let reference = AdderChain::uniform(StandardCell::Accurate.cell(), width);
+            let (a, b) = (next(), next());
+            let cin = next() & 1 == 1;
+            assert_eq!(
+                reference.accurate_sum(a, b, cin),
+                reference.add(a, b, cin),
+                "width {width}: {a} + {b} + {cin}"
+            );
+        }
+    }
+
+    #[test]
     fn approximate_chain_produces_known_error() {
         // LPAA 1 errs on (A,B,Cin) = (0,1,0): sum 0 instead of 1.
         let adder = AdderChain::uniform(StandardCell::Lpaa1.cell(), 4);

@@ -12,7 +12,10 @@
 //!   approximate adders,
 //! * [`AdderChain`] — a multi-bit ripple adder built from per-stage cells
 //!   (homogeneous or hybrid, paper Fig. 3), with bit-true functional
-//!   evaluation, and
+//!   evaluation,
+//! * [`CompiledChain`] — the same chain compiled for bitsliced (SWAR)
+//!   evaluation of 64 input vectors per pass, the engine behind the fast
+//!   simulators in `sealpaa-sim`, and
 //! * [`InputProfile`] — per-bit input-operand probabilities, generic over the
 //!   probability number type.
 //!
@@ -34,11 +37,16 @@
 #![warn(missing_docs)]
 
 mod chain;
+mod compiled;
 mod library;
 mod profile;
 mod truth_table;
 
 pub use chain::{AdderChain, AdditionResult};
+pub use compiled::{
+    error_distances64, error_stats64, lane_value, pack_lanes, splat64, splat64_into, CompiledChain,
+    Diff64, ErrorStats64,
+};
 pub use library::{Cell, CellCharacteristics, ParseStandardCellError, StandardCell};
 pub use profile::{InputProfile, ProfileError};
 pub use truth_table::{FaInput, FaOutput, ParseTruthTableError, TruthTable};

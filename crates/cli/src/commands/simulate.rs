@@ -3,7 +3,7 @@
 use std::io::Write;
 
 use sealpaa_cells::AdderChain;
-use sealpaa_sim::{exhaustive, monte_carlo, MonteCarloConfig};
+use sealpaa_sim::{default_threads, exhaustive_with, monte_carlo, MonteCarloConfig};
 
 use crate::args::{parse_chain_cells, parse_profile, ParsedArgs};
 use crate::error::CliError;
@@ -21,8 +21,9 @@ options:
   --exhaustive    enumerate every input combination (default if N <= 10)
   --samples M     Monte-Carlo with M samples (default 1000000 when N > 10)
   --seed S        Monte-Carlo RNG seed (default 0xDAC17ADD)
-  --threads T     Monte-Carlo worker threads (default 1; results are
-                  deterministic per (seed, threads) pair)";
+  --threads T     worker threads for both modes (default: all available
+                  cores; Monte-Carlo results are deterministic per
+                  (seed, threads) pair, exhaustive results for any T)";
 
 /// Runs the command.
 ///
@@ -49,10 +50,11 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
     let profile = parse_profile(&args, width)?;
     writeln!(out, "adder: {chain}")?;
 
+    let threads = args.get_or("threads", default_threads())?;
     let use_exhaustive =
         args.flag("exhaustive") || (args.option("samples").is_none() && width <= 10);
     if use_exhaustive {
-        let report = exhaustive(&chain, &profile).map_err(CliError::analysis)?;
+        let report = exhaustive_with(&chain, &profile, threads).map_err(CliError::analysis)?;
         writeln!(
             out,
             "mode              : exhaustive ({} cases)",
@@ -74,7 +76,7 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
         let config = MonteCarloConfig {
             samples: args.get_or("samples", 1_000_000u64)?,
             seed: args.get_or("seed", MonteCarloConfig::default().seed)?,
-            threads: args.get_or("threads", 1usize)?,
+            threads,
         };
         let report = monte_carlo(&chain, &profile, config).map_err(CliError::analysis)?;
         writeln!(

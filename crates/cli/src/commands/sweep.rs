@@ -2,7 +2,8 @@
 
 use std::io::Write;
 
-use sealpaa_explore::{accurate_cell_with_proxy_costs, lsb_sweep};
+use sealpaa_explore::{accurate_cell_with_proxy_costs, lsb_sweep, lsb_sweep_verified};
+use sealpaa_sim::default_threads;
 
 use crate::args::{parse_cell, parse_profile, ParsedArgs};
 use crate::error::CliError;
@@ -17,6 +18,11 @@ options:
   --width N       total adder width (required)
   --cell NAME     the approximate cell for the LSBs (required)
   --p/--pa/--pb/--cin  input probabilities, as in `sealpaa analyze`
+  --verify        cross-check every point by exhaustive bit-true simulation
+                  (paper Table 6; widths up to 16) and print the simulated
+                  error probability and the residual |analytical - simulated|
+  --threads T     worker threads for --verify (default: all available cores;
+                  the result is identical for any T)
 
 The accurate MSB cells use the estimated characteristics documented in
 DESIGN.md (the paper's Table 2 covers LPAA 1-5 only).";
@@ -32,7 +38,11 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
         writeln!(out, "{HELP}")?;
         return Ok(());
     }
-    let args = ParsedArgs::parse(tokens, &["width", "cell", "p", "pa", "pb", "cin"], &[])?;
+    let args = ParsedArgs::parse(
+        tokens,
+        &["width", "cell", "p", "pa", "pb", "cin", "threads"],
+        &["verify"],
+    )?;
     let width: usize = args.require("width")?;
     if width == 0 {
         return Err(CliError::usage("--width must be at least 1"));
@@ -42,14 +52,52 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
             .ok_or_else(|| CliError::usage("--cell is required"))?,
     )?;
     let profile = parse_profile(&args, width)?;
-    let points = lsb_sweep(cell.clone(), accurate_cell_with_proxy_costs(), &profile)
-        .map_err(CliError::analysis)?;
 
     writeln!(
         out,
         "LSB sweep: {} below AccuFA (est.), width {width}",
         cell.name()
     )?;
+    if args.flag("verify") {
+        let threads = args.get_or("threads", default_threads())?;
+        let points = lsb_sweep_verified(
+            cell.clone(),
+            accurate_cell_with_proxy_costs(),
+            &profile,
+            threads,
+        )
+        .map_err(CliError::analysis)?;
+        writeln!(
+            out,
+            "{:>2}  {:>12}  {:>12}  {:>9}  {:>10}  {:>9}  {:>10}  {:>10}",
+            "k", "P(error)", "P(sim)", "|resid|", "power(nW)", "area(GE)", "bias E[D]", "RMS(D)"
+        )?;
+        for vp in &points {
+            let point = &vp.point;
+            writeln!(
+                out,
+                "{:>2}  {:>12.8}  {:>12.8}  {:>9.1e}  {:>10.0}  {:>9.2}  {:>+10.4}  {:>10.4}",
+                point.approximate_bits,
+                point.evaluation.error_probability,
+                vp.report.stage_error_probability,
+                vp.deviation(),
+                point.evaluation.power_nw,
+                point.evaluation.area_ge,
+                point.mean_error_distance,
+                point.rms_error_distance,
+            )?;
+        }
+        writeln!(
+            out,
+            "verified: {} points, exhaustive bit-true simulation, {} threads",
+            points.len(),
+            threads
+        )?;
+        return Ok(());
+    }
+
+    let points = lsb_sweep(cell.clone(), accurate_cell_with_proxy_costs(), &profile)
+        .map_err(CliError::analysis)?;
     writeln!(
         out,
         "{:>2}  {:>12}  {:>10}  {:>9}  {:>10}  {:>10}",
@@ -104,6 +152,30 @@ mod tests {
             .find(|l| l.trim_start().starts_with('0'))
             .expect("k=0 row");
         assert!(first.contains("0.00000000"), "{first}");
+    }
+
+    #[test]
+    fn verified_sweep_reports_small_residuals() {
+        let s = run_to_string(&[
+            "--width",
+            "6",
+            "--cell",
+            "lpaa2",
+            "--p",
+            "0.3",
+            "--verify",
+            "--threads",
+            "2",
+        ])
+        .expect("valid");
+        assert!(s.contains("P(sim)"), "{s}");
+        assert!(s.contains("verified: 7 points"), "{s}");
+        assert!(s.contains("2 threads"), "{s}");
+    }
+
+    #[test]
+    fn verified_sweep_rejects_infeasible_width() {
+        assert!(run_to_string(&["--width", "17", "--cell", "lpaa1", "--verify"]).is_err());
     }
 
     #[test]

@@ -44,4 +44,4 @@ pub use search::{
     local_search_best, pareto_front, Budget, Evaluation, ExploreError, HybridDesign,
     MAX_ENUMERATION,
 };
-pub use sweep::{lsb_sweep, LsbSweepPoint};
+pub use sweep::{lsb_sweep, lsb_sweep_verified, LsbSweepPoint, VerifiedSweepPoint};

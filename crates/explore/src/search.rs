@@ -23,6 +23,12 @@ pub enum ExploreError {
         /// Maximum the enumerator accepts.
         max: u128,
     },
+    /// Bit-true verification of a design failed (e.g. the width exceeds
+    /// what exhaustive simulation will enumerate).
+    Simulation {
+        /// The underlying simulator error.
+        source: sealpaa_sim::SimError,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -37,6 +43,9 @@ impl fmt::Display for ExploreError {
                     f,
                     "design space of {designs} points exceeds the cap of {max}"
                 )
+            }
+            ExploreError::Simulation { source } => {
+                write!(f, "bit-true verification failed: {source}")
             }
         }
     }

@@ -9,6 +9,7 @@
 
 use sealpaa_cells::{AdderChain, Cell, InputProfile};
 use sealpaa_core::{analyze, error_magnitude};
+use sealpaa_sim::{exhaustive_with, ExhaustiveReport};
 
 use crate::search::{evaluate, Evaluation, ExploreError};
 
@@ -81,6 +82,72 @@ pub fn lsb_sweep(
     Ok(points)
 }
 
+/// An [`LsbSweepPoint`] cross-checked against exhaustive bit-true
+/// simulation of the same chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedSweepPoint {
+    /// The analytical sweep point.
+    pub point: LsbSweepPoint,
+    /// The exhaustive simulation report for the same chain and profile.
+    pub report: ExhaustiveReport<f64>,
+}
+
+impl VerifiedSweepPoint {
+    /// Absolute gap between the analytical error probability and the
+    /// bit-true stage-error probability (the paper's error semantics).
+    /// Bounded by floating-point accumulation error — the analytical
+    /// method is exact, so anything beyond ~1e-9 indicates a model bug.
+    pub fn deviation(&self) -> f64 {
+        (self.point.evaluation.error_probability - self.report.stage_error_probability).abs()
+    }
+}
+
+/// [`lsb_sweep`] with every point cross-checked by the multithreaded
+/// exhaustive simulator: the paper's Table 6 exercise (analytical vs.
+/// simulated error probability) run over a whole trade-off curve.
+///
+/// `threads` workers split each point's operand sweep
+/// (`sealpaa_sim::exhaustive_with`); the result is deterministic for any
+/// thread count.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::MissingCharacteristics`] if either cell lacks
+/// power/area data, or [`ExploreError::Simulation`] if the width is beyond
+/// `sealpaa_sim::MAX_EXHAUSTIVE_WIDTH`.
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::{InputProfile, StandardCell};
+/// use sealpaa_explore::{accurate_cell_with_proxy_costs, lsb_sweep_verified};
+///
+/// let points = lsb_sweep_verified(
+///     StandardCell::Lpaa1.cell(),
+///     accurate_cell_with_proxy_costs(),
+///     &InputProfile::constant(6, 0.3),
+///     2,
+/// )?;
+/// // Analytical and bit-true error probabilities agree at every point.
+/// assert!(points.iter().all(|p| p.deviation() < 1e-9));
+/// # Ok::<(), sealpaa_explore::ExploreError>(())
+/// ```
+pub fn lsb_sweep_verified(
+    approximate: Cell,
+    accurate: Cell,
+    profile: &InputProfile<f64>,
+    threads: usize,
+) -> Result<Vec<VerifiedSweepPoint>, ExploreError> {
+    lsb_sweep(approximate, accurate, profile)?
+        .into_iter()
+        .map(|point| {
+            let report = exhaustive_with(&point.chain, profile, threads)
+                .map_err(|source| ExploreError::Simulation { source })?;
+            Ok(VerifiedSweepPoint { point, report })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +207,41 @@ mod tests {
                 pair[1].approximate_bits
             );
         }
+    }
+
+    #[test]
+    fn verified_sweep_agrees_with_analysis_at_every_point() {
+        let points = lsb_sweep_verified(
+            StandardCell::Lpaa3.cell(),
+            accurate_cell_with_proxy_costs(),
+            &InputProfile::constant(7, 0.2),
+            3,
+        )
+        .expect("feasible width");
+        assert_eq!(points.len(), 8);
+        for vp in &points {
+            assert!(
+                vp.deviation() < 1e-9,
+                "k={}: analytical {} vs simulated {}",
+                vp.point.approximate_bits,
+                vp.point.evaluation.error_probability,
+                vp.report.stage_error_probability
+            );
+            assert_eq!(vp.report.cases, 1 << 15);
+        }
+    }
+
+    #[test]
+    fn verified_sweep_rejects_infeasible_widths() {
+        let err = lsb_sweep_verified(
+            StandardCell::Lpaa1.cell(),
+            accurate_cell_with_proxy_costs(),
+            &InputProfile::constant(17, 0.5),
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::Simulation { .. }));
+        assert!(err.to_string().contains("verification"));
     }
 
     #[test]

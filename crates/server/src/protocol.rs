@@ -77,7 +77,9 @@ pub enum SimMode {
         samples: u64,
         /// RNG seed.
         seed: u64,
-        /// Internal worker threads of the simulator itself.
+        /// Internal worker threads of the simulator itself (defaults to
+        /// the machine's available parallelism when the request omits it;
+        /// pin it explicitly for machine-independent sample streams).
         threads: usize,
     },
 }
@@ -301,7 +303,7 @@ impl SimulateSpec {
                     .get("threads")
                     .map(|v| v.as_u64().ok_or("\"threads\" must be a positive integer"))
                     .transpose()?
-                    .unwrap_or(1) as usize,
+                    .map_or_else(sealpaa_sim::default_threads, |t| t as usize),
             },
             (None, false) => SimMode::Exhaustive,
             (Some(other), _) => {

@@ -362,8 +362,15 @@ fn simulate_result(spec: &SimulateSpec) -> Result<Json, String> {
     let adder = &spec.adder;
     match spec.mode {
         SimMode::Exhaustive => {
-            let report =
-                sealpaa_sim::exhaustive(&adder.chain, &adder.profile).map_err(|e| e.to_string())?;
+            // Bitsliced + threaded: all integer outputs (cases, error
+            // counts) are identical for any thread count; only f64-weighted
+            // fields can move in the last ulp.
+            let report = sealpaa_sim::exhaustive_with(
+                &adder.chain,
+                &adder.profile,
+                sealpaa_sim::default_threads(),
+            )
+            .map_err(|e| e.to_string())?;
             Ok(Json::object()
                 .field("mode", "exhaustive")
                 .field("adder", adder.chain.to_string())

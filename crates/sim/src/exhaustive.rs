@@ -1,9 +1,34 @@
 //! Exhaustive (all input combinations) simulation.
+//!
+//! Two engines share one report format:
+//!
+//! * [`exhaustive_scalar`] — the straightforward per-case reference: one
+//!   [`AdderChain::add`] walk per input combination. Kept public as the
+//!   ground truth for differential tests and the baseline for benchmarks.
+//! * [`exhaustive`] / [`exhaustive_with`] — the bitsliced kernel: 64
+//!   consecutive `b` values are packed into the lanes of `u64` bit-planes
+//!   (their low six bit-planes are the fixed periodic constants
+//!   `0xAAAA…`, `0xCCCC…`, …), the approximate and accurate chains are
+//!   evaluated through [`CompiledChain`], and a single XOR/OR reduction
+//!   yields the 64-lane mismatch mask. Correct lanes are then settled in
+//!   bulk (popcount for the histogram, one factorized weight per batch);
+//!   only mismatching or stage-deviating lanes fall back to per-lane
+//!   weight/histogram work. [`exhaustive_with`] additionally splits the `a`
+//!   range across `std::thread::scope` workers and merges the partial
+//!   results in range order, so for exact probability types (`Rational`,
+//!   whose addition is associative) the parallel result is bit-for-bit
+//!   identical to the serial one. The `f64` *metrics* may differ in the
+//!   last ulp across thread counts because float addition is not
+//!   associative; all integer counts and `T`-typed probabilities are exact.
+//!
+//! For widths below 6 (fewer than 64 `b` values) every entry point runs the
+//! scalar engine, so tiny sweeps remain exactly the reference behaviour.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Range;
 
-use sealpaa_cells::{AdderChain, FaInput, InputProfile, TruthTable};
+use sealpaa_cells::{splat64_into, AdderChain, CompiledChain, FaInput, InputProfile, TruthTable};
 use sealpaa_num::Prob;
 
 use crate::metrics::{ErrorMetrics, MetricsAccumulator};
@@ -47,9 +72,15 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Widest adder [`exhaustive`] will enumerate (`2^(2·16+1)` ≈ 8.6 G cases is
-/// already hours of work — the paper's Fig. 1 point).
+/// Widest adder [`exhaustive`] will enumerate (`2^(2·16+1)` ≈ 8.6 G cases —
+/// the paper's Fig. 1 point). The bitsliced kernel makes this width *usable*
+/// in practice (64 cases per pass, parallel over `a` ranges) where the
+/// scalar engine needed hours.
 pub const MAX_EXHAUSTIVE_WIDTH: usize = 16;
+
+/// Narrowest width the bitsliced kernel accepts: below 6 bits there are
+/// fewer than 64 `b` values to fill the lanes, so the scalar engine runs.
+const BITSLICE_MIN_WIDTH: usize = 6;
 
 /// The amount of raw work an exhaustive run performed — the paper's Fig. 1
 /// "number of computations" axis.
@@ -57,8 +88,9 @@ pub const MAX_EXHAUSTIVE_WIDTH: usize = 16;
 pub struct SimWork {
     /// Input combinations evaluated (`2^(2N+1)`).
     pub cases: u64,
-    /// Single-bit full-adder evaluations (`N` per case, for both the
-    /// approximate and the reference chain).
+    /// Single-bit full-adder evaluations: `3·N` per case — `N` for the
+    /// approximate chain, `N` for the accurate reference chain, and `N` for
+    /// the first-deviation walk along the accurate carries.
     pub bit_additions: u64,
     /// Output comparisons (one per case).
     pub comparisons: u64,
@@ -89,19 +121,7 @@ pub struct ExhaustiveReport<T> {
     pub work: SimWork,
 }
 
-/// Enumerates every input combination of the chain, weighting each by its
-/// exact probability under `profile` (paper Table 6: for equally probable
-/// inputs this checks all `2^(2N+1)` cases and the comparison against the
-/// analytical method is exact).
-///
-/// # Errors
-///
-/// * [`SimError::WidthMismatch`] if `profile` does not match the chain.
-/// * [`SimError::WidthTooLarge`] if `chain.width() > MAX_EXHAUSTIVE_WIDTH`.
-pub fn exhaustive<T: Prob>(
-    chain: &AdderChain,
-    profile: &InputProfile<T>,
-) -> Result<ExhaustiveReport<T>, SimError> {
+fn validate<T: Prob>(chain: &AdderChain, profile: &InputProfile<T>) -> Result<usize, SimError> {
     let width = chain.width();
     if width != profile.width() {
         return Err(SimError::WidthMismatch {
@@ -115,7 +135,108 @@ pub fn exhaustive<T: Prob>(
             max: MAX_EXHAUSTIVE_WIDTH,
         });
     }
+    Ok(width)
+}
 
+/// Enumerates every input combination of the chain, weighting each by its
+/// exact probability under `profile` (paper Table 6: for equally probable
+/// inputs this checks all `2^(2N+1)` cases and the comparison against the
+/// analytical method is exact).
+///
+/// Runs the bitsliced single-threaded kernel (the scalar engine below 6
+/// bits); see [`exhaustive_with`] to spread the sweep across threads and
+/// [`exhaustive_scalar`] for the reference implementation.
+///
+/// # Errors
+///
+/// * [`SimError::WidthMismatch`] if `profile` does not match the chain.
+/// * [`SimError::WidthTooLarge`] if `chain.width() > MAX_EXHAUSTIVE_WIDTH`.
+pub fn exhaustive<T: Prob>(
+    chain: &AdderChain,
+    profile: &InputProfile<T>,
+) -> Result<ExhaustiveReport<T>, SimError> {
+    let width = validate(chain, profile)?;
+    if width < BITSLICE_MIN_WIDTH {
+        return Ok(scalar_sweep(chain, profile));
+    }
+    let compiled = CompiledChain::compile(chain);
+    let tables = WeightTables::build(profile);
+    let partial = bitsliced_range(&compiled, &tables, 0..1u64 << width);
+    Ok(finish(vec![partial], width))
+}
+
+/// [`exhaustive`] parallelized over contiguous `a` ranges with
+/// `std::thread::scope`; partial results are merged in range order, so the
+/// outcome is deterministic and — for exact probability types such as
+/// `Rational` — bit-for-bit identical to the serial run for any `threads`.
+///
+/// `threads` is clamped to `1..=64`; pass
+/// [`default_threads()`](crate::default_threads) to use every available
+/// core. Widths below 6 bits fall back to the (single-threaded) scalar
+/// engine — the whole sweep is microseconds there.
+///
+/// # Errors
+///
+/// Same conditions as [`exhaustive`].
+pub fn exhaustive_with<T: Prob + Send + Sync>(
+    chain: &AdderChain,
+    profile: &InputProfile<T>,
+    threads: usize,
+) -> Result<ExhaustiveReport<T>, SimError> {
+    let width = validate(chain, profile)?;
+    if width < BITSLICE_MIN_WIDTH {
+        return Ok(scalar_sweep(chain, profile));
+    }
+    let operand_count = 1u64 << width;
+    let threads = (threads.clamp(1, 64) as u64).min(operand_count);
+    let compiled = CompiledChain::compile(chain);
+    let tables = WeightTables::build(profile);
+    if threads == 1 {
+        let partial = bitsliced_range(&compiled, &tables, 0..operand_count);
+        return Ok(finish(vec![partial], width));
+    }
+    let bounds: Vec<u64> = (0..=threads)
+        .map(|t| operand_count / threads * t + (operand_count % threads).min(t))
+        .collect();
+    let partials = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .map(|w| {
+                let (lo, hi) = (w[0], w[1]);
+                let compiled = &compiled;
+                let tables = &tables;
+                scope.spawn(move || bitsliced_range(compiled, tables, lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep workers do not panic"))
+            .collect::<Vec<_>>()
+    });
+    Ok(finish(partials, width))
+}
+
+/// The scalar reference implementation: one [`AdderChain::add`] walk per
+/// input combination, exactly as a direct transcription of the paper's
+/// simulation setup would do it.
+///
+/// [`exhaustive`] produces identical `T`-typed probabilities, histograms and
+/// counts for exact probability types; this entry point remains public as
+/// the differential-test oracle and the benchmark baseline.
+///
+/// # Errors
+///
+/// Same conditions as [`exhaustive`].
+pub fn exhaustive_scalar<T: Prob>(
+    chain: &AdderChain,
+    profile: &InputProfile<T>,
+) -> Result<ExhaustiveReport<T>, SimError> {
+    validate(chain, profile)?;
+    Ok(scalar_sweep(chain, profile))
+}
+
+fn scalar_sweep<T: Prob>(chain: &AdderChain, profile: &InputProfile<T>) -> ExhaustiveReport<T> {
+    let width = chain.width();
     let accurate = TruthTable::accurate();
     let mut error_cases = 0u64;
     let mut output_error = T::zero();
@@ -132,7 +253,7 @@ pub fn exhaustive<T: Prob>(
                 let approx = chain.add(a, b, cin);
                 let exact = chain.accurate_sum(a, b, cin);
                 work.cases += 1;
-                work.bit_additions += width as u64;
+                work.bit_additions += 3 * width as u64;
                 work.comparisons += 1;
 
                 let wrong = approx != exact;
@@ -162,7 +283,7 @@ pub fn exhaustive<T: Prob>(
         }
     }
 
-    Ok(ExhaustiveReport {
+    ExhaustiveReport {
         cases: work.cases,
         error_cases,
         output_error_probability: output_error,
@@ -170,7 +291,270 @@ pub fn exhaustive<T: Prob>(
         metrics: acc.finish(),
         histogram,
         work,
-    })
+    }
+}
+
+/// The fixed periodic bit-planes of the six low bits of 64 consecutive `b`
+/// values starting at a multiple of 64: bit `l` of plane `i` is bit `i` of
+/// lane index `l`.
+const LANE_PATTERNS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Precomputed per-operand weights shared (immutably) by all sweep workers.
+///
+/// `pa_t[a] = P(A = a)` as the exact probability type, `pa_f` the same in
+/// `f64` (for the metrics accumulator), and `chunk_pb_f[c]` the summed
+/// probability of the 64-lane `b` chunk starting at `64·c` — the factorized
+/// batch weight that settles all-correct batches without touching a single
+/// lane.
+struct WeightTables<T> {
+    pa_t: Vec<T>,
+    pb_t: Vec<T>,
+    pcin_t: [T; 2],
+    pa_f: Vec<f64>,
+    pb_f: Vec<f64>,
+    pcin_f: [f64; 2],
+    chunk_pb_t: Vec<T>,
+    chunk_pb_f: Vec<f64>,
+}
+
+impl<T: Prob> WeightTables<T> {
+    fn build(profile: &InputProfile<T>) -> Self {
+        let width = profile.width();
+        let n = 1usize << width;
+        let operand_table = |bit_p: &dyn Fn(usize) -> T| -> Vec<T> {
+            (0..n as u64)
+                .map(|v| {
+                    let mut p = T::one();
+                    for i in 0..width {
+                        let f = if (v >> i) & 1 == 1 {
+                            bit_p(i)
+                        } else {
+                            bit_p(i).complement()
+                        };
+                        p = p * f;
+                    }
+                    p
+                })
+                .collect()
+        };
+        let pa_t = operand_table(&|i| profile.pa(i).clone());
+        let pb_t = operand_table(&|i| profile.pb(i).clone());
+        let pa_f: Vec<f64> = pa_t.iter().map(Prob::to_f64).collect();
+        let pb_f: Vec<f64> = pb_t.iter().map(Prob::to_f64).collect();
+        let chunk_pb_t: Vec<T> = pb_t
+            .chunks(64)
+            .map(|c| c.iter().fold(T::zero(), |s, p| s + p.clone()))
+            .collect();
+        let chunk_pb_f: Vec<f64> = pb_f.chunks(64).map(|c| c.iter().sum()).collect();
+        WeightTables {
+            pa_t,
+            pb_t,
+            pcin_t: [profile.p_cin().complement(), profile.p_cin().clone()],
+            pa_f,
+            pb_f,
+            pcin_f: [
+                profile.p_cin().complement().to_f64(),
+                profile.p_cin().to_f64(),
+            ],
+            chunk_pb_t,
+            chunk_pb_f,
+        }
+    }
+}
+
+/// One worker's share of a bitsliced sweep. The histogram is a dense array
+/// indexed by `error_distance + offset` (`offset = 2^(width+1) − 1`) so the
+/// per-lane hot path is an increment, not a tree lookup.
+struct Partial<T> {
+    error_cases: u64,
+    output_error: T,
+    stage_error: T,
+    acc: MetricsAccumulator,
+    work: SimWork,
+    hist: Vec<u64>,
+}
+
+fn bitsliced_range<T: Prob>(
+    compiled: &CompiledChain,
+    tables: &WeightTables<T>,
+    a_range: Range<u64>,
+) -> Partial<T> {
+    let width = compiled.width();
+    debug_assert!((BITSLICE_MIN_WIDTH..=MAX_EXHAUSTIVE_WIDTH).contains(&width));
+    let chunks = 1usize << (width - 6);
+    let offset = (1i64 << (width + 1)) - 1;
+    let mut hist = vec![0u64; (1usize << (width + 2)) - 1];
+    let mut error_cases = 0u64;
+    let mut output_error = T::zero();
+    let mut stage_error = T::zero();
+    let mut acc = MetricsAccumulator::default();
+    let mut work = SimWork::default();
+
+    let mut a_planes = vec![0u64; width];
+    let mut b_planes = vec![0u64; width];
+    let mut approx_sum = vec![0u64; width];
+    let mut exact_sum = vec![0u64; width];
+    let mut ed = [0i64; 64];
+    b_planes[..6].copy_from_slice(&LANE_PATTERNS);
+
+    for a in a_range {
+        splat64_into(a, &mut a_planes);
+        let pa_f = tables.pa_f[a as usize];
+        for chunk in 0..chunks {
+            let b_base = (chunk as u64) << 6;
+            for (i, plane) in b_planes.iter_mut().enumerate().skip(6) {
+                *plane = (((b_base >> i) & 1) as u64).wrapping_neg();
+            }
+            let chunk_pb_f = tables.chunk_pb_f[chunk];
+            for cin in [false, true] {
+                let cin_word = (cin as u64).wrapping_neg();
+                let diff = compiled.eval64_diff(
+                    &a_planes,
+                    &b_planes,
+                    cin_word,
+                    &mut approx_sum,
+                    &mut exact_sum,
+                );
+                let (approx_cout, exact_cout) = (diff.approx_cout, diff.exact_cout);
+                let (mismatch, deviated) = (diff.mismatch, diff.deviated);
+
+                work.cases += 64;
+                work.bit_additions += 64 * 3 * width as u64;
+                work.comparisons += 64;
+                let wrong = u64::from(mismatch.count_ones());
+                error_cases += wrong;
+                hist[offset as usize] += 64 - wrong;
+                acc.add_bulk_weight(pa_f * tables.pcin_f[cin as usize] * chunk_pb_f);
+
+                // Per-lane slow path only for mismatching or deviating
+                // lanes; an all-correct batch is fully settled above. The
+                // signed error distances come from a single cross-plane
+                // diff pass rather than per-lane value extraction, and the
+                // shared `pa · pcin` weight factor is applied once per
+                // batch: for exact `T` the factored sum is identical by
+                // distributivity, for `f64` it agrees to rounding.
+                if mismatch != 0 {
+                    sealpaa_cells::error_distances64(
+                        &approx_sum,
+                        approx_cout,
+                        &exact_sum,
+                        exact_cout,
+                        mismatch,
+                        &mut ed,
+                    );
+                    let w_ac_f = pa_f * tables.pcin_f[cin as usize];
+                    let mut pb_sum_t = T::zero();
+                    let mut pb_sum_f = 0.0f64;
+                    let mut weighted_ed = 0.0f64;
+                    let mut weighted_abs_ed = 0.0f64;
+                    let mut max_abs_ed = 0u64;
+                    let mut lanes = mismatch;
+                    while lanes != 0 {
+                        let lane = lanes.trailing_zeros() as usize;
+                        lanes &= lanes - 1;
+                        let b = (b_base + lane as u64) as usize;
+                        let d = ed[lane];
+                        let w = tables.pb_f[b];
+                        pb_sum_f += w;
+                        weighted_ed += w * d as f64;
+                        weighted_abs_ed += w * d.unsigned_abs() as f64;
+                        if w > 0.0 {
+                            max_abs_ed = max_abs_ed.max(d.unsigned_abs());
+                        }
+                        hist[(d + offset) as usize] += 1;
+                        pb_sum_t = pb_sum_t + tables.pb_t[b].clone();
+                    }
+                    output_error = output_error
+                        + tables.pa_t[a as usize].clone()
+                            * tables.pcin_t[cin as usize].clone()
+                            * pb_sum_t;
+                    acc.record_error_block(
+                        w_ac_f * pb_sum_f,
+                        w_ac_f * weighted_ed,
+                        w_ac_f * weighted_abs_ed,
+                        if w_ac_f > 0.0 { max_abs_ed } else { 0 },
+                    );
+                }
+                if deviated != 0 {
+                    // Cells like LPAA 5 deviate on most lanes, so sum over
+                    // whichever of `deviated` / `!deviated` is sparser and,
+                    // in the dense case, subtract from the precomputed
+                    // chunk total (exact for `Rational` — `Prob` requires
+                    // `Sub` — and within rounding for `f64`).
+                    let dense = deviated.count_ones() > 32;
+                    let mut pb_sum_t = T::zero();
+                    let mut lanes = if dense { !deviated } else { deviated };
+                    while lanes != 0 {
+                        let lane = lanes.trailing_zeros() as usize;
+                        lanes &= lanes - 1;
+                        pb_sum_t = pb_sum_t + tables.pb_t[(b_base + lane as u64) as usize].clone();
+                    }
+                    if dense {
+                        pb_sum_t = tables.chunk_pb_t[chunk].clone() - pb_sum_t;
+                    }
+                    stage_error = stage_error
+                        + tables.pa_t[a as usize].clone()
+                            * tables.pcin_t[cin as usize].clone()
+                            * pb_sum_t;
+                }
+            }
+        }
+    }
+
+    Partial {
+        error_cases,
+        output_error,
+        stage_error,
+        acc,
+        work,
+        hist,
+    }
+}
+
+/// Merges worker partials **in range order** into the final report, so the
+/// result is independent of scheduling.
+fn finish<T: Prob>(partials: Vec<Partial<T>>, width: usize) -> ExhaustiveReport<T> {
+    let offset = (1i64 << (width + 1)) - 1;
+    let mut error_cases = 0u64;
+    let mut output_error = T::zero();
+    let mut stage_error = T::zero();
+    let mut acc = MetricsAccumulator::default();
+    let mut work = SimWork::default();
+    let mut hist = vec![0u64; (1usize << (width + 2)) - 1];
+    for partial in partials {
+        error_cases += partial.error_cases;
+        output_error = output_error + partial.output_error;
+        stage_error = stage_error + partial.stage_error;
+        acc.merge(partial.acc);
+        work.cases += partial.work.cases;
+        work.bit_additions += partial.work.bit_additions;
+        work.comparisons += partial.work.comparisons;
+        for (slot, count) in hist.iter_mut().zip(partial.hist) {
+            *slot += count;
+        }
+    }
+    let histogram: BTreeMap<i64, u64> = hist
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, count)| count != 0)
+        .map(|(idx, count)| (idx as i64 - offset, count))
+        .collect();
+    ExhaustiveReport {
+        cases: work.cases,
+        error_cases,
+        output_error_probability: output_error,
+        stage_error_probability: stage_error,
+        metrics: acc.finish(),
+        histogram,
+        work,
+    }
 }
 
 #[cfg(test)]
@@ -196,14 +580,39 @@ mod tests {
         let profile = InputProfile::<f64>::uniform(3);
         let r = exhaustive(&chain, &profile).expect("feasible width");
         assert_eq!(r.cases, 1 << 7);
-        assert_eq!(r.work.bit_additions, (1 << 7) * 3);
+        // 3·N single-bit additions per case: approximate chain + accurate
+        // reference chain + first-deviation walk.
+        assert_eq!(r.work.bit_additions, r.cases * 3 * 3);
         assert_eq!(r.work.comparisons, 1 << 7);
+    }
+
+    #[test]
+    fn bitsliced_work_accounting_matches_scalar_model() {
+        // Width ≥ 6 exercises the bitsliced kernel; the work model must not
+        // depend on which engine ran.
+        let chain = AdderChain::uniform(StandardCell::Lpaa2.cell(), 6);
+        let profile = InputProfile::<f64>::uniform(6);
+        let r = exhaustive(&chain, &profile).expect("feasible width");
+        assert_eq!(r.cases, 1 << 13);
+        assert_eq!(r.work.bit_additions, r.cases * 3 * 6);
+        assert_eq!(r.work.comparisons, r.cases);
     }
 
     #[test]
     fn uniform_weighting_equals_case_fraction() {
         let chain = AdderChain::uniform(StandardCell::Lpaa5.cell(), 4);
         let profile = InputProfile::<Rational>::uniform(4);
+        let r = exhaustive(&chain, &profile).expect("feasible width");
+        assert_eq!(
+            r.output_error_probability,
+            Rational::from_ratio(r.error_cases as i64, r.cases as i64)
+        );
+    }
+
+    #[test]
+    fn uniform_weighting_equals_case_fraction_bitsliced() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa5.cell(), 7);
+        let profile = InputProfile::<Rational>::uniform(7);
         let r = exhaustive(&chain, &profile).expect("feasible width");
         assert_eq!(
             r.output_error_probability,
@@ -244,12 +653,30 @@ mod tests {
         let err = exhaustive(&chain, &profile).unwrap_err();
         assert!(matches!(err, SimError::WidthTooLarge { .. }));
         assert!(err.to_string().contains("refused"));
+        assert!(exhaustive_scalar(&chain, &profile).is_err());
+        assert!(exhaustive_with(&chain, &profile, 2).is_err());
     }
 
     #[test]
     fn histogram_counts_all_cases() {
         let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 3);
         let profile = InputProfile::<f64>::uniform(3);
+        let r = exhaustive(&chain, &profile).expect("feasible width");
+        let total: u64 = r.histogram.values().sum();
+        assert_eq!(total, r.cases);
+        let wrong: u64 = r
+            .histogram
+            .iter()
+            .filter(|(d, _)| **d != 0)
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(wrong, r.error_cases);
+    }
+
+    #[test]
+    fn histogram_counts_all_cases_bitsliced() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa7.cell(), 6);
+        let profile = InputProfile::<f64>::uniform(6);
         let r = exhaustive(&chain, &profile).expect("feasible width");
         let total: u64 = r.histogram.values().sum();
         assert_eq!(total, r.cases);
@@ -273,5 +700,64 @@ mod tests {
         assert!((r.metrics.mean_error_distance - 0.0).abs() < 1e-12);
         assert!((r.metrics.mean_absolute_error_distance - 0.25).abs() < 1e-12);
         assert_eq!(r.metrics.max_absolute_error_distance, 1);
+    }
+
+    #[test]
+    fn bitsliced_matches_scalar_exactly_for_rational() {
+        // The hybrid mixes error-free MSBs with two different approximate
+        // cells, and the profile is asymmetric — a thorough exactness probe.
+        let chain = AdderChain::from_stages(vec![
+            StandardCell::Lpaa1.cell(),
+            StandardCell::Lpaa4.cell(),
+            StandardCell::Lpaa4.cell(),
+            StandardCell::Accurate.cell(),
+            StandardCell::Lpaa6.cell(),
+            StandardCell::Accurate.cell(),
+            StandardCell::Accurate.cell(),
+        ]);
+        let profile = InputProfile::<Rational>::new(
+            (1..=7).map(|i| Rational::from_ratio(i, 11)).collect(),
+            (1..=7).map(|i| Rational::from_ratio(i, 9)).collect(),
+            Rational::from_ratio(2, 7),
+        )
+        .expect("valid profile");
+        let fast = exhaustive(&chain, &profile).expect("feasible");
+        let reference = exhaustive_scalar(&chain, &profile).expect("feasible");
+        assert_eq!(fast.error_cases, reference.error_cases);
+        assert_eq!(
+            fast.output_error_probability,
+            reference.output_error_probability
+        );
+        assert_eq!(
+            fast.stage_error_probability,
+            reference.stage_error_probability
+        );
+        assert_eq!(fast.histogram, reference.histogram);
+        assert_eq!(fast.work, reference.work);
+        assert_eq!(
+            fast.metrics.max_absolute_error_distance,
+            reference.metrics.max_absolute_error_distance
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly_for_rational() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa3.cell(), 7);
+        let profile = InputProfile::<Rational>::constant(7, Rational::from_ratio(3, 10));
+        let serial = exhaustive(&chain, &profile).expect("feasible");
+        for threads in [2usize, 3, 5, 64] {
+            let parallel = exhaustive_with(&chain, &profile, threads).expect("feasible");
+            assert_eq!(
+                parallel.output_error_probability, serial.output_error_probability,
+                "threads={threads}"
+            );
+            assert_eq!(
+                parallel.stage_error_probability, serial.stage_error_probability,
+                "threads={threads}"
+            );
+            assert_eq!(parallel.histogram, serial.histogram, "threads={threads}");
+            assert_eq!(parallel.error_cases, serial.error_cases);
+            assert_eq!(parallel.work, serial.work);
+        }
     }
 }

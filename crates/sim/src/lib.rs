@@ -11,6 +11,14 @@
 //!   the input profile ([`monte_carlo`]); the paper uses one million samples
 //!   and reports agreement to the third decimal place (Table 7).
 //!
+//! Both regimes run on a bitsliced (SWAR) engine that evaluates 64 input
+//! vectors per pass through `sealpaa_cells::CompiledChain`, and the
+//! exhaustive sweep additionally parallelizes over operand ranges
+//! ([`exhaustive_with`]) with an order-deterministic merge. The original
+//! one-case-at-a-time engines stay available as [`exhaustive_scalar`] and
+//! [`monte_carlo_scalar`] — they are the differential-test oracles and the
+//! benchmark baselines.
+//!
 //! Both simulators report the error probability under two semantics (final
 //! output value differs vs. any stage deviates — see
 //! `sealpaa-core::exact_error_analysis` for why they can differ on exotic
@@ -39,7 +47,21 @@ mod metrics;
 mod monte_carlo;
 mod rng;
 
-pub use exhaustive::{exhaustive, ExhaustiveReport, SimError, SimWork};
+pub use exhaustive::{
+    exhaustive, exhaustive_scalar, exhaustive_with, ExhaustiveReport, SimError, SimWork,
+    MAX_EXHAUSTIVE_WIDTH,
+};
 pub use metrics::ErrorMetrics;
-pub use monte_carlo::{monte_carlo, MonteCarloConfig, MonteCarloReport};
-pub use rng::{SplitMix64, Xoshiro256pp};
+pub use monte_carlo::{monte_carlo, monte_carlo_scalar, MonteCarloConfig, MonteCarloReport};
+pub use rng::{quantize_p53, SplitMix64, Xoshiro256pp};
+
+/// The number of worker threads to use by default: the machine's available
+/// parallelism, or 1 if it cannot be determined. CLI and server entry
+/// points use this; the library-level [`MonteCarloConfig`] default stays at
+/// 1 so that embedding code gets identical sample streams everywhere unless
+/// it opts in (results are deterministic per `(seed, threads)` pair).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}

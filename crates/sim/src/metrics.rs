@@ -47,6 +47,34 @@ impl MetricsAccumulator {
         }
     }
 
+    /// Adds `weight` to the total mass without recording any error — the
+    /// bitsliced kernels account a whole 64-lane batch (correct *and*
+    /// erroneous lanes) in one call, then settle the erroneous lanes as an
+    /// aggregate via [`record_error_block`](Self::record_error_block).
+    pub(crate) fn add_bulk_weight(&mut self, weight: f64) {
+        self.weight_total += weight;
+    }
+
+    /// Records a whole block of erroneous cases whose aggregate moments were
+    /// pre-summed by the caller (in plane space by the Monte-Carlo kernel's
+    /// per-batch [`error_stats64`](sealpaa_cells::error_stats64) call, or
+    /// lane-by-lane with a factored batch weight by the exhaustive kernel),
+    /// so the accumulator takes one update per 64-lane batch instead of one
+    /// per erroneous lane. The block's weight must already be part of the
+    /// total via [`add_bulk_weight`](Self::add_bulk_weight).
+    pub(crate) fn record_error_block(
+        &mut self,
+        error_weight: f64,
+        sum_ed: f64,
+        sum_abs_ed: f64,
+        max_abs_ed: u64,
+    ) {
+        self.weight_error += error_weight;
+        self.weighted_ed += sum_ed;
+        self.weighted_abs_ed += sum_abs_ed;
+        self.max_abs_ed = self.max_abs_ed.max(max_abs_ed);
+    }
+
     /// Folds another accumulator's tallies into this one (used to combine
     /// per-thread Monte-Carlo chunks).
     pub(crate) fn merge(&mut self, other: MetricsAccumulator) {
@@ -115,6 +143,33 @@ mod tests {
         }
         left.merge(right);
         assert_eq!(left.finish(), whole.finish());
+    }
+
+    #[test]
+    fn bulk_plus_error_block_equals_per_case_records() {
+        // The bitsliced decomposition (batch weight + aggregated erroneous
+        // lanes) must produce the same metrics as recording every case
+        // individually.
+        let cases = [(1.0f64, 0i64), (1.0, 0), (1.0, 3), (1.0, -2), (1.0, 0)];
+        let mut per_case = MetricsAccumulator::default();
+        for &(w, ed) in &cases {
+            per_case.record(w, ed);
+        }
+        let mut bulk = MetricsAccumulator::default();
+        bulk.add_bulk_weight(cases.iter().map(|&(w, _)| w).sum());
+        let errs: Vec<_> = cases.iter().filter(|&&(_, ed)| ed != 0).collect();
+        bulk.record_error_block(
+            errs.iter().map(|&&(w, _)| w).sum(),
+            errs.iter().map(|&&(w, ed)| w * ed as f64).sum(),
+            errs.iter()
+                .map(|&&(w, ed)| w * ed.unsigned_abs() as f64)
+                .sum(),
+            errs.iter()
+                .map(|&&(_, ed)| ed.unsigned_abs())
+                .max()
+                .unwrap(),
+        );
+        assert_eq!(per_case.finish(), bulk.finish());
     }
 
     #[test]

@@ -1,11 +1,22 @@
 //! Monte-Carlo simulation with inputs drawn from the profile.
+//!
+//! [`monte_carlo`] is bitsliced: each pass draws 64 independent input
+//! vectors as `u64` bit-planes ([`Xoshiro256pp::next_bernoulli64`]) and
+//! evaluates all 64 through [`CompiledChain`], so the per-sample cost is a
+//! handful of word operations instead of a per-bit truth-table walk.
+//! [`monte_carlo_scalar`] keeps the one-sample-at-a-time reference
+//! implementation for differential tests and benchmark baselines.
+//!
+//! Both engines are deterministic for a fixed `(seed, threads)` pair, but
+//! they consume randomness differently, so for the same seed they see
+//! *different* (equally valid) samples.
 
-use sealpaa_cells::{AdderChain, InputProfile};
+use sealpaa_cells::{error_stats64, AdderChain, CompiledChain, InputProfile};
 use sealpaa_num::Prob;
 
 use crate::exhaustive::SimError;
 use crate::metrics::{ErrorMetrics, MetricsAccumulator};
-use crate::rng::Xoshiro256pp;
+use crate::rng::{quantize_p53, Xoshiro256pp};
 
 /// Configuration of a Monte-Carlo run.
 ///
@@ -56,9 +67,75 @@ impl MonteCarloReport {
     }
 }
 
+fn validate<T: Prob>(chain: &AdderChain, profile: &InputProfile<T>) -> Result<usize, SimError> {
+    let width = chain.width();
+    if width != profile.width() {
+        return Err(SimError::WidthMismatch {
+            chain: width,
+            profile: profile.width(),
+        });
+    }
+    if width > 64 {
+        return Err(SimError::WidthTooLarge { width, max: 64 });
+    }
+    Ok(width)
+}
+
+fn report_from(acc: MetricsAccumulator, error_samples: u64, samples: u64) -> MonteCarloReport {
+    let metrics = acc.finish();
+    let p = metrics.error_probability;
+    let standard_error = if samples > 0 {
+        (p * (1.0 - p) / samples as f64).sqrt()
+    } else {
+        0.0
+    };
+    MonteCarloReport {
+        samples,
+        error_samples,
+        metrics,
+        standard_error,
+    }
+}
+
+fn spawn_workers<F>(threads: u64, run_chunk: F) -> (MetricsAccumulator, u64)
+where
+    F: Fn(u64) -> (MetricsAccumulator, u64) + Sync,
+{
+    let mut acc = MetricsAccumulator::default();
+    let mut error_samples = 0u64;
+    if threads == 1 {
+        let (a, e) = run_chunk(0);
+        acc = a;
+        error_samples = e;
+    } else {
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let run_chunk = &run_chunk;
+                    scope.spawn(move || run_chunk(w))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker threads do not panic"))
+                .collect::<Vec<_>>()
+        });
+        for (chunk_acc, chunk_errors) in results {
+            acc.merge(chunk_acc);
+            error_samples += chunk_errors;
+        }
+    }
+    (acc, error_samples)
+}
+
 /// Draws `config.samples` random input vectors from `profile` (independent
 /// per-bit Bernoulli draws, as in the paper's LabVIEW setup) and measures the
 /// approximate chain against exact addition.
+///
+/// Bitsliced: 64 samples are drawn and evaluated per pass (probabilities are
+/// quantized to `2^-53`, the resolution of a scalar `next_f64` draw).
+/// Deterministic per `(seed, threads)`; see [`monte_carlo_scalar`] for the
+/// per-sample reference engine.
 ///
 /// # Errors
 ///
@@ -85,16 +162,95 @@ pub fn monte_carlo<T: Prob>(
     profile: &InputProfile<T>,
     config: MonteCarloConfig,
 ) -> Result<MonteCarloReport, SimError> {
-    let width = chain.width();
-    if width != profile.width() {
-        return Err(SimError::WidthMismatch {
-            chain: width,
-            profile: profile.width(),
-        });
-    }
-    if width > 64 {
-        return Err(SimError::WidthTooLarge { width, max: 64 });
-    }
+    let width = validate(chain, profile)?;
+    let compiled = CompiledChain::compile(chain);
+    let qa: Vec<u64> = (0..width)
+        .map(|i| quantize_p53(profile.pa(i).to_f64()))
+        .collect();
+    let qb: Vec<u64> = (0..width)
+        .map(|i| quantize_p53(profile.pb(i).to_f64()))
+        .collect();
+    let q_cin = quantize_p53(profile.p_cin().to_f64());
+
+    let threads = config.threads.clamp(1, 64) as u64;
+    let base = config.samples / threads;
+    let extra = config.samples % threads;
+    let run_chunk = |worker: u64| -> (MetricsAccumulator, u64) {
+        let samples = base + u64::from(worker < extra);
+        // SplitMix-style per-worker seed derivation keeps streams disjoint.
+        let seed = config
+            .seed
+            .wrapping_add(worker.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut acc = MetricsAccumulator::default();
+        let mut errors = 0u64;
+        let mut a_planes = vec![0u64; width];
+        let mut b_planes = vec![0u64; width];
+        let mut approx_sum = vec![0u64; width];
+        let mut exact_sum = vec![0u64; width];
+        let full_batches = samples / 64;
+        let tail = samples % 64;
+        let batches = full_batches + u64::from(tail > 0);
+        for batch in 0..batches {
+            // The final partial batch draws a full 64 lanes and masks the
+            // surplus out — simpler and branch-free in the hot path.
+            let active = if batch == full_batches {
+                (1u64 << tail) - 1
+            } else {
+                u64::MAX
+            };
+            for (plane, &q) in a_planes.iter_mut().zip(&qa) {
+                *plane = rng.next_bernoulli64(q);
+            }
+            for (plane, &q) in b_planes.iter_mut().zip(&qb) {
+                *plane = rng.next_bernoulli64(q);
+            }
+            let cin_word = rng.next_bernoulli64(q_cin);
+            let approx_cout = compiled.eval64_into(&a_planes, &b_planes, cin_word, &mut approx_sum);
+            let exact_cout =
+                CompiledChain::accurate64(&a_planes, &b_planes, cin_word, &mut exact_sum);
+            let mut mismatch = approx_cout ^ exact_cout;
+            for i in 0..width {
+                mismatch |= approx_sum[i] ^ exact_sum[i];
+            }
+            mismatch &= active;
+            acc.add_bulk_weight(f64::from(active.count_ones()));
+            errors += u64::from(mismatch.count_ones());
+            if mismatch != 0 {
+                // Aggregate the batch's error moments in plane space — one
+                // O(width) pass and one accumulator update, independent of
+                // how many lanes erred.
+                let stats =
+                    error_stats64(&approx_sum, approx_cout, &exact_sum, exact_cout, mismatch);
+                acc.record_error_block(
+                    f64::from(mismatch.count_ones()),
+                    stats.sum_ed,
+                    stats.sum_abs_ed,
+                    stats.max_abs_ed,
+                );
+            }
+        }
+        (acc, errors)
+    };
+
+    let (acc, error_samples) = spawn_workers(threads, run_chunk);
+    Ok(report_from(acc, error_samples, config.samples))
+}
+
+/// The scalar reference engine: one sample at a time, one truth-table walk
+/// per bit. Statistically equivalent to [`monte_carlo`] (the estimates
+/// agree within sampling error) but roughly an order of magnitude slower —
+/// kept public as the differential-test oracle and benchmark baseline.
+///
+/// # Errors
+///
+/// Same conditions as [`monte_carlo`].
+pub fn monte_carlo_scalar<T: Prob>(
+    chain: &AdderChain,
+    profile: &InputProfile<T>,
+    config: MonteCarloConfig,
+) -> Result<MonteCarloReport, SimError> {
+    let width = validate(chain, profile)?;
 
     // Pre-convert the profile to f64 thresholds once.
     let pa: Vec<f64> = (0..width).map(|i| profile.pa(i).to_f64()).collect();
@@ -135,40 +291,8 @@ pub fn monte_carlo<T: Prob>(
         (acc, errors)
     };
 
-    let (mut acc, mut error_samples) = (MetricsAccumulator::default(), 0u64);
-    if threads == 1 {
-        let (a, e) = run_chunk(0);
-        acc = a;
-        error_samples = e;
-    } else {
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| scope.spawn(move || run_chunk(w)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker threads do not panic"))
-                .collect::<Vec<_>>()
-        });
-        for (chunk_acc, chunk_errors) in results {
-            acc.merge(chunk_acc);
-            error_samples += chunk_errors;
-        }
-    }
-
-    let metrics = acc.finish();
-    let p = metrics.error_probability;
-    let standard_error = if config.samples > 0 {
-        (p * (1.0 - p) / config.samples as f64).sqrt()
-    } else {
-        0.0
-    };
-    Ok(MonteCarloReport {
-        samples: config.samples,
-        error_samples,
-        metrics,
-        standard_error,
-    })
+    let (acc, error_samples) = spawn_workers(threads, run_chunk);
+    Ok(report_from(acc, error_samples, config.samples))
 }
 
 #[cfg(test)]
@@ -244,6 +368,53 @@ mod tests {
     }
 
     #[test]
+    fn scalar_engine_estimate_agrees_with_bitsliced() {
+        // Same task, both engines: estimates must agree within the combined
+        // sampling error (the streams differ, so not bit-for-bit).
+        let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), 8);
+        let profile = InputProfile::constant(8, 0.1);
+        let cfg = MonteCarloConfig {
+            samples: 60_000,
+            seed: 21,
+            threads: 1,
+        };
+        let fast = monte_carlo(&chain, &profile, cfg).expect("valid");
+        let slow = monte_carlo_scalar(&chain, &profile, cfg).expect("valid");
+        assert!(
+            (fast.error_probability() - slow.error_probability()).abs()
+                < 5.0 * (fast.standard_error + slow.standard_error) + 1e-9,
+            "bitsliced {} vs scalar {}",
+            fast.error_probability(),
+            slow.error_probability()
+        );
+        // The scalar engine stays deterministic too.
+        let again = monte_carlo_scalar(&chain, &profile, cfg).expect("valid");
+        assert_eq!(slow, again);
+    }
+
+    #[test]
+    fn partial_batch_masks_surplus_lanes() {
+        // A sample count straddling batch boundaries must count exactly
+        // `samples` cases, not a multiple of 64.
+        let chain = AdderChain::uniform(StandardCell::Lpaa7.cell(), 5);
+        let profile = InputProfile::<f64>::uniform(5);
+        for samples in [1u64, 63, 64, 65, 130] {
+            let r = monte_carlo(
+                &chain,
+                &profile,
+                MonteCarloConfig {
+                    samples,
+                    seed: 2,
+                    threads: 1,
+                },
+            )
+            .expect("valid");
+            assert_eq!(r.samples, samples);
+            assert!(r.error_samples <= samples);
+        }
+    }
+
+    #[test]
     fn multithreaded_run_is_deterministic_and_consistent() {
         let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), 8);
         let profile = InputProfile::constant(8, 0.1);
@@ -315,5 +486,6 @@ mod tests {
         let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 2);
         let profile = InputProfile::<f64>::uniform(3);
         assert!(monte_carlo(&chain, &profile, MonteCarloConfig::default()).is_err());
+        assert!(monte_carlo_scalar(&chain, &profile, MonteCarloConfig::default()).is_err());
     }
 }

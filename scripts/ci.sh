@@ -29,6 +29,17 @@ run cargo test -q
 # The rest of the workspace (every crate's unit, integration and doc tests).
 run cargo test --workspace -q
 
+# The differential suite: bitsliced engines vs the scalar reference oracle
+# (exact equality for Rational sweeps, tolerance-checked f64, determinism
+# across thread counts).
+run cargo test -p sealpaa-sim --test differential -q
+
+# Smoke-run the simulation-kernel benchmarks (1 sample per bench, no JSON
+# rewrite) so kernel regressions that only break under the bench harness
+# surface here rather than in the next full bench run.
+run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
+    cargo bench -p sealpaa-bench --bench simulation_kernels
+
 run cargo fmt --all --check
 
 echo
