@@ -3,9 +3,10 @@
 use std::io::Write;
 
 use sealpaa_explore::{
-    accurate_cell_with_proxy_costs, enumerate_designs, exhaustive_best, local_search_best,
+    accurate_cell_with_proxy_costs, exhaustive_best_with, exhaustive_designs, local_search_best,
     pareto_front, Budget,
 };
+use sealpaa_sim::default_threads;
 
 use crate::args::{parse_cell, parse_profile, ParsedArgs};
 use crate::error::CliError;
@@ -25,7 +26,9 @@ options:
   --budget-area X     maximum total area in GE
   --local             use hill-climbing instead of exhaustive enumeration
                       (required for large widths/candidate sets)
-  --pareto            print the error/power/area Pareto frontier";
+  --pareto            print the error/power/area Pareto frontier
+  --threads T         worker threads for the exhaustive search (default: all
+                      available cores; results are identical for any T)";
 
 /// Runs the command.
 ///
@@ -49,6 +52,7 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
             "cin",
             "budget-power",
             "budget-area",
+            "threads",
         ],
         &["local", "pareto"],
     )?;
@@ -101,10 +105,11 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
             .collect::<Vec<_>>()
             .join(", ")
     )?;
+    let threads = args.get_or("threads", default_threads())?;
     let best = if args.flag("local") {
         local_search_best(&candidates, &profile, &budget).map_err(CliError::analysis)?
     } else {
-        exhaustive_best(&candidates, &profile, &budget).map_err(CliError::analysis)?
+        exhaustive_best_with(&candidates, &profile, &budget, threads).map_err(CliError::analysis)?
     };
     match best {
         None => writeln!(out, "no design fits the budget")?,
@@ -113,7 +118,8 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
         }
     }
     if args.flag("pareto") {
-        let designs = enumerate_designs(&candidates, &profile).map_err(CliError::analysis)?;
+        let designs =
+            exhaustive_designs(&candidates, &profile, threads).map_err(CliError::analysis)?;
         let front = pareto_front(designs);
         writeln!(out, "\nPareto frontier ({} designs):", front.len())?;
         for design in front {
@@ -165,6 +171,22 @@ mod tests {
     fn custom_candidates() {
         let s = run_to_string(&["--width", "2", "--candidates", "lpaa3,lpaa5"]).expect("valid");
         assert!(s.contains("candidates: LPAA 3, LPAA 5"), "{s}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let base = &["--width", "4", "--p", "0.3", "--pareto"];
+        let mut outputs = Vec::new();
+        for threads in ["1", "2", "3"] {
+            let tokens: Vec<&str> = base
+                .iter()
+                .chain(&["--threads", threads])
+                .copied()
+                .collect();
+            outputs.push(run_to_string(&tokens).expect("valid"));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use sealpaa_cells::{AdderChain, InputProfile};
+use sealpaa_cells::{AdderChain, InputProfile, TruthTable};
 use sealpaa_num::Prob;
 
 use crate::carry::CarryState;
@@ -34,6 +34,23 @@ impl fmt::Display for AnalyzeError {
 }
 
 impl std::error::Error for AnalyzeError {}
+
+/// Clamps a probability to `[0, 1]`.
+///
+/// `P(Error) = 1 − P(Succ)` is exact in `Rational` mode, but in f64 the
+/// subtraction can land at `-0.0` (or a hair outside the unit interval after
+/// rounding). Folding that here means *every* consumer — CLI, server, gear,
+/// datapath, explore — sees a well-formed probability, instead of each
+/// call-site carrying its own clamp.
+pub(crate) fn clamp_unit<T: Prob>(p: T) -> T {
+    if p <= T::zero() {
+        T::zero() // also folds f64 −0.0 to +0.0
+    } else if p >= T::one() {
+        T::one()
+    } else {
+        p
+    }
+}
 
 /// The per-stage record of the recursion — one column of paper Table 4.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,9 +91,10 @@ impl<T: Prob> Analysis<T> {
 
     /// `P(Error) = 1 − P(Succ)` (paper Eq. 9): the probability that at least
     /// one stage deviates from the accurate adder along the accurate carry
-    /// chain.
+    /// chain. Clamped to `[0, 1]` (in f64 the subtraction can produce `-0.0`
+    /// or stray just outside the unit interval).
     pub fn error_probability(&self) -> T {
-        self.success.complement()
+        clamp_unit(self.success.complement())
     }
 
     /// The per-stage trace, LSB first (paper Table 4).
@@ -98,6 +116,18 @@ impl<T: Prob> Analysis<T> {
     /// Panics if `i >= self.width()`.
     pub fn prefix_success(&self, i: usize) -> T {
         self.stages[i].success_through.clone()
+    }
+
+    /// `P(Error)` of the `i+1`-bit prefix of the adder — the error
+    /// probability a width-`i+1` truncation of the chain would report,
+    /// clamped like [`error_probability`](Self::error_probability). One
+    /// width-N analysis therefore answers a whole width sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn prefix_error_probability(&self, i: usize) -> T {
+        clamp_unit(self.stages[i].success_through.complement())
     }
 
     /// How much error probability each stage *introduces*:
@@ -184,8 +214,19 @@ fn analyze_inner<T: Prob>(
     ops.complements += 1;
     let mut stages = Vec::with_capacity(chain.width());
     let mut success = T::one();
+    // Derive M/K/L once per distinct truth table (a chain mixes at most the
+    // 8 standard cells, so a linear scan beats hashing).
+    let mut mkl_cache: Vec<(&TruthTable, MklMatrices)> = Vec::new();
     for (i, cell) in chain.iter().enumerate() {
-        let mkl = MklMatrices::from_truth_table(cell.truth_table());
+        let table = cell.truth_table();
+        let mkl = match mkl_cache.iter().find(|(t, _)| *t == table) {
+            Some((_, mkl)) => *mkl,
+            None => {
+                let mkl = MklMatrices::from_truth_table(table);
+                mkl_cache.push((table, mkl));
+                mkl
+            }
+        };
         let ipm = Ipm::build(profile.pa(i), profile.pb(i), &carry, ops);
         let carry_out = CarryState::new(ipm.dot(mkl.k(), ops), ipm.dot(mkl.m(), ops));
         success = ipm.dot(mkl.l(), ops);

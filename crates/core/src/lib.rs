@@ -58,6 +58,7 @@ mod magnitude;
 mod matrices;
 mod ops;
 mod signal;
+mod stepper;
 
 pub use analyzer::{analyze, analyze_instrumented, Analysis, AnalyzeError, StageTrace};
 pub use carry::CarryState;
@@ -68,3 +69,4 @@ pub use magnitude::{error_magnitude, MagnitudeAnalysis};
 pub use matrices::{Ipm, MklMatrices};
 pub use ops::{table8_resource_model, OpCounts, ResourceEstimate};
 pub use signal::{signal_probabilities, success_sum_probabilities, SignalAnalysis};
+pub use stepper::PrefixStepper;

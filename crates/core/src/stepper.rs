@@ -1,0 +1,311 @@
+//! Incremental, prefix-sharing analysis: the M/K/L recursion advanced one
+//! stage at a time, with checkpoints and rewind.
+//!
+//! [`analyze`](crate::analyze) is a left-fold over [`CarryState`]: the state
+//! after stage *i* depends only on the cells of stages `0..=i`. A
+//! [`PrefixStepper`] exploits that by keeping the whole stack of per-depth
+//! states, so design-space exploration can walk a tree of candidate cells
+//! and pay **one** stage step per tree edge instead of a full O(N) pass per
+//! leaf — `C^N` designs cost `Θ(Σ C^i) ≈ C^N` stage steps rather than
+//! `N·C^N`.
+//!
+//! Each push performs *exactly* the operations [`analyze`](crate::analyze)
+//! performs for that stage, in the same order, so the resulting success and
+//! error probabilities are bit-identical to a fresh analysis of the same
+//! prefix — in `f64` as well as in exact [`Rational`](sealpaa_num::Rational)
+//! mode. The differential suite in `tests/incremental.rs` pins this.
+
+use sealpaa_cells::{Cell, InputProfile, TruthTable};
+use sealpaa_num::Prob;
+
+use crate::analyzer::clamp_unit;
+use crate::carry::CarryState;
+use crate::matrices::{Ipm, MklMatrices};
+use crate::ops::OpCounts;
+
+/// One saved depth: the carry state after `d` stages and `P(Succ)` through
+/// them (`T::one()` at depth 0).
+#[derive(Debug, Clone, PartialEq)]
+struct Checkpoint<T> {
+    carry: CarryState<T>,
+    success: T,
+}
+
+/// An incremental analysis cursor over the stages of an adder chain.
+///
+/// The stepper holds the [`CarryState`] after every prefix depth; [`push`]
+/// advances one stage in O(1) (one 8-entry IPM build plus three dot
+/// products), [`truncate`] rewinds to any shallower checkpoint without
+/// recomputation. [`MklMatrices`] for distinct truth tables are derived once
+/// and cached (a chain mixes at most the 8 standard cells).
+///
+/// [`push`]: PrefixStepper::push
+/// [`truncate`]: PrefixStepper::truncate
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
+/// use sealpaa_core::{analyze, PrefixStepper};
+///
+/// let profile = InputProfile::constant(4, 0.3);
+/// let mut stepper = PrefixStepper::new(&profile);
+/// for _ in 0..4 {
+///     stepper.push_cell(&StandardCell::Lpaa1.cell());
+/// }
+/// let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 4);
+/// let fresh = analyze(&chain, &profile)?;
+/// assert_eq!(stepper.error_probability(), fresh.error_probability());
+///
+/// // Rewind two stages and widen differently: only the suffix is re-run.
+/// stepper.truncate(2);
+/// stepper.push_cell(&StandardCell::Accurate.cell());
+/// assert_eq!(stepper.depth(), 3);
+/// # Ok::<(), sealpaa_core::AnalyzeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixStepper<'p, T: Prob> {
+    profile: &'p InputProfile<T>,
+    /// `states[d]` is the checkpoint after `d` stages; never empty.
+    states: Vec<Checkpoint<T>>,
+    ops: OpCounts,
+    /// Per-distinct-truth-table M/K/L cache (linear scan; ≤ 8 entries in
+    /// practice, far cheaper than a re-derivation).
+    mkl_cache: Vec<(TruthTable, MklMatrices)>,
+}
+
+impl<'p, T: Prob> PrefixStepper<'p, T> {
+    /// Opens a stepper at depth 0 (no stages analysed) for chains under
+    /// `profile`. The profile's width bounds how deep the stepper can go.
+    pub fn new(profile: &'p InputProfile<T>) -> Self {
+        let mut ops = OpCounts::default();
+        let carry = CarryState::initial(profile.p_cin());
+        ops.complements += 1;
+        PrefixStepper {
+            profile,
+            states: vec![Checkpoint {
+                carry,
+                success: T::one(),
+            }],
+            ops,
+            mkl_cache: Vec::new(),
+        }
+    }
+
+    /// Number of stages analysed so far.
+    pub fn depth(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Deepest reachable depth — the profile's width.
+    pub fn max_depth(&self) -> usize {
+        self.profile.width()
+    }
+
+    /// The M/K/L matrices for `table`, derived on first sight and cached.
+    pub fn matrices_for(&mut self, table: &TruthTable) -> MklMatrices {
+        if let Some((_, mkl)) = self.mkl_cache.iter().find(|(t, _)| t == table) {
+            return *mkl;
+        }
+        let mkl = MklMatrices::from_truth_table(table);
+        self.mkl_cache.push((*table, mkl));
+        mkl
+    }
+
+    /// Advances one stage: the cell at the current depth has matrices
+    /// `mkl`. Exactly [`analyze`](crate::analyze)'s per-stage operations, in
+    /// the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stepper is already at [`max_depth`](Self::max_depth).
+    pub fn push(&mut self, mkl: &MklMatrices) {
+        let Self {
+            profile,
+            states,
+            ops,
+            ..
+        } = self;
+        let depth = states.len() - 1;
+        assert!(
+            depth < profile.width(),
+            "stepper is already at the profile width ({})",
+            profile.width()
+        );
+        let ipm = Ipm::build(
+            profile.pa(depth),
+            profile.pb(depth),
+            &states[depth].carry,
+            ops,
+        );
+        let carry = CarryState::new(ipm.dot(mkl.k(), ops), ipm.dot(mkl.m(), ops));
+        let success = ipm.dot(mkl.l(), ops);
+        states.push(Checkpoint { carry, success });
+    }
+
+    /// [`push`](Self::push) with the matrices derived (and cached) from the
+    /// cell's truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stepper is already at [`max_depth`](Self::max_depth).
+    pub fn push_cell(&mut self, cell: &Cell) {
+        let mkl = self.matrices_for(cell.truth_table());
+        self.push(&mkl);
+    }
+
+    /// Rewinds to a previously reached depth; the retained prefix is not
+    /// recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` exceeds the current [`depth`](Self::depth).
+    pub fn truncate(&mut self, depth: usize) {
+        assert!(
+            depth <= self.depth(),
+            "cannot truncate to depth {depth} from depth {}",
+            self.depth()
+        );
+        self.states.truncate(depth + 1);
+    }
+
+    /// The success-conditioned carry state after the current depth.
+    pub fn carry_state(&self) -> &CarryState<T> {
+        &self.states[self.depth()].carry
+    }
+
+    /// `P(Succ)` of the analysed prefix — equal to
+    /// [`Analysis::success_probability`](crate::Analysis::success_probability)
+    /// of the same chain prefix, bit for bit (`T::one()` at depth 0).
+    pub fn success_probability(&self) -> T {
+        self.states[self.depth()].success.clone()
+    }
+
+    /// `P(Error) = 1 − P(Succ)` of the analysed prefix, clamped to `[0, 1]`
+    /// exactly like
+    /// [`Analysis::error_probability`](crate::Analysis::error_probability).
+    pub fn error_probability(&self) -> T {
+        clamp_unit(self.states[self.depth()].success.complement())
+    }
+
+    /// Exact operation counts incurred by every stage step so far (rewound
+    /// stages included — the work was done; the end-of-analysis complement
+    /// is not, since no analysis is "finished").
+    pub fn ops(&self) -> OpCounts {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use sealpaa_cells::{AdderChain, StandardCell};
+    use sealpaa_num::Rational;
+
+    #[test]
+    fn stepping_matches_fresh_analysis_at_every_prefix() {
+        let cells = [
+            StandardCell::Lpaa1,
+            StandardCell::Lpaa6,
+            StandardCell::Accurate,
+            StandardCell::Lpaa3,
+        ];
+        let profile = InputProfile::<Rational>::constant(4, Rational::from_ratio(3, 10));
+        let mut stepper = PrefixStepper::new(&profile);
+        for (i, cell) in cells.iter().enumerate() {
+            stepper.push_cell(&cell.cell());
+            let prefix = AdderChain::from_stages(cells[..=i].iter().map(|c| c.cell()).collect());
+            let prefix_profile =
+                InputProfile::<Rational>::constant(i + 1, Rational::from_ratio(3, 10));
+            let fresh = analyze(&prefix, &prefix_profile).expect("widths match");
+            assert_eq!(stepper.success_probability(), fresh.success_probability());
+            assert_eq!(stepper.error_probability(), fresh.error_probability());
+            assert_eq!(
+                stepper.carry_state(),
+                &fresh.stages()[i].carry_out,
+                "depth {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn truncate_rewinds_to_checkpoints() {
+        let profile = InputProfile::constant(6, 0.4);
+        let mut stepper = PrefixStepper::new(&profile);
+        let lpaa2 = StandardCell::Lpaa2.cell();
+        let accurate = StandardCell::Accurate.cell();
+        for _ in 0..3 {
+            stepper.push_cell(&lpaa2);
+        }
+        let at3 = stepper.success_probability();
+        for _ in 3..6 {
+            stepper.push_cell(&accurate);
+        }
+        stepper.truncate(3);
+        assert_eq!(stepper.depth(), 3);
+        assert_eq!(stepper.success_probability(), at3);
+        // Re-widening after a rewind reproduces the same values.
+        for _ in 3..6 {
+            stepper.push_cell(&accurate);
+        }
+        let chain = AdderChain::lsb_approximate(lpaa2, accurate, 3, 6);
+        let fresh = analyze(&chain, &profile).expect("widths match");
+        assert_eq!(stepper.success_probability(), fresh.success_probability());
+    }
+
+    #[test]
+    fn depth_zero_is_the_empty_prefix() {
+        let profile = InputProfile::<Rational>::uniform(2);
+        let stepper = PrefixStepper::new(&profile);
+        assert_eq!(stepper.depth(), 0);
+        assert_eq!(stepper.max_depth(), 2);
+        assert_eq!(stepper.success_probability(), Rational::one());
+        assert_eq!(stepper.error_probability(), Rational::zero());
+    }
+
+    #[test]
+    fn mkl_cache_deduplicates_by_truth_table() {
+        let profile = InputProfile::constant(8, 0.5);
+        let mut stepper = PrefixStepper::new(&profile);
+        for cell in [
+            StandardCell::Lpaa1,
+            StandardCell::Lpaa2,
+            StandardCell::Lpaa1,
+            StandardCell::Lpaa2,
+        ] {
+            stepper.push_cell(&cell.cell());
+        }
+        assert_eq!(stepper.mkl_cache.len(), 2);
+    }
+
+    #[test]
+    fn ops_match_instrumented_analysis_per_stage() {
+        let profile = InputProfile::constant(5, 0.2);
+        let mut stepper = PrefixStepper::new(&profile);
+        for _ in 0..5 {
+            stepper.push_cell(&StandardCell::Lpaa4.cell());
+        }
+        // 16 multiplications per stage, as `analyze_instrumented` counts.
+        assert_eq!(stepper.ops().multiplications, 5 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "already at the profile width")]
+    fn pushing_past_the_profile_width_panics() {
+        let profile = InputProfile::constant(1, 0.5);
+        let mut stepper = PrefixStepper::new(&profile);
+        stepper.push_cell(&StandardCell::Lpaa1.cell());
+        stepper.push_cell(&StandardCell::Lpaa1.cell());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn truncating_deeper_than_current_panics() {
+        let profile = InputProfile::<f64>::uniform(4);
+        let stepper: PrefixStepper<'_, f64> = PrefixStepper::new(&profile);
+        let mut stepper = stepper;
+        stepper.truncate(1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Differential suite for the incremental analysis engine.
+//!
+//! The [`PrefixStepper`] promises that stepping through a chain performs
+//! *exactly* the operations a fresh [`analyze`] performs, in the same order
+//! — so its results are bit-identical in exact [`Rational`] arithmetic and
+//! exactly equal (not merely close) in `f64`. The stepper-based DFS in
+//! `sealpaa-explore` additionally promises byte-identical results for every
+//! thread count. This suite pins both contracts on randomized hybrid chains
+//! drawn from all eight standard cells.
+
+use sealpaa_cells::{AdderChain, Cell, InputProfile, StandardCell};
+use sealpaa_core::{analyze, PrefixStepper};
+use sealpaa_explore::{
+    accurate_cell_with_proxy_costs, exhaustive_best_reference, exhaustive_best_with,
+    exhaustive_designs, Budget,
+};
+use sealpaa_num::Rational;
+
+/// SplitMix64 — tiny deterministic RNG, no external dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// A random probability with a small denominator, exact in both
+    /// `Rational` and `f64` parsing paths.
+    fn prob(&mut self) -> (Rational, f64) {
+        let den = 1 + self.below(16) as i64;
+        let num = self.below(den as usize + 1) as i64;
+        (Rational::from_ratio(num, den), num as f64 / den as f64)
+    }
+}
+
+fn random_chain(rng: &mut Rng, width: usize) -> Vec<StandardCell> {
+    (0..width)
+        .map(|_| StandardCell::ALL[rng.below(StandardCell::ALL.len())])
+        .collect()
+}
+
+fn random_profiles(rng: &mut Rng, width: usize) -> (InputProfile<Rational>, InputProfile<f64>) {
+    let mut pa_q = Vec::new();
+    let mut pa_f = Vec::new();
+    let mut pb_q = Vec::new();
+    let mut pb_f = Vec::new();
+    for _ in 0..width {
+        let (q, f) = rng.prob();
+        pa_q.push(q);
+        pa_f.push(f);
+        let (q, f) = rng.prob();
+        pb_q.push(q);
+        pb_f.push(f);
+    }
+    let (cin_q, cin_f) = rng.prob();
+    (
+        InputProfile::new(pa_q, pb_q, cin_q).expect("valid probabilities"),
+        InputProfile::new(pa_f, pb_f, cin_f).expect("valid probabilities"),
+    )
+}
+
+#[test]
+fn stepper_matches_fresh_analysis_bit_for_bit_in_rational() {
+    let mut rng = Rng(0xDAC1_7001);
+    for trial in 0..40 {
+        let width = 1 + rng.below(10);
+        let cells = random_chain(&mut rng, width);
+        let (profile, _) = random_profiles(&mut rng, width);
+        let mut stepper = PrefixStepper::new(&profile);
+        for cell in &cells {
+            stepper.push_cell(&cell.cell());
+        }
+        let chain = AdderChain::from_stages(cells.iter().map(|c| c.cell()).collect());
+        let fresh = analyze(&chain, &profile).expect("widths match");
+        // Exact arithmetic: `assert_eq!` is bit-for-bit identity.
+        assert_eq!(
+            stepper.success_probability(),
+            fresh.success_probability(),
+            "trial {trial}: {chain}"
+        );
+        assert_eq!(
+            stepper.error_probability(),
+            fresh.error_probability(),
+            "trial {trial}: {chain}"
+        );
+        assert_eq!(
+            stepper.carry_state(),
+            &fresh.stages()[width - 1].carry_out,
+            "trial {trial}: {chain}"
+        );
+    }
+}
+
+#[test]
+fn stepper_matches_fresh_analysis_exactly_in_f64() {
+    let mut rng = Rng(0xDAC1_7002);
+    for trial in 0..40 {
+        let width = 1 + rng.below(10);
+        let cells = random_chain(&mut rng, width);
+        let (_, profile) = random_profiles(&mut rng, width);
+        let mut stepper = PrefixStepper::new(&profile);
+        for cell in &cells {
+            stepper.push_cell(&cell.cell());
+        }
+        let chain = AdderChain::from_stages(cells.iter().map(|c| c.cell()).collect());
+        let fresh = analyze(&chain, &profile).expect("widths match");
+        // Same operations in the same order ⇒ the same rounding ⇒ exact
+        // f64 equality, not an epsilon comparison.
+        assert_eq!(
+            stepper.success_probability(),
+            fresh.success_probability(),
+            "trial {trial}: {chain}"
+        );
+        assert_eq!(
+            stepper.error_probability(),
+            fresh.error_probability(),
+            "trial {trial}: {chain}"
+        );
+    }
+}
+
+#[test]
+fn truncate_and_rewiden_reproduces_a_fresh_analysis() {
+    // A random walk of push/truncate edits must land on exactly the value a
+    // fresh analysis of the final chain computes — checkpoints are real
+    // checkpoints, with no accumulated state from discarded suffixes.
+    let mut rng = Rng(0xDAC1_7003);
+    for trial in 0..25 {
+        let width = 2 + rng.below(8);
+        let (profile, _) = random_profiles(&mut rng, width);
+        let mut stepper = PrefixStepper::new(&profile);
+        let mut current: Vec<StandardCell> = Vec::new();
+        for _ in 0..30 {
+            if current.len() == width || (!current.is_empty() && rng.below(3) == 0) {
+                let keep = rng.below(current.len() + 1);
+                stepper.truncate(keep);
+                current.truncate(keep);
+            } else {
+                let cell = StandardCell::ALL[rng.below(StandardCell::ALL.len())];
+                stepper.push_cell(&cell.cell());
+                current.push(cell);
+            }
+        }
+        while current.len() < width {
+            let cell = StandardCell::ALL[rng.below(StandardCell::ALL.len())];
+            stepper.push_cell(&cell.cell());
+            current.push(cell);
+        }
+        let chain = AdderChain::from_stages(current.iter().map(|c| c.cell()).collect());
+        let fresh = analyze(&chain, &profile).expect("widths match");
+        assert_eq!(
+            stepper.success_probability(),
+            fresh.success_probability(),
+            "trial {trial}: {chain}"
+        );
+    }
+}
+
+#[test]
+fn stepper_error_is_clamped_like_analysis() {
+    // An all-accurate chain has success exactly 1; the clamp keeps the f64
+    // error at +0.0 (never -0.0) in both code paths.
+    let profile = InputProfile::<f64>::uniform(6);
+    let mut stepper = PrefixStepper::new(&profile);
+    for _ in 0..6 {
+        stepper.push_cell(&StandardCell::Accurate.cell());
+    }
+    let chain = AdderChain::uniform(StandardCell::Accurate.cell(), 6);
+    let fresh = analyze(&chain, &profile).expect("widths match");
+    assert_eq!(stepper.error_probability(), 0.0);
+    assert_eq!(fresh.error_probability(), 0.0);
+    assert!(stepper.error_probability().is_sign_positive());
+    assert!(fresh.error_probability().is_sign_positive());
+}
+
+fn dse_candidates() -> Vec<Cell> {
+    vec![
+        StandardCell::Lpaa1.cell(),
+        StandardCell::Lpaa2.cell(),
+        StandardCell::Lpaa5.cell(),
+        accurate_cell_with_proxy_costs(),
+    ]
+}
+
+#[test]
+fn exhaustive_designs_is_identical_for_every_thread_count() {
+    let candidates = dse_candidates();
+    let mut rng = Rng(0xDAC1_7004);
+    for width in [1, 3, 5] {
+        let (_, profile) = random_profiles(&mut rng, width);
+        let reference = exhaustive_designs(&candidates, &profile, 1).expect("valid");
+        for threads in [2, 3, 7, 64] {
+            let designs = exhaustive_designs(&candidates, &profile, threads).expect("valid");
+            // `HybridDesign: PartialEq` compares f64 scores exactly — this
+            // is byte-identity, not approximate agreement.
+            assert_eq!(reference, designs, "width {width}, threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn exhaustive_best_matches_the_reference_scan_for_every_thread_count() {
+    let candidates = dse_candidates();
+    let mut rng = Rng(0xDAC1_7005);
+    for width in [2, 4, 6] {
+        let (_, profile) = random_profiles(&mut rng, width);
+        for budget in [
+            Budget::default(),
+            Budget {
+                max_power_nw: Some(1080.0 * width as f64 * 0.6),
+                max_area_ge: None,
+            },
+            Budget {
+                max_power_nw: Some(0.0),
+                max_area_ge: Some(6.0 * width as f64),
+            },
+        ] {
+            let reference =
+                exhaustive_best_reference(&candidates, &profile, &budget).expect("valid");
+            for threads in [1, 2, 5] {
+                let best =
+                    exhaustive_best_with(&candidates, &profile, &budget, threads).expect("valid");
+                assert_eq!(reference, best, "width {width}, threads {threads}");
+            }
+        }
+    }
+}

@@ -41,7 +41,7 @@ mod sweep;
 pub use scorecard::{score_cells, CellScore};
 pub use search::{
     accurate_cell_with_proxy_costs, enumerate_designs, evaluate, exhaustive_best,
-    local_search_best, pareto_front, Budget, Evaluation, ExploreError, HybridDesign,
-    MAX_ENUMERATION,
+    exhaustive_best_reference, exhaustive_best_with, exhaustive_designs, local_search_best,
+    pareto_front, Budget, Evaluation, ExploreError, HybridDesign, MAX_ENUMERATION, MAX_SEARCH,
 };
 pub use sweep::{lsb_sweep, lsb_sweep_verified, LsbSweepPoint, VerifiedSweepPoint};

@@ -1,9 +1,35 @@
 //! Hybrid-adder search algorithms.
+//!
+//! # Prefix-sharing design-space exploration
+//!
+//! The M/K/L recursion is a left-fold over [`CarryState`], so two designs
+//! that agree on their first *i* stages share the analysis state after
+//! stage *i* exactly. The exhaustive searches below therefore walk the
+//! `C^N` assignment space as a depth-first traversal of the per-stage cell
+//! tree, carrying a [`PrefixStepper`]: one O(1) stage step per tree edge
+//! (`Σ C^i ≈ C^N·C/(C−1)` steps total) instead of a full O(N) analysis per
+//! leaf. Power and area accumulate along the same tree path with the same
+//! left-fold f64 operation order as [`AdderChain::total_power_nw`], so every
+//! reported [`Evaluation`] is bit-identical to the naive
+//! re-analyze-per-design route (pinned by `exhaustive_best_reference` in
+//! the differential tests).
+//!
+//! # Determinism contract
+//!
+//! Parallel variants split the stage-0 subtrees across `std::thread::scope`
+//! workers and merge partials in lexicographic (odometer) design order:
+//! [`exhaustive_designs`] scatters each leaf into its odometer slot, and
+//! [`exhaustive_best_with`] breaks score ties by lowest odometer index. The
+//! returned designs — order, best pick, Pareto front, every f64 bit — are
+//! identical for every thread count.
+//!
+//! [`CarryState`]: sealpaa_core::CarryState
 
 use std::fmt;
+use std::ops::Range;
 
 use sealpaa_cells::{AdderChain, Cell, CellCharacteristics, InputProfile, StandardCell};
-use sealpaa_core::analyze;
+use sealpaa_core::{analyze, MklMatrices, PrefixStepper};
 
 /// Errors produced by the exploration functions.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,28 +185,148 @@ pub fn evaluate(
     }
     let analysis = analyze(chain, profile).expect("widths are validated by callers");
     Ok(Evaluation {
-        // `1 − Σ` can round a hair below zero in f64; clamp for sane display
-        // and comparisons.
-        error_probability: analysis.error_probability().clamp(0.0, 1.0),
+        error_probability: analysis.error_probability(),
         power_nw: chain.total_power_nw().expect("checked above"),
         area_ge: chain.total_area_ge().expect("checked above"),
     })
 }
 
-/// Hard cap on the exhaustive enumeration size.
+/// Hard cap on the exhaustive enumeration size (designs are materialized).
 pub const MAX_ENUMERATION: u128 = 2_000_000;
 
+/// Hard cap on the non-materializing best-design search, which keeps only
+/// the incumbent and therefore tolerates much larger spaces (N=8 over all
+/// 8 cells is 16.7M designs).
+pub const MAX_SEARCH: u128 = 100_000_000;
+
+/// Per-candidate data the DFS needs at every tree edge, derived once:
+/// M/K/L matrices and power/area increments.
+struct DfsContext<'c> {
+    candidates: &'c [Cell],
+    mkls: Vec<MklMatrices>,
+    powers: Vec<f64>,
+    areas: Vec<f64>,
+}
+
+impl<'c> DfsContext<'c> {
+    /// Validates every candidate up front (the DFS scores designs without
+    /// materializing chains, so the per-chain characteristics check in
+    /// [`evaluate`] never runs). The first candidate missing characteristics
+    /// is reported — the same cell the odometer enumeration would have
+    /// tripped over first.
+    fn new(candidates: &'c [Cell]) -> Result<Self, ExploreError> {
+        let mut mkls = Vec::with_capacity(candidates.len());
+        let mut powers = Vec::with_capacity(candidates.len());
+        let mut areas = Vec::with_capacity(candidates.len());
+        for cell in candidates {
+            let ch =
+                cell.characteristics()
+                    .ok_or_else(|| ExploreError::MissingCharacteristics {
+                        cell: cell.name().to_owned(),
+                    })?;
+            mkls.push(MklMatrices::from_truth_table(cell.truth_table()));
+            powers.push(ch.power_nw);
+            areas.push(ch.area_ge);
+        }
+        Ok(DfsContext {
+            candidates,
+            mkls,
+            powers,
+            areas,
+        })
+    }
+
+    fn chain_of(&self, assignment: &[usize]) -> AdderChain {
+        AdderChain::from_stages(
+            assignment
+                .iter()
+                .map(|&c| self.candidates[c].clone())
+                .collect(),
+        )
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous non-empty ranges.
+fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// One enumeration state threaded through the DFS: the stepper prefix, the
+/// partial power/area folds (same f64 operation order as
+/// [`AdderChain::total_power_nw`]), and the design's odometer index built
+/// digit by digit (`assignment[0]` is the fastest-cycling digit, matching
+/// the historical odometer order).
+fn enumerate_subtree<'p>(
+    ctx: &DfsContext<'_>,
+    stepper: &mut PrefixStepper<'p, f64>,
+    assignment: &mut Vec<usize>,
+    power: f64,
+    area: f64,
+    index: usize,
+    weight: usize,
+    out: &mut Vec<(usize, HybridDesign)>,
+) {
+    let depth = stepper.depth();
+    if depth == stepper.max_depth() {
+        let evaluation = Evaluation {
+            error_probability: stepper.error_probability(),
+            power_nw: power,
+            area_ge: area,
+        };
+        out.push((
+            index,
+            HybridDesign {
+                chain: ctx.chain_of(assignment),
+                evaluation,
+            },
+        ));
+        return;
+    }
+    for c in 0..ctx.candidates.len() {
+        stepper.push(&ctx.mkls[c]);
+        assignment.push(c);
+        enumerate_subtree(
+            ctx,
+            stepper,
+            assignment,
+            power + ctx.powers[c],
+            area + ctx.areas[c],
+            index + c * weight,
+            weight * ctx.candidates.len(),
+            out,
+        );
+        assignment.pop();
+        stepper.truncate(depth);
+    }
+}
+
 /// Enumerates and scores every `candidates^width` design (small spaces
-/// only).
+/// only) with `threads` workers, prefix-sharing the analysis across designs.
+///
+/// Results are in the same order as [`enumerate_designs`] (stage-0 cell
+/// cycling fastest) and are byte-identical for every thread count: workers
+/// own contiguous ranges of stage-0 subtrees and every design is scattered
+/// into its odometer slot before the merged vector is returned.
 ///
 /// # Errors
 ///
 /// * [`ExploreError::NoCandidates`] for an empty candidate list.
 /// * [`ExploreError::MissingCharacteristics`] if a candidate lacks data.
 /// * [`ExploreError::SpaceTooLarge`] beyond [`MAX_ENUMERATION`] designs.
-pub fn enumerate_designs(
+pub fn exhaustive_designs(
     candidates: &[Cell],
     profile: &InputProfile<f64>,
+    threads: usize,
 ) -> Result<Vec<HybridDesign>, ExploreError> {
     if candidates.is_empty() {
         return Err(ExploreError::NoCandidates);
@@ -193,18 +339,335 @@ pub fn enumerate_designs(
             max: MAX_ENUMERATION,
         });
     }
-    let mut out = Vec::with_capacity(designs as usize);
+    if width == 0 {
+        let chain = AdderChain::from_stages(Vec::new());
+        let evaluation = evaluate(&chain, profile)?;
+        return Ok(vec![HybridDesign { chain, evaluation }]);
+    }
+    let ctx = DfsContext::new(candidates)?;
+    let ranges = split_ranges(candidates.len(), threads);
+    let partials: Vec<Vec<(usize, HybridDesign)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut stepper = PrefixStepper::new(profile);
+                    let mut assignment = Vec::with_capacity(profile.width());
+                    for c in range {
+                        stepper.truncate(0);
+                        stepper.push(&ctx.mkls[c]);
+                        assignment.push(c);
+                        enumerate_subtree(
+                            ctx,
+                            &mut stepper,
+                            &mut assignment,
+                            ctx.powers[c],
+                            ctx.areas[c],
+                            c,
+                            ctx.candidates.len(),
+                            &mut out,
+                        );
+                        assignment.pop();
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enumeration worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<HybridDesign>> = (0..designs as usize).map(|_| None).collect();
+    for (index, design) in partials.into_iter().flatten() {
+        slots[index] = Some(design);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every odometer index is visited exactly once"))
+        .collect())
+}
+
+/// Enumerates and scores every `candidates^width` design (small spaces
+/// only), single-threaded. See [`exhaustive_designs`] for the parallel
+/// variant; both return identical results.
+///
+/// # Errors
+///
+/// * [`ExploreError::NoCandidates`] for an empty candidate list.
+/// * [`ExploreError::MissingCharacteristics`] if a candidate lacks data.
+/// * [`ExploreError::SpaceTooLarge`] beyond [`MAX_ENUMERATION`] designs.
+pub fn enumerate_designs(
+    candidates: &[Cell],
+    profile: &InputProfile<f64>,
+) -> Result<Vec<HybridDesign>, ExploreError> {
+    exhaustive_designs(candidates, profile, 1)
+}
+
+/// The incumbent of the best-design search: score, odometer index (for
+/// deterministic tie-breaks across thread partitions) and the assignment to
+/// rebuild the chain from.
+struct Incumbent {
+    evaluation: Evaluation,
+    index: u128,
+    assignment: Vec<usize>,
+}
+
+/// `true` if `challenger` should replace `incumbent`: strictly better on
+/// the (error, power, area) tuple, or tied and earlier in odometer order —
+/// the same "first seen wins ties" rule the sequential scan had, now
+/// partition-independent.
+fn replaces(challenger: &Incumbent, incumbent: &Incumbent) -> bool {
+    let c = (
+        challenger.evaluation.error_probability,
+        challenger.evaluation.power_nw,
+        challenger.evaluation.area_ge,
+    );
+    let i = (
+        incumbent.evaluation.error_probability,
+        incumbent.evaluation.power_nw,
+        incumbent.evaluation.area_ge,
+    );
+    c < i || (c == i && challenger.index < incumbent.index)
+}
+
+fn best_subtree<'p>(
+    ctx: &DfsContext<'_>,
+    budget: &Budget,
+    stepper: &mut PrefixStepper<'p, f64>,
+    assignment: &mut Vec<usize>,
+    power: f64,
+    area: f64,
+    index: u128,
+    weight: u128,
+    best: &mut Option<Incumbent>,
+) {
+    let depth = stepper.depth();
+    if depth == stepper.max_depth() {
+        let evaluation = Evaluation {
+            error_probability: stepper.error_probability(),
+            power_nw: power,
+            area_ge: area,
+        };
+        if !budget.admits(&evaluation) {
+            return;
+        }
+        let challenger = Incumbent {
+            evaluation,
+            index,
+            assignment: assignment.clone(),
+        };
+        let replace = match best {
+            None => true,
+            Some(incumbent) => replaces(&challenger, incumbent),
+        };
+        if replace {
+            *best = Some(challenger);
+        }
+        return;
+    }
+    for c in 0..ctx.candidates.len() {
+        let power = power + ctx.powers[c];
+        let area = area + ctx.areas[c];
+        // Sound pruning: stage costs are non-negative and f64 addition of
+        // non-negative values is monotone, so a prefix already over a cap
+        // means every completion is over the cap (and inadmissible).
+        if budget.max_power_nw.is_some_and(|cap| power > cap)
+            || budget.max_area_ge.is_some_and(|cap| area > cap)
+        {
+            continue;
+        }
+        stepper.push(&ctx.mkls[c]);
+        assignment.push(c);
+        best_subtree(
+            ctx,
+            budget,
+            stepper,
+            assignment,
+            power,
+            area,
+            index + c as u128 * weight,
+            weight * ctx.candidates.len() as u128,
+            best,
+        );
+        assignment.pop();
+        stepper.truncate(depth);
+    }
+}
+
+/// The provably best design under a budget, by exhaustive prefix-sharing
+/// search over `threads` workers. Returns `None` if no design fits the
+/// budget.
+///
+/// Ties on error probability are broken by lower power, then lower area,
+/// then earliest odometer position — so the winner is identical for every
+/// thread count. Designs are never materialized (only the incumbent's
+/// assignment is kept), which is why the cap is [`MAX_SEARCH`] rather than
+/// [`MAX_ENUMERATION`].
+///
+/// # Errors
+///
+/// * [`ExploreError::NoCandidates`] for an empty candidate list.
+/// * [`ExploreError::MissingCharacteristics`] if a candidate lacks data.
+/// * [`ExploreError::SpaceTooLarge`] beyond [`MAX_SEARCH`] designs.
+pub fn exhaustive_best_with(
+    candidates: &[Cell],
+    profile: &InputProfile<f64>,
+    budget: &Budget,
+    threads: usize,
+) -> Result<Option<HybridDesign>, ExploreError> {
+    if candidates.is_empty() {
+        return Err(ExploreError::NoCandidates);
+    }
+    let width = profile.width();
+    let designs = (candidates.len() as u128).saturating_pow(width as u32);
+    if designs > MAX_SEARCH {
+        return Err(ExploreError::SpaceTooLarge {
+            designs,
+            max: MAX_SEARCH,
+        });
+    }
+    if width == 0 {
+        let chain = AdderChain::from_stages(Vec::new());
+        let evaluation = evaluate(&chain, profile)?;
+        return Ok(budget
+            .admits(&evaluation)
+            .then_some(HybridDesign { chain, evaluation }));
+    }
+    let ctx = DfsContext::new(candidates)?;
+    let ranges = split_ranges(candidates.len(), threads);
+    let partials: Vec<Option<Incumbent>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    let mut best = None;
+                    let mut stepper = PrefixStepper::new(profile);
+                    let mut assignment = Vec::with_capacity(profile.width());
+                    for c in range {
+                        let power = ctx.powers[c];
+                        let area = ctx.areas[c];
+                        if budget.max_power_nw.is_some_and(|cap| power > cap)
+                            || budget.max_area_ge.is_some_and(|cap| area > cap)
+                        {
+                            continue;
+                        }
+                        stepper.truncate(0);
+                        stepper.push(&ctx.mkls[c]);
+                        assignment.push(c);
+                        best_subtree(
+                            ctx,
+                            budget,
+                            &mut stepper,
+                            &mut assignment,
+                            power,
+                            area,
+                            c as u128,
+                            ctx.candidates.len() as u128,
+                            &mut best,
+                        );
+                        assignment.pop();
+                    }
+                    best
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search worker panicked"))
+            .collect()
+    });
+    let mut best: Option<Incumbent> = None;
+    for challenger in partials.into_iter().flatten() {
+        let replace = match &best {
+            None => true,
+            Some(incumbent) => replaces(&challenger, incumbent),
+        };
+        if replace {
+            best = Some(challenger);
+        }
+    }
+    Ok(best.map(|incumbent| HybridDesign {
+        chain: ctx.chain_of(&incumbent.assignment),
+        evaluation: incumbent.evaluation,
+    }))
+}
+
+/// The provably best design under a budget, single-threaded. See
+/// [`exhaustive_best_with`]; both return identical results.
+///
+/// Ties on error probability are broken by lower power, then lower area.
+///
+/// # Errors
+///
+/// Same conditions as [`exhaustive_best_with`].
+pub fn exhaustive_best(
+    candidates: &[Cell],
+    profile: &InputProfile<f64>,
+    budget: &Budget,
+) -> Result<Option<HybridDesign>, ExploreError> {
+    exhaustive_best_with(candidates, profile, budget, 1)
+}
+
+/// The pre-stepper reference search: a fresh odometer enumeration with one
+/// full [`evaluate`] (complete O(N) analysis) per design. Kept as the
+/// differential-test oracle and the benchmark baseline for the
+/// prefix-sharing engine; do not use it for real workloads.
+///
+/// # Errors
+///
+/// Same conditions as [`exhaustive_best_with`].
+pub fn exhaustive_best_reference(
+    candidates: &[Cell],
+    profile: &InputProfile<f64>,
+    budget: &Budget,
+) -> Result<Option<HybridDesign>, ExploreError> {
+    if candidates.is_empty() {
+        return Err(ExploreError::NoCandidates);
+    }
+    let width = profile.width();
+    let designs = (candidates.len() as u128).saturating_pow(width as u32);
+    if designs > MAX_SEARCH {
+        return Err(ExploreError::SpaceTooLarge {
+            designs,
+            max: MAX_SEARCH,
+        });
+    }
+    let mut best: Option<HybridDesign> = None;
     let mut assignment = vec![0usize; width];
     loop {
         let chain =
             AdderChain::from_stages(assignment.iter().map(|&c| candidates[c].clone()).collect());
         let evaluation = evaluate(&chain, profile)?;
-        out.push(HybridDesign { chain, evaluation });
+        if budget.admits(&evaluation) {
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let (e, p, a) = (
+                        evaluation.error_probability,
+                        evaluation.power_nw,
+                        evaluation.area_ge,
+                    );
+                    let (be, bp, ba) = (
+                        b.evaluation.error_probability,
+                        b.evaluation.power_nw,
+                        b.evaluation.area_ge,
+                    );
+                    (e, p, a) < (be, bp, ba)
+                }
+            };
+            if better {
+                best = Some(HybridDesign { chain, evaluation });
+            }
+        }
         // Odometer increment over candidate indices.
         let mut i = 0;
         loop {
             if i == width {
-                return Ok(out);
+                return Ok(best);
             }
             assignment[i] += 1;
             if assignment[i] < candidates.len() {
@@ -214,47 +677,6 @@ pub fn enumerate_designs(
             i += 1;
         }
     }
-}
-
-/// The provably best design under a budget, by exhaustive enumeration.
-/// Returns `None` if no design fits the budget.
-///
-/// Ties on error probability are broken by lower power, then lower area.
-///
-/// # Errors
-///
-/// Same conditions as [`enumerate_designs`].
-pub fn exhaustive_best(
-    candidates: &[Cell],
-    profile: &InputProfile<f64>,
-    budget: &Budget,
-) -> Result<Option<HybridDesign>, ExploreError> {
-    let mut best: Option<HybridDesign> = None;
-    for design in enumerate_designs(candidates, profile)? {
-        if !budget.admits(&design.evaluation) {
-            continue;
-        }
-        let better = match &best {
-            None => true,
-            Some(b) => {
-                let (e, p, a) = (
-                    design.evaluation.error_probability,
-                    design.evaluation.power_nw,
-                    design.evaluation.area_ge,
-                );
-                let (be, bp, ba) = (
-                    b.evaluation.error_probability,
-                    b.evaluation.power_nw,
-                    b.evaluation.area_ge,
-                );
-                (e, p, a) < (be, bp, ba)
-            }
-        };
-        if better {
-            best = Some(design);
-        }
-    }
-    Ok(best)
 }
 
 /// Deterministic hill-climbing: start from the lowest-power feasible
@@ -296,25 +718,42 @@ pub fn local_search_best(
             cheapest = i;
         }
     }
+    let ctx = DfsContext::new(candidates)?;
     let mut assignment = vec![cheapest; width];
-    let chain_of = |assignment: &[usize]| {
-        AdderChain::from_stages(assignment.iter().map(|&c| candidates[c].clone()).collect())
-    };
-    let mut current = evaluate(&chain_of(&assignment), profile)?;
+    let mut current = evaluate(&ctx.chain_of(&assignment), profile)?;
     if !budget.admits(&current) {
         return Ok(None);
     }
+    // Each neighbor differs from the current chain in exactly one stage, so
+    // only the suffix from the mutated stage needs re-analysis: rewind the
+    // stepper to the mutated depth, push the substitute, replay the
+    // original tail. Power/area are re-folded in plain stage order so every
+    // f64 matches a fresh `evaluate` of the neighbor bit for bit.
+    let mut stepper = PrefixStepper::new(profile);
     loop {
         let mut best_move: Option<(usize, usize, Evaluation)> = None;
+        stepper.truncate(0); // the prefix is stale after an applied move
         for stage in 0..width {
             let original = assignment[stage];
             for cand in 0..candidates.len() {
                 if cand == original {
                     continue;
                 }
-                assignment[stage] = cand;
-                let eval = evaluate(&chain_of(&assignment), profile)?;
-                assignment[stage] = original;
+                stepper.truncate(stage);
+                stepper.push(&ctx.mkls[cand]);
+                for t in stage + 1..width {
+                    stepper.push(&ctx.mkls[assignment[t]]);
+                }
+                let cost_of = |per_cell: &[f64]| {
+                    (0..width).fold(0.0, |acc, t| {
+                        acc + per_cell[if t == stage { cand } else { assignment[t] }]
+                    })
+                };
+                let eval = Evaluation {
+                    error_probability: stepper.error_probability(),
+                    power_nw: cost_of(&ctx.powers),
+                    area_ge: cost_of(&ctx.areas),
+                };
                 if !budget.admits(&eval) {
                     continue;
                 }
@@ -335,6 +774,10 @@ pub fn local_search_best(
                     }
                 }
             }
+            // Re-seat the original cell so deeper stages rewind onto the
+            // current assignment's prefix, not the last neighbor's.
+            stepper.truncate(stage);
+            stepper.push(&ctx.mkls[original]);
         }
         match best_move {
             Some((stage, cand, eval)) => {
@@ -344,7 +787,7 @@ pub fn local_search_best(
             None => break,
         }
     }
-    let chain = chain_of(&assignment);
+    let chain = ctx.chain_of(&assignment);
     Ok(Some(HybridDesign {
         chain,
         evaluation: current,

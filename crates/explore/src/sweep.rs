@@ -8,10 +8,10 @@
 //! designer actually tunes.
 
 use sealpaa_cells::{AdderChain, Cell, InputProfile};
-use sealpaa_core::{analyze, error_magnitude};
+use sealpaa_core::{analyze, error_magnitude, MklMatrices, PrefixStepper};
 use sealpaa_sim::{exhaustive_with, ExhaustiveReport};
 
-use crate::search::{evaluate, Evaluation, ExploreError};
+use crate::search::{Evaluation, ExploreError};
 
 /// One point of an LSB-approximation sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,10 +58,35 @@ pub fn lsb_sweep(
     profile: &InputProfile<f64>,
 ) -> Result<Vec<LsbSweepPoint>, ExploreError> {
     let width = profile.width();
+    // Checked in the order the per-point evaluation used to hit them: the
+    // k = 0 chain is all-accurate, so a missing accurate cell is reported
+    // first.
+    for cell in [&accurate, &approximate] {
+        if cell.characteristics().is_none() {
+            return Err(ExploreError::MissingCharacteristics {
+                cell: cell.name().to_owned(),
+            });
+        }
+    }
+    // Point k and point k+1 share the approximate k-stage prefix, so the
+    // whole sweep is one prefix-stepper chain: complete point k by pushing
+    // accurate cells to the full width, then rewind to depth k and push one
+    // approximate cell to seed point k+1. Θ(N) total stage steps per
+    // direction instead of Θ(N²).
+    let approximate_mkl = MklMatrices::from_truth_table(approximate.truth_table());
+    let accurate_mkl = MklMatrices::from_truth_table(accurate.truth_table());
+    let mut stepper = PrefixStepper::new(profile);
     let mut points = Vec::with_capacity(width + 1);
     for k in 0..=width {
+        for _ in k..width {
+            stepper.push(&accurate_mkl);
+        }
         let chain = AdderChain::lsb_approximate(approximate.clone(), accurate.clone(), k, width);
-        let evaluation = evaluate(&chain, profile)?;
+        let evaluation = Evaluation {
+            error_probability: stepper.error_probability(),
+            power_nw: chain.total_power_nw().expect("validated above"),
+            area_ge: chain.total_area_ge().expect("validated above"),
+        };
         let magnitude = error_magnitude(&chain, profile).expect("widths are equal by construction");
         debug_assert!(
             (analyze(&chain, profile)
@@ -78,6 +103,10 @@ pub fn lsb_sweep(
             mean_error_distance: magnitude.mean_error_distance,
             rms_error_distance: magnitude.rms_error_distance(),
         });
+        stepper.truncate(k);
+        if k < width {
+            stepper.push(&approximate_mkl);
+        }
     }
     Ok(points)
 }

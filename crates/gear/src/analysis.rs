@@ -18,7 +18,7 @@ use sealpaa_num::Prob;
 use crate::config::{GearConfig, GearError};
 
 /// Per-(a,b) weights of one bit position: `(probability, propagate, generate)`.
-fn bit_cases<T: Prob>(pa: &T, pb: &T) -> [(T, bool, bool); 4] {
+pub(crate) fn bit_cases<T: Prob>(pa: &T, pb: &T) -> [(T, bool, bool); 4] {
     let na = pa.complement();
     let nb = pb.complement();
     [
@@ -54,6 +54,80 @@ fn check_positions(config: &GearConfig) -> Vec<usize> {
         .collect()
 }
 
+/// Resets a DP buffer to the 2 × (p+1) all-zero state, reusing row
+/// allocations where possible.
+fn reset_rows<T: Prob>(buf: &mut Vec<Vec<T>>, p: usize) {
+    buf.resize_with(2, Vec::new);
+    for row in buf.iter_mut() {
+        row.clear();
+        row.resize_with(p + 1, T::zero);
+    }
+}
+
+/// Advances the joint `(carry, propagate-run)` DP across one bit position:
+/// clears `next`, then accumulates every case transition. All entry points
+/// share this step, so they apply the exact same operation order and agree
+/// bit for bit.
+fn dp_step<T: Prob>(dp: &[Vec<T>], next: &mut [Vec<T>], cases: &[(T, bool, bool); 4], p: usize) {
+    for row in next.iter_mut() {
+        for cell in row.iter_mut() {
+            *cell = T::zero();
+        }
+    }
+    for carry in 0..2usize {
+        for run in 0..=p {
+            if dp[carry][run].is_zero() {
+                continue;
+            }
+            for (weight, propagate, generate) in cases {
+                let new_carry = if *propagate {
+                    carry
+                } else {
+                    *generate as usize
+                };
+                let new_run = if *propagate { (run + 1).min(p) } else { 0 };
+                next[new_carry][new_run] =
+                    next[new_carry][new_run].clone() + dp[carry][run].clone() * weight.clone();
+            }
+        }
+    }
+}
+
+/// The union-error DP over precomputed per-bit cases, writing into
+/// caller-owned buffers so a configuration sweep reuses one pair of
+/// allocations (and, at constant input probability, one case table) across
+/// every configuration.
+pub(crate) fn union_error_dp<T: Prob>(
+    config: &GearConfig,
+    cases: &[[(T, bool, bool); 4]],
+    p_cin: T,
+    dp: &mut Vec<Vec<T>>,
+    next: &mut Vec<Vec<T>>,
+) -> T {
+    let p = config.prediction_bits();
+    let checks = check_positions(config);
+    reset_rows(dp, p);
+    reset_rows(next, p);
+    dp[0][0] = p_cin.complement();
+    dp[1][0] = p_cin;
+    for t in 0..config.width() {
+        if checks.contains(&t) {
+            // A block's overlap just completed: paths with carry 1 that
+            // propagated through all P prediction bits are erroneous.
+            dp[1][p] = T::zero();
+        }
+        dp_step(dp, next, &cases[t], p);
+        std::mem::swap(dp, next);
+    }
+    let mut success = T::zero();
+    for row in dp.iter() {
+        for cell in row {
+            success = success + cell.clone();
+        }
+    }
+    success.complement()
+}
+
 /// Exact error probability of a GeAr adder by the linear-time DP — the
 /// recursive-analysis analogue the paper advertises for LLAAs (Sec. 1.1).
 ///
@@ -83,47 +157,10 @@ pub fn error_probability<T: Prob>(
     p_cin: T,
 ) -> Result<T, GearError> {
     check_widths(config, pa, pb)?;
-    let p = config.prediction_bits();
-    let checks = check_positions(config);
-    // dp[carry][run] = mass of error-free paths with this true carry value
-    // and this propagate-run length (capped at P).
-    let mut dp = vec![vec![T::zero(); p + 1]; 2];
-    dp[0][0] = p_cin.complement();
-    dp[1][0] = p_cin;
-    for t in 0..config.width() {
-        if checks.contains(&t) {
-            // A block's overlap just completed: paths with carry 1 that
-            // propagated through all P prediction bits are erroneous.
-            dp[1][p] = T::zero();
-        }
-        let cases = bit_cases(&pa[t], &pb[t]);
-        let mut next = vec![vec![T::zero(); p + 1]; 2];
-        for carry in 0..2usize {
-            for run in 0..=p {
-                if dp[carry][run].is_zero() {
-                    continue;
-                }
-                for (weight, propagate, generate) in &cases {
-                    let new_carry = if *propagate {
-                        carry
-                    } else {
-                        *generate as usize
-                    };
-                    let new_run = if *propagate { (run + 1).min(p) } else { 0 };
-                    next[new_carry][new_run] =
-                        next[new_carry][new_run].clone() + dp[carry][run].clone() * weight.clone();
-                }
-            }
-        }
-        dp = next;
-    }
-    let mut success = T::zero();
-    for row in &dp {
-        for cell in row {
-            success = success + cell.clone();
-        }
-    }
-    Ok(success.complement())
+    let cases: Vec<_> = pa.iter().zip(pb).map(|(a, b)| bit_cases(a, b)).collect();
+    let mut dp = Vec::new();
+    let mut next = Vec::new();
+    Ok(union_error_dp(config, &cases, p_cin, &mut dp, &mut next))
 }
 
 /// Exact error probability via the traditional inclusion–exclusion
@@ -158,44 +195,30 @@ pub fn error_probability_inclexcl<T: Prob>(
     );
     let checks = check_positions(config);
     let p = config.prediction_bits();
+    let cases: Vec<_> = pa.iter().zip(pb).map(|(a, b)| bit_cases(a, b)).collect();
 
     let mut positive = T::zero();
     let mut negative = T::zero();
     let mut terms = 0u64;
+    let mut dp = Vec::new();
+    let mut next = Vec::new();
     for subset in 1u64..1 << fallible {
         // Joint probability that *every* block in the subset errs: keep only
         // mass satisfying the error condition at each selected check point.
-        let mut dp = vec![vec![T::zero(); p + 1]; 2];
+        reset_rows(&mut dp, p);
+        reset_rows(&mut next, p);
         dp[0][0] = p_cin.complement();
         dp[1][0] = p_cin.clone();
         for t in 0..config.width() {
             if let Some(j) = checks.iter().position(|&c| c == t) {
                 if (subset >> j) & 1 == 1 {
                     let keep = dp[1][p].clone();
-                    dp = vec![vec![T::zero(); p + 1]; 2];
+                    reset_rows(&mut dp, p);
                     dp[1][p] = keep;
                 }
             }
-            let cases = bit_cases(&pa[t], &pb[t]);
-            let mut next = vec![vec![T::zero(); p + 1]; 2];
-            for carry in 0..2usize {
-                for run in 0..=p {
-                    if dp[carry][run].is_zero() {
-                        continue;
-                    }
-                    for (weight, propagate, generate) in &cases {
-                        let new_carry = if *propagate {
-                            carry
-                        } else {
-                            *generate as usize
-                        };
-                        let new_run = if *propagate { (run + 1).min(p) } else { 0 };
-                        next[new_carry][new_run] = next[new_carry][new_run].clone()
-                            + dp[carry][run].clone() * weight.clone();
-                    }
-                }
-            }
-            dp = next;
+            dp_step(&dp, &mut next, &cases[t], p);
+            std::mem::swap(&mut dp, &mut next);
         }
         let mut joint = T::zero();
         for row in &dp {
@@ -278,30 +301,16 @@ fn single_block_error<T: Prob>(
 ) -> (T, usize) {
     let p = config.prediction_bits();
     let check = check_positions(config)[j];
-    let mut dp = vec![vec![T::zero(); p + 1]; 2];
+    let mut dp = Vec::new();
+    let mut next = Vec::new();
+    reset_rows(&mut dp, p);
+    reset_rows(&mut next, p);
     dp[0][0] = p_cin.complement();
     dp[1][0] = p_cin;
     for t in 0..check {
         let cases = bit_cases(&pa[t], &pb[t]);
-        let mut next = vec![vec![T::zero(); p + 1]; 2];
-        for carry in 0..2usize {
-            for run in 0..=p {
-                if dp[carry][run].is_zero() {
-                    continue;
-                }
-                for (weight, propagate, generate) in &cases {
-                    let new_carry = if *propagate {
-                        carry
-                    } else {
-                        *generate as usize
-                    };
-                    let new_run = if *propagate { (run + 1).min(p) } else { 0 };
-                    next[new_carry][new_run] =
-                        next[new_carry][new_run].clone() + dp[carry][run].clone() * weight.clone();
-                }
-            }
-        }
-        dp = next;
+        dp_step(&dp, &mut next, &cases, p);
+        std::mem::swap(&mut dp, &mut next);
     }
     (dp[1][p].clone(), check)
 }

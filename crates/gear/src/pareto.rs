@@ -12,7 +12,7 @@ use std::fmt;
 
 use sealpaa_num::Prob;
 
-use crate::analysis::error_probability;
+use crate::analysis::{bit_cases, union_error_dp};
 use crate::config::{GearConfig, GearError};
 
 /// One scored GeAr configuration.
@@ -63,10 +63,17 @@ pub fn enumerate_configs(n: usize) -> Vec<GearConfig> {
 /// configurations this function itself enumerates; the signature allows
 /// future probability validation).
 pub fn score_configs<T: Prob>(n: usize, p_input: T) -> Result<Vec<GearDesign>, GearError> {
-    let pa = vec![p_input.clone(); n];
+    // Constant input probability ⇒ one (propagate, generate) case table
+    // serves every bit of every configuration, and the sweep reuses a
+    // single pair of DP buffers instead of reallocating per config. The DP
+    // transition itself is the shared `dp_step`, so each score equals
+    // `error_probability` for the same configuration bit for bit.
+    let cases = vec![bit_cases(&p_input, &p_input); n];
+    let mut dp = Vec::new();
+    let mut next = Vec::new();
     let mut out = Vec::new();
     for config in enumerate_configs(n) {
-        let err = error_probability(&config, &pa, &pa, T::zero())?;
+        let err = union_error_dp(&config, &cases, T::zero(), &mut dp, &mut next);
         out.push(GearDesign {
             config,
             error_probability: err.to_f64().clamp(0.0, 1.0),

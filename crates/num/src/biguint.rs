@@ -248,8 +248,39 @@ impl BigUint {
         (BigUint::from_limbs(out), BigUint::from(rem as u64))
     }
 
-    /// Greatest common divisor (binary / Stein's algorithm; no division).
+    /// Greatest common divisor.
+    ///
+    /// Whenever at least one operand fits in a single limb the computation
+    /// collapses onto machine words (one big-by-small remainder at most,
+    /// then a `u64` Euclid loop); only genuinely multi-limb pairs take the
+    /// binary route of [`gcd_slowpath`](Self::gcd_slowpath).
     pub fn gcd(&self, other: &BigUint) -> BigUint {
+        match (self.to_u64(), other.to_u64()) {
+            (Some(a), Some(b)) => return BigUint::from(gcd_u64(a, b)),
+            (Some(a), None) => {
+                if a == 0 {
+                    return other.clone();
+                }
+                let r = other.divmod_u64(a).1.to_u64().expect("remainder < divisor");
+                return BigUint::from(gcd_u64(a, r));
+            }
+            (None, Some(b)) => {
+                if b == 0 {
+                    return self.clone();
+                }
+                let r = self.divmod_u64(b).1.to_u64().expect("remainder < divisor");
+                return BigUint::from(gcd_u64(b, r));
+            }
+            (None, None) => {}
+        }
+        self.gcd_slowpath(other)
+    }
+
+    /// The general multi-limb binary GCD (Stein's algorithm; no division),
+    /// without the machine-word fast paths of [`gcd`](Self::gcd). Retained
+    /// as the reference implementation for differential tests and the
+    /// pre-fast-path benchmark baseline.
+    pub fn gcd_slowpath(&self, other: &BigUint) -> BigUint {
         if self.is_zero() {
             return other.clone();
         }
@@ -289,6 +320,26 @@ impl BigUint {
         }
         acc
     }
+}
+
+/// Machine-word GCD (Euclid); `gcd(0, b) = b`.
+pub(crate) fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Machine-word GCD on `u128` operands (Euclid); `gcd(0, b) = b`.
+pub(crate) fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 impl From<u64> for BigUint {
@@ -336,6 +387,13 @@ impl Add<&BigUint> for &BigUint {
     type Output = BigUint;
 
     fn add(self, rhs: &BigUint) -> BigUint {
+        // Single-limb fast path: the overwhelmingly common case once the
+        // rational layer keeps values reduced.
+        if self.limbs.len() <= 1 && rhs.limbs.len() <= 1 {
+            let a = self.limbs.first().copied().unwrap_or(0) as u128;
+            let b = rhs.limbs.first().copied().unwrap_or(0) as u128;
+            return BigUint::from(a + b);
+        }
         let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
             (self, rhs)
         } else {
@@ -407,6 +465,10 @@ impl Mul<&BigUint> for &BigUint {
     fn mul(self, rhs: &BigUint) -> BigUint {
         if self.is_zero() || rhs.is_zero() {
             return BigUint::zero();
+        }
+        // Single-limb fast path: one widening machine multiply.
+        if self.limbs.len() == 1 && rhs.limbs.len() == 1 {
+            return BigUint::from(self.limbs[0] as u128 * rhs.limbs[0] as u128);
         }
         let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
         for (i, &a) in self.limbs.iter().enumerate() {

@@ -4,6 +4,7 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
+use crate::biguint::{gcd_u128, gcd_u64};
 use crate::{BigInt, BigUint};
 
 /// An exact rational number, always stored in lowest terms with a positive
@@ -151,6 +152,46 @@ impl Rational {
         self.num.is_negative()
     }
 
+    /// The general big-integer addition, without the `u128` cross-
+    /// multiplication fast path of `+`. Retained as the reference
+    /// implementation for differential tests and the pre-fast-path
+    /// benchmark baseline.
+    pub fn add_slowpath(&self, rhs: &Rational) -> Rational {
+        let num = &(&self.num * &BigInt::from(rhs.den.clone()))
+            + &(&rhs.num * &BigInt::from(self.den.clone()));
+        Rational::from_parts_slowpath(num, &self.den * &rhs.den)
+    }
+
+    /// The general big-integer subtraction counterpart of
+    /// [`add_slowpath`](Self::add_slowpath).
+    pub fn sub_slowpath(&self, rhs: &Rational) -> Rational {
+        let num = &(&self.num * &BigInt::from(rhs.den.clone()))
+            - &(&rhs.num * &BigInt::from(self.den.clone()));
+        Rational::from_parts_slowpath(num, &self.den * &rhs.den)
+    }
+
+    /// The general big-integer multiplication counterpart of
+    /// [`add_slowpath`](Self::add_slowpath).
+    pub fn mul_slowpath(&self, rhs: &Rational) -> Rational {
+        Rational::from_parts_slowpath(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+
+    /// [`from_parts`](Self::from_parts) reducing with the multi-limb binary
+    /// GCD only, so the slow-path operations measure genuinely pre-fast-path
+    /// arithmetic.
+    fn from_parts_slowpath(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "denominator must be non-zero");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.magnitude().gcd_slowpath(&den);
+        let (negative, mag) = num.into_sign_magnitude();
+        Rational {
+            num: BigInt::from_sign_magnitude(negative, &mag / &g),
+            den: &den / &g,
+        }
+    }
+
     /// Renders the value as a decimal string with `digits` fractional digits
     /// (truncated towards zero), e.g. for table output.
     ///
@@ -257,13 +298,77 @@ impl From<BigInt> for Rational {
     }
 }
 
+/// `(sign, |numerator|, denominator)` when both components fit in one limb.
+#[inline]
+fn small_parts(r: &Rational) -> Option<(bool, u64, u64)> {
+    let n = r.num.magnitude().to_u64()?;
+    let d = r.den.to_u64()?;
+    Some((r.num.is_negative(), n, d))
+}
+
+/// Builds a rational from machine-word parts **already in lowest terms**.
+#[inline]
+fn small_rational(negative: bool, num: u128, den: u128) -> Rational {
+    debug_assert!(den != 0 && gcd_u128(num, den) == 1);
+    if num == 0 {
+        return Rational::zero();
+    }
+    Rational {
+        num: BigInt::from_sign_magnitude(negative, BigUint::from(num)),
+        den: BigUint::from(den),
+    }
+}
+
+/// `u128` cross-multiplication fast path for `±`: `None` when an operand
+/// spans more than one limb or the signed numerator combination overflows
+/// `u128`, in which case the caller defers to the big-integer route.
+#[inline]
+fn add_small(lhs: &Rational, rhs: &Rational, negate_rhs: bool) -> Option<Rational> {
+    let (ls, ln, ld) = small_parts(lhs)?;
+    let (rs, rn, rd) = small_parts(rhs)?;
+    let rs = rs ^ (negate_rhs && rn != 0);
+    let left = ln as u128 * rd as u128;
+    let right = rn as u128 * ld as u128;
+    let (negative, num) = if ls == rs {
+        (ls, left.checked_add(right)?)
+    } else if left >= right {
+        (ls, left - right)
+    } else {
+        (rs, right - left)
+    };
+    if num == 0 {
+        return Some(Rational::zero());
+    }
+    let den = ld as u128 * rd as u128;
+    let g = gcd_u128(num, den);
+    Some(small_rational(negative, num / g, den / g))
+}
+
+/// `u128` fast path for `*`: cross-reduces with machine-word GCDs first, so
+/// the products of already-reduced operands come out reduced with no final
+/// big GCD at all.
+#[inline]
+fn mul_small(lhs: &Rational, rhs: &Rational) -> Option<Rational> {
+    let (ls, ln, ld) = small_parts(lhs)?;
+    let (rs, rn, rd) = small_parts(rhs)?;
+    if ln == 0 || rn == 0 {
+        return Some(Rational::zero());
+    }
+    let g1 = gcd_u64(ln, rd);
+    let g2 = gcd_u64(rn, ld);
+    let num = (ln / g1) as u128 * (rn / g2) as u128;
+    let den = (ld / g2) as u128 * (rd / g1) as u128;
+    Some(small_rational(ls != rs, num, den))
+}
+
 impl Add<&Rational> for &Rational {
     type Output = Rational;
 
     fn add(self, rhs: &Rational) -> Rational {
-        let num = &(&self.num * &BigInt::from(rhs.den.clone()))
-            + &(&rhs.num * &BigInt::from(self.den.clone()));
-        Rational::from_parts(num, &self.den * &rhs.den)
+        match add_small(self, rhs, false) {
+            Some(fast) => fast,
+            None => self.add_slowpath(rhs),
+        }
     }
 }
 
@@ -271,9 +376,10 @@ impl Sub<&Rational> for &Rational {
     type Output = Rational;
 
     fn sub(self, rhs: &Rational) -> Rational {
-        let num = &(&self.num * &BigInt::from(rhs.den.clone()))
-            - &(&rhs.num * &BigInt::from(self.den.clone()));
-        Rational::from_parts(num, &self.den * &rhs.den)
+        match add_small(self, rhs, true) {
+            Some(fast) => fast,
+            None => self.sub_slowpath(rhs),
+        }
     }
 }
 
@@ -281,7 +387,10 @@ impl Mul<&Rational> for &Rational {
     type Output = Rational;
 
     fn mul(self, rhs: &Rational) -> Rational {
-        Rational::from_parts(&self.num * &rhs.num, &self.den * &rhs.den)
+        match mul_small(self, rhs) {
+            Some(fast) => fast,
+            None => self.mul_slowpath(rhs),
+        }
     }
 }
 
@@ -385,6 +494,17 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0)
+        if let (Some((ls, ln, ld)), Some((rs, rn, rd))) = (small_parts(self), small_parts(other)) {
+            if ls != rs {
+                return if ls {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                };
+            }
+            let ord = (ln as u128 * rd as u128).cmp(&(rn as u128 * ld as u128));
+            return if ls { ord.reverse() } else { ord };
+        }
         let lhs = &self.num * &BigInt::from(other.den.clone());
         let rhs = &other.num * &BigInt::from(self.den.clone());
         lhs.cmp(&rhs)

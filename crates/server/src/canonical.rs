@@ -22,7 +22,7 @@
 
 use sealpaa_cells::{AdderChain, FaInput, InputProfile, TruthTable};
 
-use crate::protocol::{AdderSpec, GearSpec, RequestBody, SimMode, SimulateSpec};
+use crate::protocol::{AdderSpec, DseSpec, GearSpec, RequestBody, SimMode, SimulateSpec};
 
 /// Returns the canonical cache key for a request body, or `None` when the
 /// request is not cacheable (`stats`, `shutdown`).
@@ -32,6 +32,7 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
         RequestBody::Compare(spec) => Some(format!("compare|{}", adder_key(spec))),
         RequestBody::Simulate(spec) => Some(simulate_key(spec)),
         RequestBody::Gear(spec) => Some(gear_key(spec)),
+        RequestBody::Dse(spec) => Some(dse_key(spec)),
         RequestBody::Stats | RequestBody::Shutdown => None,
     }
 }
@@ -114,6 +115,42 @@ fn simulate_key(spec: &SimulateSpec) -> String {
             threads,
         } => format!("simulate.mc|{samples}|{seed}|{threads}|{adder}"),
     }
+}
+
+/// The `dse` key covers the candidate tables, the profile, the budget and
+/// the `pareto` flag — but deliberately NOT `threads`: the exploration
+/// merges worker results in lexicographic design order, so the answer is
+/// byte-identical for every thread count and requests differing only in
+/// `threads` must share one cache entry.
+fn dse_key(spec: &DseSpec) -> String {
+    let mut symmetric = true;
+    let candidates: Vec<String> = spec
+        .candidates
+        .iter()
+        .map(|cell| {
+            symmetric &= is_ab_symmetric(cell.truth_table());
+            format!("{:04x}", table_code(cell.truth_table()))
+        })
+        .collect();
+    let mut pa = profile_vec_token(&spec.profile, true);
+    let mut pb = profile_vec_token(&spec.profile, false);
+    // As in `adder_key`: when every candidate table is a/b-symmetric, no
+    // searched chain can distinguish the operand profiles.
+    if symmetric && pb < pa {
+        std::mem::swap(&mut pa, &mut pb);
+    }
+    let cap = |c: Option<f64>| match c {
+        None => "-".to_owned(),
+        Some(v) => format!("{:016x}", prob_token(v)),
+    };
+    format!(
+        "dse|{}|{pa}|{pb}|{:016x}|{}|{}|{}",
+        candidates.join(","),
+        prob_token(*spec.profile.p_cin()),
+        cap(spec.budget_power),
+        cap(spec.budget_area),
+        spec.pareto
+    )
 }
 
 fn gear_key(spec: &GearSpec) -> String {
@@ -221,6 +258,32 @@ mod tests {
             r#"{"kind":"gear","n":8,"r":2,"overlap":2,"p":0.3}"#,
             r#"{"kind":"gear","n":8,"r":2,"overlap":2,"cin":1.0}"#,
             r#"{"kind":"gear","n":8,"r":2,"overlap":2,"blocks":true}"#,
+        ] {
+            assert_ne!(base, key_of(other), "{other}");
+        }
+    }
+
+    #[test]
+    fn dse_key_excludes_threads_but_covers_everything_else() {
+        // `threads` cannot change the answer (lexicographic merge), so it
+        // must not fragment the cache.
+        let base = key_of(r#"{"kind":"dse","width":4,"p":0.3}"#);
+        assert_eq!(
+            base,
+            key_of(r#"{"kind":"dse","width":4,"p":0.3,"threads":1}"#)
+        );
+        assert_eq!(
+            base,
+            key_of(r#"{"kind":"dse","width":4,"p":0.3,"threads":7}"#)
+        );
+        // Everything that does change the answer changes the key.
+        for other in [
+            r#"{"kind":"dse","width":5,"p":0.3}"#,
+            r#"{"kind":"dse","width":4,"p":0.4}"#,
+            r#"{"kind":"dse","width":4,"p":0.3,"candidates":["lpaa1","lpaa2"]}"#,
+            r#"{"kind":"dse","width":4,"p":0.3,"budget_power":3000}"#,
+            r#"{"kind":"dse","width":4,"p":0.3,"budget_area":20}"#,
+            r#"{"kind":"dse","width":4,"p":0.3,"pareto":true}"#,
         ] {
             assert_ne!(base, key_of(other), "{other}");
         }

@@ -36,6 +36,8 @@ pub enum RequestBody {
     Compare(AdderSpec),
     /// GeAr low-latency adder analysis.
     Gear(GearSpec),
+    /// Budgeted hybrid-adder design-space exploration.
+    Dse(DseSpec),
     /// Server counters (served inline, never queued).
     Stats,
     /// Graceful shutdown: drain in-flight jobs, answer, stop.
@@ -50,6 +52,7 @@ impl RequestBody {
             RequestBody::Simulate(_) => "simulate",
             RequestBody::Compare(_) => "compare",
             RequestBody::Gear(_) => "gear",
+            RequestBody::Dse(_) => "dse",
             RequestBody::Stats => "stats",
             RequestBody::Shutdown => "shutdown",
         }
@@ -110,6 +113,27 @@ pub struct GearSpec {
     pub blocks: bool,
 }
 
+/// A `dse` request: search per-stage cell assignments for the minimum error
+/// probability under an optional power/area budget (the CLI's `sealpaa dse`
+/// as a service).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseSpec {
+    /// Candidate cells selectable at each stage.
+    pub candidates: Vec<Cell>,
+    /// Per-bit input probabilities (the search width is the profile width).
+    pub profile: InputProfile<f64>,
+    /// Maximum total power in nW (`None` = unconstrained).
+    pub budget_power: Option<f64>,
+    /// Maximum total area in GE (`None` = unconstrained).
+    pub budget_area: Option<f64>,
+    /// Worker threads for the search. Results are identical for any thread
+    /// count (the exploration merges in lexicographic design order), so this
+    /// is deliberately NOT part of the canonical cache key.
+    pub threads: usize,
+    /// Also report the error/power/area Pareto frontier.
+    pub pareto: bool,
+}
+
 impl Request {
     /// Parses one request line.
     ///
@@ -137,12 +161,13 @@ impl Request {
             "simulate" => RequestBody::Simulate(SimulateSpec::from_json(&doc)?),
             "compare" => RequestBody::Compare(AdderSpec::from_json(&doc)?),
             "gear" => RequestBody::Gear(GearSpec::from_json(&doc)?),
+            "dse" => RequestBody::Dse(DseSpec::from_json(&doc)?),
             "stats" => RequestBody::Stats,
             "shutdown" => RequestBody::Shutdown,
             other => {
                 return Err(format!(
-                    "unknown kind {other:?} (expected analyze, simulate, compare, gear, stats \
-                     or shutdown)"
+                    "unknown kind {other:?} (expected analyze, simulate, compare, gear, dse, \
+                     stats or shutdown)"
                 ))
             }
         };
@@ -335,6 +360,88 @@ impl GearSpec {
     }
 }
 
+impl DseSpec {
+    fn from_json(doc: &Json) -> Result<DseSpec, String> {
+        let width = doc
+            .get("width")
+            .and_then(Json::as_u64)
+            .ok_or("\"width\" (a positive integer) is required")? as usize;
+        if width == 0 || width > 64 {
+            return Err("\"width\" must be 1..=64".to_owned());
+        }
+        let candidates: Vec<Cell> = match doc.get("candidates") {
+            None | Some(Json::Null) => vec![
+                resolve_cell("lpaa1")?,
+                resolve_cell("lpaa2")?,
+                resolve_cell("lpaa5")?,
+                sealpaa_explore::accurate_cell_with_proxy_costs(),
+            ],
+            Some(v) => {
+                let names = v
+                    .as_array()
+                    .ok_or("\"candidates\" must be an array of cell names")?;
+                if names.is_empty() {
+                    return Err("\"candidates\" must list at least one cell".to_owned());
+                }
+                names
+                    .iter()
+                    .map(|n| {
+                        let name = n
+                            .as_str()
+                            .ok_or_else(|| "\"candidates\" entries must be strings".to_owned())?;
+                        // As in the CLI: the accurate cell joins a budgeted
+                        // search with the estimated costs from DESIGN.md.
+                        if name.eq_ignore_ascii_case("accurate")
+                            || name.eq_ignore_ascii_case("accufa")
+                        {
+                            Ok(sealpaa_explore::accurate_cell_with_proxy_costs())
+                        } else {
+                            resolve_cell(name)
+                        }
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+        };
+        let p = prob_field(doc, "p")?.unwrap_or(0.5);
+        let pa = prob_list(doc, "pa", width)?.unwrap_or_else(|| vec![p; width]);
+        let pb = prob_list(doc, "pb", width)?.unwrap_or_else(|| vec![p; width]);
+        let cin = prob_field(doc, "cin")?.unwrap_or(p);
+        let profile = InputProfile::new(pa, pb, cin).map_err(|e| e.to_string())?;
+        let budget = |key: &str| -> Result<Option<f64>, String> {
+            match doc.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => {
+                    let cap = v
+                        .as_f64()
+                        .ok_or_else(|| format!("\"{key}\" must be a number"))?;
+                    if !cap.is_finite() || cap < 0.0 {
+                        return Err(format!(
+                            "\"{key}\" must be a non-negative number, got {cap}"
+                        ));
+                    }
+                    Ok(Some(cap))
+                }
+            }
+        };
+        Ok(DseSpec {
+            candidates,
+            profile,
+            budget_power: budget("budget_power")?,
+            budget_area: budget("budget_area")?,
+            threads: doc
+                .get("threads")
+                .map(|v| {
+                    v.as_u64()
+                        .filter(|&t| t > 0)
+                        .ok_or("\"threads\" must be a positive integer")
+                })
+                .transpose()?
+                .map_or_else(sealpaa_sim::default_threads, |t| t as usize),
+            pareto: doc.get("pareto").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
 /// Builds a success response line (without the trailing newline).
 pub fn ok_response(id: Option<&Json>, kind: &str, cached: bool, micros: u64, result: Json) -> Json {
     let mut obj = JsonObject::default();
@@ -375,6 +482,10 @@ mod tests {
             ),
             (r#"{"kind":"compare","width":3,"cell":"lpaa5"}"#, "compare"),
             (r#"{"kind":"gear","n":8,"r":2,"overlap":2}"#, "gear"),
+            (
+                r#"{"kind":"dse","width":4,"p":0.3,"budget_power":3000,"threads":2}"#,
+                "dse",
+            ),
             (r#"{"kind":"stats"}"#, "stats"),
             (r#"{"kind":"shutdown"}"#, "shutdown"),
         ];
@@ -449,6 +560,23 @@ mod tests {
     }
 
     #[test]
+    fn dse_defaults_match_the_cli() {
+        let req = Request::parse(r#"{"kind":"dse","width":3}"#).expect("valid");
+        let RequestBody::Dse(spec) = req.body else {
+            panic!("wrong kind")
+        };
+        let names: Vec<&str> = spec.candidates.iter().map(Cell::name).collect();
+        assert_eq!(names, ["LPAA 1", "LPAA 2", "LPAA 5", "AccuFA (est.)"]);
+        assert_eq!(spec.profile.width(), 3);
+        assert_eq!(spec.budget_power, None);
+        assert_eq!(spec.budget_area, None);
+        assert_eq!(spec.threads, sealpaa_sim::default_threads());
+        assert!(!spec.pareto);
+        // The estimated-cost accurate cell is searchable under a budget.
+        assert!(spec.candidates[3].characteristics().is_some());
+    }
+
+    #[test]
     fn malformed_requests_are_rejected_with_messages() {
         for (line, needle) in [
             ("not json", "invalid JSON"),
@@ -479,6 +607,20 @@ mod tests {
                 "unknown mode",
             ),
             (r#"{"kind":"gear","n":8}"#, "\"r\""),
+            (r#"{"kind":"dse"}"#, "\"width\""),
+            (r#"{"kind":"dse","width":0}"#, "1..=64"),
+            (
+                r#"{"kind":"dse","width":4,"candidates":[]}"#,
+                "at least one",
+            ),
+            (
+                r#"{"kind":"dse","width":4,"threads":0}"#,
+                "positive integer",
+            ),
+            (
+                r#"{"kind":"dse","width":4,"budget_power":-1}"#,
+                "non-negative",
+            ),
         ] {
             let err = Request::parse(line).expect_err(line);
             assert!(err.contains(needle), "{line}: {err} (wanted {needle})");

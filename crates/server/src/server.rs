@@ -29,7 +29,8 @@ use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    error_response, ok_response, AdderSpec, GearSpec, Request, RequestBody, SimMode, SimulateSpec,
+    error_response, ok_response, AdderSpec, DseSpec, GearSpec, Request, RequestBody, SimMode,
+    SimulateSpec,
 };
 
 /// Daemon configuration; [`Default`] gives sensible local settings.
@@ -325,6 +326,7 @@ fn compute_result(body: &RequestBody) -> Result<Json, String> {
         RequestBody::Simulate(spec) => simulate_result(spec),
         RequestBody::Compare(spec) => compare_result(spec),
         RequestBody::Gear(spec) => gear_result(spec),
+        RequestBody::Dse(spec) => dse_result(spec),
         RequestBody::Stats | RequestBody::Shutdown => {
             unreachable!("control requests are served inline")
         }
@@ -450,6 +452,64 @@ fn gear_result(spec: &GearSpec) -> Result<Json, String> {
             "block_error_probabilities",
             blocks.into_iter().map(Json::from).collect::<Vec<_>>(),
         );
+    }
+    Ok(obj.build())
+}
+
+fn dse_result(spec: &DseSpec) -> Result<Json, String> {
+    let budget = sealpaa_explore::Budget {
+        max_power_nw: spec.budget_power,
+        max_area_ge: spec.budget_area,
+    };
+    let design_json = |design: &sealpaa_explore::HybridDesign| {
+        Json::object()
+            .field("chain", design.chain.to_string())
+            .field(
+                "cells",
+                design
+                    .chain
+                    .iter()
+                    .map(|c| Json::from(c.name()))
+                    .collect::<Vec<_>>(),
+            )
+            .field("error_probability", design.evaluation.error_probability)
+            .field("power_nw", design.evaluation.power_nw)
+            .field("area_ge", design.evaluation.area_ge)
+            .build()
+    };
+    // The result is a pure function of (candidates, profile, budget, pareto):
+    // the search merges worker results in lexicographic design order, so
+    // `threads` affects wall-clock only — which is why it is reported here
+    // but excluded from the cache key.
+    let best = sealpaa_explore::exhaustive_best_with(
+        &spec.candidates,
+        &spec.profile,
+        &budget,
+        spec.threads,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut obj = Json::object()
+        .field("width", spec.profile.width() as u64)
+        .field(
+            "candidates",
+            spec.candidates
+                .iter()
+                .map(|c| Json::from(c.name()))
+                .collect::<Vec<_>>(),
+        )
+        .field(
+            "best",
+            match &best {
+                None => Json::Null,
+                Some(design) => design_json(design),
+            },
+        );
+    if spec.pareto {
+        let designs =
+            sealpaa_explore::exhaustive_designs(&spec.candidates, &spec.profile, spec.threads)
+                .map_err(|e| e.to_string())?;
+        let front = sealpaa_explore::pareto_front(designs);
+        obj = obj.field("pareto", front.iter().map(design_json).collect::<Vec<_>>());
     }
     Ok(obj.build())
 }
@@ -597,6 +657,61 @@ mod tests {
         let b = p_of(&run_lines(&config, &mk(8)));
         assert_eq!(a1, a2, "same seed must reproduce exactly");
         assert_ne!(a1, b, "different seeds should differ");
+    }
+
+    #[test]
+    fn dse_finds_the_budgeted_best_design() {
+        let responses = run_lines(
+            &ServerConfig::default(),
+            "{\"kind\":\"dse\",\"width\":3,\"p\":0.3,\"budget_power\":0,\"threads\":2}\n",
+        );
+        let best = responses[0]
+            .get("result")
+            .and_then(|r| r.get("best"))
+            .expect("best design");
+        // Only LPAA 5 (0 nW) chains fit a zero power budget.
+        let cells = best.get("cells").and_then(Json::as_array).expect("cells");
+        assert_eq!(cells.len(), 3);
+        assert!(cells.iter().all(|c| c.as_str() == Some("LPAA 5")));
+        assert_eq!(best.get("power_nw").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn dse_requests_differing_only_in_threads_share_one_cache_entry() {
+        // The satellite contract: `threads` cannot change the result, so it
+        // is not in the canonical key — the t=3 request must be a cache hit
+        // on the t=1 entry, returning the identical rendered result.
+        let mk = |threads: usize| {
+            format!("{{\"kind\":\"dse\",\"width\":4,\"p\":0.3,\"pareto\":true,\"threads\":{threads}}}\n")
+        };
+        let responses = run_lines(&ServerConfig::default(), &format!("{}{}", mk(1), mk(3)));
+        assert_eq!(responses.len(), 2);
+        assert_eq!(
+            responses[0].get("cached").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            responses[1].get("cached").and_then(Json::as_bool),
+            Some(true),
+            "a different thread count must hit the same cache entry"
+        );
+        assert_eq!(responses[0].get("result"), responses[1].get("result"));
+    }
+
+    #[test]
+    fn dse_result_is_thread_count_invariant_even_uncached() {
+        // With caching disabled, both thread counts really run — and the
+        // lexicographic merge makes the answers identical anyway.
+        let config = ServerConfig {
+            cache_entries: 0,
+            ..Default::default()
+        };
+        let mk = |threads: usize| {
+            format!("{{\"kind\":\"dse\",\"width\":4,\"p\":0.3,\"pareto\":true,\"threads\":{threads}}}\n")
+        };
+        let a = run_lines(&config, &mk(1));
+        let b = run_lines(&config, &mk(3));
+        assert_eq!(a[0].get("result"), b[0].get("result"));
     }
 
     #[test]

@@ -34,11 +34,18 @@ run cargo test --workspace -q
 # across thread counts).
 run cargo test -p sealpaa-sim --test differential -q
 
-# Smoke-run the simulation-kernel benchmarks (1 sample per bench, no JSON
-# rewrite) so kernel regressions that only break under the bench harness
-# surface here rather than in the next full bench run.
+# The incremental-analysis differential suite: prefix stepper vs fresh
+# analyses (bit-for-bit in Rational, exactly equal in f64) and thread-count
+# invariance of the design-space exploration.
+run cargo test -p sealpaa-core --test incremental -q
+
+# Smoke-run the kernel benchmarks (1 sample per bench, no JSON rewrite) so
+# kernel regressions that only break under the bench harness surface here
+# rather than in the next full bench run.
 run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
     cargo bench -p sealpaa-bench --bench simulation_kernels
+run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
+    cargo bench -p sealpaa-bench --bench analysis_kernels
 
 run cargo fmt --all --check
 
