@@ -345,7 +345,7 @@ pub fn splat64(value: u64, width: usize) -> Vec<u64> {
 /// In-place variant of [`splat64`] for hot loops.
 pub fn splat64_into(value: u64, planes: &mut [u64]) {
     for (i, plane) in planes.iter_mut().enumerate() {
-        *plane = (((value >> i) & 1) as u64).wrapping_neg();
+        *plane = ((value >> i) & 1).wrapping_neg();
     }
 }
 
@@ -735,13 +735,13 @@ mod tests {
                 mismatch,
                 &mut ed,
             );
-            for lane in 0..64 {
+            for (lane, &got) in ed.iter().enumerate() {
                 if (mismatch >> lane) & 1 == 1 {
                     let approx = lane_value(&approx_sum, approx_cout, lane) as i64;
                     let exact = lane_value(&exact_sum, exact_cout, lane) as i64;
-                    assert_eq!(ed[lane], approx - exact, "{cell} lane {lane}");
+                    assert_eq!(got, approx - exact, "{cell} lane {lane}");
                 } else {
-                    assert_eq!(ed[lane], i64::MIN, "{cell} lane {lane} untouched");
+                    assert_eq!(got, i64::MIN, "{cell} lane {lane} untouched");
                 }
             }
         }

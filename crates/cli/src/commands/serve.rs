@@ -2,6 +2,7 @@
 
 use std::io::Write;
 
+use sealpaa_server::protocol::MAX_LINE_BYTES;
 use sealpaa_server::server::{run_stdio, Server, ServerConfig};
 
 use crate::args::ParsedArgs;
@@ -22,12 +23,27 @@ Example session (see docs/SERVER.md for the full protocol):
   {\"id\":3,\"kind\":\"shutdown\"}
 
 options:
-  --addr A:P         TCP listen address (default 127.0.0.1:4517; port 0
-                     picks an ephemeral port and prints it)
-  --threads N        analysis worker threads (default 4)
-  --cache-entries N  result-cache capacity, 0 disables caching (default 1024)
-  --stdio            serve stdin/stdout instead of TCP (one-shot pipelines);
-                     end-of-input shuts the daemon down gracefully
+  --addr A:P            TCP listen address (default 127.0.0.1:4517; port 0
+                        picks an ephemeral port and prints it)
+  --threads N           analysis worker threads (default 4)
+  --cache-entries N     result-cache capacity, 0 disables caching (default 1024)
+  --queue-capacity N    bounded job-queue capacity (default 64)
+  --max-connections N   concurrent TCP connection cap; connections past it
+                        get a structured 'overloaded' error and are closed
+                        (default 256, 0 disables)
+  --max-line-bytes N    request-line length limit, enforced while reading
+                        (default 1048576)
+  --idle-timeout-ms N   per-connection read deadline: an idle connection is
+                        answered with a timeout error and closed
+                        (default 60000, 0 disables; TCP only)
+  --write-timeout-ms N  per-connection write deadline: a peer that stops
+                        reading its responses is disconnected
+                        (default 60000, 0 disables; TCP only)
+  --trace               emit one NDJSON access-log line per request to
+                        stderr (timestamp-free fields, byte-reproducible)
+  --stdio               serve stdin/stdout instead of TCP (one-shot
+                        pipelines); end-of-input shuts the daemon down
+                        gracefully
 
 Stop a TCP daemon with a {\"kind\":\"shutdown\"} request: it stops accepting,
 finishes every job already queued, then exits.";
@@ -43,15 +59,39 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
         writeln!(out, "{HELP}")?;
         return Ok(());
     }
-    let args = ParsedArgs::parse(tokens, &["addr", "threads", "cache-entries"], &["stdio"])?;
+    let args = ParsedArgs::parse(
+        tokens,
+        &[
+            "addr",
+            "threads",
+            "cache-entries",
+            "queue-capacity",
+            "max-connections",
+            "max-line-bytes",
+            "idle-timeout-ms",
+            "write-timeout-ms",
+        ],
+        &["stdio", "trace"],
+    )?;
     let config = ServerConfig {
         addr: args.get_or("addr", "127.0.0.1:4517".to_owned())?,
         threads: args.get_or("threads", 4usize)?,
         cache_entries: args.get_or("cache-entries", 1024usize)?,
-        ..Default::default()
+        queue_capacity: args.get_or("queue-capacity", 64usize)?,
+        max_connections: args.get_or("max-connections", 256usize)?,
+        max_line_bytes: args.get_or("max-line-bytes", MAX_LINE_BYTES)?,
+        idle_timeout_ms: args.get_or("idle-timeout-ms", 60_000u64)?,
+        write_timeout_ms: args.get_or("write-timeout-ms", 60_000u64)?,
+        trace: args.flag("trace"),
     };
     if config.threads == 0 {
         return Err(CliError::usage("--threads must be at least 1"));
+    }
+    if config.queue_capacity == 0 {
+        return Err(CliError::usage("--queue-capacity must be at least 1"));
+    }
+    if config.max_line_bytes == 0 {
+        return Err(CliError::usage("--max-line-bytes must be at least 1"));
     }
 
     if args.flag("stdio") {
@@ -86,6 +126,9 @@ mod tests {
         let s = run_to_string(&["--help"]).expect("help always works");
         assert!(s.contains("usage: sealpaa serve"));
         assert!(s.contains("--cache-entries"));
+        assert!(s.contains("--max-connections"));
+        assert!(s.contains("--idle-timeout-ms"));
+        assert!(s.contains("--trace"));
     }
 
     #[test]
@@ -95,6 +138,12 @@ mod tests {
         assert!(
             run_to_string(&["--addr", "definitely not an address"]).is_err(),
             "unbindable address"
+        );
+        assert!(run_to_string(&["--queue-capacity", "0"]).is_err());
+        assert!(run_to_string(&["--max-line-bytes", "0"]).is_err());
+        assert!(
+            run_to_string(&["--idle-timeout-ms", "forever"]).is_err(),
+            "non-numeric deadline"
         );
     }
 }

@@ -266,6 +266,7 @@ fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
 /// [`AdderChain::total_power_nw`]), and the design's odometer index built
 /// digit by digit (`assignment[0]` is the fastest-cycling digit, matching
 /// the historical odometer order).
+#[allow(clippy::too_many_arguments)] // recursive DFS state, deliberately unpacked
 fn enumerate_subtree<'p>(
     ctx: &DfsContext<'_>,
     stepper: &mut PrefixStepper<'p, f64>,
@@ -433,6 +434,7 @@ fn replaces(challenger: &Incumbent, incumbent: &Incumbent) -> bool {
     c < i || (c == i && challenger.index < incumbent.index)
 }
 
+#[allow(clippy::too_many_arguments)] // recursive DFS state, deliberately unpacked
 fn best_subtree<'p>(
     ctx: &DfsContext<'_>,
     budget: &Budget,
@@ -741,8 +743,8 @@ pub fn local_search_best(
                 }
                 stepper.truncate(stage);
                 stepper.push(&ctx.mkls[cand]);
-                for t in stage + 1..width {
-                    stepper.push(&ctx.mkls[assignment[t]]);
+                for &cell in &assignment[stage + 1..width] {
+                    stepper.push(&ctx.mkls[cell]);
                 }
                 let cost_of = |per_cell: &[f64]| {
                     (0..width).fold(0.0, |acc, t| {

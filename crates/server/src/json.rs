@@ -142,8 +142,11 @@ impl Json {
 
     /// The value as a non-negative integer, if it is one exactly.
     pub fn as_u64(&self) -> Option<u64> {
+        // Strict `<`: `u64::MAX as f64` rounds UP to 2^64, so a `<=` guard
+        // would accept 2^64 and the `as` cast would silently saturate it to
+        // `u64::MAX`. Every f64 below 2^64 casts losslessly.
         match self {
-            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 18446744073709551616.0 => {
                 Some(*n as u64)
             }
             _ => None,
@@ -555,6 +558,23 @@ mod tests {
         assert_eq!(Json::parse("42").expect("int").as_u64(), Some(42));
         assert_eq!(Json::parse("1.5").expect("frac").as_u64(), None);
         assert_eq!(Json::parse("-1").expect("neg").as_u64(), None);
+    }
+
+    #[test]
+    fn as_u64_boundaries() {
+        // 2^53: the largest power of two where every integer is exact.
+        assert_eq!(Json::Number(9007199254740992.0).as_u64(), Some(1 << 53));
+        // 2^64 - 2048: the largest f64 strictly below 2^64.
+        assert_eq!(
+            Json::Number(18446744073709549568.0).as_u64(),
+            Some(u64::MAX - 2047)
+        );
+        // 2^64 itself (what `u64::MAX as f64` rounds up to) must be
+        // rejected, not saturated to u64::MAX.
+        assert_eq!(Json::Number(18446744073709551616.0).as_u64(), None);
+        assert_eq!(Json::Number(u64::MAX as f64).as_u64(), None);
+        assert_eq!(Json::Number(f64::INFINITY).as_u64(), None);
+        assert_eq!(Json::Number(f64::NAN).as_u64(), None);
     }
 
     #[test]

@@ -135,16 +135,30 @@ pub struct DseSpec {
 }
 
 impl Request {
-    /// Parses one request line.
+    /// Parses one request line, enforcing the default [`MAX_LINE_BYTES`]
+    /// length limit.
     ///
     /// # Errors
     ///
     /// Returns a human-readable message for malformed JSON, unknown kinds,
     /// or invalid configuration values.
     pub fn parse(line: &str) -> Result<Request, String> {
-        if line.len() > MAX_LINE_BYTES {
+        Request::parse_with_limit(line, MAX_LINE_BYTES)
+    }
+
+    /// Parses one request line against a caller-chosen length limit. This
+    /// check is a backstop for callers that hand over pre-assembled lines —
+    /// the daemon additionally enforces the same limit *while reading*, so
+    /// an oversized line is never buffered in the first place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for oversized lines, malformed
+    /// JSON, unknown kinds, or invalid configuration values.
+    pub fn parse_with_limit(line: &str, max_line_bytes: usize) -> Result<Request, String> {
+        if line.len() > max_line_bytes {
             return Err(format!(
-                "request exceeds {MAX_LINE_BYTES} bytes; split it or shrink the profile"
+                "request exceeds {max_line_bytes} bytes; split it or shrink the profile"
             ));
         }
         let doc = Json::parse(line).map_err(|e| e.to_string())?;

@@ -8,6 +8,21 @@
 //! so a repeated request is answered without recomputation (`"cached": true`
 //! in the response).
 //!
+//! # Robustness
+//!
+//! Every per-connection resource is bounded:
+//!
+//! * request lines are length-limited **while being read** — a newline-free
+//!   flood is discarded as it streams in (memory stays bounded by the
+//!   `BufReader` block size) and answered with a structured error;
+//! * idle connections are subject to a read deadline and stalled writers to
+//!   a write deadline, so a dead peer can never pin a thread;
+//! * concurrent connections are capped — connections beyond the cap get a
+//!   structured "overloaded" response and an immediate close (shedding);
+//! * finished connection threads are reaped and closed sockets dropped from
+//!   the registry as the accept loop runs, so neither grows with connection
+//!   churn.
+//!
 //! # Shutdown
 //!
 //! A `{"kind":"shutdown"}` request (or end-of-input in `--stdio` mode) stops
@@ -15,7 +30,8 @@
 //! drains every job it has already accepted, in-flight responses are
 //! written, and only then are the remaining connections closed.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -26,11 +42,11 @@ use sealpaa_cells::StandardCell;
 use crate::cache::ResultCache;
 use crate::canonical::cache_key;
 use crate::json::Json;
-use crate::metrics::Metrics;
+use crate::metrics::{kind_index, Metrics, KIND_NAMES};
 use crate::pool::WorkerPool;
 use crate::protocol::{
     error_response, ok_response, AdderSpec, DseSpec, GearSpec, Request, RequestBody, SimMode,
-    SimulateSpec,
+    SimulateSpec, MAX_LINE_BYTES,
 };
 
 /// Daemon configuration; [`Default`] gives sensible local settings.
@@ -45,6 +61,25 @@ pub struct ServerConfig {
     pub cache_entries: usize,
     /// Bounded job-queue capacity; submissions beyond it block.
     pub queue_capacity: usize,
+    /// Maximum concurrently served TCP connections; connections beyond it
+    /// are shed with a structured "overloaded" error (0 disables the cap).
+    pub max_connections: usize,
+    /// Maximum request-line length in bytes, enforced while reading: longer
+    /// lines are discarded as they stream in and answered with a structured
+    /// error instead of being buffered.
+    pub max_line_bytes: usize,
+    /// Idle deadline in milliseconds: a connection that sends no complete
+    /// request line for this long is answered with a structured timeout
+    /// error and closed (0 disables the deadline; TCP only).
+    pub idle_timeout_ms: u64,
+    /// Write deadline in milliseconds: a peer that stops reading its
+    /// responses for this long is disconnected (0 disables; TCP only).
+    pub write_timeout_ms: u64,
+    /// Emit one NDJSON access-log line per request (timestamp-free fields
+    /// only, so traces are byte-reproducible). [`Server::bind`] and
+    /// [`run_stdio`] send the trace to stderr; see
+    /// [`Server::bind_with_trace`] / [`run_stdio_with_trace`] to capture it.
+    pub trace: bool,
 }
 
 impl Default for ServerConfig {
@@ -54,9 +89,17 @@ impl Default for ServerConfig {
             threads: 4,
             cache_entries: 1024,
             queue_capacity: 64,
+            max_connections: 256,
+            max_line_bytes: MAX_LINE_BYTES,
+            idle_timeout_ms: 60_000,
+            write_timeout_ms: 60_000,
+            trace: false,
         }
     }
 }
+
+/// A writer receiving the NDJSON access log.
+pub type TraceSink = Box<dyn Write + Send>;
 
 /// Everything shared between connection threads.
 struct ServerState {
@@ -64,18 +107,46 @@ struct ServerState {
     metrics: Metrics,
     pool: WorkerPool,
     threads: usize,
+    max_line_bytes: usize,
     shutdown: AtomicBool,
+    /// Live TCP connections by id — the shutdown sweep unblocks exactly
+    /// these readers, and each serving thread prunes its own entry on exit
+    /// (via [`ConnectionGuard`]) so the registry never outgrows the
+    /// connection cap.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    trace: Option<Mutex<TraceSink>>,
 }
 
 impl ServerState {
-    fn new(config: &ServerConfig) -> ServerState {
+    fn new(config: &ServerConfig, trace: Option<TraceSink>) -> ServerState {
         ServerState {
             cache: ResultCache::new(config.cache_entries),
             metrics: Metrics::new(),
             pool: WorkerPool::new(config.threads, config.queue_capacity),
             threads: config.threads.max(1),
+            max_line_bytes: config.max_line_bytes.max(1),
             shutdown: AtomicBool::new(false),
+            connections: Mutex::new(HashMap::new()),
+            trace: trace.map(Mutex::new),
         }
+    }
+}
+
+/// Removes the connection's registry entry and decrements the live gauge
+/// however the serving thread exits (clean EOF, timeout, error, panic).
+struct ConnectionGuard {
+    state: Arc<ServerState>,
+    id: u64,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.state
+            .connections
+            .lock()
+            .expect("connection registry")
+            .remove(&self.id);
+        self.state.metrics.connection_closed();
     }
 }
 
@@ -84,24 +155,49 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     state: Arc<ServerState>,
+    max_connections: usize,
+    idle_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
 }
 
 impl Server {
-    /// Binds the listen socket and spawns the worker pool.
+    /// Binds the listen socket and spawns the worker pool. With
+    /// `config.trace` set, the access log goes to stderr.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the address cannot be bound.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let trace = config
+            .trace
+            .then(|| Box::new(std::io::stderr()) as TraceSink);
+        Server::bind_inner(config, trace)
+    }
+
+    /// Like [`Server::bind`], but sends the NDJSON access log to `trace`
+    /// regardless of `config.trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the address cannot be bound.
+    pub fn bind_with_trace(config: ServerConfig, trace: TraceSink) -> std::io::Result<Server> {
+        Server::bind_inner(config, Some(trace))
+    }
+
+    fn bind_inner(config: ServerConfig, trace: Option<TraceSink>) -> std::io::Result<Server> {
         let addr = config.addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::other(format!("unresolvable address {}", config.addr))
         })?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let timeout = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
         Ok(Server {
             listener,
             local_addr,
-            state: Arc::new(ServerState::new(&config)),
+            state: Arc::new(ServerState::new(&config, trace)),
+            max_connections: config.max_connections,
+            idle_timeout: timeout(config.idle_timeout_ms),
+            write_timeout: timeout(config.write_timeout_ms),
         })
     }
 
@@ -118,26 +214,16 @@ impl Server {
     /// errors only terminate that client).
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-        let mut handles = Vec::new();
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut next_id: u64 = 0;
         while !self.state.shutdown.load(Ordering::SeqCst) {
+            // Reap finished connection threads on every pass, so the handle
+            // list stays bounded by the number of live connections instead
+            // of growing with the total ever accepted.
+            reap_finished(&mut handles);
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    stream.set_nonblocking(false)?;
-                    if let Ok(clone) = stream.try_clone() {
-                        connections.lock().expect("connection registry").push(clone);
-                    }
-                    let state = Arc::clone(&self.state);
-                    handles.push(std::thread::spawn(move || {
-                        let reader = BufReader::new(match stream.try_clone() {
-                            Ok(s) => s,
-                            Err(_) => return,
-                        });
-                        let mut writer = stream;
-                        serve_lines(&state, reader, &mut writer).ok();
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                Ok((stream, _peer)) => self.admit(stream, &mut next_id, &mut handles),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
                 }
                 Err(e) => return Err(e),
@@ -149,7 +235,13 @@ impl Server {
         // half is shut — a connection thread may still be writing the
         // response for a job the drain just finished, and that write must
         // land before the socket closes (when the joined thread drops it).
-        for stream in connections.lock().expect("connection registry").iter() {
+        for stream in self
+            .state
+            .connections
+            .lock()
+            .expect("connection registry")
+            .values()
+        {
             stream.shutdown(Shutdown::Read).ok();
         }
         for handle in handles {
@@ -157,11 +249,97 @@ impl Server {
         }
         Ok(())
     }
+
+    /// Admits one accepted connection: applies deadlines, sheds past the
+    /// connection cap, registers it, and spawns its serving thread. All
+    /// failures refuse the connection — a connection that cannot be
+    /// registered is never served, because the shutdown sweep could not
+    /// unblock its reader.
+    fn admit(
+        &self,
+        stream: TcpStream,
+        next_id: &mut u64,
+        handles: &mut Vec<std::thread::JoinHandle<()>>,
+    ) {
+        if stream.set_nonblocking(false).is_err() {
+            return; // nothing useful can be written either
+        }
+        // The write deadline first: even the refusal writes below must not
+        // be able to stall the accept loop.
+        if let Some(t) = self.write_timeout {
+            stream.set_write_timeout(Some(t)).ok();
+        }
+        let live = self
+            .state
+            .connections
+            .lock()
+            .expect("connection registry")
+            .len();
+        if self.max_connections > 0 && live >= self.max_connections {
+            self.state.metrics.record_shed();
+            refuse(
+                stream,
+                "server overloaded: connection limit reached, retry later",
+            );
+            return;
+        }
+        if let Some(t) = self.idle_timeout {
+            stream.set_read_timeout(Some(t)).ok();
+        }
+        // Both clones up front, before anything is served: a clone failure
+        // refuses the connection instead of serving it unregistered.
+        let (reader_stream, registry_stream) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(r), Ok(g)) => (r, g),
+            _ => {
+                refuse(stream, "connection setup failed: cannot clone the socket");
+                return;
+            }
+        };
+        let id = *next_id;
+        *next_id += 1;
+        self.state
+            .connections
+            .lock()
+            .expect("connection registry")
+            .insert(id, registry_stream);
+        self.state.metrics.connection_opened();
+        let state = Arc::clone(&self.state);
+        handles.push(std::thread::spawn(move || {
+            let _guard = ConnectionGuard {
+                state: Arc::clone(&state),
+                id,
+            };
+            let reader = BufReader::new(reader_stream);
+            let mut writer = stream;
+            serve_lines(&state, reader, &mut writer).ok();
+        }));
+    }
+}
+
+/// Joins every already-finished handle, keeping the rest.
+fn reap_finished(handles: &mut Vec<std::thread::JoinHandle<()>>) {
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            handles.swap_remove(i).join().ok();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Writes one structured error line to a connection that is being turned
+/// away, then closes it (by drop). Best effort — the peer may already be
+/// gone, and the accept loop must not care.
+fn refuse(mut stream: TcpStream, message: &str) {
+    let response = error_response(None, message).render();
+    let _ = writeln!(stream, "{response}");
 }
 
 /// Runs the protocol over an arbitrary line stream — the `--stdio` mode.
 /// Returns at end-of-input or after a `shutdown` request, draining the
-/// worker pool before returning.
+/// worker pool before returning. With `config.trace` set, the access log
+/// goes to stderr.
 ///
 /// # Errors
 ///
@@ -171,53 +349,283 @@ pub fn run_stdio<R: BufRead, W: Write>(
     input: R,
     output: &mut W,
 ) -> std::io::Result<()> {
-    let state = Arc::new(ServerState::new(config));
-    serve_lines(&state, input, output)?;
+    let trace = config
+        .trace
+        .then(|| Box::new(std::io::stderr()) as TraceSink);
+    run_stdio_inner(config, input, output, trace)
+}
+
+/// Like [`run_stdio`], but sends the NDJSON access log to `trace`
+/// regardless of `config.trace`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if reading or writing fails.
+pub fn run_stdio_with_trace<R: BufRead, W: Write>(
+    config: &ServerConfig,
+    input: R,
+    output: &mut W,
+    trace: TraceSink,
+) -> std::io::Result<()> {
+    run_stdio_inner(config, input, output, Some(trace))
+}
+
+fn run_stdio_inner<R: BufRead, W: Write>(
+    config: &ServerConfig,
+    input: R,
+    output: &mut W,
+    trace: Option<TraceSink>,
+) -> std::io::Result<()> {
+    let state = Arc::new(ServerState::new(config, trace));
+    let served = serve_lines(&state, input, output);
     state.pool.shutdown();
-    Ok(())
+    served
+}
+
+/// One bounded read from the line stream.
+enum BoundedLine {
+    /// A complete line (without its newline), valid UTF-8, within the limit.
+    Line(String),
+    /// The line ran past the limit; the excess was discarded as it streamed
+    /// in. `bytes` is the full observed length.
+    TooLong { bytes: usize },
+    /// The line fit but is not valid UTF-8.
+    InvalidUtf8 { bytes: usize },
+    /// The read deadline expired before a complete line arrived.
+    TimedOut,
+    /// Clean end of input.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, enforcing `max` bytes *during* the read:
+/// once a line overflows, its bytes are discarded as they arrive (memory
+/// stays bounded by the reader's internal block) and the stream is resynced
+/// at the next newline.
+fn read_bounded_line<R: BufRead>(input: &mut R, max: usize) -> std::io::Result<BoundedLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut total = 0usize;
+    let mut overflowed = false;
+    loop {
+        let available = match input.fill_buf() {
+            Ok(available) => available,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(BoundedLine::TimedOut)
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // End of input; a final unterminated line still counts.
+            return Ok(if overflowed {
+                BoundedLine::TooLong { bytes: total }
+            } else if buf.is_empty() {
+                BoundedLine::Eof
+            } else {
+                finish_line(buf, total)
+            });
+        }
+        let (consumed, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, Some(i)),
+            None => (available.len(), None),
+        };
+        let chunk = &available[..done.unwrap_or(consumed)];
+        total += chunk.len();
+        if !overflowed {
+            if total <= max {
+                buf.extend_from_slice(chunk);
+            } else {
+                overflowed = true;
+                buf = Vec::new(); // free what was gathered so far
+            }
+        }
+        input.consume(consumed);
+        if done.is_some() {
+            return Ok(if overflowed {
+                BoundedLine::TooLong { bytes: total }
+            } else {
+                finish_line(buf, total)
+            });
+        }
+    }
+}
+
+fn finish_line(buf: Vec<u8>, bytes: usize) -> BoundedLine {
+    match String::from_utf8(buf) {
+        Ok(line) => BoundedLine::Line(line),
+        Err(_) => BoundedLine::InvalidUtf8 { bytes },
+    }
+}
+
+/// The outcome of serving one request line — everything the transport loop
+/// needs for the response, the access log, and flow control.
+struct Served {
+    response: String,
+    shutdown: bool,
+    /// The request's wire kind, when recognizable (even from an otherwise
+    /// invalid request).
+    kind: Option<&'static str>,
+    ok: bool,
+    cached: bool,
+    error: Option<String>,
+}
+
+impl Served {
+    fn failure(response: String, kind: Option<&'static str>, message: String) -> Served {
+        Served {
+            response,
+            shutdown: false,
+            kind,
+            ok: false,
+            cached: false,
+            error: Some(message),
+        }
+    }
 }
 
 /// The per-connection loop shared by TCP and stdio transports.
 fn serve_lines<R: BufRead, W: Write>(
     state: &Arc<ServerState>,
-    input: R,
+    mut input: R,
     output: &mut W,
 ) -> std::io::Result<()> {
-    for line in input.lines() {
-        let line = match line {
-            Ok(line) => line,
-            // A reset/closed socket just ends this connection.
-            Err(_) => break,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = process_line(state, &line);
-        writeln!(output, "{response}")?;
-        output.flush()?;
-        if shutdown {
-            state.shutdown.store(true, Ordering::SeqCst);
-            break;
+    // A read error (reset/closed socket) just ends this connection.
+    while let Ok(read) = read_bounded_line(&mut input, state.max_line_bytes) {
+        match read {
+            BoundedLine::Eof => break,
+            BoundedLine::TimedOut => {
+                state.metrics.record_timeout();
+                let message = "idle timeout: no complete request within the read deadline";
+                // Best effort — the stalled peer may never read it.
+                let response = error_response(None, message).render();
+                let _ = writeln!(output, "{response}").and_then(|()| output.flush());
+                trace_request(state, None, false, false, 0, Some(message));
+                break;
+            }
+            BoundedLine::TooLong { bytes } => {
+                state.metrics.record_error(None);
+                let message = format!(
+                    "request of {bytes} bytes exceeds the {} byte line limit",
+                    state.max_line_bytes
+                );
+                write_response(state, output, &error_response(None, &message).render())?;
+                trace_request(state, None, false, false, bytes, Some(&message));
+                // The stream is already resynced at the newline; keep serving.
+            }
+            BoundedLine::InvalidUtf8 { bytes } => {
+                state.metrics.record_error(None);
+                let message = "request line is not valid UTF-8";
+                let response = error_response(None, message).render();
+                let _ = writeln!(output, "{response}").and_then(|()| output.flush());
+                trace_request(state, None, false, false, bytes, Some(message));
+                // A binary peer won't speak the protocol from here on.
+                break;
+            }
+            BoundedLine::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let served = process_line(state, &line);
+                write_response(state, output, &served.response)?;
+                trace_request(
+                    state,
+                    served.kind,
+                    served.ok,
+                    served.cached,
+                    line.len(),
+                    served.error.as_deref(),
+                );
+                if served.shutdown {
+                    state.shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
         }
     }
     Ok(())
 }
 
-/// Serves one request line. Returns the rendered response and whether the
-/// request asked the daemon to stop.
-fn process_line(state: &Arc<ServerState>, line: &str) -> (String, bool) {
+/// Writes one response line, counting a write-deadline expiry (peer stopped
+/// reading) as a timeout before propagating the error to close the
+/// connection.
+fn write_response<W: Write>(
+    state: &ServerState,
+    output: &mut W,
+    response: &str,
+) -> std::io::Result<()> {
+    writeln!(output, "{response}")
+        .and_then(|()| output.flush())
+        .inspect_err(|e| {
+            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                state.metrics.record_timeout();
+            }
+        })
+}
+
+/// Emits one NDJSON access-log line, if tracing is enabled. Fields are
+/// deliberately timestamp- and duration-free so a replayed session produces
+/// a byte-identical trace.
+fn trace_request(
+    state: &ServerState,
+    kind: Option<&str>,
+    ok: bool,
+    cached: bool,
+    bytes_in: usize,
+    error: Option<&str>,
+) {
+    let Some(sink) = &state.trace else {
+        return;
+    };
+    let mut obj = Json::object()
+        .field("kind", kind.map_or(Json::Null, Json::from))
+        .field("ok", ok)
+        .field("cached", cached)
+        .field("bytes_in", bytes_in as u64);
+    if let Some(message) = error {
+        obj = obj.field("error", message);
+    }
+    let line = obj.build().render();
+    let mut out = sink.lock().expect("trace sink poisoned");
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// Serves one request line.
+fn process_line(state: &Arc<ServerState>, line: &str) -> Served {
     let started = Instant::now();
-    let request = match Request::parse(line) {
+    let request = match Request::parse_with_limit(line, state.max_line_bytes) {
         Ok(request) => request,
         Err(message) => {
-            state.metrics.record_error();
-            // The id is worth salvaging even from an invalid request.
-            let id = Json::parse(line).ok().and_then(|d| d.get("id").cloned());
-            return (error_response(id.as_ref(), &message).render(), false);
+            // The id — and the kind, for attribution — are worth salvaging
+            // even from an invalid request.
+            let doc = Json::parse(line).ok();
+            let id = doc.as_ref().and_then(|d| d.get("id").cloned());
+            let kind = doc
+                .as_ref()
+                .and_then(|d| d.get("kind"))
+                .and_then(Json::as_str)
+                .and_then(|k| kind_index(k).map(|i| KIND_NAMES[i]));
+            state.metrics.record_error(kind);
+            return Served::failure(
+                error_response(id.as_ref(), &message).render(),
+                kind,
+                message,
+            );
         }
     };
     let id = request.id;
     let kind = request.body.kind();
+    let success = |response: String, cached: bool, shutdown: bool| Served {
+        response,
+        shutdown,
+        kind: Some(kind),
+        ok: true,
+        cached,
+        error: None,
+    };
+    let failure = |response: String, message: String| {
+        state.metrics.record_error(Some(kind));
+        Served::failure(response, Some(kind), message)
+    };
 
     // Control requests are served inline: they must work even when every
     // worker is busy (that is exactly when you want `stats`).
@@ -225,18 +633,20 @@ fn process_line(state: &Arc<ServerState>, line: &str) -> (String, bool) {
         RequestBody::Stats => {
             let result = stats_result(state);
             let micros = started.elapsed().as_micros() as u64;
-            state.metrics.record_ok(micros);
-            return (
+            state.metrics.record_ok(kind, micros);
+            return success(
                 ok_response(id.as_ref(), kind, false, micros, result).render(),
+                false,
                 false,
             );
         }
         RequestBody::Shutdown => {
             let micros = started.elapsed().as_micros() as u64;
-            state.metrics.record_ok(micros);
+            state.metrics.record_ok(kind, micros);
             let result = Json::object().field("stopping", true).build();
-            return (
+            return success(
                 ok_response(id.as_ref(), kind, false, micros, result).render(),
+                false,
                 true,
             );
         }
@@ -248,9 +658,10 @@ fn process_line(state: &Arc<ServerState>, line: &str) -> (String, bool) {
         if let Some(rendered) = state.cache.get(key) {
             let result = Json::parse(&rendered).expect("cache holds rendered JSON");
             let micros = started.elapsed().as_micros() as u64;
-            state.metrics.record_ok(micros);
-            return (
+            state.metrics.record_ok(kind, micros);
+            return success(
                 ok_response(id.as_ref(), kind, true, micros, result).render(),
+                true,
                 false,
             );
         }
@@ -265,11 +676,8 @@ fn process_line(state: &Arc<ServerState>, line: &str) -> (String, bool) {
         tx.send(compute_result(&body)).ok();
     }));
     if submitted.is_err() {
-        state.metrics.record_error();
-        return (
-            error_response(id.as_ref(), "server is shutting down").render(),
-            false,
-        );
+        let message = "server is shutting down".to_owned();
+        return failure(error_response(id.as_ref(), &message).render(), message);
     }
     match rx.recv() {
         Ok(Ok(result)) => {
@@ -277,22 +685,17 @@ fn process_line(state: &Arc<ServerState>, line: &str) -> (String, bool) {
                 state.cache.insert(key, result.render());
             }
             let micros = started.elapsed().as_micros() as u64;
-            state.metrics.record_ok(micros);
-            (
+            state.metrics.record_ok(kind, micros);
+            success(
                 ok_response(id.as_ref(), kind, false, micros, result).render(),
                 false,
-            )
-        }
-        Ok(Err(message)) => {
-            state.metrics.record_error();
-            (error_response(id.as_ref(), &message).render(), false)
-        }
-        Err(_) => {
-            state.metrics.record_error();
-            (
-                error_response(id.as_ref(), "worker dropped the job").render(),
                 false,
             )
+        }
+        Ok(Err(message)) => failure(error_response(id.as_ref(), &message).render(), message),
+        Err(_) => {
+            let message = "worker dropped the job".to_owned();
+            failure(error_response(id.as_ref(), &message).render(), message)
         }
     }
 }
@@ -300,6 +703,27 @@ fn process_line(state: &Arc<ServerState>, line: &str) -> (String, bool) {
 fn stats_result(state: &ServerState) -> Json {
     let cache = state.cache.stats();
     let metrics = state.metrics.snapshot();
+    let registered = state.connections.lock().expect("connection registry").len();
+    let mut kinds = Json::object();
+    for (i, name) in KIND_NAMES.iter().enumerate() {
+        let kind = &metrics.kinds[i];
+        kinds = kinds.field(
+            *name,
+            Json::object()
+                .field("requests", kind.requests)
+                .field("errors", kind.errors)
+                .field("p50_micros", kind.p50_micros)
+                .field("p99_micros", kind.p99_micros)
+                .field(
+                    "histogram",
+                    kind.histogram
+                        .iter()
+                        .map(|&c| Json::from(c))
+                        .collect::<Vec<_>>(),
+                )
+                .build(),
+        );
+    }
     Json::object()
         .field("requests", metrics.requests)
         .field("errors", metrics.errors)
@@ -307,6 +731,17 @@ fn stats_result(state: &ServerState) -> Json {
         .field("workers", state.threads as u64)
         .field("p50_micros", metrics.p50_micros)
         .field("p99_micros", metrics.p99_micros)
+        .field(
+            "connections",
+            Json::object()
+                .field("live", metrics.live_connections)
+                .field("peak", metrics.peak_connections)
+                .field("registered", registered as u64)
+                .field("shed", metrics.shed_connections)
+                .field("timeouts", metrics.timeouts)
+                .build(),
+        )
+        .field("kinds", kinds.build())
         .field(
             "cache",
             Json::object()
@@ -523,6 +958,7 @@ pub fn standard_cell_names() -> Vec<&'static str> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::BUCKETS;
     use std::io::Cursor;
 
     fn run_lines(config: &ServerConfig, lines: &str) -> Vec<Json> {
@@ -612,13 +1048,238 @@ mod tests {
         assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(responses[2].get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(responses[2].get("id").and_then(Json::as_u64), Some(9));
+        let stats = responses[2].get("result").expect("stats result");
+        assert_eq!(stats.get("errors").and_then(Json::as_u64), Some(2));
+        // The first error had a recognizable kind and is attributed to it;
+        // the second was unparseable and counts only in the aggregate.
         assert_eq!(
-            responses[2]
-                .get("result")
-                .and_then(|r| r.get("errors"))
+            stats
+                .get("kinds")
+                .and_then(|k| k.get("analyze"))
+                .and_then(|a| a.get("errors"))
                 .and_then(Json::as_u64),
-            Some(2)
+            Some(1)
         );
+    }
+
+    #[test]
+    fn stats_schema_is_pinned() {
+        // The observability contract: these fields (and no fewer) are what
+        // dashboards may rely on.
+        let responses = run_lines(
+            &ServerConfig::default(),
+            "{\"kind\":\"analyze\",\"width\":2,\"cell\":\"lpaa1\"}\n{\"kind\":\"stats\"}\n",
+        );
+        let stats = responses[1].get("result").expect("stats result");
+        for field in [
+            "requests",
+            "errors",
+            "queue_depth",
+            "workers",
+            "p50_micros",
+            "p99_micros",
+        ] {
+            assert!(
+                stats.get(field).and_then(Json::as_u64).is_some(),
+                "missing numeric field {field}"
+            );
+        }
+        let connections = stats.get("connections").expect("connection gauges");
+        for field in ["live", "peak", "registered", "shed", "timeouts"] {
+            assert!(
+                connections.get(field).and_then(Json::as_u64).is_some(),
+                "missing connection gauge {field}"
+            );
+        }
+        let kinds = stats.get("kinds").expect("per-kind metrics");
+        for name in KIND_NAMES {
+            let kind = kinds
+                .get(name)
+                .unwrap_or_else(|| panic!("missing kind {name}"));
+            for field in ["requests", "errors", "p50_micros", "p99_micros"] {
+                assert!(
+                    kind.get(field).and_then(Json::as_u64).is_some(),
+                    "missing {name}.{field}"
+                );
+            }
+            let histogram = kind
+                .get("histogram")
+                .and_then(Json::as_array)
+                .unwrap_or_else(|| panic!("missing {name}.histogram"));
+            assert_eq!(histogram.len(), BUCKETS, "{name} histogram length");
+        }
+        // The analyze request is visible in its own kind's counters.
+        assert_eq!(
+            kinds
+                .get("analyze")
+                .and_then(|a| a.get("requests"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let cache = stats.get("cache").expect("cache stats");
+        for field in ["hits", "misses", "evictions", "entries"] {
+            assert!(
+                cache.get(field).and_then(Json::as_u64).is_some(),
+                "missing cache.{field}"
+            );
+        }
+    }
+
+    #[test]
+    fn stdio_honors_the_configured_line_limit() {
+        // The cross-transport contract: stdio enforces the same configured
+        // line limit as TCP, during the read.
+        let config = ServerConfig {
+            max_line_bytes: 1024,
+            ..Default::default()
+        };
+        let long = "x".repeat(5000);
+        let responses = run_lines(
+            &config,
+            &format!("{long}\n{{\"kind\":\"analyze\",\"width\":2,\"cell\":\"lpaa1\"}}\n"),
+        );
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        let message = responses[0]
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("message");
+        assert!(message.contains("5000 bytes"), "{message}");
+        assert!(message.contains("1024 byte"), "{message}");
+        assert_eq!(
+            responses[1].get("ok").and_then(Json::as_bool),
+            Some(true),
+            "the stream resyncs at the newline and keeps serving"
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_gets_a_parse_error_response_before_the_close() {
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"\"\xff\xfe garbage\n");
+        input.extend_from_slice(b"{\"kind\":\"stats\"}\n");
+        let mut out = Vec::new();
+        run_stdio(&ServerConfig::default(), Cursor::new(input), &mut out).expect("stdio run");
+        let out = String::from_utf8(out).expect("responses are utf8");
+        let responses: Vec<Json> = out
+            .lines()
+            .map(|l| Json::parse(l).expect("valid response JSON"))
+            .collect();
+        // One structured error, then the stream closes — the stats line
+        // after the garbage is never served.
+        assert_eq!(responses.len(), 1, "{out}");
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert!(responses[0]
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("message")
+            .contains("UTF-8"));
+    }
+
+    #[test]
+    fn trace_log_is_deterministic_ndjson() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buf").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let analyze = "{\"kind\":\"analyze\",\"width\":2,\"cell\":\"lpaa1\",\"p\":0.1}";
+        let bogus = "nonsense";
+        let input = format!("{analyze}\n{analyze}\n{bogus}\n{{\"kind\":\"shutdown\"}}\n");
+        let run_once = || {
+            let sink = SharedBuf::default();
+            let mut out = Vec::new();
+            run_stdio_with_trace(
+                &ServerConfig::default(),
+                Cursor::new(input.clone()),
+                &mut out,
+                Box::new(sink.clone()),
+            )
+            .expect("stdio run");
+            let bytes = sink.0.lock().expect("buf").clone();
+            String::from_utf8(bytes).expect("trace is utf8")
+        };
+
+        let trace = run_once();
+        let lines: Vec<&str> = trace.lines().collect();
+        assert_eq!(lines.len(), 4, "{trace}");
+        assert_eq!(
+            lines[0],
+            format!(
+                "{{\"kind\":\"analyze\",\"ok\":true,\"cached\":false,\"bytes_in\":{}}}",
+                analyze.len()
+            )
+        );
+        assert_eq!(
+            lines[1],
+            format!(
+                "{{\"kind\":\"analyze\",\"ok\":true,\"cached\":true,\"bytes_in\":{}}}",
+                analyze.len()
+            )
+        );
+        let parsed = Json::parse(lines[2]).expect("trace line parses");
+        assert_eq!(parsed.get("kind"), Some(&Json::Null));
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            parsed.get("bytes_in").and_then(Json::as_u64),
+            Some(bogus.len() as u64)
+        );
+        assert!(parsed.get("error").and_then(Json::as_str).is_some());
+        assert!(lines[3].contains("\"kind\":\"shutdown\""));
+
+        // Byte-reproducible: a replayed session emits the identical trace
+        // (no timestamps, no latencies).
+        assert_eq!(trace, run_once());
+    }
+
+    #[test]
+    fn bounded_reader_handles_limits_partial_lines_and_eof() {
+        let mut input = Cursor::new(b"short\nexactly8\ntoolongline\ntail".to_vec());
+        match read_bounded_line(&mut input, 8).expect("read") {
+            BoundedLine::Line(l) => assert_eq!(l, "short"),
+            _ => panic!("expected a line"),
+        }
+        match read_bounded_line(&mut input, 8).expect("read") {
+            BoundedLine::Line(l) => assert_eq!(l, "exactly8"),
+            _ => panic!("a line of exactly the limit fits"),
+        }
+        match read_bounded_line(&mut input, 8).expect("read") {
+            BoundedLine::TooLong { bytes } => assert_eq!(bytes, 11),
+            _ => panic!("expected overflow"),
+        }
+        match read_bounded_line(&mut input, 8).expect("read") {
+            BoundedLine::Line(l) => assert_eq!(l, "tail", "final unterminated line"),
+            _ => panic!("expected the tail"),
+        }
+        assert!(matches!(
+            read_bounded_line(&mut input, 8).expect("read"),
+            BoundedLine::Eof
+        ));
+    }
+
+    #[test]
+    fn bounded_reader_discards_oversized_data_in_small_chunks() {
+        // A newline-free flood much larger than the limit: the reader must
+        // keep consuming (resync) without accumulating the flood.
+        let flood = vec![b'x'; 1 << 20];
+        let mut input = std::io::BufReader::with_capacity(512, Cursor::new(flood));
+        match read_bounded_line(&mut input, 4096).expect("read") {
+            BoundedLine::TooLong { bytes } => assert_eq!(bytes, 1 << 20),
+            _ => panic!("expected overflow"),
+        }
+        assert!(matches!(
+            read_bounded_line(&mut input, 4096).expect("read"),
+            BoundedLine::Eof
+        ));
     }
 
     #[test]

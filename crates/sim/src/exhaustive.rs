@@ -410,7 +410,7 @@ fn bitsliced_range<T: Prob>(
         for chunk in 0..chunks {
             let b_base = (chunk as u64) << 6;
             for (i, plane) in b_planes.iter_mut().enumerate().skip(6) {
-                *plane = (((b_base >> i) & 1) as u64).wrapping_neg();
+                *plane = ((b_base >> i) & 1).wrapping_neg();
             }
             let chunk_pb_f = tables.chunk_pb_f[chunk];
             for cin in [false, true] {

@@ -142,7 +142,7 @@ impl Xoshiro256pp {
             // a q-bit of 1 decides U-bit-0 lanes true and keeps U-bit-1
             // lanes undecided; a q-bit of 0 decides U-bit-1 lanes false and
             // keeps U-bit-0 lanes undecided.
-            let qm = (((q >> bit) & 1) as u64).wrapping_neg();
+            let qm = ((q >> bit) & 1).wrapping_neg();
             result |= undecided & !u & qm;
             undecided &= !(u ^ qm);
             if undecided == 0 || bit <= stop {

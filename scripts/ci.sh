@@ -47,6 +47,10 @@ run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
 run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
     cargo bench -p sealpaa-bench --bench analysis_kernels
 
+# Lints are load-bearing: the gate fails on any clippy warning anywhere in
+# the workspace, including tests and benches.
+run cargo clippy --workspace --all-targets -- -D warnings
+
 run cargo fmt --all --check
 
 echo
