@@ -11,4 +11,5 @@ pub mod multiplier;
 pub mod serve;
 pub mod simulate;
 pub mod sweep;
+pub mod trace;
 pub mod verilog;

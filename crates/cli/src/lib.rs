@@ -43,6 +43,7 @@ commands:
   multiplier  quality of an approximate shift-add multiplier
   fir         quality of an approximate FIR filter on a synthetic stream
   verilog     emit structural Verilog for a cell, chain, or GeAr adder
+  trace       workload traces: synthesize, profile, replay, model fidelity
   serve       analysis-as-a-service daemon (JSON over TCP or stdio)
   help        show this message
 
@@ -72,6 +73,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "multiplier" => commands::multiplier::run(rest, out),
         "fir" => commands::fir::run(rest, out),
         "verilog" => commands::verilog::run(rest, out),
+        "trace" => commands::trace::run(rest, out),
         "serve" => commands::serve::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;

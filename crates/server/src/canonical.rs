@@ -22,10 +22,14 @@
 
 use sealpaa_cells::{AdderChain, FaInput, InputProfile, TruthTable};
 
-use crate::protocol::{AdderSpec, DseSpec, GearSpec, RequestBody, SimMode, SimulateSpec};
+use crate::protocol::{
+    AdderSpec, DseSpec, GearSpec, ProfileSource, ProfileSpec, RequestBody, SimMode, SimulateSpec,
+};
 
 /// Returns the canonical cache key for a request body, or `None` when the
-/// request is not cacheable (`stats`, `shutdown`).
+/// request is not cacheable (`stats`, `shutdown`, and `profile` requests
+/// that ship their trace inline — keying those would mean hashing the full
+/// payload, and a hash collision would silently serve the wrong profile).
 pub fn cache_key(body: &RequestBody) -> Option<String> {
     match body {
         RequestBody::Analyze(spec) => Some(format!("analyze|{}", adder_key(spec))),
@@ -33,6 +37,7 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
         RequestBody::Simulate(spec) => Some(simulate_key(spec)),
         RequestBody::Gear(spec) => Some(gear_key(spec)),
         RequestBody::Dse(spec) => Some(dse_key(spec)),
+        RequestBody::Profile(spec) => profile_key(spec),
         RequestBody::Stats | RequestBody::Shutdown => None,
     }
 }
@@ -151,6 +156,24 @@ fn dse_key(spec: &DseSpec) -> String {
         cap(spec.budget_area),
         spec.pareto
     )
+}
+
+/// Synthetic-source `profile` requests are pure functions of
+/// `(kind, width, records, seed)` and get a canonical key; inline traces
+/// are served uncached (see [`cache_key`]).
+fn profile_key(spec: &ProfileSpec) -> Option<String> {
+    match &spec.source {
+        ProfileSource::Synth {
+            kind,
+            records,
+            seed,
+        } => Some(format!(
+            "profile|{}|{}|{records}|{seed}",
+            kind.name(),
+            spec.width
+        )),
+        ProfileSource::Inline(_) => None,
+    }
 }
 
 fn gear_key(spec: &GearSpec) -> String {
@@ -287,6 +310,30 @@ mod tests {
         ] {
             assert_ne!(base, key_of(other), "{other}");
         }
+    }
+
+    #[test]
+    fn profile_synth_key_covers_every_parameter() {
+        let base = key_of(r#"{"kind":"profile","width":8,"synth":"uniform"}"#);
+        for other in [
+            r#"{"kind":"profile","width":9,"synth":"uniform"}"#,
+            r#"{"kind":"profile","width":8,"synth":"random-walk"}"#,
+            r#"{"kind":"profile","width":8,"synth":"uniform","records":128}"#,
+            r#"{"kind":"profile","width":8,"synth":"uniform","seed":1}"#,
+        ] {
+            assert_ne!(base, key_of(other), "{other}");
+        }
+        // Spelling the defaults out changes nothing.
+        assert_eq!(
+            base,
+            key_of(r#"{"kind":"profile","width":8,"synth":"uniform","records":65536,"seed":0}"#)
+        );
+    }
+
+    #[test]
+    fn inline_profile_traces_are_uncacheable() {
+        let req = Request::parse(r#"{"kind":"profile","width":4,"trace":[[1,2]]}"#).expect("valid");
+        assert!(cache_key(&req.body).is_none());
     }
 
     #[test]

@@ -9,12 +9,17 @@
 use std::str::FromStr;
 
 use sealpaa_cells::{AdderChain, Cell, InputProfile, StandardCell, TruthTable};
+use sealpaa_trace::{SynthKind, TraceRecord};
 
 use crate::json::{Json, JsonObject};
 
 /// The maximum accepted line length (1 MiB) — a guard against unbounded
 /// memory growth from a misbehaving client.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// The most records a `profile` request may ask a synthetic generator for —
+/// a bound on worker time, mirroring [`MAX_LINE_BYTES`]'s bound on memory.
+pub const MAX_PROFILE_RECORDS: u64 = 1 << 24;
 
 /// One parsed request: the echoed `id` plus the typed body.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +43,9 @@ pub enum RequestBody {
     Gear(GearSpec),
     /// Budgeted hybrid-adder design-space exploration.
     Dse(DseSpec),
+    /// Workload-trace bit statistics: empirical per-bit probabilities and
+    /// the independence-violation score.
+    Profile(ProfileSpec),
     /// Server counters (served inline, never queued).
     Stats,
     /// Graceful shutdown: drain in-flight jobs, answer, stop.
@@ -53,6 +61,7 @@ impl RequestBody {
             RequestBody::Compare(_) => "compare",
             RequestBody::Gear(_) => "gear",
             RequestBody::Dse(_) => "dse",
+            RequestBody::Profile(_) => "profile",
             RequestBody::Stats => "stats",
             RequestBody::Shutdown => "shutdown",
         }
@@ -134,6 +143,36 @@ pub struct DseSpec {
     pub pareto: bool,
 }
 
+/// Where a `profile` request's trace records come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileSource {
+    /// Generate the trace server-side with a synthetic workload family.
+    /// Fully determined by `(kind, records, seed)`, so these requests are
+    /// cacheable.
+    Synth {
+        /// The workload family.
+        kind: SynthKind,
+        /// Number of records to generate (capped at
+        /// [`MAX_PROFILE_RECORDS`]).
+        records: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Records shipped inline as `[a, b]` or `[a, b, cin]` rows. Inline
+    /// traces are deliberately NOT cached: a canonical key would have to
+    /// hash the full payload, and the line limit already bounds their size.
+    Inline(Vec<TraceRecord>),
+}
+
+/// A `profile` request: stream a workload trace into per-bit statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSpec {
+    /// Operand width of the trace.
+    pub width: usize,
+    /// The trace itself.
+    pub source: ProfileSource,
+}
+
 impl Request {
     /// Parses one request line, enforcing the default [`MAX_LINE_BYTES`]
     /// length limit.
@@ -176,12 +215,13 @@ impl Request {
             "compare" => RequestBody::Compare(AdderSpec::from_json(&doc)?),
             "gear" => RequestBody::Gear(GearSpec::from_json(&doc)?),
             "dse" => RequestBody::Dse(DseSpec::from_json(&doc)?),
+            "profile" => RequestBody::Profile(ProfileSpec::from_json(&doc)?),
             "stats" => RequestBody::Stats,
             "shutdown" => RequestBody::Shutdown,
             other => {
                 return Err(format!(
                     "unknown kind {other:?} (expected analyze, simulate, compare, gear, dse, \
-                     stats or shutdown)"
+                     profile, stats or shutdown)"
                 ))
             }
         };
@@ -456,6 +496,109 @@ impl DseSpec {
     }
 }
 
+impl ProfileSpec {
+    fn from_json(doc: &Json) -> Result<ProfileSpec, String> {
+        let width = doc
+            .get("width")
+            .and_then(Json::as_u64)
+            .ok_or("\"width\" (a positive integer) is required")? as usize;
+        if width == 0 || width > 64 {
+            return Err("\"width\" must be 1..=64".to_owned());
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let source = match (doc.get("synth"), doc.get("trace")) {
+            (Some(_), Some(_)) => {
+                return Err("\"synth\" and \"trace\" are mutually exclusive".to_owned())
+            }
+            (Some(v), None) => {
+                let name = v.as_str().ok_or("\"synth\" must be a workload name")?;
+                let kind: SynthKind = name.parse().map_err(|_| {
+                    format!(
+                        "unknown workload {name:?} (expected uniform, gaussian-sum, \
+                         random-walk or image-gradient)"
+                    )
+                })?;
+                let records = doc
+                    .get("records")
+                    .map(|v| {
+                        v.as_u64()
+                            .filter(|&r| r > 0)
+                            .ok_or("\"records\" must be a positive integer")
+                    })
+                    .transpose()?
+                    .unwrap_or(1 << 16);
+                if records > MAX_PROFILE_RECORDS {
+                    return Err(format!("\"records\" must be at most {MAX_PROFILE_RECORDS}"));
+                }
+                let seed = doc
+                    .get("seed")
+                    .map(|v| v.as_u64().ok_or("\"seed\" must be a non-negative integer"))
+                    .transpose()?
+                    .unwrap_or(0);
+                ProfileSource::Synth {
+                    kind,
+                    records,
+                    seed,
+                }
+            }
+            (None, Some(v)) => {
+                let rows = v
+                    .as_array()
+                    .ok_or("\"trace\" must be an array of [a, b] or [a, b, cin] rows")?;
+                if rows.is_empty() {
+                    return Err("\"trace\" must list at least one record".to_owned());
+                }
+                let mut records = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    let parts = row
+                        .as_array()
+                        .ok_or_else(|| format!("\"trace\"[{i}] must be an array"))?;
+                    if parts.len() != 2 && parts.len() != 3 {
+                        return Err(format!(
+                            "\"trace\"[{i}] must be [a, b] or [a, b, cin], got {} items",
+                            parts.len()
+                        ));
+                    }
+                    let operand = |j: usize, name: &str| -> Result<u64, String> {
+                        let value = parts[j].as_u64().ok_or_else(|| {
+                            format!("\"trace\"[{i}][{j}] ({name}) must be a non-negative integer")
+                        })?;
+                        if value & !mask != 0 {
+                            return Err(format!(
+                                "\"trace\"[{i}][{j}] ({name}) does not fit width {width}"
+                            ));
+                        }
+                        Ok(value)
+                    };
+                    let a = operand(0, "a")?;
+                    let b = operand(1, "b")?;
+                    let cin = match parts.get(2) {
+                        None => false,
+                        Some(Json::Bool(flag)) => *flag,
+                        Some(v) => match v.as_u64() {
+                            Some(0) => false,
+                            Some(1) => true,
+                            _ => {
+                                return Err(format!(
+                                    "\"trace\"[{i}][2] (cin) must be 0, 1, true or false"
+                                ))
+                            }
+                        },
+                    };
+                    records.push(TraceRecord::new(a, b, cin));
+                }
+                ProfileSource::Inline(records)
+            }
+            (None, None) => return Err("one of \"synth\" or \"trace\" is required".to_owned()),
+        };
+        Ok(ProfileSpec { width, source })
+    }
+}
+
 /// Builds a success response line (without the trailing newline).
 pub fn ok_response(id: Option<&Json>, kind: &str, cached: bool, micros: u64, result: Json) -> Json {
     let mut obj = JsonObject::default();
@@ -499,6 +642,14 @@ mod tests {
             (
                 r#"{"kind":"dse","width":4,"p":0.3,"budget_power":3000,"threads":2}"#,
                 "dse",
+            ),
+            (
+                r#"{"kind":"profile","width":8,"synth":"random-walk","records":4096,"seed":7}"#,
+                "profile",
+            ),
+            (
+                r#"{"kind":"profile","width":4,"trace":[[3,5],[15,0,1],[7,7,true]]}"#,
+                "profile",
             ),
             (r#"{"kind":"stats"}"#, "stats"),
             (r#"{"kind":"shutdown"}"#, "shutdown"),
@@ -597,6 +748,8 @@ mod tests {
             ("[1,2]", "must be a JSON object"),
             (r#"{"id":1}"#, "kind"),
             (r#"{"kind":"frobnicate"}"#, "unknown kind"),
+            // The advertised vocabulary includes every served kind.
+            (r#"{"kind":"frobnicate"}"#, "profile"),
             (r#"{"kind":"analyze"}"#, "\"cell\""),
             (r#"{"kind":"analyze","cell":"lpaa1"}"#, "\"width\""),
             (r#"{"kind":"analyze","width":0,"cell":"lpaa1"}"#, "1..=64"),
@@ -635,6 +788,38 @@ mod tests {
                 r#"{"kind":"dse","width":4,"budget_power":-1}"#,
                 "non-negative",
             ),
+            (r#"{"kind":"profile"}"#, "\"width\""),
+            (
+                r#"{"kind":"profile","width":65,"synth":"uniform"}"#,
+                "1..=64",
+            ),
+            (r#"{"kind":"profile","width":4}"#, "\"synth\" or \"trace\""),
+            (
+                r#"{"kind":"profile","width":4,"synth":"uniform","trace":[[1,2]]}"#,
+                "mutually exclusive",
+            ),
+            (
+                r#"{"kind":"profile","width":4,"synth":"polka"}"#,
+                "unknown workload",
+            ),
+            (
+                r#"{"kind":"profile","width":4,"synth":"uniform","records":0}"#,
+                "positive integer",
+            ),
+            (
+                r#"{"kind":"profile","width":4,"synth":"uniform","records":999999999999}"#,
+                "at most",
+            ),
+            (r#"{"kind":"profile","width":4,"trace":[]}"#, "at least one"),
+            (
+                r#"{"kind":"profile","width":4,"trace":[[1,2,3,4]]}"#,
+                "[a, b] or [a, b, cin]",
+            ),
+            (
+                r#"{"kind":"profile","width":4,"trace":[[16,2]]}"#,
+                "does not fit width",
+            ),
+            (r#"{"kind":"profile","width":4,"trace":[[1,2,7]]}"#, "cin"),
         ] {
             let err = Request::parse(line).expect_err(line);
             assert!(err.contains(needle), "{line}: {err} (wanted {needle})");

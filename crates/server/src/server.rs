@@ -45,8 +45,8 @@ use crate::json::Json;
 use crate::metrics::{kind_index, Metrics, KIND_NAMES};
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    error_response, ok_response, AdderSpec, DseSpec, GearSpec, Request, RequestBody, SimMode,
-    SimulateSpec, MAX_LINE_BYTES,
+    error_response, ok_response, AdderSpec, DseSpec, GearSpec, ProfileSource, ProfileSpec, Request,
+    RequestBody, SimMode, SimulateSpec, MAX_LINE_BYTES,
 };
 
 /// Daemon configuration; [`Default`] gives sensible local settings.
@@ -762,6 +762,7 @@ fn compute_result(body: &RequestBody) -> Result<Json, String> {
         RequestBody::Compare(spec) => compare_result(spec),
         RequestBody::Gear(spec) => gear_result(spec),
         RequestBody::Dse(spec) => dse_result(spec),
+        RequestBody::Profile(spec) => profile_result(spec),
         RequestBody::Stats | RequestBody::Shutdown => {
             unreachable!("control requests are served inline")
         }
@@ -949,6 +950,48 @@ fn dse_result(spec: &DseSpec) -> Result<Json, String> {
     Ok(obj.build())
 }
 
+fn profile_result(spec: &ProfileSpec) -> Result<Json, String> {
+    use sealpaa_trace::VarId;
+    let (source, records) = match &spec.source {
+        ProfileSource::Synth {
+            kind,
+            records,
+            seed,
+        } => {
+            let generated = sealpaa_trace::generate(*kind, spec.width, *records as usize, *seed)
+                .map_err(|e| e.to_string())?;
+            (kind.name(), generated)
+        }
+        ProfileSource::Inline(records) => ("inline", records.clone()),
+    };
+    let stats =
+        sealpaa_trace::TraceStats::from_records(spec.width, &records).map_err(|e| e.to_string())?;
+    let probs = |pick: fn(usize) -> VarId| -> Vec<Json> {
+        (0..spec.width)
+            .map(|i| Json::from(stats.p(pick(i))))
+            .collect()
+    };
+    let mut obj = Json::object()
+        .field("source", source)
+        .field("width", spec.width as u64)
+        .field("records", stats.records())
+        .field("pa", probs(VarId::A))
+        .field("pb", probs(VarId::B))
+        .field("cin", stats.p(VarId::Cin))
+        .field("independence_violation", stats.independence_violation());
+    if let Some((x, y, score)) = stats.max_violation_pair() {
+        obj = obj.field(
+            "max_violation_pair",
+            Json::object()
+                .field("x", x.to_string())
+                .field("y", y.to_string())
+                .field("score", score)
+                .build(),
+        );
+    }
+    Ok(obj.build())
+}
+
 /// Resolves a human-readable list of the standard cells — used by the CLI's
 /// `serve --help` so the daemon and CLI agree on the vocabulary.
 pub fn standard_cell_names() -> Vec<&'static str> {
@@ -1063,14 +1106,64 @@ mod tests {
     }
 
     #[test]
+    fn stdio_serves_profile_and_caches_synthetic_sources() {
+        let synth = r#"{"kind":"profile","width":6,"synth":"uniform","records":2048,"seed":3}"#;
+        let inline = r#"{"kind":"profile","width":2,"trace":[[1,2],[3,0,1]]}"#;
+        let responses = run_lines(
+            &ServerConfig::default(),
+            &format!("{synth}\n{synth}\n{inline}\n{inline}\n"),
+        );
+        assert_eq!(responses.len(), 4);
+        for r in &responses {
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(r.get("kind").and_then(Json::as_str), Some("profile"));
+        }
+        // Synthetic sources are pure functions of the request and cache.
+        assert_eq!(
+            responses[0].get("cached").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            responses[1].get("cached").and_then(Json::as_bool),
+            Some(true)
+        );
+        let result = responses[0].get("result").expect("profile result");
+        assert_eq!(result.get("source").and_then(Json::as_str), Some("uniform"));
+        assert_eq!(result.get("records").and_then(Json::as_u64), Some(2048));
+        assert_eq!(
+            result.get("pa").and_then(Json::as_array).map(<[Json]>::len),
+            Some(6)
+        );
+        assert!(result
+            .get("independence_violation")
+            .and_then(Json::as_f64)
+            .is_some());
+        // Inline traces are exact and never cached.
+        assert_eq!(
+            responses[3].get("cached").and_then(Json::as_bool),
+            Some(false)
+        );
+        let result = responses[2].get("result").expect("profile result");
+        assert_eq!(result.get("source").and_then(Json::as_str), Some("inline"));
+        assert_eq!(result.get("records").and_then(Json::as_u64), Some(2));
+        // a = {1, 3}: bit 0 is always set; cin = {0, 1}.
+        let pa = result.get("pa").and_then(Json::as_array).expect("pa list");
+        assert_eq!(pa[0].as_f64(), Some(1.0));
+        assert_eq!(pa[1].as_f64(), Some(0.5));
+        assert_eq!(result.get("cin").and_then(Json::as_f64), Some(0.5));
+    }
+
+    #[test]
     fn stats_schema_is_pinned() {
         // The observability contract: these fields (and no fewer) are what
         // dashboards may rely on.
         let responses = run_lines(
             &ServerConfig::default(),
-            "{\"kind\":\"analyze\",\"width\":2,\"cell\":\"lpaa1\"}\n{\"kind\":\"stats\"}\n",
+            "{\"kind\":\"analyze\",\"width\":2,\"cell\":\"lpaa1\"}\n\
+             {\"kind\":\"profile\",\"width\":2,\"trace\":[[1,2]]}\n\
+             {\"kind\":\"stats\"}\n",
         );
-        let stats = responses[1].get("result").expect("stats result");
+        let stats = responses[2].get("result").expect("stats result");
         for field in [
             "requests",
             "errors",
@@ -1108,14 +1201,17 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing {name}.histogram"));
             assert_eq!(histogram.len(), BUCKETS, "{name} histogram length");
         }
-        // The analyze request is visible in its own kind's counters.
-        assert_eq!(
-            kinds
-                .get("analyze")
-                .and_then(|a| a.get("requests"))
-                .and_then(Json::as_u64),
-            Some(1)
-        );
+        // Each request is visible in its own kind's counters.
+        for name in ["analyze", "profile"] {
+            assert_eq!(
+                kinds
+                    .get(name)
+                    .and_then(|a| a.get("requests"))
+                    .and_then(Json::as_u64),
+                Some(1),
+                "{name} counter"
+            );
+        }
         let cache = stats.get("cache").expect("cache stats");
         for field in ["hits", "misses", "evictions", "entries"] {
             assert!(

@@ -1,0 +1,200 @@
+//! Model-fidelity reports: the analytical estimate vs. replay ground truth.
+//!
+//! The closed loop the crate exists for: estimate an empirical
+//! [`InputProfile`] from a trace, run the paper's analysis under it
+//! (`analyze` for the first-deviation `P(Error)`, `exact_error_analysis`
+//! for the output-value error, `error_magnitude` for the moments,
+//! `error_distribution` for the MED when the width allows), then *replay*
+//! the same trace and compare. The analysis assumes independent operand
+//! bits; the trace's [`independence_violation`] score and the reported gaps
+//! quantify what that assumption costs on this workload — near sampling
+//! noise on an independent source, structurally non-zero on a correlated
+//! one.
+//!
+//! [`independence_violation`]: crate::TraceStats::independence_violation
+
+use sealpaa_cells::{AdderChain, InputProfile};
+use sealpaa_core::{
+    analyze, error_distribution, error_magnitude, exact_error_analysis, AnalyzeError,
+    MAX_DISTRIBUTION_WIDTH,
+};
+
+use crate::format::TraceRecord;
+use crate::replay::{replay, ReplayError, ReplayReport};
+use crate::stats::TraceStats;
+
+/// Fidelity failures.
+#[derive(Debug)]
+pub enum FidelityError {
+    /// The trace holds no records, so no profile can be estimated.
+    EmptyTrace,
+    /// The analytical engine rejected the estimated profile.
+    Analyze(AnalyzeError),
+    /// Replay rejected the chain.
+    Replay(ReplayError),
+}
+
+impl std::fmt::Display for FidelityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FidelityError::EmptyTrace => write!(f, "cannot run fidelity on an empty trace"),
+            FidelityError::Analyze(e) => write!(f, "analysis failed: {e}"),
+            FidelityError::Replay(e) => write!(f, "replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FidelityError {}
+
+impl From<AnalyzeError> for FidelityError {
+    fn from(e: AnalyzeError) -> FidelityError {
+        FidelityError::Analyze(e)
+    }
+}
+
+impl From<ReplayError> for FidelityError {
+    fn from(e: ReplayError) -> FidelityError {
+        FidelityError::Replay(e)
+    }
+}
+
+/// Analytical estimates under the empirical profile vs. replay ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityReport {
+    /// Chain width.
+    pub width: usize,
+    /// Records in the trace.
+    pub records: u64,
+    /// The trace's independence-violation score (see [`TraceStats`]).
+    pub independence_violation: f64,
+    /// The empirical profile fed to the analytical engine.
+    pub profile: InputProfile<f64>,
+    /// Ground truth from replaying the trace.
+    pub replay: ReplayReport,
+    /// `analyze(...)` — the paper's first-deviation `P(Error)`.
+    pub analytical_stage_error: f64,
+    /// `exact_error_analysis(...).output_error` — the output-value error
+    /// probability.
+    pub analytical_output_error: f64,
+    /// `error_magnitude(...).mean_error_distance` — the bias `E[D]`.
+    pub analytical_mean_ed: f64,
+    /// `error_magnitude(...).mean_squared_error_distance` — `E[D²]`.
+    pub analytical_mse: f64,
+    /// `Σ |d| · P(D = d)` from `error_distribution` — the analytical MED;
+    /// `None` for widths above [`MAX_DISTRIBUTION_WIDTH`].
+    pub analytical_med: Option<f64>,
+}
+
+impl FidelityReport {
+    /// `|analytical − replayed|` first-deviation error probability.
+    pub fn stage_error_gap(&self) -> f64 {
+        (self.analytical_stage_error - self.replay.stage_error_rate()).abs()
+    }
+
+    /// `|analytical − replayed|` output-value error probability.
+    pub fn output_error_gap(&self) -> f64 {
+        (self.analytical_output_error - self.replay.output_error_rate()).abs()
+    }
+
+    /// `|analytical − replayed|` mean signed error distance.
+    pub fn mean_ed_gap(&self) -> f64 {
+        (self.analytical_mean_ed - self.replay.mean_error_distance()).abs()
+    }
+
+    /// `|analytical − replayed|` mean squared error distance.
+    pub fn mse_gap(&self) -> f64 {
+        (self.analytical_mse - self.replay.mean_squared_error_distance()).abs()
+    }
+
+    /// `|analytical − replayed|` MED, when the analytical MED exists.
+    pub fn med_gap(&self) -> Option<f64> {
+        self.analytical_med
+            .map(|med| (med - self.replay.mean_absolute_error_distance()).abs())
+    }
+}
+
+/// Runs the full loop — profile estimation, analysis under the estimated
+/// profile, bitsliced replay — over one trace.
+///
+/// # Errors
+///
+/// Fails on an empty trace, a chain replay cannot handle, or an analytical
+/// failure.
+pub fn fidelity(
+    chain: &AdderChain,
+    records: &[TraceRecord],
+    threads: usize,
+) -> Result<FidelityReport, FidelityError> {
+    let replayed = replay(chain, records, threads)?;
+    let width = chain.width();
+    let stats = TraceStats::from_records(width, records).expect("replay validated the width");
+    let profile: InputProfile<f64> = stats
+        .empirical_profile()
+        .map_err(|_| FidelityError::EmptyTrace)?;
+    let analysis = analyze(chain, &profile)?;
+    let joint = exact_error_analysis(chain, &profile)?;
+    let moments = error_magnitude(chain, &profile)?;
+    let analytical_med = if width <= MAX_DISTRIBUTION_WIDTH {
+        let dist = error_distribution(chain, &profile)?;
+        Some(
+            dist.pmf
+                .iter()
+                .map(|(d, p)| d.unsigned_abs() as f64 * p)
+                .sum(),
+        )
+    } else {
+        None
+    };
+    Ok(FidelityReport {
+        width,
+        records: replayed.records,
+        independence_violation: stats.independence_violation(),
+        profile,
+        replay: replayed,
+        analytical_stage_error: analysis.error_probability(),
+        analytical_output_error: joint.output_error,
+        analytical_mean_ed: moments.mean_error_distance,
+        analytical_mse: moments.mean_squared_error_distance,
+        analytical_med,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthKind};
+    use sealpaa_cells::StandardCell;
+
+    #[test]
+    fn empty_trace_is_rejected() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 4);
+        assert!(matches!(
+            fidelity(&chain, &[], 1),
+            Err(FidelityError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn accurate_chain_has_zero_everything() {
+        let chain = AdderChain::uniform(StandardCell::Accurate.cell(), 8);
+        let records = generate(SynthKind::Uniform, 8, 512, 5).expect("valid");
+        let report = fidelity(&chain, &records, 1).expect("valid");
+        assert_eq!(report.analytical_stage_error, 0.0);
+        assert_eq!(report.replay.output_errors, 0);
+        assert_eq!(report.stage_error_gap(), 0.0);
+        assert_eq!(report.mse_gap(), 0.0);
+    }
+
+    #[test]
+    fn wide_chains_skip_the_distribution_med() {
+        let chain = AdderChain::uniform(StandardCell::Lpaa2.cell(), 24);
+        let records = generate(SynthKind::Uniform, 24, 256, 5).expect("valid");
+        let report = fidelity(&chain, &records, 1).expect("valid");
+        assert!(report.analytical_med.is_none());
+        assert!(report.med_gap().is_none());
+        let narrow = AdderChain::uniform(StandardCell::Lpaa2.cell(), 8);
+        let records = generate(SynthKind::Uniform, 8, 256, 5).expect("valid");
+        let report = fidelity(&narrow, &records, 1).expect("valid");
+        assert!(report.analytical_med.is_some());
+    }
+}

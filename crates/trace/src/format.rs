@@ -1,0 +1,826 @@
+//! The versioned operand-trace formats and their bounded streaming readers.
+//!
+//! A *trace* is an ordered stream of addition operands — the additions an
+//! application actually performed — from which the profiler estimates the
+//! per-bit input statistics the paper's analysis consumes. Two encodings
+//! carry the same data:
+//!
+//! * **NDJSON** (human-friendly, line-oriented): a header line
+//!   `{"sealpaa_trace":1,"width":8}` followed by one record per line,
+//!   `{"a":13,"b":77}` or `{"a":13,"b":77,"cin":1}`. Only flat objects of
+//!   unsigned integers (and `true`/`false` for `cin`) are part of the
+//!   grammar, so the reader needs no general JSON machinery.
+//! * **Binary** (compact): the magic `SPTB`, a format version byte, the
+//!   width, a record count, then fixed-size records (little-endian operands
+//!   plus a flags byte).
+//!
+//! Both readers are *bounded*: memory use is independent of the input size
+//! (one line / one record at a time), NDJSON lines longer than
+//! [`TraceLimits::max_line_bytes`] are rejected without being buffered, and
+//! both stop with an error after [`TraceLimits::max_records`] records.
+
+use std::io::{BufRead, Read, Write};
+
+/// NDJSON header version this crate reads and writes.
+pub const TRACE_VERSION: u64 = 1;
+
+/// Magic bytes opening a binary trace.
+pub const BINARY_MAGIC: [u8; 4] = *b"SPTB";
+
+/// Binary format version this crate reads and writes.
+pub const BINARY_VERSION: u8 = 1;
+
+/// One traced addition: the two operands and the carry-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceRecord {
+    /// First operand.
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+    /// Carry-in bit.
+    pub cin: bool,
+}
+
+impl TraceRecord {
+    /// Builds a record.
+    pub fn new(a: u64, b: u64, cin: bool) -> TraceRecord {
+        TraceRecord { a, b, cin }
+    }
+}
+
+/// Resource bounds for the streaming readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceLimits {
+    /// Maximum accepted NDJSON line length in bytes; longer lines error out
+    /// without ever being buffered whole.
+    pub max_line_bytes: usize,
+    /// Maximum number of records a reader yields before erroring.
+    pub max_records: u64,
+}
+
+impl Default for TraceLimits {
+    fn default() -> TraceLimits {
+        TraceLimits {
+            max_line_bytes: 1 << 16,
+            max_records: 1 << 32,
+        }
+    }
+}
+
+/// Everything that can go wrong reading or writing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line/block is malformed or has the wrong version.
+    Header(String),
+    /// A record is malformed; `line` is 1-based (the header is line 1).
+    Record {
+        /// 1-based line (NDJSON) or record-plus-header ordinal (binary).
+        line: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// An NDJSON line exceeded [`TraceLimits::max_line_bytes`].
+    LineTooLong {
+        /// 1-based line number.
+        line: u64,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The stream holds more than [`TraceLimits::max_records`] records.
+    TooManyRecords {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The width is outside `1..=64`.
+    InvalidWidth {
+        /// The offending width.
+        width: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Header(msg) => write!(f, "trace header: {msg}"),
+            TraceError::Record { line, message } => write!(f, "trace line {line}: {message}"),
+            TraceError::LineTooLong { line, limit } => {
+                write!(f, "trace line {line} exceeds {limit} bytes")
+            }
+            TraceError::TooManyRecords { limit } => {
+                write!(f, "trace holds more than {limit} records")
+            }
+            TraceError::InvalidWidth { width } => {
+                write!(f, "trace width must be 1..=64, got {width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+fn check_width(width: usize) -> Result<(), TraceError> {
+    if width == 0 || width > 64 {
+        return Err(TraceError::InvalidWidth { width });
+    }
+    Ok(())
+}
+
+fn width_mask(width: usize) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Writes a trace in NDJSON form. Operand bits above `width` are masked off.
+///
+/// # Errors
+///
+/// Fails on an invalid width or an I/O error.
+pub fn write_ndjson<W: Write>(
+    mut out: W,
+    width: usize,
+    records: impl IntoIterator<Item = TraceRecord>,
+) -> Result<(), TraceError> {
+    check_width(width)?;
+    let mask = width_mask(width);
+    writeln!(
+        out,
+        "{{\"sealpaa_trace\":{TRACE_VERSION},\"width\":{width}}}"
+    )?;
+    for r in records {
+        if r.cin {
+            writeln!(
+                out,
+                "{{\"a\":{},\"b\":{},\"cin\":1}}",
+                r.a & mask,
+                r.b & mask
+            )?;
+        } else {
+            writeln!(out, "{{\"a\":{},\"b\":{}}}", r.a & mask, r.b & mask)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a trace in the compact binary framing. Operand bits above `width`
+/// are masked off.
+///
+/// # Errors
+///
+/// Fails on an invalid width or an I/O error.
+pub fn write_binary<W: Write>(
+    mut out: W,
+    width: usize,
+    records: &[TraceRecord],
+) -> Result<(), TraceError> {
+    check_width(width)?;
+    let mask = width_mask(width);
+    let nb = width.div_ceil(8);
+    out.write_all(&BINARY_MAGIC)?;
+    out.write_all(&[BINARY_VERSION, width as u8])?;
+    out.write_all(&(records.len() as u64).to_le_bytes())?;
+    for r in records {
+        out.write_all(&(r.a & mask).to_le_bytes()[..nb])?;
+        out.write_all(&(r.b & mask).to_le_bytes()[..nb])?;
+        out.write_all(&[u8::from(r.cin)])?;
+    }
+    Ok(())
+}
+
+/// Parses a flat JSON object of unsigned-integer (or `true`/`false`) fields
+/// — the only object shape the trace grammar admits.
+fn parse_flat_object(line: &str) -> Result<Vec<(&str, u64)>, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("expected a JSON object")?;
+    let mut pairs = Vec::new();
+    let mut rest = inner.trim();
+    if rest.is_empty() {
+        return Ok(pairs);
+    }
+    loop {
+        let after_quote = rest
+            .strip_prefix('"')
+            .ok_or("expected a quoted field name")?;
+        let end = after_quote.find('"').ok_or("unterminated field name")?;
+        let key = &after_quote[..end];
+        rest = after_quote[end + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or("expected ':' after the field name")?
+            .trim_start();
+        let (value, remainder) = if let Some(r) = rest.strip_prefix("true") {
+            (1u64, r)
+        } else if let Some(r) = rest.strip_prefix("false") {
+            (0u64, r)
+        } else {
+            let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+            if digits == 0 {
+                return Err(format!("field {key:?} must be an unsigned integer"));
+            }
+            let value: u64 = rest[..digits]
+                .parse()
+                .map_err(|_| format!("field {key:?} does not fit in 64 bits"))?;
+            (value, &rest[digits..])
+        };
+        pairs.push((key, value));
+        rest = remainder.trim_start();
+        if rest.is_empty() {
+            return Ok(pairs);
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or("expected ',' between fields")?
+            .trim_start();
+    }
+}
+
+/// Reads one `\n`-terminated line into `buf` without ever holding more than
+/// `limit` bytes, so a newline-free flood cannot balloon memory. Returns
+/// `false` at clean EOF.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    limit: usize,
+    line: u64,
+) -> Result<bool, TraceError> {
+    buf.clear();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(!buf.is_empty());
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > limit {
+                    return Err(TraceError::LineTooLong { line, limit });
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                return Ok(true);
+            }
+            None => {
+                let take = chunk.len();
+                if buf.len() + take > limit {
+                    return Err(TraceError::LineTooLong { line, limit });
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+/// Decodes one record object against the trace width.
+fn record_from_pairs(
+    pairs: &[(&str, u64)],
+    mask: u64,
+    line: u64,
+) -> Result<TraceRecord, TraceError> {
+    let fail = |message: String| TraceError::Record { line, message };
+    let mut a = None;
+    let mut b = None;
+    let mut cin = None;
+    for &(key, value) in pairs {
+        let slot = match key {
+            "a" => &mut a,
+            "b" => &mut b,
+            "cin" => &mut cin,
+            other => return Err(fail(format!("unknown field {other:?}"))),
+        };
+        if slot.replace(value).is_some() {
+            return Err(fail(format!("duplicate field {key:?}")));
+        }
+    }
+    let a = a.ok_or_else(|| fail("missing field \"a\"".to_owned()))?;
+    let b = b.ok_or_else(|| fail("missing field \"b\"".to_owned()))?;
+    for (key, value) in [("a", a), ("b", b)] {
+        if value & !mask != 0 {
+            return Err(fail(format!(
+                "field {key:?} value {value} exceeds the trace width"
+            )));
+        }
+    }
+    let cin = match cin {
+        None | Some(0) => false,
+        Some(1) => true,
+        Some(other) => return Err(fail(format!("field \"cin\" must be 0 or 1, got {other}"))),
+    };
+    Ok(TraceRecord { a, b, cin })
+}
+
+/// A bounded streaming NDJSON trace reader: yields records one line at a
+/// time without buffering the stream.
+#[derive(Debug)]
+pub struct NdjsonReader<R: BufRead> {
+    reader: R,
+    width: usize,
+    mask: u64,
+    limits: TraceLimits,
+    /// 1-based line number of the *next* line to read.
+    line: u64,
+    yielded: u64,
+    buf: Vec<u8>,
+    done: bool,
+}
+
+impl<R: BufRead> NdjsonReader<R> {
+    /// Opens a reader with default [`TraceLimits`], parsing the header line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a malformed/unsupported header.
+    pub fn new(reader: R) -> Result<NdjsonReader<R>, TraceError> {
+        NdjsonReader::with_limits(reader, TraceLimits::default())
+    }
+
+    /// Opens a reader with explicit limits, parsing the header line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a malformed/unsupported header.
+    pub fn with_limits(mut reader: R, limits: TraceLimits) -> Result<NdjsonReader<R>, TraceError> {
+        let mut buf = Vec::new();
+        if !read_bounded_line(&mut reader, &mut buf, limits.max_line_bytes, 1)? {
+            return Err(TraceError::Header("empty stream".to_owned()));
+        }
+        let text = std::str::from_utf8(&buf)
+            .map_err(|_| TraceError::Header("header is not UTF-8".to_owned()))?;
+        let pairs = parse_flat_object(text).map_err(TraceError::Header)?;
+        let mut version = None;
+        let mut width = None;
+        for (key, value) in pairs {
+            match key {
+                "sealpaa_trace" => version = Some(value),
+                "width" => width = Some(value),
+                other => {
+                    return Err(TraceError::Header(format!("unknown field {other:?}")));
+                }
+            }
+        }
+        match version {
+            Some(TRACE_VERSION) => {}
+            Some(v) => {
+                return Err(TraceError::Header(format!(
+                    "unsupported version {v} (this reader speaks version {TRACE_VERSION})"
+                )))
+            }
+            None => {
+                return Err(TraceError::Header(
+                    "missing field \"sealpaa_trace\"".to_owned(),
+                ))
+            }
+        }
+        let width =
+            width.ok_or_else(|| TraceError::Header("missing field \"width\"".to_owned()))? as usize;
+        check_width(width)?;
+        Ok(NdjsonReader {
+            reader,
+            width,
+            mask: width_mask(width),
+            limits,
+            line: 2,
+            yielded: 0,
+            buf,
+            done: false,
+        })
+    }
+
+    /// The operand width declared by the header.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        loop {
+            let line = self.line;
+            if !read_bounded_line(
+                &mut self.reader,
+                &mut self.buf,
+                self.limits.max_line_bytes,
+                line,
+            )? {
+                return Ok(None);
+            }
+            self.line += 1;
+            if self.buf.iter().all(u8::is_ascii_whitespace) {
+                continue; // blank lines separate nothing, but are tolerated
+            }
+            if self.yielded == self.limits.max_records {
+                return Err(TraceError::TooManyRecords {
+                    limit: self.limits.max_records,
+                });
+            }
+            let text = std::str::from_utf8(&self.buf).map_err(|_| TraceError::Record {
+                line,
+                message: "line is not UTF-8".to_owned(),
+            })?;
+            let pairs =
+                parse_flat_object(text).map_err(|message| TraceError::Record { line, message })?;
+            let record = record_from_pairs(&pairs, self.mask, line)?;
+            self.yielded += 1;
+            return Ok(Some(record));
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for NdjsonReader<R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// A streaming reader for the compact binary framing. Record sizes are fixed
+/// by the header, so memory use is bounded by construction.
+#[derive(Debug)]
+pub struct BinaryReader<R: Read> {
+    reader: R,
+    width: usize,
+    mask: u64,
+    nb: usize,
+    remaining: u64,
+    /// Ordinal of the next record, for error messages (header = 1).
+    ordinal: u64,
+    done: bool,
+}
+
+impl<R: Read> BinaryReader<R> {
+    /// Opens a reader with default [`TraceLimits`], parsing the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a malformed/unsupported header.
+    pub fn new(reader: R) -> Result<BinaryReader<R>, TraceError> {
+        BinaryReader::with_limits(reader, TraceLimits::default())
+    }
+
+    /// Opens a reader with explicit limits, parsing the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a malformed/unsupported header, or a declared
+    /// record count beyond [`TraceLimits::max_records`].
+    pub fn with_limits(mut reader: R, limits: TraceLimits) -> Result<BinaryReader<R>, TraceError> {
+        let mut header = [0u8; 14];
+        reader
+            .read_exact(&mut header)
+            .map_err(|e| TraceError::Header(format!("short header: {e}")))?;
+        if header[..4] != BINARY_MAGIC {
+            return Err(TraceError::Header("bad magic (want SPTB)".to_owned()));
+        }
+        if header[4] != BINARY_VERSION {
+            return Err(TraceError::Header(format!(
+                "unsupported version {} (this reader speaks version {BINARY_VERSION})",
+                header[4]
+            )));
+        }
+        let width = header[5] as usize;
+        check_width(width)?;
+        let count = u64::from_le_bytes(header[6..14].try_into().expect("8 header bytes"));
+        if count > limits.max_records {
+            return Err(TraceError::TooManyRecords {
+                limit: limits.max_records,
+            });
+        }
+        Ok(BinaryReader {
+            reader,
+            width,
+            mask: width_mask(width),
+            nb: width.div_ceil(8),
+            remaining: count,
+            ordinal: 2,
+            done: false,
+        })
+    }
+
+    /// The operand width declared by the header.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Records the header still promises.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let line = self.ordinal;
+        let fail = |message: String| TraceError::Record { line, message };
+        let mut body = [0u8; 17]; // 2 × 8 operand bytes + 1 flags byte max
+        let len = 2 * self.nb + 1;
+        self.reader
+            .read_exact(&mut body[..len])
+            .map_err(|e| fail(format!("short record: {e}")))?;
+        let word = |lo: usize| {
+            let mut bytes = [0u8; 8];
+            bytes[..self.nb].copy_from_slice(&body[lo..lo + self.nb]);
+            u64::from_le_bytes(bytes)
+        };
+        let a = word(0);
+        let b = word(self.nb);
+        let flags = body[len - 1];
+        for (key, value) in [("a", a), ("b", b)] {
+            if value & !self.mask != 0 {
+                return Err(fail(format!(
+                    "field {key:?} value {value} exceeds the trace width"
+                )));
+            }
+        }
+        if flags > 1 {
+            return Err(fail(format!("flags byte must be 0 or 1, got {flags}")));
+        }
+        self.remaining -= 1;
+        self.ordinal += 1;
+        Ok(Some(TraceRecord {
+            a,
+            b,
+            cin: flags == 1,
+        }))
+    }
+}
+
+impl<R: Read> Iterator for BinaryReader<R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Convenience: reads a whole NDJSON trace into memory, returning
+/// `(width, records)`.
+///
+/// # Errors
+///
+/// Propagates any reader error.
+pub fn read_ndjson<R: BufRead>(reader: R) -> Result<(usize, Vec<TraceRecord>), TraceError> {
+    let reader = NdjsonReader::new(reader)?;
+    let width = reader.width();
+    let records = reader.collect::<Result<Vec<_>, _>>()?;
+    Ok((width, records))
+}
+
+/// Convenience: reads a whole binary trace into memory, returning
+/// `(width, records)`.
+///
+/// # Errors
+///
+/// Propagates any reader error.
+pub fn read_binary<R: Read>(reader: R) -> Result<(usize, Vec<TraceRecord>), TraceError> {
+    let reader = BinaryReader::new(reader)?;
+    let width = reader.width();
+    let records = reader.collect::<Result<Vec<_>, _>>()?;
+    Ok((width, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::new(13, 77, false),
+            TraceRecord::new(0, 255, true),
+            TraceRecord::new(200, 3, false),
+        ]
+    }
+
+    #[test]
+    fn ndjson_round_trip() {
+        let mut buf = Vec::new();
+        write_ndjson(&mut buf, 8, sample()).expect("write");
+        let (width, records) = read_ndjson(buf.as_slice()).expect("read");
+        assert_eq!(width, 8);
+        assert_eq!(records, sample());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        for width in [1usize, 7, 8, 9, 33, 64] {
+            let mask = width_mask(width);
+            let records: Vec<TraceRecord> = sample()
+                .into_iter()
+                .map(|r| TraceRecord::new(r.a & mask, r.b & mask, r.cin))
+                .collect();
+            let mut buf = Vec::new();
+            write_binary(&mut buf, width, &records).expect("write");
+            let (got_width, got) = read_binary(buf.as_slice()).expect("read");
+            assert_eq!(got_width, width);
+            assert_eq!(got, records, "width {width}");
+        }
+    }
+
+    #[test]
+    fn ndjson_accepts_whitespace_and_bool_cin() {
+        let text = "{\"sealpaa_trace\": 1, \"width\": 4}\n{ \"a\": 3 , \"b\": 9, \"cin\": true }\n\n{\"cin\":false,\"b\":1,\"a\":2}\n";
+        let (width, records) = read_ndjson(text.as_bytes()).expect("read");
+        assert_eq!(width, 4);
+        assert_eq!(
+            records,
+            vec![TraceRecord::new(3, 9, true), TraceRecord::new(2, 1, false)]
+        );
+    }
+
+    #[test]
+    fn ndjson_rejects_bad_headers() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("{\"width\":4}\n", "sealpaa_trace"),
+            ("{\"sealpaa_trace\":2,\"width\":4}\n", "version 2"),
+            ("{\"sealpaa_trace\":1}\n", "width"),
+            ("{\"sealpaa_trace\":1,\"width\":0}\n", "1..=64"),
+            ("{\"sealpaa_trace\":1,\"width\":65}\n", "1..=64"),
+            (
+                "{\"sealpaa_trace\":1,\"width\":4,\"x\":1}\n",
+                "unknown field",
+            ),
+            ("width=4\n", "JSON object"),
+        ] {
+            let err = read_ndjson(text.as_bytes()).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text:?}: {err} (wanted {needle})");
+        }
+    }
+
+    #[test]
+    fn ndjson_rejects_bad_records() {
+        for (record, needle) in [
+            ("{\"a\":1}", "\"b\""),
+            ("{\"b\":1}", "\"a\""),
+            ("{\"a\":1,\"b\":2,\"c\":3}", "unknown field"),
+            ("{\"a\":1,\"a\":2,\"b\":3}", "duplicate"),
+            ("{\"a\":16,\"b\":0}", "exceeds the trace width"),
+            ("{\"a\":1,\"b\":2,\"cin\":2}", "0 or 1"),
+            ("{\"a\":-1,\"b\":2}", "unsigned integer"),
+            ("{\"a\":1.5,\"b\":2}", "expected ','"),
+            ("{\"a\":99999999999999999999,\"b\":2}", "64 bits"),
+        ] {
+            let text = format!("{{\"sealpaa_trace\":1,\"width\":4}}\n{record}\n");
+            let err = read_ndjson(text.as_bytes()).expect_err(record).to_string();
+            assert!(err.contains("line 2"), "{record:?}: {err}");
+            assert!(err.contains(needle), "{record:?}: {err} (wanted {needle})");
+        }
+    }
+
+    #[test]
+    fn ndjson_line_limit_is_enforced_while_reading() {
+        // A newline-free flood: the reader must fail at the limit without
+        // buffering the whole stream.
+        let mut text = b"{\"sealpaa_trace\":1,\"width\":4}\n".to_vec();
+        text.resize(text.len() + 4096, b'x');
+        let reader = NdjsonReader::with_limits(
+            text.as_slice(),
+            TraceLimits {
+                max_line_bytes: 128,
+                max_records: 1 << 32,
+            },
+        )
+        .expect("header fits");
+        let err = reader
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("flood rejected");
+        assert!(
+            matches!(err, TraceError::LineTooLong { limit: 128, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn record_limits_are_enforced() {
+        let limits = TraceLimits {
+            max_line_bytes: 1 << 16,
+            max_records: 2,
+        };
+        let mut buf = Vec::new();
+        write_ndjson(&mut buf, 8, sample()).expect("write");
+        let err = NdjsonReader::with_limits(buf.as_slice(), limits)
+            .expect("header")
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("over the record limit");
+        assert!(
+            matches!(err, TraceError::TooManyRecords { limit: 2 }),
+            "{err}"
+        );
+
+        let mut buf = Vec::new();
+        write_binary(&mut buf, 8, &sample()).expect("write");
+        let err = BinaryReader::with_limits(buf.as_slice(), limits).expect_err("header rejects");
+        assert!(
+            matches!(err, TraceError::TooManyRecords { limit: 2 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let mut good = Vec::new();
+        write_binary(&mut good, 8, &sample()).expect("write");
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(read_binary(bad_magic.as_slice())
+            .expect_err("magic")
+            .to_string()
+            .contains("magic"));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(read_binary(bad_version.as_slice())
+            .expect_err("version")
+            .to_string()
+            .contains("version 9"));
+
+        let mut truncated = good.clone();
+        truncated.truncate(good.len() - 1);
+        assert!(read_binary(truncated.as_slice())
+            .expect_err("truncation")
+            .to_string()
+            .contains("short record"));
+
+        let mut bad_flags = good.clone();
+        let last = bad_flags.len() - 1;
+        bad_flags[last] = 7;
+        assert!(read_binary(bad_flags.as_slice())
+            .expect_err("flags")
+            .to_string()
+            .contains("flags"));
+    }
+
+    #[test]
+    fn writers_mask_out_of_range_operands() {
+        let wide = vec![TraceRecord::new(0x1ff, 0x100, false)];
+        let mut buf = Vec::new();
+        write_ndjson(&mut buf, 8, wide.clone()).expect("write");
+        let (_, records) = read_ndjson(buf.as_slice()).expect("read");
+        assert_eq!(records, vec![TraceRecord::new(0xff, 0, false)]);
+
+        let mut buf = Vec::new();
+        write_binary(&mut buf, 8, &wide).expect("write");
+        let (_, records) = read_binary(buf.as_slice()).expect("read");
+        assert_eq!(records, vec![TraceRecord::new(0xff, 0, false)]);
+    }
+
+    #[test]
+    fn invalid_widths_rejected() {
+        for width in [0usize, 65] {
+            assert!(matches!(
+                write_ndjson(Vec::new(), width, []),
+                Err(TraceError::InvalidWidth { .. })
+            ));
+            assert!(matches!(
+                write_binary(Vec::new(), width, &[]),
+                Err(TraceError::InvalidWidth { .. })
+            ));
+        }
+    }
+}

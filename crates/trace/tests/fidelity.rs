@@ -1,0 +1,106 @@
+//! Model-fidelity acceptance tests: under an *independent-bit* synthetic
+//! trace the analytical estimate (fed the estimated empirical profile) must
+//! match replay ground truth to within sampling noise; under a *correlated*
+//! trace the independence assumption is genuinely violated and the report
+//! must say so.
+
+use sealpaa_cells::{AdderChain, StandardCell};
+use sealpaa_trace::{fidelity, generate, SynthKind};
+
+/// 2^16 records put one standard error of an estimated probability at
+/// ~0.002; 0.01 is five sigma of headroom without masking real model bugs.
+const RECORDS: usize = 1 << 16;
+const TOLERANCE: f64 = 0.01;
+
+#[test]
+fn analytical_estimates_match_replay_on_independent_bits() {
+    // The uniform generator draws every operand bit (and cin) as an
+    // independent fair coin — exactly the analytical model's world.
+    for cell in [
+        StandardCell::Lpaa1,
+        StandardCell::Lpaa3,
+        StandardCell::Lpaa5,
+    ] {
+        let width = 8;
+        let chain = AdderChain::uniform(cell.cell(), width);
+        let records = generate(SynthKind::Uniform, width, RECORDS, 0xFACE).expect("valid");
+        let report = fidelity(&chain, &records, 4).expect("valid");
+        // Independence really holds: the violation score is pure sampling
+        // noise, ~1/√records.
+        assert!(
+            report.independence_violation < 0.02,
+            "{cell}: violation {}",
+            report.independence_violation
+        );
+        assert!(
+            report.stage_error_gap() < TOLERANCE,
+            "{cell}: stage error gap {} (analytical {} vs replayed {})",
+            report.stage_error_gap(),
+            report.analytical_stage_error,
+            report.replay.stage_error_rate()
+        );
+        assert!(
+            report.output_error_gap() < TOLERANCE,
+            "{cell}: output error gap {}",
+            report.output_error_gap()
+        );
+        // The moments scale with the error magnitude (up to ~2^width), so
+        // normalize by the trace's mean absolute error distance.
+        let scale = report.replay.mean_absolute_error_distance().max(1.0);
+        assert!(
+            report.mean_ed_gap() / scale < 0.05,
+            "{cell}: bias gap {} at scale {scale}",
+            report.mean_ed_gap()
+        );
+        let med_gap = report.med_gap().expect("width 8 has a distribution MED");
+        assert!(
+            med_gap / scale < 0.05,
+            "{cell}: MED gap {med_gap} at scale {scale}"
+        );
+        let mse_scale = report.replay.mean_squared_error_distance().max(1.0);
+        assert!(
+            report.mse_gap() / mse_scale < 0.1,
+            "{cell}: MSE gap {} at scale {mse_scale}",
+            report.mse_gap()
+        );
+    }
+}
+
+#[test]
+fn correlated_workload_reports_a_nonzero_documented_gap() {
+    // Random-walk audio: operand b is operand a plus a small step, so the
+    // operands are strongly correlated. The profiler must flag it, and the
+    // analytical error probability (which assumes independence) must be
+    // measurably off the replayed ground truth — this gap is the documented
+    // independence-assumption cost, not a bug.
+    let width = 8;
+    let chain = AdderChain::uniform(StandardCell::Lpaa2.cell(), width);
+    let records = generate(SynthKind::RandomWalk, width, RECORDS, 0xFACE).expect("valid");
+    let report = fidelity(&chain, &records, 4).expect("valid");
+    assert!(
+        report.independence_violation > 0.05,
+        "violation {}",
+        report.independence_violation
+    );
+    // The gap is structural: far above the ~0.002 sampling noise floor of
+    // 2^16 records.
+    assert!(
+        report.output_error_gap() > 0.01,
+        "correlated trace should defeat the independence assumption, gap {}",
+        report.output_error_gap()
+    );
+}
+
+#[test]
+fn fidelity_is_thread_count_invariant() {
+    let width = 8;
+    let chain = AdderChain::uniform(StandardCell::Lpaa4.cell(), width);
+    let records = generate(SynthKind::ImageGradient, width, 4096, 21).expect("valid");
+    let one = fidelity(&chain, &records, 1).expect("valid");
+    for threads in [2usize, 5, 8] {
+        let many = fidelity(&chain, &records, threads).expect("valid");
+        // The replay half is integer-exact; the analytical half is a pure
+        // function of the profile. The whole report must match exactly.
+        assert_eq!(one, many, "{threads} threads");
+    }
+}

@@ -20,6 +20,9 @@ run() {
 
 if [[ $quick -eq 0 ]]; then
     run cargo build --release
+    # Examples are documentation that compiles: build them all in the same
+    # profile so a drifting API surfaces here, not on a reader's machine.
+    run cargo build --examples --release
 fi
 
 # The tier-1 gate: the root package's cross-crate integration + property
@@ -39,6 +42,12 @@ run cargo test -p sealpaa-sim --test differential -q
 # invariance of the design-space exploration.
 run cargo test -p sealpaa-core --test incremental -q
 
+# The trace-replay differential suite: bitsliced 64-lane replay vs the
+# scalar per-record oracle (bit-for-bit, every workload family and thread
+# count) plus the model-fidelity acceptance bounds.
+run cargo test -p sealpaa-trace --test differential -q
+run cargo test -p sealpaa-trace --test fidelity -q
+
 # Smoke-run the kernel benchmarks (1 sample per bench, no JSON rewrite) so
 # kernel regressions that only break under the bench harness surface here
 # rather than in the next full bench run.
@@ -46,6 +55,8 @@ run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
     cargo bench -p sealpaa-bench --bench simulation_kernels
 run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
     cargo bench -p sealpaa-bench --bench analysis_kernels
+run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
+    cargo bench -p sealpaa-bench --bench trace_kernels
 
 # Lints are load-bearing: the gate fails on any clippy warning anywhere in
 # the workspace, including tests and benches.

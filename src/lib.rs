@@ -23,7 +23,9 @@
 //! * [`hdl`] — structural Verilog emission for cells, chains and GeAr,
 //! * [`num`] — exact arbitrary-precision rationals for exact-mode analysis,
 //! * [`server`] — the analysis-as-a-service daemon (JSON over TCP/stdio)
-//!   behind `sealpaa serve`, with its worker pool and result cache.
+//!   behind `sealpaa serve`, with its worker pool and result cache,
+//! * [`trace`] — workload trace ingestion, streaming bit-statistics
+//!   profiling, synthetic generators and trace-replay validation.
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
@@ -54,6 +56,7 @@ pub use sealpaa_inclexcl as inclexcl;
 pub use sealpaa_num as num;
 pub use sealpaa_server as server;
 pub use sealpaa_sim as sim;
+pub use sealpaa_trace as trace;
 
 pub use sealpaa_cells::{AdderChain, Cell, InputProfile, StandardCell, TruthTable};
 pub use sealpaa_core::{
@@ -64,3 +67,4 @@ pub use sealpaa_num::{Prob, Rational};
 pub use sealpaa_server::json::Json;
 pub use sealpaa_server::server::{Server, ServerConfig};
 pub use sealpaa_sim::{exhaustive, monte_carlo, MonteCarloConfig};
+pub use sealpaa_trace::{fidelity, replay, FidelityReport, ReplayReport, SynthKind, TraceStats};
