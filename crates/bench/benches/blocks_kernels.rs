@@ -1,0 +1,221 @@
+//! Block-adder kernels: the analytical error-distance engine against the
+//! bitsliced exhaustive simulator, and the prefix-sharing heterogeneous DSE
+//! against the naive per-configuration scan — the quantitative record
+//! behind `BENCH_blocks.json`.
+//!
+//! Two groups:
+//!
+//! * `distance` — one full ED-PMF of a heterogeneous width-12 configuration,
+//!   analytically (one pass over the bit positions, carry-state DP) and
+//!   exhaustively (all `2^(2N+1)` operand/cin assignments, 64 SWAR lanes per
+//!   pass). The differential suite in `crates/blocks/tests/differential.rs`
+//!   pins that both produce the identical distribution, exactly, in
+//!   `Rational`.
+//! * `dse` — the provably-best mean-ED design over every {3,4}-wide,
+//!   depth-{0,1} accurate-cell tiling of a width-40 adder fed
+//!   12-bit-magnitude operands (the regime approximate adders target): the
+//!   prefix-sharing search re-uses the carry-state DP of every common block
+//!   prefix, the reference scan re-runs the full analytical pass per
+//!   configuration. Both return bit-identical winners (pinned in
+//!   `crates/explore/src/blocks_dse.rs`).
+//!
+//! Unless `MICROBENCH_QUICK` is set (smoke mode), the run rewrites
+//! `BENCH_blocks.json` at the repository root with ns/op for every
+//! benchmark and the two headline speedups. Smoke mode also shrinks the
+//! widths so CI stays fast; the committed JSON always records the full
+//! workload.
+
+use std::fmt::Write as _;
+
+use sealpaa_bench::microbench::{black_box, take_results, BenchResult, BenchmarkId, Criterion};
+use sealpaa_blocks::{error_distance_distribution, exhaustive_distance_histogram, BlockConfig};
+use sealpaa_cells::InputProfile;
+use sealpaa_explore::{
+    accurate_cell_with_proxy_costs, best_block_design, best_block_design_reference, BlockBudget,
+    BlockObjective, BlockSearchSpace,
+};
+
+fn quick() -> bool {
+    std::env::var_os("MICROBENCH_QUICK").is_some()
+}
+
+/// The heterogeneous configuration the `distance` group analyzes. The three
+/// cell types and both depth regimes exercise every stepper path.
+fn distance_config() -> (String, BlockConfig) {
+    let spec = if quick() {
+        "4:0:accurate,2:1:lpaa1,2:2:lpaa2"
+    } else {
+        "4:0:accurate,4:2:lpaa1,4:3:lpaa2"
+    };
+    (spec.to_owned(), spec.parse().expect("valid config"))
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let (_, config) = distance_config();
+    let width = config.width();
+    let profile = InputProfile::<f64>::uniform(width);
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new(format!("w{width}"), "analytical"), |b| {
+        b.iter(|| error_distance_distribution(black_box(&config), black_box(&profile)))
+    });
+    group.bench_function(BenchmarkId::new(format!("w{width}"), "exhaustive"), |b| {
+        b.iter(|| exhaustive_distance_histogram(black_box(&config)))
+    });
+    group.finish();
+}
+
+fn dse_width() -> usize {
+    if quick() {
+        18
+    } else {
+        40
+    }
+}
+
+/// Number of low bits that actually carry entropy in the DSE workload: the
+/// operands are 12-bit sensor-style magnitudes in a wide datapath — the
+/// regime approximate adders target — so carries die above bit 12 and the
+/// analysis cost is flat across the upper positions. The live region is the
+/// expensive part of every analysis, and it is exactly the part the
+/// prefix-sharing search computes once per shared low-block prefix.
+const DSE_LIVE_BITS: usize = 12;
+
+fn dse_profile(width: usize) -> InputProfile<f64> {
+    let p: Vec<f64> = (0..width)
+        .map(|i| if i < DSE_LIVE_BITS { 0.5 } else { 0.0 })
+        .collect();
+    InputProfile::new(p.clone(), p, 0.0).expect("valid profile")
+}
+
+fn bench_dse(c: &mut Criterion) {
+    let width = dse_width();
+    let space = BlockSearchSpace::new(&[3, 4], &[0, 1], &[accurate_cell_with_proxy_costs()])
+        .expect("valid space");
+    let profile = dse_profile(width);
+    let budget = BlockBudget::default();
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new(format!("w{width}"), "naive_scan"), |b| {
+        b.iter(|| {
+            best_block_design_reference(
+                black_box(&space),
+                black_box(&profile),
+                &budget,
+                BlockObjective::MeanAbsolute,
+            )
+        })
+    });
+    for threads in [1usize, 4] {
+        group.bench_function(
+            BenchmarkId::new(format!("w{width}"), format!("prefix_sharing_t{threads}")),
+            |b| {
+                b.iter(|| {
+                    best_block_design(
+                        black_box(&space),
+                        black_box(&profile),
+                        &budget,
+                        BlockObjective::MeanAbsolute,
+                        threads,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ns_of(results: &[BenchResult], name: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("benchmark {name} did not run"))
+        .ns_per_iter
+}
+
+fn render_report(results: &[BenchResult], dist_width: usize, dse_width: usize) -> String {
+    let mut benches = String::new();
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            benches,
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}{sep}",
+            r.name, r.ns_per_iter
+        );
+    }
+
+    let speedup_pairs = [
+        (
+            format!(
+                "ED-PMF of a heterogeneous width-{dist_width} config: analytical carry-state \
+                 DP vs bitsliced exhaustive enumeration of all operand pairs"
+            ),
+            format!("distance/w{dist_width}/exhaustive"),
+            format!("distance/w{dist_width}/analytical"),
+        ),
+        (
+            format!(
+                "best mean-ED design over every 3/4-wide depth-0/1 tiling of a width-\
+                 {dse_width} adder under 12-bit-magnitude operands: prefix-sharing DSE \
+                 (1 thread) vs naive per-config scan"
+            ),
+            format!("dse/w{dse_width}/naive_scan"),
+            format!("dse/w{dse_width}/prefix_sharing_t1"),
+        ),
+        (
+            format!(
+                "best mean-ED design over every 3/4-wide depth-0/1 tiling of a width-\
+                 {dse_width} adder under 12-bit-magnitude operands: prefix-sharing DSE \
+                 (4 threads) vs naive per-config scan"
+            ),
+            format!("dse/w{dse_width}/naive_scan"),
+            format!("dse/w{dse_width}/prefix_sharing_t4"),
+        ),
+    ];
+    let mut speedups = String::new();
+    for (i, (workload, baseline, fast)) in speedup_pairs.iter().enumerate() {
+        let base_ns = ns_of(results, baseline);
+        let fast_ns = ns_of(results, fast);
+        let sep = if i + 1 < speedup_pairs.len() { "," } else { "" };
+        let _ = writeln!(
+            speedups,
+            "    {{\"workload\": \"{workload}\", \"baseline\": \"{baseline}\", \
+             \"fast\": \"{fast}\", \"baseline_ns\": {base_ns:.1}, \"fast_ns\": {fast_ns:.1}, \
+             \"speedup\": {:.2}}}{sep}",
+            base_ns / fast_ns
+        );
+    }
+
+    format!(
+        "{{\n  \"generator\": \"cargo bench -p sealpaa-bench --bench blocks_kernels\",\n  \
+         \"unit\": \"ns_per_iter is the median wall-clock time of one full workload\",\n  \
+         \"note\": \"the analytical row computes the exact error-distance PMF in one pass \
+         over the bit positions (carry-state DP); the exhaustive row enumerates every \
+         operand/cin assignment 64 SWAR lanes at a time. Both produce the identical \
+         distribution (pinned exactly, in Rational, by crates/blocks/tests/differential.rs). \
+         The DSE rows search every 3/4-wide, depth-0/1 accurate-cell tiling of a wide \
+         datapath fed 12-bit-magnitude operands (p = 1/2 on the low 12 bits, 0 above — the \
+         regime approximate adders target) for the provably-best mean-ED design: \
+         prefix-sharing re-uses the carry-state DP of shared block prefixes, the naive scan \
+         re-runs the full pass per configuration, and both return bit-identical winners for \
+         every thread count. Acceptance: analytical >= 10x exhaustive at width 12, \
+         prefix-sharing >= 5x the naive scan at width 40 on one thread\",\n  \
+         \"benches\": [\n{benches}  ],\n  \"speedups\": [\n{speedups}  ]\n}}\n"
+    )
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_distance(&mut criterion);
+    bench_dse(&mut criterion);
+    let results = take_results();
+    if quick() {
+        eprintln!("MICROBENCH_QUICK set: not rewriting BENCH_blocks.json");
+        return;
+    }
+    let (_, config) = distance_config();
+    let report = render_report(&results, config.width(), dse_width());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_blocks.json");
+    std::fs::write(path, report).expect("write BENCH_blocks.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,347 @@
+//! Bitsliced exhaustive error-distance histograms — the ground truth the
+//! analytical engine is validated against.
+//!
+//! The sweep enumerates every `(a, b)` pair (and both carry-ins) and
+//! histograms the signed error distance `approx − exact`. Like
+//! `sealpaa-sim`'s exhaustive sweep it runs 64 additions per step: operand
+//! `b` advances through consecutive values whose low six bit planes are
+//! compile-time lane patterns, each block window ripples its cell's truth
+//! table across all 64 lanes at once (SWAR over the eight table rows), and
+//! the accurate reference reuses [`CompiledChain::accurate64`]. Lanes whose
+//! outputs match the reference are counted in bulk off the mismatch word;
+//! only deviating lanes pay for value reconstruction.
+//!
+//! Work is metered per block: each case charges one bit-addition per
+//! *window* bit (prediction bits are re-added, and the meter says so) plus
+//! `N` for the accurate reference — so BENCH entries stay comparable
+//! between homogeneous chains and heterogeneous block sweeps.
+
+use std::collections::BTreeMap;
+
+use sealpaa_cells::{lane_value, splat64, CompiledChain, FaInput, TruthTable};
+use sealpaa_core::ErrorDistanceDistribution;
+use sealpaa_num::Prob;
+use sealpaa_sim::SimWork;
+
+use crate::config::{BlockConfig, BlockError};
+use crate::functional::BlockAdder;
+
+/// Widest configuration [`exhaustive_distance_histogram`] accepts:
+/// `2^{2·14+1} ≈ 5·10^8` additions, seconds in release builds.
+pub const MAX_EXHAUSTIVE_WIDTH: usize = 14;
+
+/// Bit plane `t < 6` of 64 consecutive lane values `base + l`:
+/// bit `l` of `LANE_PATTERNS[t]` is `(l >> t) & 1`.
+const LANE_PATTERNS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// One batch's exhaustive result: the signed error-distance histogram over
+/// all operand pairs at both carry-ins, plus the work metered to get it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExhaustiveDistanceReport {
+    /// `d → number of input combinations with error distance d`, over all
+    /// `2^{2N+1}` combinations (both carry-ins).
+    pub histogram: BTreeMap<i128, u64>,
+    /// Work performed, metered per block window bit.
+    pub work: SimWork,
+}
+
+impl ExhaustiveDistanceReport {
+    /// Input combinations counted (`2^{2N+1}`).
+    pub fn cases(&self) -> u64 {
+        self.histogram.values().sum()
+    }
+
+    /// Converts the counts into an exact PMF under *uniform* inputs — the
+    /// distribution [`error_distance_distribution`] produces for
+    /// `InputProfile::uniform`, which is what differential tests compare.
+    ///
+    /// [`error_distance_distribution`]: crate::error_distance_distribution
+    pub fn to_distribution<T: Prob>(&self) -> ErrorDistanceDistribution<T> {
+        let total = self.cases();
+        ErrorDistanceDistribution {
+            pmf: self
+                .histogram
+                .iter()
+                .map(|(&d, &count)| (d, T::from_ratio(count, total)))
+                .collect(),
+        }
+    }
+}
+
+/// A block configuration compiled for 64-lane evaluation: per block, the
+/// window geometry plus the cell's truth table as row masks.
+struct BitslicedBlocks {
+    blocks: Vec<BitslicedBlock>,
+}
+
+struct BitslicedBlock {
+    window_start: usize,
+    result_start: usize,
+    end: usize,
+    accurate: bool,
+    /// Bit `r` set iff table row `r` outputs sum = 1.
+    sum_rows: u8,
+    /// Bit `r` set iff table row `r` outputs carry = 1.
+    carry_rows: u8,
+}
+
+/// Evaluates one truth table on 64 lanes by masking each of its 8 rows.
+#[inline]
+fn table_eval64(sum_rows: u8, carry_rows: u8, a: u64, b: u64, c: u64) -> (u64, u64) {
+    let mut sum = 0u64;
+    let mut carry = 0u64;
+    for input in FaInput::all() {
+        let mask = (if input.a { a } else { !a })
+            & (if input.b { b } else { !b })
+            & (if input.carry_in { c } else { !c });
+        let row = 1u8 << input.index();
+        if sum_rows & row != 0 {
+            sum |= mask;
+        }
+        if carry_rows & row != 0 {
+            carry |= mask;
+        }
+    }
+    (sum, carry)
+}
+
+impl BitslicedBlocks {
+    fn compile(config: &BlockConfig) -> Self {
+        let accurate = TruthTable::accurate();
+        let blocks = config
+            .blocks()
+            .iter()
+            .enumerate()
+            .map(|(j, block)| {
+                let window = config.window(j);
+                let table = *block.cell.truth_table();
+                let (mut sum_rows, mut carry_rows) = (0u8, 0u8);
+                for input in FaInput::all() {
+                    let out = table.eval(input);
+                    let row = 1u8 << input.index();
+                    if out.sum {
+                        sum_rows |= row;
+                    }
+                    if out.carry_out {
+                        carry_rows |= row;
+                    }
+                }
+                BitslicedBlock {
+                    window_start: window.start,
+                    result_start: window.end - block.width,
+                    end: window.end,
+                    accurate: table == accurate,
+                    sum_rows,
+                    carry_rows,
+                }
+            })
+            .collect();
+        BitslicedBlocks { blocks }
+    }
+
+    /// Runs all blocks on 64 lanes; returns the approximate carry-out word.
+    fn eval64(&self, a_planes: &[u64], b_planes: &[u64], cin: u64, sum_out: &mut [u64]) -> u64 {
+        let mut cout = 0u64;
+        for (j, block) in self.blocks.iter().enumerate() {
+            let mut carry = if j == 0 { cin } else { 0 };
+            for t in block.window_start..block.end {
+                let (a, b) = (a_planes[t], b_planes[t]);
+                let (sum, next);
+                if block.accurate {
+                    let axb = a ^ b;
+                    sum = axb ^ carry;
+                    next = (a & b) | (carry & axb);
+                } else {
+                    (sum, next) = table_eval64(block.sum_rows, block.carry_rows, a, b, carry);
+                }
+                if t >= block.result_start {
+                    sum_out[t] = sum;
+                }
+                carry = next;
+            }
+            cout = carry;
+        }
+        cout
+    }
+}
+
+/// Exhaustively histograms the signed error distance of a block
+/// configuration over all `2^{2N+1}` input combinations (every operand
+/// pair, both carry-ins), bitsliced 64 lanes at a time; widths below 6
+/// bits fall back to the scalar [`BlockAdder`].
+///
+/// # Errors
+///
+/// Returns [`BlockError::ExhaustiveWidthTooLarge`] beyond
+/// [`MAX_EXHAUSTIVE_WIDTH`].
+///
+/// # Examples
+///
+/// ```
+/// use sealpaa_blocks::{exhaustive_distance_histogram, BlockConfig};
+///
+/// let config: BlockConfig = "4:0:accurate,4:2:accurate".parse()?;
+/// let report = exhaustive_distance_histogram(&config)?;
+/// assert_eq!(report.cases(), 1 << 17);
+/// // An accurate-cell block adder only ever misses carries into bit 4.
+/// assert_eq!(report.histogram.keys().copied().collect::<Vec<_>>(), vec![-16, 0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn exhaustive_distance_histogram(
+    config: &BlockConfig,
+) -> Result<ExhaustiveDistanceReport, BlockError> {
+    let width = config.width();
+    if width > MAX_EXHAUSTIVE_WIDTH {
+        return Err(BlockError::ExhaustiveWidthTooLarge { width });
+    }
+    let mut histogram: BTreeMap<i128, u64> = BTreeMap::new();
+    let cases = 1u64 << (2 * width + 1);
+    let work = SimWork {
+        cases,
+        // Per case: every window bit of every block (prediction bits are
+        // genuinely re-added, so they are genuinely charged), plus one
+        // accurate reference bit per position.
+        bit_additions: cases * (config.total_window_bits() + width) as u64,
+        comparisons: cases,
+    };
+    if width < 6 {
+        let adder = BlockAdder::new(config.clone());
+        for cin in [false, true] {
+            for a in 0..1u64 << width {
+                for b in 0..1u64 << width {
+                    let d = adder
+                        .add(a, b, cin)
+                        .error_distance(adder.accurate_sum(a, b, cin));
+                    *histogram.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+        return Ok(ExhaustiveDistanceReport { histogram, work });
+    }
+    let compiled = BitslicedBlocks::compile(config);
+    let mut b_planes = vec![0u64; width];
+    let mut approx = vec![0u64; width];
+    let mut exact = vec![0u64; width];
+    for cin in [0u64, u64::MAX] {
+        for a in 0..1u64 << width {
+            let a_planes = splat64(a, width);
+            for b_base in (0..1u64 << width).step_by(64) {
+                for (t, plane) in b_planes.iter_mut().enumerate() {
+                    *plane = if t < 6 {
+                        LANE_PATTERNS[t]
+                    } else if (b_base >> t) & 1 == 1 {
+                        u64::MAX
+                    } else {
+                        0
+                    };
+                }
+                let approx_cout = compiled.eval64(&a_planes, &b_planes, cin, &mut approx);
+                let exact_cout = CompiledChain::accurate64(&a_planes, &b_planes, cin, &mut exact);
+                let mut mismatch = approx_cout ^ exact_cout;
+                for t in 0..width {
+                    mismatch |= approx[t] ^ exact[t];
+                }
+                *histogram.entry(0).or_insert(0) += mismatch.count_zeros() as u64;
+                let mut lanes = mismatch;
+                while lanes != 0 {
+                    let lane = lanes.trailing_zeros() as usize;
+                    lanes &= lanes - 1;
+                    let approx_value = lane_value(&approx, approx_cout, lane);
+                    let exact_value = lane_value(&exact, exact_cout, lane);
+                    let d = approx_value as i128 - exact_value as i128;
+                    *histogram.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    histogram.retain(|_, count| *count > 0);
+    Ok(ExhaustiveDistanceReport { histogram, work })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_num::Rational;
+
+    /// Scalar oracle over all combinations, straight off [`BlockAdder`].
+    fn scalar_histogram(config: &BlockConfig) -> BTreeMap<i128, u64> {
+        let adder = BlockAdder::new(config.clone());
+        let width = config.width();
+        let mut histogram = BTreeMap::new();
+        for cin in [false, true] {
+            for a in 0..1u64 << width {
+                for b in 0..1u64 << width {
+                    let d = adder
+                        .add(a, b, cin)
+                        .error_distance(adder.accurate_sum(a, b, cin));
+                    *histogram.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+        histogram
+    }
+
+    #[test]
+    fn bitsliced_matches_scalar_oracle() {
+        for spec in [
+            "4:0:accurate,4:2:accurate",
+            "3:0:lpaa1,3:1:accurate,2:2:lpaa4",
+            "2:0:accurate,2:1:lpaa2,2:2:accurate,2:1:lpaa7",
+        ] {
+            let config: BlockConfig = spec.parse().expect("parses");
+            let report = exhaustive_distance_histogram(&config).expect("in range");
+            assert_eq!(report.histogram, scalar_histogram(&config), "{spec}");
+        }
+    }
+
+    #[test]
+    fn scalar_fallback_matches_oracle_below_six_bits() {
+        let config: BlockConfig = "2:0:lpaa3,2:1:accurate,1:1:lpaa1".parse().expect("parses");
+        let report = exhaustive_distance_histogram(&config).expect("in range");
+        assert_eq!(report.histogram, scalar_histogram(&config));
+        assert_eq!(report.cases(), 1 << 11);
+    }
+
+    #[test]
+    fn work_meter_charges_every_window_bit() {
+        let config: BlockConfig = "4:0:accurate,4:2:accurate".parse().expect("parses");
+        let report = exhaustive_distance_histogram(&config).expect("in range");
+        let cases = 1u64 << 17;
+        assert_eq!(report.work.cases, cases);
+        // Windows cover 4 + 6 bits; the accurate reference adds 8 more.
+        assert_eq!(report.work.bit_additions, cases * 18);
+        assert_eq!(report.work.comparisons, cases);
+    }
+
+    #[test]
+    fn uniform_distribution_is_exact_counts_over_total() {
+        let config: BlockConfig = "3:0:accurate,3:3:accurate".parse().expect("parses");
+        let report = exhaustive_distance_histogram(&config).expect("in range");
+        let dist = report.to_distribution::<Rational>();
+        assert_eq!(dist.total_mass(), Rational::one());
+        for (d, p) in &dist.pmf {
+            assert_eq!(
+                *p,
+                <Rational as Prob>::from_ratio(report.histogram[d], 1 << 13)
+            );
+        }
+    }
+
+    #[test]
+    fn width_bound_is_enforced() {
+        let config =
+            BlockConfig::homogeneous(15, 5, 2, sealpaa_cells::StandardCell::Accurate.cell())
+                .expect("valid");
+        assert!(matches!(
+            exhaustive_distance_histogram(&config),
+            Err(BlockError::ExhaustiveWidthTooLarge { width: 15 })
+        ));
+    }
+}

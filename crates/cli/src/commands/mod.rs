@@ -1,6 +1,7 @@
 //! One module per subcommand.
 
 pub mod analyze;
+pub mod blocks;
 pub mod cells;
 pub mod compare;
 pub mod dse;

@@ -38,6 +38,7 @@ commands:
   simulate    exhaustive or Monte-Carlo simulation of the same adder
   magnitude   error-distance moments and (optionally) the full distribution
   gear        error probability of a GeAr low-latency adder
+  blocks      block-based adders: exact ED distributions, sweeps, Pareto DSE
   sweep       approximate-LSB sweep: quality vs power trade-off curve
   dse         budgeted hybrid-adder design-space exploration
   multiplier  quality of an approximate shift-add multiplier
@@ -68,6 +69,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "simulate" => commands::simulate::run(rest, out),
         "magnitude" => commands::magnitude::run(rest, out),
         "gear" => commands::gear::run(rest, out),
+        "blocks" => commands::blocks::run(rest, out),
         "sweep" => commands::sweep::run(rest, out),
         "dse" => commands::dse::run(rest, out),
         "multiplier" => commands::multiplier::run(rest, out),

@@ -1,0 +1,228 @@
+//! The error-distance distribution shared by the chain and block-based
+//! analyses.
+//!
+//! [`ErrorDistribution`](crate::ErrorDistribution) keys its support on `i64`
+//! because a ripple chain never exceeds
+//! [`MAX_DISTRIBUTION_WIDTH`](crate::MAX_DISTRIBUTION_WIDTH) bits. The
+//! block-based adders of
+//! `sealpaa-blocks` run much wider — their accurate-cell configurations have
+//! tiny supports even at the trace-replay width bound of 47 bits — so their
+//! engine needs `i128` support keys and a richer statistics surface (CDF,
+//! MSE, normalized mean). This module provides that shared container; the
+//! engines that *fill* it live with their adder models.
+
+use sealpaa_num::Prob;
+
+/// The exact probability mass function of a signed error distance
+/// `D = approx − exact`, with `i128` support keys.
+///
+/// Entries are `(d, P(D = d))` in ascending `d` with zero-probability
+/// entries omitted; `d = 0` (the success mass) is included when non-zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorDistanceDistribution<T> {
+    /// `(d, P(D = d))` pairs in ascending `d`.
+    pub pmf: Vec<(i128, T)>,
+}
+
+impl<T: Prob> ErrorDistanceDistribution<T> {
+    /// `P(D = d)`.
+    pub fn probability_of(&self, d: i128) -> T {
+        self.pmf
+            .iter()
+            .find(|(v, _)| *v == d)
+            .map(|(_, p)| p.clone())
+            .unwrap_or_else(T::zero)
+    }
+
+    /// `P(D ≠ 0)` — the probability the output value is wrong.
+    pub fn error_rate(&self) -> T {
+        self.pmf
+            .iter()
+            .filter(|(d, _)| *d != 0)
+            .fold(T::zero(), |acc, (_, p)| acc + p.clone())
+    }
+
+    /// `E[D]` — the signed bias.
+    pub fn mean(&self) -> T {
+        self.pmf.iter().fold(T::zero(), |acc, (d, p)| {
+            acc + signed_scale::<T>(*d) * p.clone()
+        })
+    }
+
+    /// `E[|D|]` — the mean error distance (MED).
+    pub fn mean_absolute(&self) -> T {
+        self.pmf.iter().fold(T::zero(), |acc, (d, p)| {
+            acc + unsigned_scale::<T>(d.unsigned_abs()) * p.clone()
+        })
+    }
+
+    /// `E[D²]` — the mean squared error distance (MSE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some `d²` exceeds `u128` (cannot happen for the widths the
+    /// block engine accepts: `|d| ≤ 2^48`).
+    pub fn mean_squared(&self) -> T {
+        self.pmf.iter().fold(T::zero(), |acc, (d, p)| {
+            let mag = d.unsigned_abs();
+            let sq = mag
+                .checked_mul(mag)
+                .expect("error-distance square overflow");
+            acc + unsigned_scale::<T>(sq) * p.clone()
+        })
+    }
+
+    /// `E[|D|] / (2^{width+1} − 1)` — the mean error distance normalized by
+    /// the largest representable output (sum bits plus carry), the usual
+    /// width-independent quality score (often written NMED or MRED against
+    /// the full-scale output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 62` (the normalizer must fit `u64`).
+    pub fn normalized_mean_absolute(&self, width: usize) -> T {
+        assert!(width <= 62, "normalizer 2^(width+1)-1 must fit u64");
+        let full_scale = (1u64 << (width + 1)) - 1;
+        let inv = T::from_ratio(1, full_scale);
+        self.mean_absolute() * inv
+    }
+
+    /// `P(|D| > bound)` — tail mass beyond an application's tolerance.
+    pub fn tail_beyond(&self, bound: u128) -> T {
+        self.pmf
+            .iter()
+            .filter(|(d, _)| d.unsigned_abs() > bound)
+            .fold(T::zero(), |acc, (_, p)| acc + p.clone())
+    }
+
+    /// Largest `|d|` with non-zero probability (`0` for an exact adder).
+    pub fn max_absolute(&self) -> u128 {
+        self.pmf
+            .iter()
+            .map(|(d, _)| d.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The cumulative distribution `(d, P(D ≤ d))`, one entry per support
+    /// point in ascending `d`; the last entry's probability is the total
+    /// mass (exactly 1 for a complete distribution).
+    pub fn cdf(&self) -> Vec<(i128, T)> {
+        let mut acc = T::zero();
+        self.pmf
+            .iter()
+            .map(|(d, p)| {
+                acc = acc.clone() + p.clone();
+                (*d, acc.clone())
+            })
+            .collect()
+    }
+
+    /// Total probability mass (must be 1 for a complete distribution;
+    /// exposed so exact tests can assert it).
+    pub fn total_mass(&self) -> T {
+        self.pmf
+            .iter()
+            .fold(T::zero(), |acc, (_, p)| acc + p.clone())
+    }
+}
+
+/// Builds `T`'s representation of a (possibly negative) `i128`.
+fn signed_scale<T: Prob>(d: i128) -> T {
+    let mag = unsigned_scale::<T>(d.unsigned_abs());
+    if d < 0 {
+        T::zero() - mag
+    } else {
+        mag
+    }
+}
+
+/// Builds `T`'s representation of a `u128` exactly. Horner over 32-bit
+/// limbs: every limb stays far below `i64::MAX`, which `from_ratio`'s
+/// signed `Rational` implementation requires.
+fn unsigned_scale<T: Prob>(mag: u128) -> T {
+    if mag <= u128::from(u32::MAX) {
+        return T::from_ratio(mag as u64, 1);
+    }
+    let two32 = T::from_ratio(1u64 << 32, 1);
+    let mut acc = T::zero();
+    for i in (0..4).rev() {
+        let limb = ((mag >> (32 * i)) & u128::from(u32::MAX)) as u64;
+        acc = acc * two32.clone() + T::from_ratio(limb, 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_num::Rational;
+
+    fn dist() -> ErrorDistanceDistribution<Rational> {
+        ErrorDistanceDistribution {
+            pmf: vec![
+                (-4, Rational::from_ratio(1, 8)),
+                (0, Rational::from_ratio(3, 4)),
+                (2, Rational::from_ratio(1, 8)),
+            ],
+        }
+    }
+
+    #[test]
+    fn statistics_are_exact() {
+        let d = dist();
+        assert_eq!(d.error_rate(), Rational::from_ratio(1, 4));
+        assert_eq!(d.mean(), Rational::from_ratio(-1, 4));
+        assert_eq!(d.mean_absolute(), Rational::from_ratio(3, 4));
+        // E[D²] = 16/8 + 4/8 = 5/2.
+        assert_eq!(d.mean_squared(), Rational::from_ratio(5, 2));
+        assert_eq!(d.max_absolute(), 4);
+        assert_eq!(d.tail_beyond(2), Rational::from_ratio(1, 8));
+        assert_eq!(d.tail_beyond(0), d.error_rate());
+        assert_eq!(d.total_mass(), Rational::one());
+        assert_eq!(d.probability_of(2), Rational::from_ratio(1, 8));
+        assert!(d.probability_of(1).is_zero());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_total_mass() {
+        let d = dist();
+        let cdf = d.cdf();
+        assert_eq!(cdf.len(), d.pmf.len());
+        for pair in cdf.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(cdf.last().expect("non-empty").1, Rational::one());
+    }
+
+    #[test]
+    fn normalized_mean_uses_full_scale_output() {
+        let d = dist();
+        // width 2 ⇒ full scale 2³−1 = 7.
+        assert_eq!(d.normalized_mean_absolute(2), Rational::from_ratio(3, 28));
+    }
+
+    #[test]
+    fn wide_support_keys_stay_exact() {
+        // A support point near the 47-bit replay bound: the scale helpers
+        // must not lose a single ulp in Rational.
+        let big = (1i128 << 48) - 3;
+        let d = ErrorDistanceDistribution {
+            pmf: vec![(big, Rational::one())],
+        };
+        assert_eq!(d.mean(), Rational::from_ratio((1i64 << 48) - 3, 1));
+        assert_eq!(d.max_absolute(), big as u128);
+        let sq = d.mean_squared();
+        let expect =
+            Rational::from_ratio((1i64 << 48) - 3, 1) * Rational::from_ratio((1i64 << 48) - 3, 1);
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn empty_distribution_is_all_zero() {
+        let d = ErrorDistanceDistribution::<f64> { pmf: vec![] };
+        assert_eq!(d.error_rate(), 0.0);
+        assert_eq!(d.max_absolute(), 0);
+        assert!(d.cdf().is_empty());
+    }
+}

@@ -51,6 +51,7 @@
 
 mod analyzer;
 mod carry;
+mod distance;
 mod distribution;
 mod exact;
 mod extremes;
@@ -62,6 +63,7 @@ mod stepper;
 
 pub use analyzer::{analyze, analyze_instrumented, Analysis, AnalyzeError, StageTrace};
 pub use carry::CarryState;
+pub use distance::ErrorDistanceDistribution;
 pub use distribution::{error_distribution, ErrorDistribution, MAX_DISTRIBUTION_WIDTH};
 pub use exact::{exact_error_analysis, ExactErrorAnalysis};
 pub use extremes::{worst_case_error, worst_case_relative_error, Witness, WorstCaseError};

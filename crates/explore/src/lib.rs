@@ -14,7 +14,13 @@
 //! * [`pareto_front`] — the error/power/area trade-off frontier,
 //! * [`accurate_cell_with_proxy_costs`] — an accurate full adder annotated
 //!   with *estimated* power/area (the paper's Table 2 covers only LPAA 1–5;
-//!   see `DESIGN.md` for the extrapolation rationale).
+//!   see `DESIGN.md` for the extrapolation rationale),
+//! * [`best_block_design`] / [`enumerate_block_designs`] /
+//!   [`block_pareto_front`] — the same workflow lifted to heterogeneous
+//!   *block-based* adders (`sealpaa-blocks`): tile the width with blocks of
+//!   varying width/prediction-depth/cell, score each tiling by an exact
+//!   error-distance statistic, prefix-sharing the analytical recursion
+//!   across every configuration with the same leading blocks.
 //!
 //! # Examples
 //!
@@ -34,10 +40,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blocks_dse;
 mod scorecard;
 mod search;
 mod sweep;
 
+pub use blocks_dse::{
+    best_block_design, best_block_design_reference, block_pareto_front, enumerate_block_designs,
+    evaluate_block_config, BlockBudget, BlockDesign, BlockEvaluation, BlockObjective,
+    BlockSearchSpace,
+};
 pub use scorecard::{score_cells, CellScore};
 pub use search::{
     accurate_cell_with_proxy_costs, enumerate_designs, evaluate, exhaustive_best,

@@ -55,6 +55,12 @@ pub enum ExploreError {
         /// The underlying simulator error.
         source: sealpaa_sim::SimError,
     },
+    /// The block-based analytical engine rejected a configuration (width
+    /// mismatch, stepper misuse, or error-distance support overflow).
+    Blocks {
+        /// The underlying block-engine error.
+        source: sealpaa_blocks::BlockError,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -72,6 +78,9 @@ impl fmt::Display for ExploreError {
             }
             ExploreError::Simulation { source } => {
                 write!(f, "bit-true verification failed: {source}")
+            }
+            ExploreError::Blocks { source } => {
+                write!(f, "block analysis failed: {source}")
             }
         }
     }
@@ -247,7 +256,7 @@ impl<'c> DfsContext<'c> {
 }
 
 /// Splits `0..n` into at most `parts` contiguous non-empty ranges.
-fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+pub(crate) fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     let parts = parts.clamp(1, n.max(1));
     let base = n / parts;
     let extra = n % parts;

@@ -184,6 +184,26 @@ impl GearConfig {
             window.start + self.p..window.end
         }
     }
+
+    /// The configuration as a sequence of generalized block segments:
+    /// `(result_start, result_width, prediction_depth)` per sub-adder, LSB
+    /// block first. This is the bridge to the heterogeneous block model of
+    /// `sealpaa-blocks` — sub-adder 0 becomes a depth-0 block over its full
+    /// window, every later sub-adder a width-`R` block predicting its
+    /// carry from the `P` bits below its result segment.
+    ///
+    /// The segments tile `[0, N)` exactly and each window
+    /// `[start − depth, start + width)` reproduces the sub-adder's
+    /// [`block_window`](Self::block_window).
+    pub fn block_segments(&self) -> Vec<(usize, usize, usize)> {
+        (0..self.block_count())
+            .map(|i| {
+                let result = self.block_result_bits(i);
+                let depth = if i == 0 { 0 } else { self.p };
+                (result.start, result.len(), depth)
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for GearConfig {
@@ -255,6 +275,22 @@ mod tests {
         let g = GearConfig::new(8, 8, 0).expect("valid");
         assert_eq!(g.block_count(), 1);
         assert_eq!(g.block_result_bits(0), 0..8);
+    }
+
+    #[test]
+    fn block_segments_tile_and_reproduce_windows() {
+        for (n, r, p) in [(8, 2, 2), (16, 4, 4), (12, 3, 0), (16, 2, 6), (9, 1, 2)] {
+            let g = GearConfig::new(n, r, p).expect("valid config");
+            let segments = g.block_segments();
+            assert_eq!(segments.len(), g.block_count());
+            let mut next = 0;
+            for (i, &(start, width, depth)) in segments.iter().enumerate() {
+                assert_eq!(start, next, "segments must tile in {g}");
+                assert_eq!(start - depth..start + width, g.block_window(i));
+                next = start + width;
+            }
+            assert_eq!(next, n, "segments must cover the width in {g}");
+        }
     }
 
     #[test]

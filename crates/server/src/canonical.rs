@@ -23,7 +23,8 @@
 use sealpaa_cells::{AdderChain, FaInput, InputProfile, TruthTable};
 
 use crate::protocol::{
-    AdderSpec, DseSpec, GearSpec, ProfileSource, ProfileSpec, RequestBody, SimMode, SimulateSpec,
+    AdderSpec, BlocksSpec, DseSpec, GearSpec, ProfileSource, ProfileSpec, RequestBody, SimMode,
+    SimulateSpec,
 };
 
 /// Returns the canonical cache key for a request body, or `None` when the
@@ -36,6 +37,7 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
         RequestBody::Compare(spec) => Some(format!("compare|{}", adder_key(spec))),
         RequestBody::Simulate(spec) => Some(simulate_key(spec)),
         RequestBody::Gear(spec) => Some(gear_key(spec)),
+        RequestBody::Blocks(spec) => Some(blocks_key(spec)),
         RequestBody::Dse(spec) => Some(dse_key(spec)),
         RequestBody::Profile(spec) => profile_key(spec),
         RequestBody::Stats | RequestBody::Shutdown => None,
@@ -176,6 +178,50 @@ fn profile_key(spec: &ProfileSpec) -> Option<String> {
     }
 }
 
+/// The `blocks` key folds behaviorally equivalent configurations together.
+/// The result is purely behavioral (error-distance statistics — no
+/// power/area, which could differ between equivalent spellings), so keying
+/// on the *canonical* configuration is sound:
+///
+/// * each block is reduced to `width:prediction:table-code` after
+///   [`BlockConfig::canonicalized`] merges adjacent blocks whose windows
+///   start at the same bit with the same truth table (folding into block 0
+///   additionally requires `P(cin) = 0`, which the key checks on the
+///   profile);
+/// * probabilities are tokenized exactly as in [`adder_key`], including the
+///   operand-swap fold when every block's cell is a/b-symmetric.
+///
+/// [`BlockConfig::canonicalized`]: sealpaa_blocks::BlockConfig::canonicalized
+fn blocks_key(spec: &BlocksSpec) -> String {
+    let cin_is_zero = prob_token(*spec.profile.p_cin()) == 0.0f64.to_bits();
+    let canonical = spec.config.canonicalized(cin_is_zero);
+    let mut symmetric = true;
+    let blocks: Vec<String> = canonical
+        .blocks()
+        .iter()
+        .map(|b| {
+            symmetric &= is_ab_symmetric(b.cell.truth_table());
+            format!(
+                "{}:{}:{:04x}",
+                b.width,
+                b.prediction,
+                table_code(b.cell.truth_table())
+            )
+        })
+        .collect();
+    let mut pa = profile_vec_token(&spec.profile, true);
+    let mut pb = profile_vec_token(&spec.profile, false);
+    if symmetric && pb < pa {
+        std::mem::swap(&mut pa, &mut pb);
+    }
+    format!(
+        "blocks|{}|{pa}|{pb}|{:016x}|{}",
+        blocks.join(","),
+        prob_token(*spec.profile.p_cin()),
+        spec.cdf
+    )
+}
+
 fn gear_key(spec: &GearSpec) -> String {
     format!(
         "gear|{}|{}|{}|{:016x}|{:016x}|{}",
@@ -310,6 +356,56 @@ mod tests {
         ] {
             assert_ne!(base, key_of(other), "{other}");
         }
+    }
+
+    #[test]
+    fn equivalent_block_configs_share_a_key() {
+        // A depth-2 block whose window starts exactly where the previous
+        // block's accurate window starts is a seamless continuation: with
+        // cin = 0 the split spelling and the merged one behave identically
+        // and must share a cache entry.
+        let split = key_of(
+            r#"{"kind":"blocks","config":"2:0:accurate,2:2:accurate,2:4:accurate","cin":0.0}"#,
+        );
+        let merged = key_of(r#"{"kind":"blocks","config":"6:0:accurate","cin":0.0}"#);
+        assert_eq!(split, merged);
+        // With a non-zero carry-in probability block 0 is NOT mergeable
+        // (its window starts from the real cin, the others from 0).
+        let split = key_of(r#"{"kind":"blocks","config":"2:0:accurate,2:2:accurate","cin":0.5}"#);
+        let merged = key_of(r#"{"kind":"blocks","config":"4:0:accurate","cin":0.5}"#);
+        assert_ne!(split, merged);
+    }
+
+    #[test]
+    fn blocks_key_covers_every_parameter() {
+        let base = key_of(r#"{"kind":"blocks","config":"4:0:accurate,4:2:lpaa1"}"#);
+        for other in [
+            r#"{"kind":"blocks","config":"4:0:accurate,4:3:lpaa1"}"#,
+            r#"{"kind":"blocks","config":"4:0:accurate,4:2:lpaa2"}"#,
+            r#"{"kind":"blocks","config":"4:0:accurate,4:2:lpaa1","p":0.3}"#,
+            r#"{"kind":"blocks","config":"4:0:accurate,4:2:lpaa1","cin":0.0}"#,
+            r#"{"kind":"blocks","config":"4:0:accurate,4:2:lpaa1","cdf":true}"#,
+        ] {
+            assert_ne!(base, key_of(other), "{other}");
+        }
+        // Operand swap folds when every cell is a/b-symmetric (the accurate
+        // table is xor/majority)...
+        let ab = key_of(
+            r#"{"kind":"blocks","config":"2:0:accurate,2:1:accurate","pa":[0.1,0.2,0.3,0.4],"pb":[0.5,0.6,0.7,0.8]}"#,
+        );
+        let ba = key_of(
+            r#"{"kind":"blocks","config":"2:0:accurate,2:1:accurate","pa":[0.5,0.6,0.7,0.8],"pb":[0.1,0.2,0.3,0.4]}"#,
+        );
+        assert_eq!(ab, ba);
+        // ...but NOT when any cell distinguishes its operands: LPAA 1 errs on
+        // (a,b,cin) = (0,1,0) and (1,0,0) with different outputs.
+        let ab = key_of(
+            r#"{"kind":"blocks","config":"2:0:accurate,2:1:lpaa1","pa":[0.1,0.2,0.3,0.4],"pb":[0.5,0.6,0.7,0.8]}"#,
+        );
+        let ba = key_of(
+            r#"{"kind":"blocks","config":"2:0:accurate,2:1:lpaa1","pa":[0.5,0.6,0.7,0.8],"pb":[0.1,0.2,0.3,0.4]}"#,
+        );
+        assert_ne!(ab, ba);
     }
 
     #[test]

@@ -24,8 +24,8 @@ pub const BUCKETS: usize = 31;
 
 /// The request kinds tracked per-kind, in stable wire-name order (this is
 /// also the key order of the `stats` response's `"kinds"` object).
-pub const KIND_NAMES: [&str; 8] = [
-    "analyze", "simulate", "compare", "gear", "dse", "profile", "stats", "shutdown",
+pub const KIND_NAMES: [&str; 9] = [
+    "analyze", "simulate", "compare", "gear", "blocks", "dse", "profile", "stats", "shutdown",
 ];
 
 /// The index of a wire kind in [`KIND_NAMES`], or `None` for unknown names

@@ -41,6 +41,9 @@ pub enum RequestBody {
     Compare(AdderSpec),
     /// GeAr low-latency adder analysis.
     Gear(GearSpec),
+    /// Block-based adder analysis: the exact error-distance PMF/CDF and
+    /// derived statistics of a heterogeneous block configuration.
+    Blocks(BlocksSpec),
     /// Budgeted hybrid-adder design-space exploration.
     Dse(DseSpec),
     /// Workload-trace bit statistics: empirical per-bit probabilities and
@@ -60,6 +63,7 @@ impl RequestBody {
             RequestBody::Simulate(_) => "simulate",
             RequestBody::Compare(_) => "compare",
             RequestBody::Gear(_) => "gear",
+            RequestBody::Blocks(_) => "blocks",
             RequestBody::Dse(_) => "dse",
             RequestBody::Profile(_) => "profile",
             RequestBody::Stats => "stats",
@@ -120,6 +124,43 @@ pub struct GearSpec {
     pub cin: f64,
     /// Also report each fallible sub-adder's `P(E_j)`.
     pub blocks: bool,
+}
+
+/// A `blocks` request: a heterogeneous block configuration plus input
+/// probabilities. The result is purely behavioral (error-distance
+/// statistics, no power/area), which is what lets the cache key fold
+/// behaviorally equivalent configurations together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlocksSpec {
+    /// The block configuration (operand width is `config.width()`).
+    pub config: sealpaa_blocks::BlockConfig,
+    /// Per-bit input probabilities.
+    pub profile: InputProfile<f64>,
+    /// Also report the cumulative distribution alongside the PMF.
+    pub cdf: bool,
+}
+
+impl BlocksSpec {
+    fn from_json(doc: &Json) -> Result<BlocksSpec, String> {
+        let spec = doc
+            .get("config")
+            .and_then(Json::as_str)
+            .ok_or("\"config\" (a string like \"4:0:accurate,2:2:lpaa1\") is required")?;
+        let config: sealpaa_blocks::BlockConfig = spec
+            .parse()
+            .map_err(|e: sealpaa_blocks::ParseBlockConfigError| format!("\"config\": {e}"))?;
+        let width = config.width();
+        let p = prob_field(doc, "p")?.unwrap_or(0.5);
+        let pa = prob_list(doc, "pa", width)?.unwrap_or_else(|| vec![p; width]);
+        let pb = prob_list(doc, "pb", width)?.unwrap_or_else(|| vec![p; width]);
+        let cin = prob_field(doc, "cin")?.unwrap_or(p);
+        let profile = InputProfile::new(pa, pb, cin).map_err(|e| e.to_string())?;
+        Ok(BlocksSpec {
+            config,
+            profile,
+            cdf: doc.get("cdf").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
 }
 
 /// A `dse` request: search per-stage cell assignments for the minimum error
@@ -214,14 +255,15 @@ impl Request {
             "simulate" => RequestBody::Simulate(SimulateSpec::from_json(&doc)?),
             "compare" => RequestBody::Compare(AdderSpec::from_json(&doc)?),
             "gear" => RequestBody::Gear(GearSpec::from_json(&doc)?),
+            "blocks" => RequestBody::Blocks(BlocksSpec::from_json(&doc)?),
             "dse" => RequestBody::Dse(DseSpec::from_json(&doc)?),
             "profile" => RequestBody::Profile(ProfileSpec::from_json(&doc)?),
             "stats" => RequestBody::Stats,
             "shutdown" => RequestBody::Shutdown,
             other => {
                 return Err(format!(
-                    "unknown kind {other:?} (expected analyze, simulate, compare, gear, dse, \
-                     profile, stats or shutdown)"
+                    "unknown kind {other:?} (expected analyze, simulate, compare, gear, blocks, \
+                     dse, profile, stats or shutdown)"
                 ))
             }
         };
@@ -640,6 +682,10 @@ mod tests {
             (r#"{"kind":"compare","width":3,"cell":"lpaa5"}"#, "compare"),
             (r#"{"kind":"gear","n":8,"r":2,"overlap":2}"#, "gear"),
             (
+                r#"{"kind":"blocks","config":"4:0:accurate,2:2:lpaa1","p":0.3,"cdf":true}"#,
+                "blocks",
+            ),
+            (
                 r#"{"kind":"dse","width":4,"p":0.3,"budget_power":3000,"threads":2}"#,
                 "dse",
             ),
@@ -774,6 +820,12 @@ mod tests {
                 "unknown mode",
             ),
             (r#"{"kind":"gear","n":8}"#, "\"r\""),
+            (r#"{"kind":"blocks"}"#, "\"config\""),
+            (r#"{"kind":"blocks","config":"4:9:accurate"}"#, "\"config\""),
+            (
+                r#"{"kind":"blocks","config":"2:0:accurate,2:1:accurate","pa":[0.5]}"#,
+                "4 stages",
+            ),
             (r#"{"kind":"dse"}"#, "\"width\""),
             (r#"{"kind":"dse","width":0}"#, "1..=64"),
             (

@@ -45,8 +45,8 @@ use crate::json::Json;
 use crate::metrics::{kind_index, Metrics, KIND_NAMES};
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    error_response, ok_response, AdderSpec, DseSpec, GearSpec, ProfileSource, ProfileSpec, Request,
-    RequestBody, SimMode, SimulateSpec, MAX_LINE_BYTES,
+    error_response, ok_response, AdderSpec, BlocksSpec, DseSpec, GearSpec, ProfileSource,
+    ProfileSpec, Request, RequestBody, SimMode, SimulateSpec, MAX_LINE_BYTES,
 };
 
 /// Daemon configuration; [`Default`] gives sensible local settings.
@@ -761,6 +761,7 @@ fn compute_result(body: &RequestBody) -> Result<Json, String> {
         RequestBody::Simulate(spec) => simulate_result(spec),
         RequestBody::Compare(spec) => compare_result(spec),
         RequestBody::Gear(spec) => gear_result(spec),
+        RequestBody::Blocks(spec) => blocks_result(spec),
         RequestBody::Dse(spec) => dse_result(spec),
         RequestBody::Profile(spec) => profile_result(spec),
         RequestBody::Stats | RequestBody::Shutdown => {
@@ -888,6 +889,48 @@ fn gear_result(spec: &GearSpec) -> Result<Json, String> {
             "block_error_probabilities",
             blocks.into_iter().map(Json::from).collect::<Vec<_>>(),
         );
+    }
+    Ok(obj.build())
+}
+
+/// Most PMF/CDF support points a `blocks` response ships; larger supports
+/// report summary statistics only (the line limit is the hard bound, this
+/// keeps responses readable long before it).
+const MAX_BLOCKS_PMF_ENTRIES: usize = 1024;
+
+fn blocks_result(spec: &BlocksSpec) -> Result<Json, String> {
+    let dist = sealpaa_blocks::error_distance_distribution(&spec.config, &spec.profile)
+        .map_err(|e| e.to_string())?;
+    let width = spec.config.width();
+    // Error distances are bounded by 2^(width+1) ≤ 2^48, so every support
+    // point is exactly representable as an f64 JSON number.
+    let points = |pairs: &[(i128, f64)]| -> Vec<Json> {
+        pairs
+            .iter()
+            .map(|&(d, p)| Json::Array(vec![Json::Number(d as f64), Json::Number(p)]))
+            .collect()
+    };
+    let mut obj = Json::object()
+        .field("config", spec.config.to_string())
+        .field("width", width as u64)
+        .field("blocks_total", spec.config.block_count() as u64)
+        .field("error_rate", dist.error_rate())
+        .field("mean", dist.mean())
+        .field("mean_absolute", dist.mean_absolute())
+        .field("mean_squared", dist.mean_squared())
+        .field(
+            "normalized_mean_absolute",
+            dist.normalized_mean_absolute(width),
+        )
+        .field("max_absolute", dist.max_absolute() as u64)
+        .field("support", dist.pmf.len() as u64);
+    if dist.pmf.len() <= MAX_BLOCKS_PMF_ENTRIES {
+        obj = obj.field("pmf", points(&dist.pmf));
+        if spec.cdf {
+            obj = obj.field("cdf", points(&dist.cdf()));
+        }
+    } else {
+        obj = obj.field("pmf_omitted", true);
     }
     Ok(obj.build())
 }

@@ -114,6 +114,19 @@ fn tcp_serves_all_four_analysis_kinds_and_matches_the_libraries() {
         sealpaa_gear::error_probability(&config, &[0.5; 8], &[0.5; 8], 0.0).expect("direct gear");
     assert_eq!(result_f64(&response, "error_probability"), direct);
 
+    // blocks — against the analytical engine in sealpaa_blocks.
+    let response =
+        client.request(r#"{"id":5,"kind":"blocks","config":"4:0:accurate,4:2:lpaa1","p":0.5}"#);
+    let config: sealpaa_blocks::BlockConfig = "4:0:accurate,4:2:lpaa1".parse().expect("config");
+    let direct =
+        sealpaa_blocks::error_distance_distribution(&config, &InputProfile::<f64>::uniform(8))
+            .expect("direct blocks");
+    assert_eq!(result_f64(&response, "error_rate"), direct.error_rate());
+    assert_eq!(
+        result_f64(&response, "mean_absolute"),
+        direct.mean_absolute()
+    );
+
     client.request(r#"{"kind":"shutdown"}"#);
     handle.join().expect("clean shutdown");
 }

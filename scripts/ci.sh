@@ -48,6 +48,11 @@ run cargo test -p sealpaa-core --test incremental -q
 run cargo test -p sealpaa-trace --test differential -q
 run cargo test -p sealpaa-trace --test fidelity -q
 
+# The block-adder differential suite: the analytical error-distance engine
+# vs exhaustive enumeration (exactly, in Rational, for every library cell)
+# and GeAr-as-blocks vs the gear crate's independent DP.
+run cargo test -p sealpaa-blocks --test differential -q
+
 # Smoke-run the kernel benchmarks (1 sample per bench, no JSON rewrite) so
 # kernel regressions that only break under the bench harness surface here
 # rather than in the next full bench run.
@@ -57,6 +62,8 @@ run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
     cargo bench -p sealpaa-bench --bench analysis_kernels
 run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
     cargo bench -p sealpaa-bench --bench trace_kernels
+run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
+    cargo bench -p sealpaa-bench --bench blocks_kernels
 
 # Lints are load-bearing: the gate fails on any clippy warning anywhere in
 # the workspace, including tests and benches.

@@ -17,6 +17,9 @@
 //! * [`inclexcl`] — the traditional inclusion–exclusion baseline and its
 //!   cost model,
 //! * [`gear`] — the GeAr low-latency adder and its analyses,
+//! * [`blocks`] — the generalized block-based adder family (per-block
+//!   widths, prediction depths and cells) with exact analytical
+//!   error-distance distributions,
 //! * [`explore`] — hybrid-adder design-space exploration,
 //! * [`datapath`] — accelerator datapaths (adder trees, multipliers, FIR
 //!   filters, 2-D convolution) built from approximate adders,
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use sealpaa_blocks as blocks;
 pub use sealpaa_cells as cells;
 pub use sealpaa_core as analysis;
 pub use sealpaa_datapath as datapath;
