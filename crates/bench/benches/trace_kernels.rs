@@ -2,17 +2,20 @@
 //! and the bitsliced 64-lane replay against the scalar per-record oracle —
 //! the quantitative record behind `BENCH_trace.json`.
 //!
-//! Two groups:
+//! Three groups:
 //!
 //! * `profiling` — one-pass [`TraceStats`] accumulation (per-bit ones plus
 //!   all pairwise co-occurrence counts, `O((2w+1)²)` state) over a
 //!   synthetic uniform trace.
 //! * `replay` — ground-truth error metrics of the same trace through an
 //!   LPAA 2 chain: the scalar oracle replays one record at a time through
-//!   `AdderChain::add`, the bitsliced path packs 64 records per
-//!   `CompiledChain::eval64_diff` pass. The differential suite in
-//!   `crates/trace/tests/differential.rs` pins that both produce
-//!   bit-for-bit identical reports for every thread count.
+//!   `AdderChain::add`, the bitsliced path packs `W::LANES` records per
+//!   fused `eval_diff` pass on the detected SIMD backend. The differential
+//!   suite in `crates/trace/tests/differential.rs` pins that both produce
+//!   bit-for-bit identical reports for every thread count and backend.
+//! * `replay_backends` — the same replay workloads once per *available*
+//!   SIMD backend (u64, u64x2, avx2, avx512), single-threaded, so the
+//!   recorded JSON shows the lane-width scaling in isolation.
 //!
 //! Unless `MICROBENCH_QUICK` is set (smoke mode), the run rewrites
 //! `BENCH_trace.json` at the repository root with ns/op for every
@@ -25,8 +28,8 @@ use std::fmt::Write as _;
 use sealpaa_bench::microbench::{
     black_box, take_results, BenchResult, BenchmarkId, Criterion, Throughput,
 };
-use sealpaa_cells::{AdderChain, StandardCell};
-use sealpaa_trace::{generate, replay, replay_scalar, SynthKind, TraceStats};
+use sealpaa_cells::{AdderChain, Backend, StandardCell};
+use sealpaa_trace::{generate, replay, replay_scalar, replay_with_backend, SynthKind, TraceStats};
 
 const WIDTH: usize = 16;
 
@@ -87,6 +90,34 @@ fn bench_replay(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_replay_backends(c: &mut Criterion) {
+    let records = generate(SynthKind::Uniform, WIDTH, record_count(), 7).expect("valid");
+    let worst = AdderChain::uniform(StandardCell::Lpaa2.cell(), WIDTH);
+    let hybrid = AdderChain::lsb_approximate(
+        StandardCell::Lpaa2.cell(),
+        StandardCell::Accurate.cell(),
+        4,
+        WIDTH,
+    );
+    let mut group = c.benchmark_group("replay_backends");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for (label, chain) in [
+        (format!("lpaa2_w{WIDTH}"), &worst),
+        (format!("hybrid4_w{WIDTH}"), &hybrid),
+    ] {
+        for backend in Backend::available() {
+            group.bench_function(BenchmarkId::new(label.clone(), backend.name()), |b| {
+                b.iter(|| {
+                    replay_with_backend(black_box(chain), black_box(&records), 1, Some(backend))
+                        .expect("valid")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn ns_of(results: &[BenchResult], name: &str) -> f64 {
     results
         .iter()
@@ -142,18 +173,49 @@ fn render_report(results: &[BenchResult]) -> String {
         );
     }
 
+    let available = Backend::available();
+    let mut backend_rows = String::new();
+    let workloads = ["lpaa2_w16", "hybrid4_w16"];
+    for (wi, workload) in workloads.iter().enumerate() {
+        let scalar_ns = ns_of(results, &format!("replay/{workload}/scalar"));
+        let u64_ns = ns_of(results, &format!("replay_backends/{workload}/u64"));
+        for (bi, backend) in available.iter().enumerate() {
+            let ns = ns_of(
+                results,
+                &format!("replay_backends/{workload}/{}", backend.name()),
+            );
+            let last = wi + 1 == workloads.len() && bi + 1 == available.len();
+            let sep = if last { "" } else { "," };
+            let _ = writeln!(
+                backend_rows,
+                "    {{\"workload\": \"replay_{workload}\", \"backend\": \"{}\", \
+                 \"lanes\": {}, \"ns_per_iter\": {ns:.1}, \"speedup_vs_u64\": {:.2}, \
+                 \"speedup_vs_scalar\": {:.2}}}{sep}",
+                backend.name(),
+                backend.lanes(),
+                u64_ns / ns,
+                scalar_ns / ns
+            );
+        }
+    }
+    let active = Backend::active().name();
+
     format!(
         "{{\n  \"generator\": \"cargo bench -p sealpaa-bench --bench trace_kernels\",\n  \
          \"unit\": \"ns_per_iter is the median wall-clock time of one full workload\",\n  \
+         \"simd_backend\": \"{active}\",\n  \
          \"note\": \"the replay baseline walks one record at a time through the scalar chain \
-         evaluator; the bitsliced rows pack 64 records per eval64_diff pass and accumulate \
-         exact integer sums, so their report is bit-for-bit identical to the baseline for \
-         every thread count (pinned by crates/trace/tests/differential.rs). The gain scales \
-         with the success rate: erring lanes pay a per-lane error-distance extraction, so the \
-         all-LPAA2 chain (error rate near 1) is the bitsliced worst case while the 4-LSB \
-         hybrid is the typical validation shape. Acceptance: bitsliced >= 1.2x scalar on the \
-         worst case, >= 1.5x on the hybrid\",\n  \
-         \"benches\": [\n{benches}  ],\n  \"speedups\": [\n{speedups}  ]\n}}\n"
+         evaluator; the bitsliced rows pack W::LANES records per fused eval_diff pass on the \
+         simd_backend above and accumulate exact integer sums, so their report is bit-for-bit \
+         identical to the baseline for every thread count and SIMD backend (pinned by \
+         crates/trace/tests/differential.rs). Error-dense batches settle all lanes at once in \
+         plane space (biased_distance_lanes), so even the all-LPAA2 chain (error rate near 1) \
+         scales with lane width; the 4-LSB hybrid is the typical validation shape. The \
+         backends section isolates lane-width scaling: one single-threaded row per available \
+         backend. Acceptance: bitsliced >= 1.2x scalar on the worst case, >= 1.5x on the \
+         hybrid, and the widest backend >= 2x the pre-SIMD u64 recording on both\",\n  \
+         \"benches\": [\n{benches}  ],\n  \"speedups\": [\n{speedups}  ],\n  \
+         \"backends\": [\n{backend_rows}  ]\n}}\n"
     )
 }
 
@@ -161,6 +223,7 @@ fn main() {
     let mut criterion = Criterion::default();
     bench_profiling(&mut criterion);
     bench_replay(&mut criterion);
+    bench_replay_backends(&mut criterion);
     let results = take_results();
     if std::env::var_os("MICROBENCH_QUICK").is_some() {
         eprintln!("MICROBENCH_QUICK set: not rewriting BENCH_trace.json");

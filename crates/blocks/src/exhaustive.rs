@@ -3,13 +3,17 @@
 //!
 //! The sweep enumerates every `(a, b)` pair (and both carry-ins) and
 //! histograms the signed error distance `approx − exact`. Like
-//! `sealpaa-sim`'s exhaustive sweep it runs 64 additions per step: operand
-//! `b` advances through consecutive values whose low six bit planes are
-//! compile-time lane patterns, each block window ripples its cell's truth
-//! table across all 64 lanes at once (SWAR over the eight table rows), and
-//! the accurate reference reuses [`CompiledChain::accurate64`]. Lanes whose
-//! outputs match the reference are counted in bulk off the mismatch word;
-//! only deviating lanes pay for value reconstruction.
+//! `sealpaa-sim`'s exhaustive sweep it runs one SIMD word of additions per
+//! step (64–512 lanes, following the runtime-detected [`Backend`]):
+//! operand `b` advances through consecutive values whose low six bit
+//! planes are compile-time lane patterns, each block window ripples its
+//! cell's truth table across all lanes at once (SWAR over the eight table
+//! rows), and the accurate reference reuses the generic
+//! [`accurate_eval`]. Lanes whose outputs match the reference are counted
+//! in bulk off the mismatch word; only deviating lanes pay for value
+//! reconstruction. Lane order is ascending case order on every backend,
+//! and all counts are integers, so the histogram is byte-identical across
+//! backends.
 //!
 //! Work is metered per block: each case charges one bit-addition per
 //! *window* bit (prediction bits are re-added, and the meter says so) plus
@@ -18,7 +22,10 @@
 
 use std::collections::BTreeMap;
 
-use sealpaa_cells::{lane_value, splat64, CompiledChain, FaInput, TruthTable};
+use sealpaa_cells::{
+    accurate_eval, dispatch, lane_value, splat_planes, Backend, FaInput, SimdKernel, SimdWord,
+    TruthTable,
+};
 use sealpaa_core::ErrorDistanceDistribution;
 use sealpaa_num::Prob;
 use sealpaa_sim::SimWork;
@@ -92,21 +99,22 @@ struct BitslicedBlock {
     carry_rows: u8,
 }
 
-/// Evaluates one truth table on 64 lanes by masking each of its 8 rows.
-#[inline]
-fn table_eval64(sum_rows: u8, carry_rows: u8, a: u64, b: u64, c: u64) -> (u64, u64) {
-    let mut sum = 0u64;
-    let mut carry = 0u64;
+/// Evaluates one truth table on `W::LANES` lanes by masking each of its 8
+/// rows.
+#[inline(always)]
+fn table_eval<W: SimdWord>(sum_rows: u8, carry_rows: u8, a: W, b: W, c: W) -> (W, W) {
+    let mut sum = W::zero();
+    let mut carry = W::zero();
     for input in FaInput::all() {
         let mask = (if input.a { a } else { !a })
             & (if input.b { b } else { !b })
             & (if input.carry_in { c } else { !c });
         let row = 1u8 << input.index();
         if sum_rows & row != 0 {
-            sum |= mask;
+            sum = sum | mask;
         }
         if carry_rows & row != 0 {
-            carry |= mask;
+            carry = carry | mask;
         }
     }
     (sum, carry)
@@ -146,11 +154,13 @@ impl BitslicedBlocks {
         BitslicedBlocks { blocks }
     }
 
-    /// Runs all blocks on 64 lanes; returns the approximate carry-out word.
-    fn eval64(&self, a_planes: &[u64], b_planes: &[u64], cin: u64, sum_out: &mut [u64]) -> u64 {
-        let mut cout = 0u64;
+    /// Runs all blocks on `W::LANES` lanes; returns the approximate
+    /// carry-out word.
+    #[inline(always)]
+    fn eval<W: SimdWord>(&self, a_planes: &[W], b_planes: &[W], cin: W, sum_out: &mut [W]) -> W {
+        let mut cout = W::zero();
         for (j, block) in self.blocks.iter().enumerate() {
-            let mut carry = if j == 0 { cin } else { 0 };
+            let mut carry = if j == 0 { cin } else { W::zero() };
             for t in block.window_start..block.end {
                 let (a, b) = (a_planes[t], b_planes[t]);
                 let (sum, next);
@@ -159,7 +169,7 @@ impl BitslicedBlocks {
                     sum = axb ^ carry;
                     next = (a & b) | (carry & axb);
                 } else {
-                    (sum, next) = table_eval64(block.sum_rows, block.carry_rows, a, b, carry);
+                    (sum, next) = table_eval(block.sum_rows, block.carry_rows, a, b, carry);
                 }
                 if t >= block.result_start {
                     sum_out[t] = sum;
@@ -197,6 +207,22 @@ impl BitslicedBlocks {
 pub fn exhaustive_distance_histogram(
     config: &BlockConfig,
 ) -> Result<ExhaustiveDistanceReport, BlockError> {
+    exhaustive_distance_histogram_with_backend(config, None)
+}
+
+/// [`exhaustive_distance_histogram`] with an explicit SIMD backend: `None`
+/// uses [`Backend::active`] (runtime detection, overridable through the
+/// `SEALPAA_SIMD` environment variable). The backend is narrowed when the
+/// width offers fewer `b` values than the word has lanes; the histogram is
+/// byte-identical on every backend.
+///
+/// # Errors
+///
+/// Same conditions as [`exhaustive_distance_histogram`].
+pub fn exhaustive_distance_histogram_with_backend(
+    config: &BlockConfig,
+    backend: Option<Backend>,
+) -> Result<ExhaustiveDistanceReport, BlockError> {
     let width = config.width();
     if width > MAX_EXHAUSTIVE_WIDTH {
         return Err(BlockError::ExhaustiveWidthTooLarge { width });
@@ -225,44 +251,92 @@ pub fn exhaustive_distance_histogram(
         }
         return Ok(ExhaustiveDistanceReport { histogram, work });
     }
+    let backend = backend
+        .unwrap_or_else(Backend::active)
+        .narrowed_to_lanes(1usize << width);
     let compiled = BitslicedBlocks::compile(config);
-    let mut b_planes = vec![0u64; width];
-    let mut approx = vec![0u64; width];
-    let mut exact = vec![0u64; width];
-    for cin in [0u64, u64::MAX] {
-        for a in 0..1u64 << width {
-            let a_planes = splat64(a, width);
-            for b_base in (0..1u64 << width).step_by(64) {
-                for (t, plane) in b_planes.iter_mut().enumerate() {
-                    *plane = if t < 6 {
-                        LANE_PATTERNS[t]
-                    } else if (b_base >> t) & 1 == 1 {
-                        u64::MAX
-                    } else {
-                        0
-                    };
-                }
-                let approx_cout = compiled.eval64(&a_planes, &b_planes, cin, &mut approx);
-                let exact_cout = CompiledChain::accurate64(&a_planes, &b_planes, cin, &mut exact);
-                let mut mismatch = approx_cout ^ exact_cout;
-                for t in 0..width {
-                    mismatch |= approx[t] ^ exact[t];
-                }
-                *histogram.entry(0).or_insert(0) += mismatch.count_zeros() as u64;
-                let mut lanes = mismatch;
-                while lanes != 0 {
-                    let lane = lanes.trailing_zeros() as usize;
-                    lanes &= lanes - 1;
-                    let approx_value = lane_value(&approx, approx_cout, lane);
-                    let exact_value = lane_value(&exact, exact_cout, lane);
-                    let d = approx_value as i128 - exact_value as i128;
-                    *histogram.entry(d).or_insert(0) += 1;
+    let histogram = dispatch(
+        backend,
+        HistogramWorker {
+            compiled: &compiled,
+            width,
+        },
+    );
+    Ok(ExhaustiveDistanceReport { histogram, work })
+}
+
+/// The bitsliced sweep dispatched to the selected backend's word type.
+struct HistogramWorker<'a> {
+    compiled: &'a BitslicedBlocks,
+    width: usize,
+}
+
+impl SimdKernel for HistogramWorker<'_> {
+    type Out = BTreeMap<i128, u64>;
+
+    #[inline(always)]
+    fn run<W: SimdWord>(self) -> Self::Out {
+        let (compiled, width) = (self.compiled, self.width);
+        let lanes_log2 = 6 + W::WORDS.trailing_zeros() as usize;
+        debug_assert!(lanes_log2 <= width);
+        let mut histogram: BTreeMap<i128, u64> = BTreeMap::new();
+        let mut a_planes = vec![W::zero(); width];
+        let mut b_planes = vec![W::zero(); width];
+        let mut approx = vec![W::zero(); width];
+        let mut exact = vec![W::zero(); width];
+        let mut sub_approx = vec![0u64; width];
+        let mut sub_exact = vec![0u64; width];
+        for cin in [W::zero(), W::ones()] {
+            for a in 0..1u64 << width {
+                splat_planes(a, &mut a_planes);
+                for b_base in (0..1u64 << width).step_by(W::LANES) {
+                    for (t, plane) in b_planes.iter_mut().enumerate() {
+                        *plane = if t < 6 {
+                            W::splat(LANE_PATTERNS[t])
+                        } else if t < lanes_log2 {
+                            W::from_fn(|s| (((s as u64) >> (t - 6)) & 1).wrapping_neg())
+                        } else {
+                            W::splat(((b_base >> t) & 1).wrapping_neg())
+                        };
+                    }
+                    let approx_cout = compiled.eval(&a_planes, &b_planes, cin, &mut approx);
+                    let exact_cout = accurate_eval(&a_planes, &b_planes, cin, &mut exact);
+                    let mut mismatch = approx_cout ^ exact_cout;
+                    for t in 0..width {
+                        mismatch = mismatch | (approx[t] ^ exact[t]);
+                    }
+                    *histogram.entry(0).or_insert(0) += W::LANES as u64 - mismatch.count_ones();
+                    if !mismatch.any() {
+                        continue;
+                    }
+                    // Per-lane value reconstruction walks the wide word one
+                    // 64-lane subword at a time, in ascending case order.
+                    for s in 0..W::WORDS {
+                        let mm = mismatch.word(s);
+                        if mm == 0 {
+                            continue;
+                        }
+                        for t in 0..width {
+                            sub_approx[t] = approx[t].word(s);
+                            sub_exact[t] = exact[t].word(s);
+                        }
+                        let (ac, ec) = (approx_cout.word(s), exact_cout.word(s));
+                        let mut lanes = mm;
+                        while lanes != 0 {
+                            let lane = lanes.trailing_zeros() as usize;
+                            lanes &= lanes - 1;
+                            let approx_value = lane_value(&sub_approx, ac, lane);
+                            let exact_value = lane_value(&sub_exact, ec, lane);
+                            let d = approx_value as i128 - exact_value as i128;
+                            *histogram.entry(d).or_insert(0) += 1;
+                        }
+                    }
                 }
             }
         }
+        histogram.retain(|_, count| *count > 0);
+        histogram
     }
-    histogram.retain(|_, count| *count > 0);
-    Ok(ExhaustiveDistanceReport { histogram, work })
 }
 
 #[cfg(test)]
@@ -298,6 +372,22 @@ mod tests {
             let config: BlockConfig = spec.parse().expect("parses");
             let report = exhaustive_distance_histogram(&config).expect("in range");
             assert_eq!(report.histogram, scalar_histogram(&config), "{spec}");
+        }
+    }
+
+    #[test]
+    fn every_backend_matches_scalar_oracle() {
+        // Byte-identity across backends, including a width (6) that forces
+        // wide backends to narrow and a width (9) that exercises the
+        // subword-index planes.
+        for spec in ["3:0:lpaa5,3:1:lpaa1", "3:0:lpaa1,3:1:accurate,3:2:lpaa6"] {
+            let config: BlockConfig = spec.parse().expect("parses");
+            let oracle = scalar_histogram(&config);
+            for backend in Backend::available() {
+                let report = exhaustive_distance_histogram_with_backend(&config, Some(backend))
+                    .expect("in range");
+                assert_eq!(report.histogram, oracle, "{spec} on {backend}");
+            }
         }
     }
 

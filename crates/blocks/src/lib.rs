@@ -48,6 +48,7 @@ mod functional;
 pub use config::{BlockConfig, BlockError, BlockSpec, ParseBlockConfigError, MAX_BLOCKS_WIDTH};
 pub use distance::{error_distance_distribution, BlockDistanceStepper, MAX_DISTANCE_SUPPORT};
 pub use exhaustive::{
-    exhaustive_distance_histogram, ExhaustiveDistanceReport, MAX_EXHAUSTIVE_WIDTH,
+    exhaustive_distance_histogram, exhaustive_distance_histogram_with_backend,
+    ExhaustiveDistanceReport, MAX_EXHAUSTIVE_WIDTH,
 };
 pub use functional::{BlockAdder, BlockAdditionResult};

@@ -1,18 +1,19 @@
-//! Bitsliced (SWAR) evaluation of adder chains: 64 input vectors per stage
-//! per instruction.
+//! Bitsliced (SWAR/SIMD) evaluation of adder chains: 64–512 input vectors
+//! per stage per instruction.
 //!
 //! [`AdderChain::add`] walks the stages one input vector at a time, building
 //! a [`FaInput`] and looking up a truth-table row per bit. That is fine for
 //! spot checks but hopeless for the `2^(2N+1)`-case exhaustive sweeps of
 //! paper Fig. 1 / Table 6. [`CompiledChain`] instead compiles each stage's
-//! 8-row truth table *once* into sum/carry boolean expressions over `u64`
+//! 8-row truth table *once* into sum/carry boolean expressions over
 //! **bit-planes**: bit `l` of plane `i` is bit `i` of the `l`-th input
-//! vector, so one pass over the stages evaluates 64 independent additions.
+//! vector, so one pass over the stages evaluates one lane batch of
+//! independent additions.
 //!
 //! The compilation scheme is a broadcast mux tree: each truth-table row bit
-//! is expanded once, at compile time, into an all-ones/all-zeros 64-bit
-//! mask, and an output column is evaluated lane-parallel by a three-level
-//! binary mux over the `c`, `b`, `a` planes:
+//! is expanded once, at compile time, into an all-ones/all-zeros mask, and
+//! an output column is evaluated lane-parallel by a three-level binary mux
+//! over the `c`, `b`, `a` planes:
 //!
 //! ```text
 //! r_k = (c & m[2k+1]) | (!c & m[2k])      k = 0..4   (mux by Cin)
@@ -25,6 +26,14 @@
 //! path `sum = a ^ b ^ c`, `carry = (a & b) | (c & (a ^ b))`, so hybrid
 //! chains with accurate MSBs cost almost nothing above the approximate
 //! stages.
+//!
+//! The evaluation core is generic over [`SimdWord`]: the `u64` methods
+//! ([`eval64_into`](CompiledChain::eval64_into) and friends) are the 64-lane
+//! baseline, and [`CompiledChain::kernel`] instantiates the same mux tree
+//! for any wider word (2×u64 / AVX2 / AVX-512), dispatched at runtime via
+//! [`crate::simd::dispatch`]. Lane order is fixed by the [`SimdWord`]
+//! contract — lane `l` is bit `l % 64` of element `l / 64` — so a wide
+//! batch is exactly `WORDS` consecutive 64-lane batches evaluated together.
 //!
 //! # Examples
 //!
@@ -45,39 +54,52 @@
 //! ```
 
 use crate::chain::AdderChain;
+use crate::simd::SimdWord;
 use crate::truth_table::{FaInput, TruthTable};
 
-/// One stage reduced to bit-parallel form: per output, the eight truth-table
-/// row bits pre-broadcast into all-ones/all-zeros words (`m[r]` describes
-/// [`FaInput::from_index`]`(r)`), ready for the mux tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct CompiledStage {
-    /// Broadcast row masks of the sum column.
-    sum_m: [u64; 8],
-    /// Broadcast row masks of the carry-out column.
-    carry_m: [u64; 8],
-    /// Broadcast row masks of the rows on which the cell deviates from the
-    /// accurate full adder (in sum or carry) — the paper's per-stage "error
-    /// cases".
-    error_m: [u64; 8],
-    /// Rows on which the cell deviates, as a plain 8-bit mask (`error_m`
-    /// collapsed), kept for the accurate-stage fast-path test.
+/// One stage's three 8-row truth-table columns as plain bit masks (the
+/// backend-independent compilation result; `error_tt` marks the rows on
+/// which the cell deviates from the accurate full adder — the paper's
+/// per-stage "error cases").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StageTables {
+    sum_tt: u8,
+    carry_tt: u8,
     error_tt: u8,
 }
 
-impl CompiledStage {
+/// One stage specialized for word type `W`: per output, the eight
+/// truth-table row bits pre-broadcast into all-ones/all-zeros words
+/// (`m[r]` describes [`FaInput::from_index`]`(r)`), ready for the mux tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct KernelStage<W> {
+    /// Broadcast row masks of the sum column.
+    sum_m: [W; 8],
+    /// Broadcast row masks of the carry-out column.
+    carry_m: [W; 8],
+    /// Broadcast row masks of the error rows.
+    error_m: [W; 8],
+    /// The error rows as a plain 8-bit mask (`error_m` collapsed), kept for
+    /// the accurate-stage fast-path test.
+    error_tt: u8,
+}
+
+impl<W: SimdWord> KernelStage<W> {
     /// `true` if the stage behaves exactly like the accurate full adder, in
     /// which case evaluation takes the xor/majority fast path.
+    #[inline(always)]
     fn is_accurate(&self) -> bool {
         self.error_tt == 0
     }
 }
 
 /// Expands an 8-bit truth-table column into broadcast row masks.
-fn broadcast_rows(tt: u8) -> [u64; 8] {
-    let mut m = [0u64; 8];
+fn broadcast_rows<W: SimdWord>(tt: u8) -> [W; 8] {
+    let mut m = [W::zero(); 8];
     for (r, mask) in m.iter_mut().enumerate() {
-        *mask = (((tt >> r) & 1) as u64).wrapping_neg();
+        if (tt >> r) & 1 == 1 {
+            *mask = W::ones();
+        }
     }
     m
 }
@@ -86,7 +108,7 @@ fn broadcast_rows(tt: u8) -> [u64; 8] {
 /// the input planes and their complements (`(A << 2) | (B << 1) | Cin` row
 /// indexing — Cin muxes first, A last).
 #[inline(always)]
-fn mux8(m: &[u64; 8], a: u64, na: u64, b: u64, nb: u64, c: u64, nc: u64) -> u64 {
+fn mux8<W: SimdWord>(m: &[W; 8], a: W, na: W, b: W, nb: W, c: W, nc: W) -> W {
     let r0 = (c & m[1]) | (nc & m[0]);
     let r1 = (c & m[3]) | (nc & m[2]);
     let r2 = (c & m[5]) | (nc & m[4]);
@@ -100,10 +122,13 @@ fn mux8(m: &[u64; 8], a: u64, na: u64, b: u64, nb: u64, c: u64, nc: u64) -> u64 
 ///
 /// See the [module docs](self) for the encoding. A `CompiledChain` is plain
 /// data (`Send + Sync`), so one compilation can be shared across simulation
-/// worker threads.
+/// worker threads. The `u64` methods are the baseline engine;
+/// [`kernel`](Self::kernel) re-broadcasts the same truth tables for a wider
+/// [`SimdWord`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledChain {
-    stages: Vec<CompiledStage>,
+    tables: Vec<StageTables>,
+    kernel64: CompiledKernel<u64>,
 }
 
 impl CompiledChain {
@@ -118,7 +143,7 @@ impl CompiledChain {
             "bitsliced evaluation supports up to 64 bits"
         );
         let accurate = TruthTable::accurate();
-        let stages = chain
+        let tables: Vec<StageTables> = chain
             .iter()
             .map(|cell| {
                 let table = cell.truth_table();
@@ -138,25 +163,32 @@ impl CompiledChain {
                         error_tt |= 1 << r;
                     }
                 }
-                CompiledStage {
-                    sum_m: broadcast_rows(sum_tt),
-                    carry_m: broadcast_rows(carry_tt),
-                    error_m: broadcast_rows(error_tt),
+                StageTables {
+                    sum_tt,
+                    carry_tt,
                     error_tt,
                 }
             })
             .collect();
-        CompiledChain { stages }
+        let kernel64 = kernel_from_tables(&tables);
+        CompiledChain { tables, kernel64 }
     }
 
     /// Number of stages (operand width in bits).
     pub fn width(&self) -> usize {
-        self.stages.len()
+        self.tables.len()
     }
 
     /// `true` if every stage is behaviourally exact.
     pub fn is_accurate(&self) -> bool {
-        self.stages.iter().all(|s| s.is_accurate())
+        self.tables.iter().all(|t| t.error_tt == 0)
+    }
+
+    /// Specializes the chain for word type `W`: the same mux tree with the
+    /// row masks re-broadcast to `W`'s width. Build once per simulation
+    /// run, outside the hot loop.
+    pub fn kernel<W: SimdWord>(&self) -> CompiledKernel<W> {
+        kernel_from_tables(&self.tables)
     }
 
     /// Evaluates 64 additions at once, writing the sum bit-planes into
@@ -176,23 +208,7 @@ impl CompiledChain {
         cin: u64,
         sum_out: &mut [u64],
     ) -> u64 {
-        let width = self.width();
-        assert_eq!(a_planes.len(), width, "a_planes width mismatch");
-        assert_eq!(b_planes.len(), width, "b_planes width mismatch");
-        assert_eq!(sum_out.len(), width, "sum_out width mismatch");
-        let mut carry = cin;
-        for (i, stage) in self.stages.iter().enumerate() {
-            let (a, b, c) = (a_planes[i], b_planes[i], carry);
-            if stage.is_accurate() {
-                sum_out[i] = a ^ b ^ c;
-                carry = (a & b) | (c & (a ^ b));
-            } else {
-                let (na, nb, nc) = (!a, !b, !c);
-                sum_out[i] = mux8(&stage.sum_m, a, na, b, nb, c, nc);
-                carry = mux8(&stage.carry_m, a, na, b, nb, c, nc);
-            }
-        }
-        carry
+        self.kernel64.eval_into(a_planes, b_planes, cin, sum_out)
     }
 
     /// Allocating convenience wrapper around [`eval64_into`]: returns
@@ -212,15 +228,7 @@ impl CompiledChain {
     ///
     /// Panics if the slice lengths differ.
     pub fn accurate64(a_planes: &[u64], b_planes: &[u64], cin: u64, sum_out: &mut [u64]) -> u64 {
-        assert_eq!(a_planes.len(), b_planes.len(), "operand width mismatch");
-        assert_eq!(a_planes.len(), sum_out.len(), "sum_out width mismatch");
-        let mut carry = cin;
-        for i in 0..a_planes.len() {
-            let (a, b, c) = (a_planes[i], b_planes[i], carry);
-            sum_out[i] = a ^ b ^ c;
-            carry = (a & b) | (c & (a ^ b));
-        }
-        carry
+        accurate_eval(a_planes, b_planes, cin, sum_out)
     }
 
     /// Fused evaluation of the approximate chain *and* the accurate
@@ -244,45 +252,8 @@ impl CompiledChain {
         approx_out: &mut [u64],
         exact_out: &mut [u64],
     ) -> Diff64 {
-        let width = self.width();
-        assert_eq!(a_planes.len(), width, "a_planes width mismatch");
-        assert_eq!(b_planes.len(), width, "b_planes width mismatch");
-        assert_eq!(approx_out.len(), width, "approx_out width mismatch");
-        assert_eq!(exact_out.len(), width, "exact_out width mismatch");
-        let mut approx_carry = cin;
-        let mut exact_carry = cin;
-        let mut deviated = 0u64;
-        let mut mismatch = 0u64;
-        for (i, stage) in self.stages.iter().enumerate() {
-            let (a, b) = (a_planes[i], b_planes[i]);
-            let axb = a ^ b;
-            let aab = a & b;
-            let approx;
-            if stage.is_accurate() {
-                approx = axb ^ approx_carry;
-                approx_carry = aab | (approx_carry & axb);
-            } else {
-                let (na, nb) = (!a, !b);
-                let (c, nc) = (approx_carry, !approx_carry);
-                approx = mux8(&stage.sum_m, a, na, b, nb, c, nc);
-                approx_carry = mux8(&stage.carry_m, a, na, b, nb, c, nc);
-                // First-deviation semantics: error rows are tested along
-                // the *accurate* carry chain.
-                deviated |= mux8(&stage.error_m, a, na, b, nb, exact_carry, !exact_carry);
-            }
-            let exact = axb ^ exact_carry;
-            exact_carry = aab | (exact_carry & axb);
-            mismatch |= approx ^ exact;
-            approx_out[i] = approx;
-            exact_out[i] = exact;
-        }
-        mismatch |= approx_carry ^ exact_carry;
-        Diff64 {
-            approx_cout: approx_carry,
-            exact_cout: exact_carry,
-            deviated,
-            mismatch,
-        }
+        self.kernel64
+            .eval_diff(a_planes, b_planes, cin, approx_out, exact_out)
     }
 
     /// Walks the accurate carry chain, writing the accurate sum planes into
@@ -301,17 +272,151 @@ impl CompiledChain {
         cin: u64,
         sum_out: &mut [u64],
     ) -> (u64, u64) {
+        self.kernel64
+            .accurate_deviation(a_planes, b_planes, cin, sum_out)
+    }
+}
+
+fn kernel_from_tables<W: SimdWord>(tables: &[StageTables]) -> CompiledKernel<W> {
+    CompiledKernel {
+        stages: tables
+            .iter()
+            .map(|t| KernelStage {
+                sum_m: broadcast_rows(t.sum_tt),
+                carry_m: broadcast_rows(t.carry_tt),
+                error_m: broadcast_rows(t.error_tt),
+                error_tt: t.error_tt,
+            })
+            .collect(),
+    }
+}
+
+/// A [`CompiledChain`] specialized for word type `W` — the generic engine
+/// behind every bitsliced simulator, obtained from
+/// [`CompiledChain::kernel`] and dispatched via [`crate::simd::dispatch`].
+///
+/// The methods mirror the chain's `u64` API one-for-one (`eval_into` ↔
+/// [`CompiledChain::eval64_into`], …); all are `#[inline(always)]` so the
+/// mux tree is monomorphized *inside* the feature-annotated dispatch
+/// wrapper and LLVM can vectorize the plain-array word operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledKernel<W> {
+    stages: Vec<KernelStage<W>>,
+}
+
+impl<W: SimdWord> CompiledKernel<W> {
+    /// Number of stages (operand width in bits).
+    pub fn width(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `W::LANES` additions per call; see [`CompiledChain::eval64_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from [`width`](Self::width).
+    #[inline(always)]
+    pub fn eval_into(&self, a_planes: &[W], b_planes: &[W], cin: W, sum_out: &mut [W]) -> W {
         let width = self.width();
         assert_eq!(a_planes.len(), width, "a_planes width mismatch");
         assert_eq!(b_planes.len(), width, "b_planes width mismatch");
         assert_eq!(sum_out.len(), width, "sum_out width mismatch");
         let mut carry = cin;
-        let mut deviated = 0u64;
+        for (i, stage) in self.stages.iter().enumerate() {
+            let (a, b, c) = (a_planes[i], b_planes[i], carry);
+            if stage.is_accurate() {
+                sum_out[i] = a ^ b ^ c;
+                carry = (a & b) | (c & (a ^ b));
+            } else {
+                let (na, nb, nc) = (!a, !b, !c);
+                sum_out[i] = mux8(&stage.sum_m, a, na, b, nb, c, nc);
+                carry = mux8(&stage.carry_m, a, na, b, nb, c, nc);
+            }
+        }
+        carry
+    }
+
+    /// Fused approximate + accurate evaluation; see
+    /// [`CompiledChain::eval64_diff`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from [`width`](Self::width).
+    #[inline(always)]
+    pub fn eval_diff(
+        &self,
+        a_planes: &[W],
+        b_planes: &[W],
+        cin: W,
+        approx_out: &mut [W],
+        exact_out: &mut [W],
+    ) -> KernelDiff<W> {
+        let width = self.width();
+        assert_eq!(a_planes.len(), width, "a_planes width mismatch");
+        assert_eq!(b_planes.len(), width, "b_planes width mismatch");
+        assert_eq!(approx_out.len(), width, "approx_out width mismatch");
+        assert_eq!(exact_out.len(), width, "exact_out width mismatch");
+        let mut approx_carry = cin;
+        let mut exact_carry = cin;
+        let mut deviated = W::zero();
+        let mut mismatch = W::zero();
+        for (i, stage) in self.stages.iter().enumerate() {
+            let (a, b) = (a_planes[i], b_planes[i]);
+            let axb = a ^ b;
+            let aab = a & b;
+            let approx;
+            if stage.is_accurate() {
+                approx = axb ^ approx_carry;
+                approx_carry = aab | (approx_carry & axb);
+            } else {
+                let (na, nb) = (!a, !b);
+                let (c, nc) = (approx_carry, !approx_carry);
+                approx = mux8(&stage.sum_m, a, na, b, nb, c, nc);
+                approx_carry = mux8(&stage.carry_m, a, na, b, nb, c, nc);
+                // First-deviation semantics: error rows are tested along
+                // the *accurate* carry chain.
+                deviated = deviated | mux8(&stage.error_m, a, na, b, nb, exact_carry, !exact_carry);
+            }
+            let exact = axb ^ exact_carry;
+            exact_carry = aab | (exact_carry & axb);
+            mismatch = mismatch | (approx ^ exact);
+            approx_out[i] = approx;
+            exact_out[i] = exact;
+        }
+        mismatch = mismatch | (approx_carry ^ exact_carry);
+        KernelDiff {
+            approx_cout: approx_carry,
+            exact_cout: exact_carry,
+            deviated,
+            mismatch,
+        }
+    }
+
+    /// Accurate carry chain + first-deviation word; see
+    /// [`CompiledChain::accurate_deviation64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from [`width`](Self::width).
+    #[inline(always)]
+    pub fn accurate_deviation(
+        &self,
+        a_planes: &[W],
+        b_planes: &[W],
+        cin: W,
+        sum_out: &mut [W],
+    ) -> (W, W) {
+        let width = self.width();
+        assert_eq!(a_planes.len(), width, "a_planes width mismatch");
+        assert_eq!(b_planes.len(), width, "b_planes width mismatch");
+        assert_eq!(sum_out.len(), width, "sum_out width mismatch");
+        let mut carry = cin;
+        let mut deviated = W::zero();
         for (i, stage) in self.stages.iter().enumerate() {
             let (a, b, c) = (a_planes[i], b_planes[i], carry);
             if stage.error_tt != 0 {
                 let (na, nb, nc) = (!a, !b, !c);
-                deviated |= mux8(&stage.error_m, a, na, b, nb, c, nc);
+                deviated = deviated | mux8(&stage.error_m, a, na, b, nb, c, nc);
             }
             sum_out[i] = a ^ b ^ c;
             carry = (a & b) | (c & (a ^ b));
@@ -320,18 +425,41 @@ impl CompiledChain {
     }
 }
 
-/// The comparison words of one fused [`CompiledChain::eval64_diff`] batch.
+/// The comparison words of one fused [`CompiledKernel::eval_diff`] batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Diff64 {
+pub struct KernelDiff<W> {
     /// The approximate chain's carry-out word.
-    pub approx_cout: u64,
+    pub approx_cout: W,
     /// The accurate reference's carry-out word.
-    pub exact_cout: u64,
+    pub exact_cout: W,
     /// Lanes on which some stage sat on an error row along the accurate
     /// carries (the paper's first-deviation "stage error" semantics).
-    pub deviated: u64,
+    pub deviated: W,
     /// Lanes whose full output value (sum bits + carry-out) is wrong.
-    pub mismatch: u64,
+    pub mismatch: W,
+}
+
+/// The comparison words of one fused 64-lane batch.
+pub type Diff64 = KernelDiff<u64>;
+
+/// Evaluates the *accurate* reference chain on `W::LANES` lanes: plain
+/// ripple addition via `sum = a ^ b ^ c`, `carry = majority(a, b, c)` (the
+/// generic form of [`CompiledChain::accurate64`]).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[inline(always)]
+pub fn accurate_eval<W: SimdWord>(a_planes: &[W], b_planes: &[W], cin: W, sum_out: &mut [W]) -> W {
+    assert_eq!(a_planes.len(), b_planes.len(), "operand width mismatch");
+    assert_eq!(a_planes.len(), sum_out.len(), "sum_out width mismatch");
+    let mut carry = cin;
+    for i in 0..a_planes.len() {
+        let (a, b, c) = (a_planes[i], b_planes[i], carry);
+        sum_out[i] = a ^ b ^ c;
+        carry = (a & b) | (c & (a ^ b));
+    }
+    carry
 }
 
 /// Broadcasts one scalar value into bit-planes: plane `i` is all-ones iff
@@ -344,9 +472,123 @@ pub fn splat64(value: u64, width: usize) -> Vec<u64> {
 
 /// In-place variant of [`splat64`] for hot loops.
 pub fn splat64_into(value: u64, planes: &mut [u64]) {
+    splat_planes(value, planes);
+}
+
+/// Generic form of [`splat64_into`]: plane `i` is all-ones iff bit `i` of
+/// `value` is set.
+#[inline(always)]
+pub fn splat_planes<W: SimdWord>(value: u64, planes: &mut [W]) {
     for (i, plane) in planes.iter_mut().enumerate() {
-        *plane = ((value >> i) & 1).wrapping_neg();
+        *plane = W::splat(((value >> i) & 1).wrapping_neg());
     }
+}
+
+/// Transposes a 64×64 bit matrix in place (bit `c` of word `r` swaps with
+/// bit `r` of word `c`) with the classic block-swap recursion: 6 rounds of
+/// masked half-block exchanges, `O(64·log 64)` word operations instead of
+/// the `O(64·64)` single-bit moves of a naive transpose.
+fn transpose64(m: &mut [u64; 64]) {
+    transpose_lanes(m);
+}
+
+/// Transposes 64 wide words as `W::WORDS` independent 64×64 bit matrices,
+/// in place: within every 64-bit element position `s`, bit `c` of
+/// `m[r].word(s)` swaps with bit `r` of `m[c].word(s)`.
+///
+/// Every swap step of the block recursion shifts and masks *within* a
+/// 64-bit element, so the wide transpose performs one subword transpose per
+/// element at the op count of a single scalar [`transpose64`] — the wider
+/// the backend, the more 64-lane subwords are transposed per operation.
+#[inline(always)]
+pub fn transpose_lanes<W: SimdWord>(m: &mut [W; 64]) {
+    let mut j = 32u32;
+    let mut mask = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let wmask = W::splat(mask);
+        let mut k = 0usize;
+        while k < 64 {
+            for i in k..k + j as usize {
+                let t = (m[i].shr64(j) ^ m[i + j as usize]) & wmask;
+                m[i] = m[i] ^ t.shl64(j);
+                m[i + j as usize] = m[i + j as usize] ^ t;
+            }
+            k += 2 * j as usize;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Computes, for every lane, the *biased* signed error distance
+/// `(approx − exact) + (2^(width+1) − 1)` — the canonical error-distance
+/// histogram index — in transposed form: after the call, `m[l].word(s)` is
+/// the biased distance of lane `l` of 64-lane subword `s` (planes at or
+/// above `width + 2` come out zero, so the value is the full result).
+///
+/// The distances are produced entirely in plane space: a lane-parallel
+/// two's-complement subtraction over `width + 2` bit-planes followed by one
+/// wide [`transpose_lanes`]. The cost is `O(width + 64·log 64)` wide-word
+/// operations per call — independent of how many lanes mismatch, and
+/// scaling with the backend's lane count — where a per-lane
+/// [`error_distances64`] walk is serial in the erroneous lanes. Sweep and
+/// replay engines switch to this path when a batch's mismatch mask is
+/// dense.
+///
+/// # Panics
+///
+/// Panics if the sum slice lengths differ or `width + 2 > 64`.
+#[inline(always)]
+pub fn biased_distance_lanes<W: SimdWord>(
+    approx_sum: &[W],
+    approx_cout: W,
+    exact_sum: &[W],
+    exact_cout: W,
+    m: &mut [W; 64],
+) {
+    assert_eq!(approx_sum.len(), exact_sum.len(), "operand width mismatch");
+    let width = approx_sum.len();
+    assert!(width + 2 <= 64, "biased distances need width + 2 planes");
+    // approx − exact + (2^(width+1) − 1) ≡ approx + !exact + 2^(width+1)
+    // (mod 2^(width+2)): one ripple addition of approx and !exact — the
+    // two's-complement carry-in and the bias together are exactly
+    // 2^(width+1), which only complements the top plane.
+    let mut carry = W::zero();
+    for i in 0..width {
+        let a = approx_sum[i];
+        let e = !exact_sum[i];
+        m[i] = a ^ e ^ carry;
+        carry = (a & e) | (carry & (a ^ e));
+    }
+    let a = approx_cout;
+    let e = !exact_cout;
+    m[width] = a ^ e ^ carry;
+    carry = (a & e) | (carry & (a ^ e));
+    // Plane width+1 of the operands is (0, all-ones), so the plain sum bit
+    // is !carry; adding the folded 2^(width+1) complements it to `carry`.
+    m[width + 1] = carry;
+    for plane in m.iter_mut().skip(width + 2) {
+        *plane = W::zero();
+    }
+    transpose_lanes(m);
+}
+
+/// Transposes up to 64 scalar values into bit-planes, in place: bit `l` of
+/// `planes[i]` is bit `i` of `values[l]` (missing lanes are zero, and
+/// operand bits at or above `planes.len()` are dropped). This is the hot
+/// packing path of trace replay; the cost is one 64×64 bit-matrix
+/// [`transpose64`], independent of how many of the 64 lanes are occupied.
+///
+/// # Panics
+///
+/// Panics if more than 64 values or more than 64 planes are given.
+pub fn pack_lanes_into(values: &[u64], planes: &mut [u64]) {
+    assert!(values.len() <= 64, "a plane word holds at most 64 lanes");
+    assert!(planes.len() <= 64, "at most 64 bit-planes per operand");
+    let mut m = [0u64; 64];
+    m[..values.len()].copy_from_slice(values);
+    transpose64(&mut m);
+    planes.copy_from_slice(&m[..planes.len()]);
 }
 
 /// Transposes up to 64 scalar values into bit-planes: bit `l` of plane `i`
@@ -356,13 +598,9 @@ pub fn splat64_into(value: u64, planes: &mut [u64]) {
 ///
 /// Panics if more than 64 values are given.
 pub fn pack_lanes(values: &[u64], width: usize) -> Vec<u64> {
-    assert!(values.len() <= 64, "a plane word holds at most 64 lanes");
+    assert!(width <= 64, "at most 64 bit-planes per operand");
     let mut planes = vec![0u64; width];
-    for (lane, &v) in values.iter().enumerate() {
-        for (i, plane) in planes.iter_mut().enumerate() {
-            *plane |= ((v >> i) & 1) << lane;
-        }
-    }
+    pack_lanes_into(values, &mut planes);
     planes
 }
 
@@ -433,8 +671,8 @@ pub fn error_distances64(
     accumulate(approx_cout, exact_cout, 1i64 << approx_sum.len());
 }
 
-/// Aggregate error-distance statistics of one 64-lane batch: the lanes set
-/// in `mismatch` contribute their signed error distance `approx − exact` to
+/// Aggregate error-distance statistics of one lane batch: the lanes set in
+/// `mismatch` contribute their signed error distance `approx − exact` to
 /// [`sum_ed`](ErrorStats64::sum_ed), its magnitude to
 /// [`sum_abs_ed`](ErrorStats64::sum_abs_ed), and the largest magnitude to
 /// [`max_abs_ed`](ErrorStats64::max_abs_ed).
@@ -447,6 +685,17 @@ pub struct ErrorStats64 {
     pub sum_abs_ed: f64,
     /// `max |approx − exact|` over the mismatch lanes.
     pub max_abs_ed: u64,
+}
+
+/// Computes [`ErrorStats64`] for a 64-lane batch; see [`error_stats`].
+pub fn error_stats64(
+    approx_sum: &[u64],
+    approx_cout: u64,
+    exact_sum: &[u64],
+    exact_cout: u64,
+    mismatch: u64,
+) -> ErrorStats64 {
+    error_stats(approx_sum, approx_cout, exact_sum, exact_cout, mismatch)
 }
 
 /// Computes [`ErrorStats64`] for a batch entirely in plane space — no
@@ -465,37 +714,38 @@ pub struct ErrorStats64 {
 /// Panics if the sum slice lengths differ, or (in debug builds) if the
 /// width is 64 (the carry-out would sit at bit 64; every simulation caller
 /// is capped below that).
-pub fn error_stats64(
-    approx_sum: &[u64],
-    approx_cout: u64,
-    exact_sum: &[u64],
-    exact_cout: u64,
-    mismatch: u64,
+#[inline(always)]
+pub fn error_stats<W: SimdWord>(
+    approx_sum: &[W],
+    approx_cout: W,
+    exact_sum: &[W],
+    exact_cout: W,
+    mismatch: W,
 ) -> ErrorStats64 {
     assert_eq!(approx_sum.len(), exact_sum.len(), "operand width mismatch");
     let width = approx_sum.len();
     debug_assert!(width < 64, "carry-out weight 2^width must fit in u64");
-    if mismatch == 0 {
+    if !mismatch.any() {
         return ErrorStats64::default();
     }
 
     // Lanes where approx > exact: first differing bit, MSB first.
     let mut undecided = mismatch;
-    let mut gt = 0u64;
+    let mut gt = W::zero();
     let d = (approx_cout ^ exact_cout) & undecided;
-    gt |= d & approx_cout;
-    undecided &= !d;
+    gt = gt | (d & approx_cout);
+    undecided = undecided & !d;
     for i in (0..width).rev() {
         let d = (approx_sum[i] ^ exact_sum[i]) & undecided;
-        gt |= d & approx_sum[i];
-        undecided &= !d;
+        gt = gt | (d & approx_sum[i]);
+        undecided = undecided & !d;
     }
     let lt = mismatch & !gt;
 
     // |approx − exact| per lane as magnitude planes: subtract the smaller
     // value from the larger with a lane-parallel borrow ripple.
-    let mut mag = [0u64; 65];
-    let mut borrow = 0u64;
+    let mut mag = [W::zero(); 65];
+    let mut borrow = W::zero();
     for i in 0..width {
         let x = (approx_sum[i] & gt) | (exact_sum[i] & lt);
         let y = (exact_sum[i] & gt) | (approx_sum[i] & lt);
@@ -510,9 +760,8 @@ pub fn error_stats64(
     let mut sum_abs_ed = 0.0f64;
     for (i, &m) in mag[..=width].iter().enumerate() {
         let weight = (1u128 << i) as f64;
-        sum_abs_ed += f64::from(m.count_ones()) * weight;
-        sum_ed +=
-            (i64::from((m & gt).count_ones()) - i64::from((m & lt).count_ones())) as f64 * weight;
+        sum_abs_ed += m.count_ones() as f64 * weight;
+        sum_ed += ((m & gt).count_ones() as i64 - (m & lt).count_ones() as i64) as f64 * weight;
     }
 
     // Maximum magnitude: narrow the candidate set bit by bit from the top.
@@ -520,7 +769,7 @@ pub fn error_stats64(
     let mut max_abs_ed = 0u64;
     for i in (0..=width).rev() {
         let hit = candidates & mag[i];
-        if hit != 0 {
+        if hit.any() {
             candidates = hit;
             max_abs_ed |= 1u64 << i;
         }
@@ -537,6 +786,7 @@ pub fn error_stats64(
 mod tests {
     use super::*;
     use crate::library::{Cell, StandardCell};
+    use crate::simd::{W128, W256, W512};
 
     /// Tiny deterministic generator for test operands (SplitMix64 step).
     struct TestRng(u64);
@@ -668,6 +918,108 @@ mod tests {
         }
     }
 
+    /// The wide kernel's batch must be, subword for subword, exactly the
+    /// u64 engine applied to consecutive 64-lane batches (the lane-order
+    /// contract every backend's byte-identity rests on).
+    fn assert_kernel_matches_u64_subwords<W: SimdWord>(chain: &AdderChain, rng: &mut TestRng) {
+        let width = chain.width();
+        let compiled = CompiledChain::compile(chain);
+        let kernel = compiled.kernel::<W>();
+        assert_eq!(kernel.width(), width);
+        let a_planes: Vec<W> = (0..width).map(|_| W::from_fn(|_| rng.next())).collect();
+        let b_planes: Vec<W> = (0..width).map(|_| W::from_fn(|_| rng.next())).collect();
+        let cin = W::from_fn(|_| rng.next());
+        let mut approx = vec![W::zero(); width];
+        let mut exact = vec![W::zero(); width];
+        let diff = kernel.eval_diff(&a_planes, &b_planes, cin, &mut approx, &mut exact);
+        let mut sum = vec![W::zero(); width];
+        let cout = kernel.eval_into(&a_planes, &b_planes, cin, &mut sum);
+        let mut dev_sum = vec![W::zero(); width];
+        let (dev_cout, deviated) =
+            kernel.accurate_deviation(&a_planes, &b_planes, cin, &mut dev_sum);
+        let mut acc_sum = vec![W::zero(); width];
+        let acc_cout = accurate_eval(&a_planes, &b_planes, cin, &mut acc_sum);
+        let stats = error_stats(
+            &approx,
+            diff.approx_cout,
+            &exact,
+            diff.exact_cout,
+            diff.mismatch,
+        );
+
+        let mut stats64_sum = ErrorStats64::default();
+        for s in 0..W::WORDS {
+            let sub = |planes: &[W]| -> Vec<u64> { planes.iter().map(|p| p.word(s)).collect() };
+            let (sum64, cout64) = compiled.eval64(&sub(&a_planes), &sub(&b_planes), cin.word(s));
+            let mut exact64 = vec![0u64; width];
+            let exact_cout64 = CompiledChain::accurate64(
+                &sub(&a_planes),
+                &sub(&b_planes),
+                cin.word(s),
+                &mut exact64,
+            );
+            let mut dev64 = vec![0u64; width];
+            let (_, deviated64) = compiled.accurate_deviation64(
+                &sub(&a_planes),
+                &sub(&b_planes),
+                cin.word(s),
+                &mut dev64,
+            );
+            for i in 0..width {
+                assert_eq!(approx[i].word(s), sum64[i], "{chain} word {s} plane {i}");
+                assert_eq!(sum[i].word(s), sum64[i]);
+                assert_eq!(exact[i].word(s), exact64[i]);
+                assert_eq!(acc_sum[i].word(s), exact64[i]);
+                assert_eq!(dev_sum[i].word(s), exact64[i]);
+            }
+            assert_eq!(diff.approx_cout.word(s), cout64);
+            assert_eq!(cout.word(s), cout64);
+            assert_eq!(diff.exact_cout.word(s), exact_cout64);
+            assert_eq!(acc_cout.word(s), exact_cout64);
+            assert_eq!(dev_cout.word(s), exact_cout64);
+            assert_eq!(deviated.word(s), deviated64);
+            let mut mismatch64 = cout64 ^ exact_cout64;
+            for i in 0..width {
+                mismatch64 |= sum64[i] ^ exact64[i];
+            }
+            assert_eq!(diff.mismatch.word(s), mismatch64);
+            let s64 = error_stats64(&sum64, cout64, &exact64, exact_cout64, mismatch64);
+            stats64_sum.sum_ed += s64.sum_ed;
+            stats64_sum.sum_abs_ed += s64.sum_abs_ed;
+            stats64_sum.max_abs_ed = stats64_sum.max_abs_ed.max(s64.max_abs_ed);
+        }
+        assert_eq!(stats.sum_ed, stats64_sum.sum_ed, "{chain}");
+        assert_eq!(stats.sum_abs_ed, stats64_sum.sum_abs_ed, "{chain}");
+        assert_eq!(stats.max_abs_ed, stats64_sum.max_abs_ed, "{chain}");
+    }
+
+    #[test]
+    fn wide_kernels_match_u64_subword_for_subword() {
+        let mut rng = TestRng(0x51AD);
+        for cell in StandardCell::ALL {
+            for width in [1usize, 7, 16] {
+                let chain = AdderChain::uniform(cell.cell(), width);
+                assert_kernel_matches_u64_subwords::<W128>(&chain, &mut rng);
+                assert_kernel_matches_u64_subwords::<W256>(&chain, &mut rng);
+                assert_kernel_matches_u64_subwords::<W512>(&chain, &mut rng);
+            }
+        }
+        for trial in 0..12 {
+            let width = 1 + (rng.next() % 24) as usize;
+            let stages: Vec<Cell> = (0..width)
+                .map(|_| {
+                    let pick = (rng.next() % StandardCell::ALL.len() as u64) as usize;
+                    StandardCell::ALL[pick].cell()
+                })
+                .collect();
+            let chain = AdderChain::from_stages(stages);
+            assert_kernel_matches_u64_subwords::<W128>(&chain, &mut rng);
+            assert_kernel_matches_u64_subwords::<W256>(&chain, &mut rng);
+            assert_kernel_matches_u64_subwords::<W512>(&chain, &mut rng);
+            let _ = trial;
+        }
+    }
+
     #[test]
     fn accurate_chain_takes_exact_fast_path() {
         let chain = AdderChain::uniform(StandardCell::Accurate.cell(), 16);
@@ -698,6 +1050,25 @@ mod tests {
         assert_eq!(lane_value(&packed, 0, 1), 9);
         assert_eq!(lane_value(&packed, 0, 2), 2);
         assert_eq!(lane_value(&packed, 0, 3), 0);
+    }
+
+    #[test]
+    fn transpose_pack_matches_naive_pack() {
+        let mut rng = TestRng(0x7A05);
+        for &width in &[1usize, 5, 16, 47, 64] {
+            for &lanes in &[0usize, 1, 17, 63, 64] {
+                let values: Vec<u64> = (0..lanes).map(|_| rng.next()).collect();
+                let packed = pack_lanes(&values, width);
+                // Naive reference: one bit at a time.
+                let mut naive = vec![0u64; width];
+                for (lane, &v) in values.iter().enumerate() {
+                    for (i, plane) in naive.iter_mut().enumerate() {
+                        *plane |= ((v >> i) & 1) << lane;
+                    }
+                }
+                assert_eq!(packed, naive, "w{width} lanes{lanes}");
+            }
+        }
     }
 
     #[test]
@@ -745,6 +1116,102 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn transpose_lanes_matches_scalar_transpose_per_subword() {
+        fn check<W: SimdWord>() {
+            let mut rng = TestRng(0x7A05 ^ W::WORDS as u64);
+            let mut wide = [W::zero(); 64];
+            let mut scalar = vec![[0u64; 64]; W::WORDS];
+            for r in 0..64 {
+                wide[r] = W::from_fn(|s| {
+                    let v = rng.next();
+                    scalar[s][r] = v;
+                    v
+                });
+            }
+            transpose_lanes(&mut wide);
+            for block in scalar.iter_mut() {
+                transpose64(block);
+            }
+            for r in 0..64 {
+                for (s, block) in scalar.iter().enumerate() {
+                    assert_eq!(wide[r].word(s), block[r], "words{} r{r} s{s}", W::WORDS);
+                }
+            }
+        }
+        check::<u64>();
+        check::<W128>();
+        check::<W256>();
+        check::<W512>();
+    }
+
+    #[test]
+    fn biased_distance_lanes_match_error_distances() {
+        fn check<W: SimdWord>() {
+            let mut rng = TestRng(0xD157 ^ W::WORDS as u64);
+            for cell in [StandardCell::Lpaa1, StandardCell::Lpaa5] {
+                for width in [6usize, 13] {
+                    let chain = AdderChain::uniform(cell.cell(), width);
+                    let compiled = CompiledChain::compile(&chain);
+                    let kernel = compiled.kernel::<W>();
+                    let a_planes: Vec<W> = (0..width).map(|_| W::from_fn(|_| rng.next())).collect();
+                    let b_planes: Vec<W> = (0..width)
+                        .map(|_| W::from_fn(|_| rng.next() & rng.next()))
+                        .collect();
+                    let cin_word = W::from_fn(|_| rng.next());
+                    let mut approx_sum = vec![W::zero(); width];
+                    let mut exact_sum = vec![W::zero(); width];
+                    let diff = kernel.eval_diff(
+                        &a_planes,
+                        &b_planes,
+                        cin_word,
+                        &mut approx_sum,
+                        &mut exact_sum,
+                    );
+                    let mut m = [W::ones(); 64]; // poisoned: must be fully overwritten
+                    biased_distance_lanes(
+                        &approx_sum,
+                        diff.approx_cout,
+                        &exact_sum,
+                        diff.exact_cout,
+                        &mut m,
+                    );
+                    let offset = (1i64 << (width + 1)) - 1;
+                    let mut sub_approx = vec![0u64; width];
+                    let mut sub_exact = vec![0u64; width];
+                    let mut ed = [0i64; 64];
+                    for s in 0..W::WORDS {
+                        let mm = diff.mismatch.word(s);
+                        for i in 0..width {
+                            sub_approx[i] = approx_sum[i].word(s);
+                            sub_exact[i] = exact_sum[i].word(s);
+                        }
+                        error_distances64(
+                            &sub_approx,
+                            diff.approx_cout.word(s),
+                            &sub_exact,
+                            diff.exact_cout.word(s),
+                            !0u64,
+                            &mut ed,
+                        );
+                        for lane in 0..64 {
+                            assert_eq!(
+                                m[lane].word(s) as i64,
+                                ed[lane] + offset,
+                                "{cell} w{width} words{} s{s} lane{lane} mm{mm:#x}",
+                                W::WORDS
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        check::<u64>();
+        check::<W128>();
+        check::<W256>();
+        check::<W512>();
     }
 
     #[test]

@@ -33,20 +33,27 @@
 //! assert!(result.matches_accurate(15, 51, false));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `simd` module needs `unsafe` for exactly two
+// runtime-feature-guarded `#[target_feature]` dispatch calls, and scopes an
+// `allow` to itself. Everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chain;
 mod compiled;
 mod library;
 mod profile;
+#[allow(unsafe_code)]
+pub mod simd;
 mod truth_table;
 
 pub use chain::{AdderChain, AdditionResult};
 pub use compiled::{
-    error_distances64, error_stats64, lane_value, pack_lanes, splat64, splat64_into, CompiledChain,
-    Diff64, ErrorStats64,
+    accurate_eval, biased_distance_lanes, error_distances64, error_stats, error_stats64,
+    lane_value, pack_lanes, pack_lanes_into, splat64, splat64_into, splat_planes, transpose_lanes,
+    CompiledChain, CompiledKernel, Diff64, ErrorStats64, KernelDiff,
 };
 pub use library::{Cell, CellCharacteristics, ParseStandardCellError, StandardCell};
 pub use profile::{InputProfile, ProfileError};
+pub use simd::{dispatch, Backend, SimdKernel, SimdWord};
 pub use truth_table::{FaInput, FaOutput, ParseTruthTableError, TruthTable};

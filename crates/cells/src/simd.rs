@@ -1,0 +1,681 @@
+//! SIMD word abstraction for the bitsliced engines: one generic evaluation
+//! core, several lane widths, a single runtime dispatch point.
+//!
+//! [`CompiledChain`](crate::CompiledChain)'s mux tree is pure boolean algebra
+//! over bit-planes, so nothing about it is specific to `u64`. This module
+//! defines [`SimdWord`] — the word type a bitsliced engine is generic over —
+//! and implements it for:
+//!
+//! * `u64` — the portable 64-lane SWAR baseline ([`Backend::U64`]),
+//! * [`W128`] — 2×u64, 128 lanes, vectorized by LLVM at the x86-64 baseline
+//!   (SSE2) and on any other 128-bit SIMD target ([`Backend::U64x2`]),
+//! * [`W256`] — 4×u64, 256 lanes, compiled with AVX2 enabled via
+//!   [`dispatch`] ([`Backend::Avx2`]),
+//! * [`W512`] — 8×u64, 512 lanes, compiled with AVX-512F enabled via
+//!   [`dispatch`] ([`Backend::Avx512`]).
+//!
+//! The wide types are plain `[u64; N]` newtypes: every operation is an
+//! `#[inline(always)]` element-wise loop, and the vector instructions come
+//! from LLVM auto-vectorization inside the `#[target_feature]`-annotated
+//! dispatch wrappers. That keeps the entire evaluation core free of
+//! per-backend code — the *only* `unsafe` in the workspace is the two
+//! feature-gated wrapper calls in [`dispatch`], each guarded by a runtime
+//! [`is_x86_feature_detected!`] check.
+//!
+//! # Lane order
+//!
+//! A `W` word with `W::WORDS` elements carries `W::LANES = 64 * W::WORDS`
+//! lanes. Lane `l` lives in bit `l % 64` of element `l / 64`: a wide batch
+//! is exactly `WORDS` consecutive 64-lane SWAR batches evaluated together,
+//! in order. Every engine assigns work to lanes in ascending lane index, so
+//! batch boundaries are the only thing that changes between backends —
+//! integer-exact reductions (counts, histograms, rational weights) are
+//! byte-identical across backends, and the differential suites pin that.
+//!
+//! # Forcing a backend
+//!
+//! [`Backend::active`] honours the `SEALPAA_SIMD` environment variable
+//! (`u64`, `u64x2`, `avx2`, `avx512`) before falling back to runtime
+//! detection, and engines additionally accept an explicit [`Backend`] so
+//! tests can iterate every available backend in-process. Forcing a backend
+//! the machine cannot run is a hard error, not a silent fallback — CI
+//! differential runs must never quietly test a different kernel than they
+//! claim.
+
+use core::ops::{BitAnd, BitOr, BitXor, Not};
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// The word type a bitsliced engine is generic over: `WORDS` u64 elements
+/// holding `LANES = 64 * WORDS` independent lanes (see the
+/// [module docs](self) for the lane-order contract).
+///
+/// All bitwise operators act lane-wise; [`wrapping_add64`], [`shl64`],
+/// [`shr64`] and [`rotl64`] act *element-wise* on the u64 elements (used by
+/// the vectorized PRNG, where each element is an independent 64-bit
+/// stream).
+///
+/// [`wrapping_add64`]: SimdWord::wrapping_add64
+/// [`shl64`]: SimdWord::shl64
+/// [`shr64`]: SimdWord::shr64
+/// [`rotl64`]: SimdWord::rotl64
+pub trait SimdWord:
+    Copy
+    + Clone
+    + Send
+    + Sync
+    + PartialEq
+    + Eq
+    + core::fmt::Debug
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Not<Output = Self>
+    + 'static
+{
+    /// Number of u64 elements.
+    const WORDS: usize;
+    /// Number of lanes (`64 * WORDS`).
+    const LANES: usize;
+
+    /// The all-zeros word.
+    fn zero() -> Self;
+    /// The all-ones word.
+    fn ones() -> Self;
+    /// Broadcasts one u64 into every element.
+    fn splat(word: u64) -> Self;
+    /// Builds a word element by element (`f(i)` is element `i`).
+    fn from_fn(f: impl FnMut(usize) -> u64) -> Self;
+    /// Extracts element `i` (lanes `64*i .. 64*i + 64`).
+    fn word(self, i: usize) -> u64;
+    /// Total number of set bits across all elements.
+    fn count_ones(self) -> u64;
+    /// `true` if any bit is set.
+    fn any(self) -> bool;
+    /// Element-wise wrapping 64-bit addition.
+    fn wrapping_add64(self, other: Self) -> Self;
+    /// Element-wise 64-bit left shift (`k < 64`).
+    fn shl64(self, k: u32) -> Self;
+    /// Element-wise 64-bit logical right shift (`k < 64`).
+    fn shr64(self, k: u32) -> Self;
+
+    /// Element-wise 64-bit rotate left (`1 <= k <= 63`).
+    #[inline(always)]
+    fn rotl64(self, k: u32) -> Self {
+        self.shl64(k) | self.shr64(64 - k)
+    }
+
+    /// The mask with the low `lanes` lanes set (ones up to the batch tail).
+    #[inline(always)]
+    fn tail_mask(lanes: usize) -> Self {
+        debug_assert!(lanes <= Self::LANES);
+        Self::from_fn(|i| {
+            let lo = i * 64;
+            if lanes >= lo + 64 {
+                u64::MAX
+            } else if lanes <= lo {
+                0
+            } else {
+                (1u64 << (lanes - lo)) - 1
+            }
+        })
+    }
+}
+
+impl SimdWord for u64 {
+    const WORDS: usize = 1;
+    const LANES: usize = 64;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0
+    }
+    #[inline(always)]
+    fn ones() -> Self {
+        u64::MAX
+    }
+    #[inline(always)]
+    fn splat(word: u64) -> Self {
+        word
+    }
+    #[inline(always)]
+    fn from_fn(mut f: impl FnMut(usize) -> u64) -> Self {
+        f(0)
+    }
+    #[inline(always)]
+    fn word(self, i: usize) -> u64 {
+        debug_assert_eq!(i, 0);
+        self
+    }
+    #[inline(always)]
+    fn count_ones(self) -> u64 {
+        u64::from(u64::count_ones(self))
+    }
+    #[inline(always)]
+    fn any(self) -> bool {
+        self != 0
+    }
+    #[inline(always)]
+    fn wrapping_add64(self, other: Self) -> Self {
+        self.wrapping_add(other)
+    }
+    #[inline(always)]
+    fn shl64(self, k: u32) -> Self {
+        self << k
+    }
+    #[inline(always)]
+    fn shr64(self, k: u32) -> Self {
+        self >> k
+    }
+}
+
+macro_rules! wide_word {
+    ($name:ident, $words:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(transparent)]
+        pub struct $name(pub [u64; $words]);
+
+        impl BitAnd for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn bitand(self, o: Self) -> Self {
+                let mut r = self.0;
+                for i in 0..$words {
+                    r[i] &= o.0[i];
+                }
+                Self(r)
+            }
+        }
+
+        impl BitOr for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn bitor(self, o: Self) -> Self {
+                let mut r = self.0;
+                for i in 0..$words {
+                    r[i] |= o.0[i];
+                }
+                Self(r)
+            }
+        }
+
+        impl BitXor for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn bitxor(self, o: Self) -> Self {
+                let mut r = self.0;
+                for i in 0..$words {
+                    r[i] ^= o.0[i];
+                }
+                Self(r)
+            }
+        }
+
+        impl Not for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn not(self) -> Self {
+                let mut r = self.0;
+                for w in r.iter_mut() {
+                    *w = !*w;
+                }
+                Self(r)
+            }
+        }
+
+        impl SimdWord for $name {
+            const WORDS: usize = $words;
+            const LANES: usize = 64 * $words;
+
+            #[inline(always)]
+            fn zero() -> Self {
+                Self([0; $words])
+            }
+            #[inline(always)]
+            fn ones() -> Self {
+                Self([u64::MAX; $words])
+            }
+            #[inline(always)]
+            fn splat(word: u64) -> Self {
+                Self([word; $words])
+            }
+            #[inline(always)]
+            fn from_fn(mut f: impl FnMut(usize) -> u64) -> Self {
+                let mut r = [0u64; $words];
+                for (i, w) in r.iter_mut().enumerate() {
+                    *w = f(i);
+                }
+                Self(r)
+            }
+            #[inline(always)]
+            fn word(self, i: usize) -> u64 {
+                self.0[i]
+            }
+            #[inline(always)]
+            fn count_ones(self) -> u64 {
+                let mut n = 0u64;
+                for w in self.0 {
+                    n += u64::from(w.count_ones());
+                }
+                n
+            }
+            #[inline(always)]
+            fn any(self) -> bool {
+                let mut acc = 0u64;
+                for w in self.0 {
+                    acc |= w;
+                }
+                acc != 0
+            }
+            #[inline(always)]
+            fn wrapping_add64(self, other: Self) -> Self {
+                let mut r = self.0;
+                for i in 0..$words {
+                    r[i] = r[i].wrapping_add(other.0[i]);
+                }
+                Self(r)
+            }
+            #[inline(always)]
+            fn shl64(self, k: u32) -> Self {
+                let mut r = self.0;
+                for w in r.iter_mut() {
+                    *w <<= k;
+                }
+                Self(r)
+            }
+            #[inline(always)]
+            fn shr64(self, k: u32) -> Self {
+                let mut r = self.0;
+                for w in r.iter_mut() {
+                    *w >>= k;
+                }
+                Self(r)
+            }
+        }
+    };
+}
+
+wide_word!(
+    W128,
+    2,
+    "2×u64 (128 lanes): portable, SSE2-vectorized word."
+);
+wide_word!(W256, 4, "4×u64 (256 lanes): AVX2-vectorized word.");
+wide_word!(W512, 8, "8×u64 (512 lanes): AVX-512F-vectorized word.");
+
+/// Environment variable that forces a backend (`u64`, `u64x2`, `avx2`,
+/// `avx512`) for every engine that does not receive an explicit one.
+pub const BACKEND_ENV_VAR: &str = "SEALPAA_SIMD";
+
+/// A bitsliced kernel backend: which [`SimdWord`] the engines run on.
+///
+/// Ordering is by lane count, so `a < b` means `a` is narrower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Backend {
+    /// 64-lane u64 SWAR baseline (always available).
+    U64,
+    /// 128-lane 2×u64 portable word (always available).
+    U64x2,
+    /// 256-lane word compiled with AVX2 (x86-64 with AVX2 + POPCNT).
+    Avx2,
+    /// 512-lane word compiled with AVX-512F (x86-64 with AVX-512F + POPCNT).
+    Avx512,
+}
+
+impl Backend {
+    /// Every backend, narrowest first.
+    pub const ALL: [Backend; 4] = [Backend::U64, Backend::U64x2, Backend::Avx2, Backend::Avx512];
+
+    /// Canonical lower-case name (also what [`BACKEND_ENV_VAR`] parses).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::U64 => "u64",
+            Backend::U64x2 => "u64x2",
+            Backend::Avx2 => "avx2",
+            Backend::Avx512 => "avx512",
+        }
+    }
+
+    /// Number of u64 elements per word.
+    pub fn words(self) -> usize {
+        match self {
+            Backend::U64 => 1,
+            Backend::U64x2 => 2,
+            Backend::Avx2 => 4,
+            Backend::Avx512 => 8,
+        }
+    }
+
+    /// Number of lanes per batch (`64 * words`).
+    pub fn lanes(self) -> usize {
+        64 * self.words()
+    }
+
+    /// `true` if this machine can run the backend.
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::U64 | Backend::U64x2 => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("popcnt")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("popcnt")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 | Backend::Avx512 => false,
+        }
+    }
+
+    /// The backends this machine can run, narrowest first.
+    pub fn available() -> Vec<Backend> {
+        Backend::ALL
+            .into_iter()
+            .filter(|b| b.is_available())
+            .collect()
+    }
+
+    /// The widest available backend.
+    pub fn detect() -> Backend {
+        *detect_cache().get_or_init(|| {
+            Backend::ALL
+                .into_iter()
+                .rev()
+                .find(|b| b.is_available())
+                .expect("u64 backend is always available")
+        })
+    }
+
+    /// How [`BACKEND_ENV_VAR`] is set in this process (read once, cached).
+    pub fn forced_setting() -> &'static ForcedBackend {
+        forced_cache().get_or_init(|| match std::env::var(BACKEND_ENV_VAR) {
+            Err(_) => ForcedBackend::Unset,
+            Ok(raw) => match raw.parse::<Backend>() {
+                Err(_) => ForcedBackend::Invalid(raw),
+                Ok(b) if b.is_available() => ForcedBackend::Forced(b),
+                Ok(b) => ForcedBackend::Unavailable(b),
+            },
+        })
+    }
+
+    /// The backend engines use when none is requested explicitly: the
+    /// [`BACKEND_ENV_VAR`]-forced one if set, otherwise [`detect`].
+    ///
+    /// [`detect`]: Backend::detect
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment variable names an unknown backend or one
+    /// this machine cannot run — a forced differential run must never
+    /// silently fall back to a different kernel than it claims to test.
+    pub fn active() -> Backend {
+        match Backend::forced_setting() {
+            ForcedBackend::Unset => Backend::detect(),
+            ForcedBackend::Forced(b) => *b,
+            ForcedBackend::Unavailable(b) => panic!(
+                "{} forces the {} backend, which this machine cannot run \
+                 (available: {})",
+                BACKEND_ENV_VAR,
+                b.name(),
+                Backend::available()
+                    .iter()
+                    .map(|b| b.name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+            ForcedBackend::Invalid(raw) => panic!(
+                "{BACKEND_ENV_VAR}={raw:?} is not a backend \
+                 (expected u64, u64x2, avx2 or avx512)"
+            ),
+        }
+    }
+
+    /// The widest backend not wider than `self` whose batch fits in
+    /// `max_lanes` lanes. Engines whose problem geometry needs at least one
+    /// full batch (e.g. exhaustive sweeps enumerating `2^width` operands)
+    /// use this to narrow the requested backend instead of failing.
+    pub fn narrowed_to_lanes(self, max_lanes: usize) -> Backend {
+        Backend::ALL
+            .into_iter()
+            .rev()
+            .find(|b| *b <= self && b.lanes() <= max_lanes)
+            .unwrap_or(Backend::U64)
+    }
+}
+
+impl core::fmt::Display for Backend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown backend name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError(String);
+
+impl core::fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown SIMD backend {:?} (expected u64, u64x2, avx2 or avx512)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl FromStr for Backend {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "u64" | "swar" | "64" => Ok(Backend::U64),
+            "u64x2" | "128" => Ok(Backend::U64x2),
+            "avx2" | "256" => Ok(Backend::Avx2),
+            "avx512" | "avx512f" | "512" => Ok(Backend::Avx512),
+            _ => Err(ParseBackendError(s.to_string())),
+        }
+    }
+}
+
+/// How the [`BACKEND_ENV_VAR`] override is set (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForcedBackend {
+    /// The variable is not set.
+    Unset,
+    /// The variable names an available backend, which [`Backend::active`]
+    /// uses.
+    Forced(Backend),
+    /// The variable names a real backend this machine cannot run
+    /// ([`Backend::active`] panics).
+    Unavailable(Backend),
+    /// The variable does not name a backend ([`Backend::active`] panics).
+    Invalid(String),
+}
+
+fn detect_cache() -> &'static OnceLock<Backend> {
+    static CACHE: OnceLock<Backend> = OnceLock::new();
+    &CACHE
+}
+
+fn forced_cache() -> &'static OnceLock<ForcedBackend> {
+    static CACHE: OnceLock<ForcedBackend> = OnceLock::new();
+    &CACHE
+}
+
+/// A computation generic over the SIMD word, run through [`dispatch`].
+///
+/// The implementation of [`run`](SimdKernel::run) — and everything
+/// `#[inline(always)]` beneath it — is monomorphized *inside* the
+/// feature-annotated wrapper for the chosen backend, which is what lets
+/// LLVM emit AVX2/AVX-512 instructions for the plain-array word types.
+/// Implementors should mark `run` `#[inline(always)]`.
+pub trait SimdKernel {
+    /// The result type.
+    type Out;
+    /// Runs the computation on word type `W`.
+    fn run<W: SimdWord>(self) -> Self::Out;
+}
+
+/// The single dispatch point: runs `kernel` on `backend`'s word type,
+/// inside a `#[target_feature]` wrapper for the AVX backends.
+///
+/// # Panics
+///
+/// Panics if `backend` is not available on this machine (callers choose
+/// backends via [`Backend::active`] / [`Backend::available`], so this only
+/// fires on a hand-constructed unavailable backend).
+pub fn dispatch<K: SimdKernel>(backend: Backend, kernel: K) -> K::Out {
+    assert!(
+        backend.is_available(),
+        "SIMD backend {backend} is not available on this machine"
+    );
+    match backend {
+        Backend::U64 => kernel.run::<u64>(),
+        Backend::U64x2 => kernel.run::<W128>(),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability (AVX2 / AVX-512F + POPCNT) was just checked.
+        Backend::Avx2 => unsafe { run_avx2(kernel) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Backend::Avx512 => unsafe { run_avx512(kernel) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 | Backend::Avx512 => unreachable!("unavailable off x86-64"),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "popcnt")]
+unsafe fn run_avx2<K: SimdKernel>(kernel: K) -> K::Out {
+    kernel.run::<W256>()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "popcnt")]
+unsafe fn run_avx512<K: SimdKernel>(kernel: K) -> K::Out {
+    kernel.run::<W512>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_word<W: SimdWord>() {
+        assert_eq!(W::LANES, 64 * W::WORDS);
+        assert_eq!(W::zero().count_ones(), 0);
+        assert_eq!(W::ones().count_ones(), W::LANES as u64);
+        assert!(!W::zero().any());
+        assert!(W::ones().any());
+        assert_eq!(!W::zero(), W::ones());
+
+        let pattern = W::from_fn(|i| 0x0123_4567_89AB_CDEFu64.rotate_left(i as u32));
+        for i in 0..W::WORDS {
+            assert_eq!(
+                pattern.word(i),
+                0x0123_4567_89AB_CDEFu64.rotate_left(i as u32)
+            );
+        }
+        assert_eq!(pattern & W::ones(), pattern);
+        assert_eq!(pattern | W::zero(), pattern);
+        let same = W::from_fn(|i| 0x0123_4567_89AB_CDEFu64.rotate_left(i as u32));
+        assert_eq!(pattern ^ same, W::zero());
+        assert_eq!(W::splat(7).word(W::WORDS - 1), 7);
+
+        // Element-wise arithmetic matches per-element scalar arithmetic.
+        let other = W::from_fn(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let sum = pattern.wrapping_add64(other);
+        for i in 0..W::WORDS {
+            assert_eq!(sum.word(i), pattern.word(i).wrapping_add(other.word(i)));
+            assert_eq!(pattern.shl64(13).word(i), pattern.word(i) << 13);
+            assert_eq!(pattern.shr64(13).word(i), pattern.word(i) >> 13);
+            assert_eq!(pattern.rotl64(23).word(i), pattern.word(i).rotate_left(23));
+        }
+
+        // Tail masks: all-ones at full batch, low bits only at the tail.
+        assert_eq!(W::tail_mask(W::LANES), W::ones());
+        assert_eq!(W::tail_mask(0), W::zero());
+        let partial = W::tail_mask(65.min(W::LANES));
+        assert_eq!(partial.count_ones(), 65.min(W::LANES) as u64);
+        assert_eq!(partial.word(0), u64::MAX);
+    }
+
+    #[test]
+    fn word_ops_match_scalar_semantics() {
+        exercise_word::<u64>();
+        exercise_word::<W128>();
+        exercise_word::<W256>();
+        exercise_word::<W512>();
+    }
+
+    struct CountKernel {
+        planes: Vec<u64>,
+    }
+
+    impl SimdKernel for CountKernel {
+        type Out = u64;
+        #[inline(always)]
+        fn run<W: SimdWord>(self) -> u64 {
+            // Consume the planes in W-sized batches and popcount them: the
+            // total is backend-invariant.
+            let mut total = 0u64;
+            for chunk in self.planes.chunks(W::WORDS) {
+                let w = W::from_fn(|i| chunk.get(i).copied().unwrap_or(0));
+                total += w.count_ones();
+            }
+            total
+        }
+    }
+
+    #[test]
+    fn dispatch_runs_every_available_backend() {
+        let planes: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .collect();
+        let expected: u64 = planes.iter().map(|w| u64::from(w.count_ones())).sum();
+        for backend in Backend::available() {
+            let got = dispatch(
+                backend,
+                CountKernel {
+                    planes: planes.clone(),
+                },
+            );
+            assert_eq!(got, expected, "{backend}");
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in Backend::ALL {
+            assert_eq!(backend.name().parse::<Backend>().unwrap(), backend);
+            assert_eq!(backend.to_string(), backend.name());
+        }
+        assert!("pentium".parse::<Backend>().is_err());
+        assert_eq!("256".parse::<Backend>().unwrap(), Backend::Avx2);
+    }
+
+    #[test]
+    fn narrowing_respects_both_bounds() {
+        assert_eq!(Backend::Avx512.narrowed_to_lanes(512), Backend::Avx512);
+        assert_eq!(Backend::Avx512.narrowed_to_lanes(511), Backend::Avx2);
+        assert_eq!(Backend::Avx512.narrowed_to_lanes(128), Backend::U64x2);
+        assert_eq!(Backend::U64x2.narrowed_to_lanes(1 << 20), Backend::U64x2);
+        assert_eq!(Backend::Avx2.narrowed_to_lanes(64), Backend::U64);
+        // Below 64 lanes there is no batch backend; callers fall back to
+        // their scalar paths, but the narrowing itself floors at u64.
+        assert_eq!(Backend::Avx512.narrowed_to_lanes(1), Backend::U64);
+    }
+
+    #[test]
+    fn detection_is_consistent() {
+        let available = Backend::available();
+        assert!(available.contains(&Backend::U64));
+        assert!(available.contains(&Backend::U64x2));
+        assert_eq!(Backend::detect(), *available.last().unwrap());
+        assert!(available.contains(&Backend::active()));
+    }
+}

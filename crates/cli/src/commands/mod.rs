@@ -10,6 +10,7 @@ pub mod gear;
 pub mod magnitude;
 pub mod multiplier;
 pub mod serve;
+pub mod simd;
 pub mod simulate;
 pub mod sweep;
 pub mod trace;

@@ -1,0 +1,252 @@
+//! `sealpaa simd` — SIMD backend and sampler diagnostics.
+//!
+//! Bench JSONs and bug reports are only attributable when the kernel
+//! backend they ran on is known; this command prints what this machine
+//! detects, what the `SEALPAA_SIMD` override (or a `--backend` flag)
+//! selects, and which entropy path the pooled Bernoulli sampler takes for
+//! a given input probability.
+
+use std::io::Write;
+
+use sealpaa_cells::simd::{Backend, ForcedBackend, BACKEND_ENV_VAR};
+use sealpaa_sim::{plan_kind, quantize_p53, PlanKind};
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use crate::json::Json;
+
+const HELP: &str = "\
+usage: sealpaa simd [options]
+
+Report the SIMD kernel backends this machine offers, which one simulation
+commands will use, and the pooled Bernoulli sampler's entropy path for a
+given input probability. Backends: u64 (portable SWAR), u64x2 (portable
+2-word), avx2 (256-bit), avx512 (512-bit).
+
+The active backend honours the SEALPAA_SIMD environment variable; all
+simulation engines produce byte-identical exhaustive/replay/histogram
+results on every backend.
+
+options:
+  --p P    input probability to classify for the sampler (default 0.5)
+  --json   machine-readable output";
+
+fn plan_description(kind: PlanKind) -> String {
+    match kind {
+        PlanKind::Degenerate => "degenerate (constant plane, no randomness)".to_string(),
+        PlanKind::MaskComposition(words) => format!(
+            "mask-composition ({words} random word{} per plane, exact)",
+            if words == 1 { "" } else { "s" }
+        ),
+        PlanKind::Adaptive => "adaptive expansion (~log2(lanes)+2 words per plane)".to_string(),
+    }
+}
+
+fn plan_name(kind: PlanKind) -> &'static str {
+    match kind {
+        PlanKind::Degenerate => "degenerate",
+        PlanKind::MaskComposition(_) => "mask_composition",
+        PlanKind::Adaptive => "adaptive",
+    }
+}
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options.
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(tokens, &["p"], &["json"])?;
+    let p: f64 = args.get_or("p", 0.5)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(CliError::usage("--p must be within [0, 1]"));
+    }
+    let q = quantize_p53(p);
+    let kind = plan_kind(q);
+
+    let detected = Backend::detect();
+    let forced = Backend::forced_setting();
+    // `Backend::active()` panics on an invalid override (simulations must
+    // not silently fall back to a different kernel); diagnostics instead
+    // *report* the problem.
+    let (active, note) = match forced {
+        ForcedBackend::Unset => (Some(detected), None),
+        ForcedBackend::Forced(b) => (Some(*b), None),
+        ForcedBackend::Unavailable(b) => (
+            None,
+            Some(format!(
+                "{BACKEND_ENV_VAR} forces {b}, which this machine cannot run"
+            )),
+        ),
+        ForcedBackend::Invalid(value) => (
+            None,
+            Some(format!(
+                "{BACKEND_ENV_VAR}={value:?} does not name a backend"
+            )),
+        ),
+    };
+
+    if args.flag("json") {
+        let backends: Vec<Json> = Backend::ALL
+            .into_iter()
+            .map(|b| {
+                Json::object()
+                    .field("name", b.name())
+                    .field("lanes", b.lanes())
+                    .field("available", b.is_available())
+                    .build()
+            })
+            .collect();
+        // Flat duplicate of the available subset of `backends`: shell
+        // consumers (scripts/ci.sh iterates the differential suites once
+        // per backend) can extract it with one sed instead of walking the
+        // nested array.
+        let available_names: Vec<Json> = Backend::available()
+            .into_iter()
+            .map(|b| Json::from(b.name()))
+            .collect();
+        let mut obj = Json::object()
+            .field("backends", backends)
+            .field("available_names", available_names)
+            .field("detected", detected.name())
+            .field(
+                "active",
+                active.map_or(Json::Null, |b| Json::from(b.name())),
+            )
+            .field(
+                "forced",
+                match forced {
+                    ForcedBackend::Unset => Json::Null,
+                    ForcedBackend::Forced(b) | ForcedBackend::Unavailable(b) => {
+                        Json::from(b.name())
+                    }
+                    ForcedBackend::Invalid(value) => Json::from(value.clone()),
+                },
+            )
+            .field(
+                "sampler",
+                Json::object()
+                    .field("p", p)
+                    .field("plan", plan_name(kind))
+                    .build(),
+            );
+        if let Some(note) = &note {
+            obj = obj.field("note", note.clone());
+        }
+        writeln!(out, "{}", obj.build().render())?;
+        return Ok(());
+    }
+
+    writeln!(out, "backends:")?;
+    for b in Backend::ALL {
+        writeln!(
+            out,
+            "  {:<6} {:>3} lanes  {}",
+            b.name(),
+            b.lanes(),
+            if b.is_available() {
+                "available"
+            } else {
+                "not available on this machine"
+            }
+        )?;
+    }
+    writeln!(out, "detected          : {}", detected.name())?;
+    match active {
+        Some(b) => writeln!(out, "active            : {}", b.name())?,
+        None => writeln!(out, "active            : (error, see below)")?,
+    }
+    match forced {
+        ForcedBackend::Unset => {
+            writeln!(out, "{BACKEND_ENV_VAR:<18}: unset")?;
+        }
+        ForcedBackend::Forced(b) => {
+            writeln!(out, "{BACKEND_ENV_VAR:<18}: {}", b.name())?;
+        }
+        ForcedBackend::Unavailable(_) | ForcedBackend::Invalid(_) => {
+            writeln!(
+                out,
+                "{BACKEND_ENV_VAR:<18}: {}",
+                note.as_deref().unwrap_or("invalid")
+            )?;
+        }
+    }
+    writeln!(out, "sampler p={p:<7}: {}", plan_description(kind))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> Result<String, CliError> {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn reports_backends_and_active() {
+        let s = run_to_string(&[]).expect("valid");
+        assert!(s.contains("u64     64 lanes  available"), "{s}");
+        assert!(s.contains("detected"), "{s}");
+        assert!(s.contains("active"), "{s}");
+        assert!(
+            s.contains("mask-composition (1 random word per plane"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn classifies_sampler_plans() {
+        let s = run_to_string(&["--p", "0.1"]).expect("valid");
+        assert!(s.contains("adaptive expansion"), "{s}");
+        let s = run_to_string(&["--p", "0.1875"]).expect("valid");
+        assert!(s.contains("mask-composition (4 random words"), "{s}");
+        let s = run_to_string(&["--p", "0"]).expect("valid");
+        assert!(s.contains("degenerate"), "{s}");
+    }
+
+    #[test]
+    fn json_output_is_parseable_and_schema_stable() {
+        let s = run_to_string(&["--json", "--p", "0.25"]).expect("valid");
+        let parsed = Json::parse(&s).expect("valid json");
+        let backends = parsed
+            .get("backends")
+            .and_then(Json::as_array)
+            .expect("array");
+        assert_eq!(backends.len(), 4);
+        assert_eq!(backends[0].get("name").and_then(Json::as_str), Some("u64"));
+        assert_eq!(
+            backends[0].get("available").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert!(parsed.get("detected").and_then(Json::as_str).is_some());
+        let names = parsed
+            .get("available_names")
+            .and_then(Json::as_array)
+            .expect("available_names array");
+        assert_eq!(names[0].as_str(), Some("u64"));
+        let sampler = parsed.get("sampler").expect("sampler");
+        assert_eq!(
+            sampler.get("plan").and_then(Json::as_str),
+            Some("mask_composition")
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_p() {
+        assert!(run_to_string(&["--p", "1.5"]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).expect("valid");
+        assert!(s.contains("usage: sealpaa simd"));
+    }
+}

@@ -3,7 +3,9 @@
 use std::io::Write;
 
 use sealpaa_cells::AdderChain;
-use sealpaa_sim::{default_threads, exhaustive_with, monte_carlo, MonteCarloConfig};
+use sealpaa_sim::{
+    default_threads, exhaustive_with_backend, monte_carlo, Backend, MonteCarloConfig,
+};
 
 use crate::args::{parse_chain_cells, parse_profile, ParsedArgs};
 use crate::error::CliError;
@@ -23,7 +25,11 @@ options:
   --seed S        Monte-Carlo RNG seed (default 0xDAC17ADD)
   --threads T     worker threads for both modes (default: all available
                   cores; Monte-Carlo results are deterministic per
-                  (seed, threads) pair, exhaustive results for any T)";
+                  (seed, threads, backend) triple, exhaustive results for
+                  any T and backend)
+  --backend B     SIMD backend for the bitsliced kernels: u64, u64x2,
+                  avx2, avx512 (default: widest available; see
+                  `sealpaa simd`)";
 
 /// Runs the command.
 ///
@@ -39,6 +45,7 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
         tokens,
         &[
             "width", "cell", "cells", "p", "pa", "pb", "cin", "samples", "seed", "threads",
+            "backend",
         ],
         &["exhaustive"],
     )?;
@@ -51,10 +58,18 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
     writeln!(out, "adder: {chain}")?;
 
     let threads = args.get_or("threads", default_threads())?;
+    let backend = match args.option("backend") {
+        Some(name) => Some(
+            name.parse::<Backend>()
+                .map_err(|e| CliError::usage(format!("--backend: {e}")))?,
+        ),
+        None => None,
+    };
     let use_exhaustive =
         args.flag("exhaustive") || (args.option("samples").is_none() && width <= 10);
     if use_exhaustive {
-        let report = exhaustive_with(&chain, &profile, threads).map_err(CliError::analysis)?;
+        let report = exhaustive_with_backend(&chain, &profile, threads, backend)
+            .map_err(CliError::analysis)?;
         writeln!(
             out,
             "mode              : exhaustive ({} cases)",
@@ -77,6 +92,7 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
             samples: args.get_or("samples", 1_000_000u64)?,
             seed: args.get_or("seed", MonteCarloConfig::default().seed)?,
             threads,
+            backend,
         };
         let report = monte_carlo(&chain, &profile, config).map_err(CliError::analysis)?;
         writeln!(

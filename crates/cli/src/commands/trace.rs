@@ -5,8 +5,8 @@ use std::io::Write;
 
 use sealpaa_cells::AdderChain;
 use sealpaa_trace::{
-    fidelity, generate, replay, write_binary, write_ndjson, SynthKind, TraceRecord, TraceStats,
-    VarId,
+    fidelity, generate, replay_with_backend, write_binary, write_ndjson, SynthKind, TraceRecord,
+    TraceStats, VarId,
 };
 
 use crate::args::{parse_chain_cells, ParsedArgs};
@@ -39,7 +39,9 @@ synth options:
 
 replay/fidelity options:
   --cell/--cells  adder under test, as in `sealpaa analyze` (required)
-  --threads T     worker threads for the bitsliced replay (default: cores)";
+  --threads T     worker threads for the bitsliced replay (default: cores)
+  --backend B     SIMD backend for replay (replay only): u64, u64x2, avx2,
+                  avx512 (default: widest available; see `sealpaa simd`)";
 
 /// Runs the command.
 ///
@@ -186,15 +188,27 @@ const SOURCE_AND_CHAIN_OPTIONS: [&str; 8] = [
     "input", "synth", "width", "records", "seed", "cell", "cells", "threads",
 ];
 
+const REPLAY_OPTIONS: [&str; 9] = [
+    "input", "synth", "width", "records", "seed", "cell", "cells", "threads", "backend",
+];
+
 fn replay_cmd<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
     if tokens.iter().any(|t| t == "--help") {
         writeln!(out, "{HELP}")?;
         return Ok(());
     }
-    let args = ParsedArgs::parse(tokens, &SOURCE_AND_CHAIN_OPTIONS, &["binary"])?;
+    let args = ParsedArgs::parse(tokens, &REPLAY_OPTIONS, &["binary"])?;
+    let backend = match args.option("backend") {
+        Some(name) => Some(
+            name.parse::<sealpaa_sim::Backend>()
+                .map_err(|e| CliError::usage(format!("--backend: {e}")))?,
+        ),
+        None => None,
+    };
     let (width, records) = load_records(&args)?;
     let (chain, threads) = parse_chain_and_threads(&args, width)?;
-    let report = replay(&chain, &records, threads).map_err(CliError::analysis)?;
+    let report =
+        replay_with_backend(&chain, &records, threads, backend).map_err(CliError::analysis)?;
     writeln!(out, "adder: {chain}")?;
     writeln!(out, "records                : {}", report.records)?;
     writeln!(
@@ -383,6 +397,42 @@ mod tests {
         std::fs::remove_file(&path).expect("cleanup");
         assert!(s.contains("records                : 128"), "{s}");
         assert!(s.contains("output error rate"), "{s}");
+    }
+
+    #[test]
+    fn replay_output_is_identical_on_every_backend() {
+        let run_backend = |name: &str| {
+            run_to_string(&[
+                "replay",
+                "--synth",
+                "random-walk",
+                "--width",
+                "10",
+                "--records",
+                "1000",
+                "--cell",
+                "lpaa5",
+                "--backend",
+                name,
+            ])
+            .expect("valid")
+        };
+        let baseline = run_backend("u64");
+        for backend in sealpaa_sim::Backend::available() {
+            assert_eq!(run_backend(backend.name()), baseline, "{backend}");
+        }
+        assert!(run_to_string(&[
+            "replay",
+            "--synth",
+            "uniform",
+            "--width",
+            "4",
+            "--cell",
+            "lpaa1",
+            "--backend",
+            "bogus"
+        ])
+        .is_err());
     }
 
     #[test]

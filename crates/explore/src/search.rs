@@ -256,8 +256,17 @@ impl<'c> DfsContext<'c> {
 }
 
 /// Splits `0..n` into at most `parts` contiguous non-empty ranges.
+///
+/// Every search that fans out over these ranges merges its partials in
+/// range order, so results are thread-count invariant — which means
+/// oversubscribing past the machine's cores can only add scheduling
+/// overhead (the `dse/w40 _t4 > _t1` regression in BENCH_blocks.json).
+/// `parts` is therefore additionally clamped to available parallelism.
 pub(crate) fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
-    let parts = parts.clamp(1, n.max(1));
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let parts = parts.min(cores).clamp(1, n.max(1));
     let base = n / parts;
     let extra = n % parts;
     let mut out = Vec::with_capacity(parts);

@@ -729,6 +729,7 @@ fn stats_result(state: &ServerState) -> Json {
         .field("errors", metrics.errors)
         .field("queue_depth", state.pool.depth() as u64)
         .field("workers", state.threads as u64)
+        .field("simd_backend", sealpaa_sim::Backend::active().name())
         .field("p50_micros", metrics.p50_micros)
         .field("p99_micros", metrics.p99_micros)
         .field(
@@ -837,6 +838,7 @@ fn simulate_result(spec: &SimulateSpec) -> Result<Json, String> {
                 samples,
                 seed,
                 threads,
+                backend: None,
             };
             let report = sealpaa_sim::monte_carlo(&adder.chain, &adder.profile, config)
                 .map_err(|e| e.to_string())?;
@@ -1220,6 +1222,10 @@ mod tests {
                 "missing numeric field {field}"
             );
         }
+        assert!(
+            stats.get("simd_backend").and_then(Json::as_str).is_some(),
+            "missing simd_backend"
+        );
         let connections = stats.get("connections").expect("connection gauges");
         for field in ["live", "peak", "registered", "shed", "timeouts"] {
             assert!(

@@ -84,6 +84,7 @@ fn tcp_serves_all_four_analysis_kinds_and_matches_the_libraries() {
             samples: 30000,
             seed: 42,
             threads: 2,
+            backend: None,
         },
     )
     .expect("direct simulate");

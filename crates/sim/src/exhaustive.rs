@@ -5,30 +5,39 @@
 //! * [`exhaustive_scalar`] — the straightforward per-case reference: one
 //!   [`AdderChain::add`] walk per input combination. Kept public as the
 //!   ground truth for differential tests and the baseline for benchmarks.
-//! * [`exhaustive`] / [`exhaustive_with`] — the bitsliced kernel: 64
-//!   consecutive `b` values are packed into the lanes of `u64` bit-planes
-//!   (their low six bit-planes are the fixed periodic constants
-//!   `0xAAAA…`, `0xCCCC…`, …), the approximate and accurate chains are
-//!   evaluated through [`CompiledChain`], and a single XOR/OR reduction
-//!   yields the 64-lane mismatch mask. Correct lanes are then settled in
-//!   bulk (popcount for the histogram, one factorized weight per batch);
-//!   only mismatching or stage-deviating lanes fall back to per-lane
-//!   weight/histogram work. [`exhaustive_with`] additionally splits the `a`
-//!   range across `std::thread::scope` workers and merges the partial
-//!   results in range order, so for exact probability types (`Rational`,
-//!   whose addition is associative) the parallel result is bit-for-bit
-//!   identical to the serial one. The `f64` *metrics* may differ in the
-//!   last ulp across thread counts because float addition is not
-//!   associative; all integer counts and `T`-typed probabilities are exact.
+//! * [`exhaustive`] / [`exhaustive_with`] / [`exhaustive_with_backend`] —
+//!   the bitsliced kernel: one SIMD word of consecutive `b` values (64–512
+//!   lanes, following the runtime-detected [`Backend`]) is packed into the
+//!   lanes of the word's bit-planes (their low six bit-planes are the
+//!   fixed periodic constants `0xAAAA…`, `0xCCCC…`, …), the approximate
+//!   and accurate chains are evaluated through the chain's
+//!   `CompiledKernel`, and a single XOR/OR reduction yields the per-lane
+//!   mismatch mask. Correct lanes are then settled in bulk (popcount for
+//!   the histogram, one factorized weight per batch); only mismatching or
+//!   stage-deviating lanes fall back to per-lane weight/histogram work.
+//!   [`exhaustive_with`] additionally splits the `a` range across
+//!   `std::thread::scope` workers and merges the partial results in range
+//!   order; lanes are assigned in ascending case order on every backend,
+//!   so for exact probability types (`Rational`, whose addition is
+//!   associative) all counts, histograms and `T`-typed probabilities are
+//!   bit-for-bit identical for **any** thread count *and* backend. The
+//!   `f64` *metrics* may differ in the last ulp across thread counts or
+//!   backends because float addition is not associative.
 //!
 //! For widths below 6 (fewer than 64 `b` values) every entry point runs the
-//! scalar engine, so tiny sweeps remain exactly the reference behaviour.
+//! scalar engine, so tiny sweeps remain exactly the reference behaviour;
+//! between 6 bits and the backend's lane count the backend is narrowed so
+//! a `b` chunk never exceeds one operand sweep.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
 
-use sealpaa_cells::{splat64_into, AdderChain, CompiledChain, FaInput, InputProfile, TruthTable};
+use sealpaa_cells::{
+    biased_distance_lanes, dispatch, error_distances64, error_stats, splat_planes, AdderChain,
+    Backend, CompiledChain, CompiledKernel, FaInput, InputProfile, SimdKernel, SimdWord,
+    TruthTable,
+};
 use sealpaa_num::Prob;
 
 use crate::metrics::{ErrorMetrics, MetricsAccumulator};
@@ -159,10 +168,26 @@ pub fn exhaustive<T: Prob>(
     if width < BITSLICE_MIN_WIDTH {
         return Ok(scalar_sweep(chain, profile));
     }
+    let backend = sweep_backend(None, width);
     let compiled = CompiledChain::compile(chain);
     let tables = WeightTables::build(profile);
-    let partial = bitsliced_range(&compiled, &tables, 0..1u64 << width);
+    let partial = dispatch(
+        backend,
+        SweepWorker {
+            compiled: &compiled,
+            tables: &tables,
+            a_range: 0..1u64 << width,
+        },
+    );
     Ok(finish(vec![partial], width))
+}
+
+/// Narrows the requested (or detected) backend so one lane chunk never
+/// exceeds the `2^width` `b` values of a single operand sweep.
+fn sweep_backend(backend: Option<Backend>, width: usize) -> Backend {
+    backend
+        .unwrap_or_else(Backend::active)
+        .narrowed_to_lanes(1usize << width.min(63))
 }
 
 /// [`exhaustive`] parallelized over contiguous `a` ranges with
@@ -183,16 +208,47 @@ pub fn exhaustive_with<T: Prob + Send + Sync>(
     profile: &InputProfile<T>,
     threads: usize,
 ) -> Result<ExhaustiveReport<T>, SimError> {
+    exhaustive_with_backend(chain, profile, threads, None)
+}
+
+/// [`exhaustive_with`] with an explicit SIMD backend: `None` uses
+/// [`Backend::active`] (runtime detection, overridable through the
+/// `SEALPAA_SIMD` environment variable). The backend is narrowed when the
+/// width offers fewer `b` values than the word has lanes. All counts,
+/// histograms and exact (`Rational`) probabilities are bit-for-bit
+/// identical across backends and thread counts; `f64` metrics agree to
+/// rounding.
+///
+/// # Errors
+///
+/// Same conditions as [`exhaustive`].
+pub fn exhaustive_with_backend<T: Prob + Send + Sync>(
+    chain: &AdderChain,
+    profile: &InputProfile<T>,
+    threads: usize,
+    backend: Option<Backend>,
+) -> Result<ExhaustiveReport<T>, SimError> {
     let width = validate(chain, profile)?;
     if width < BITSLICE_MIN_WIDTH {
         return Ok(scalar_sweep(chain, profile));
     }
+    let backend = sweep_backend(backend, width);
     let operand_count = 1u64 << width;
     let threads = (threads.clamp(1, 64) as u64).min(operand_count);
     let compiled = CompiledChain::compile(chain);
     let tables = WeightTables::build(profile);
+    let worker = |a_range: Range<u64>| {
+        dispatch(
+            backend,
+            SweepWorker {
+                compiled: &compiled,
+                tables: &tables,
+                a_range,
+            },
+        )
+    };
     if threads == 1 {
-        let partial = bitsliced_range(&compiled, &tables, 0..operand_count);
+        let partial = worker(0..operand_count);
         return Ok(finish(vec![partial], width));
     }
     let bounds: Vec<u64> = (0..=threads)
@@ -203,9 +259,8 @@ pub fn exhaustive_with<T: Prob + Send + Sync>(
             .windows(2)
             .map(|w| {
                 let (lo, hi) = (w[0], w[1]);
-                let compiled = &compiled;
-                let tables = &tables;
-                scope.spawn(move || bitsliced_range(compiled, tables, lo..hi))
+                let worker = &worker;
+                scope.spawn(move || worker(lo..hi))
             })
             .collect();
         handles
@@ -322,6 +377,11 @@ struct WeightTables<T> {
     pcin_f: [f64; 2],
     chunk_pb_t: Vec<T>,
     chunk_pb_f: Vec<f64>,
+    /// The shared per-value weight when every `b` value is equally likely
+    /// (the uniform operand profile): per-lane weighting then factors into
+    /// one count product per batch, and the weighted `f64` moments into
+    /// aggregate plane-space sums.
+    uniform_pb: Option<(f64, T)>,
 }
 
 impl<T: Prob> WeightTables<T> {
@@ -353,6 +413,11 @@ impl<T: Prob> WeightTables<T> {
             .map(|c| c.iter().fold(T::zero(), |s, p| s + p.clone()))
             .collect();
         let chunk_pb_f: Vec<f64> = pb_f.chunks(64).map(|c| c.iter().sum()).collect();
+        let uniform_pb = if pb_t.iter().all(|p| *p == pb_t[0]) {
+            Some((pb_f[0], pb_t[0].clone()))
+        } else {
+            None
+        };
         WeightTables {
             pa_t,
             pb_t,
@@ -365,6 +430,7 @@ impl<T: Prob> WeightTables<T> {
             ],
             chunk_pb_t,
             chunk_pb_f,
+            uniform_pb,
         }
     }
 }
@@ -381,14 +447,37 @@ struct Partial<T> {
     hist: Vec<u64>,
 }
 
-fn bitsliced_range<T: Prob>(
-    compiled: &CompiledChain,
+/// One worker's share of a bitsliced sweep, dispatched to the selected
+/// backend's word type.
+struct SweepWorker<'a, T> {
+    compiled: &'a CompiledChain,
+    tables: &'a WeightTables<T>,
+    a_range: Range<u64>,
+}
+
+impl<T: Prob> SimdKernel for SweepWorker<'_, T> {
+    type Out = Partial<T>;
+
+    #[inline(always)]
+    fn run<W: SimdWord>(self) -> Partial<T> {
+        bitsliced_range(&self.compiled.kernel::<W>(), self.tables, self.a_range)
+    }
+}
+
+#[inline(always)]
+fn bitsliced_range<T: Prob, W: SimdWord>(
+    kernel: &CompiledKernel<W>,
     tables: &WeightTables<T>,
     a_range: Range<u64>,
 ) -> Partial<T> {
-    let width = compiled.width();
+    let width = kernel.width();
     debug_assert!((BITSLICE_MIN_WIDTH..=MAX_EXHAUSTIVE_WIDTH).contains(&width));
-    let chunks = 1usize << (width - 6);
+    // Lane index l within a chunk carries `b = b_base + l`; the dispatch
+    // layer narrows the backend so the chunk never exceeds the operand
+    // sweep (`W::LANES ≤ 2^width`).
+    let lanes_log2 = 6 + W::WORDS.trailing_zeros() as usize;
+    debug_assert!(lanes_log2 <= width);
+    let chunks = 1usize << (width - lanes_log2);
     let offset = (1i64 << (width + 1)) - 1;
     let mut hist = vec![0u64; (1usize << (width + 2)) - 1];
     let mut error_cases = 0u64;
@@ -397,107 +486,265 @@ fn bitsliced_range<T: Prob>(
     let mut acc = MetricsAccumulator::default();
     let mut work = SimWork::default();
 
-    let mut a_planes = vec![0u64; width];
-    let mut b_planes = vec![0u64; width];
-    let mut approx_sum = vec![0u64; width];
-    let mut exact_sum = vec![0u64; width];
+    let mut a_planes = vec![W::zero(); width];
+    let mut b_planes = vec![W::zero(); width];
+    let mut approx_sum = vec![W::zero(); width];
+    let mut exact_sum = vec![W::zero(); width];
+    let mut sub_approx = vec![0u64; width];
+    let mut sub_exact = vec![0u64; width];
     let mut ed = [0i64; 64];
-    b_planes[..6].copy_from_slice(&LANE_PATTERNS);
+    let mut lane_dist = [W::zero(); 64];
+    // Bits 0..6 of the lane's `b` repeat with period 64, so their planes
+    // are the fixed subword patterns; bits 6..lanes_log2 select the
+    // subword and are constant per 64-lane subword of the wide word; bits
+    // above that come from `b_base` and are set per chunk below.
+    for (i, plane) in b_planes.iter_mut().enumerate().take(lanes_log2) {
+        *plane = if i < 6 {
+            W::splat(LANE_PATTERNS[i])
+        } else {
+            W::from_fn(|s| (((s as u64) >> (i - 6)) & 1).wrapping_neg())
+        };
+    }
 
     for a in a_range {
-        splat64_into(a, &mut a_planes);
+        splat_planes(a, &mut a_planes);
         let pa_f = tables.pa_f[a as usize];
         for chunk in 0..chunks {
-            let b_base = (chunk as u64) << 6;
-            for (i, plane) in b_planes.iter_mut().enumerate().skip(6) {
-                *plane = ((b_base >> i) & 1).wrapping_neg();
+            let b_base = (chunk as u64) << lanes_log2;
+            for (i, plane) in b_planes.iter_mut().enumerate().skip(lanes_log2) {
+                *plane = W::splat(((b_base >> i) & 1).wrapping_neg());
             }
-            let chunk_pb_f = tables.chunk_pb_f[chunk];
+            // `chunk_pb_*` tables stay at 64-value granularity (they are
+            // shared across backends); a wide chunk covers `W::WORDS`
+            // consecutive entries.
+            let sub_chunk0 = chunk * W::WORDS;
+            let chunk_pb_f: f64 = tables.chunk_pb_f[sub_chunk0..sub_chunk0 + W::WORDS]
+                .iter()
+                .sum();
             for cin in [false, true] {
-                let cin_word = (cin as u64).wrapping_neg();
-                let diff = compiled.eval64_diff(
+                let cin_word = W::splat((cin as u64).wrapping_neg());
+                let diff = kernel.eval_diff(
                     &a_planes,
                     &b_planes,
                     cin_word,
                     &mut approx_sum,
                     &mut exact_sum,
                 );
-                let (approx_cout, exact_cout) = (diff.approx_cout, diff.exact_cout);
-                let (mismatch, deviated) = (diff.mismatch, diff.deviated);
 
-                work.cases += 64;
-                work.bit_additions += 64 * 3 * width as u64;
-                work.comparisons += 64;
-                let wrong = u64::from(mismatch.count_ones());
+                work.cases += W::LANES as u64;
+                work.bit_additions += W::LANES as u64 * 3 * width as u64;
+                work.comparisons += W::LANES as u64;
+                let wrong = diff.mismatch.count_ones();
                 error_cases += wrong;
-                hist[offset as usize] += 64 - wrong;
+                let dense = wrong as usize * 4 >= W::LANES;
+                // The uniform dense path below settles the correct lanes'
+                // histogram entries itself (a correct lane's biased
+                // distance is exactly `offset`, so its unconditional walk
+                // already counts them); every other path settles them here
+                // in bulk.
+                if !(dense && tables.uniform_pb.is_some()) {
+                    hist[offset as usize] += W::LANES as u64 - wrong;
+                }
                 acc.add_bulk_weight(pa_f * tables.pcin_f[cin as usize] * chunk_pb_f);
 
                 // Per-lane slow path only for mismatching or deviating
-                // lanes; an all-correct batch is fully settled above. The
-                // signed error distances come from a single cross-plane
-                // diff pass rather than per-lane value extraction, and the
-                // shared `pa · pcin` weight factor is applied once per
+                // lanes; an all-correct batch is fully settled above.
+                // Dense batches compute every lane's distance at once in
+                // plane space (a lane-parallel subtraction plus one wide
+                // transpose, both scaling with the backend's lanes); sparse
+                // ones keep the per-subword bit walk on extracted
+                // subplanes. The two produce identical integers, so the
+                // choice is pure performance and never perturbs results.
+                // The shared `pa · pcin` weight factor is applied once per
                 // batch: for exact `T` the factored sum is identical by
                 // distributivity, for `f64` it agrees to rounding.
-                if mismatch != 0 {
-                    sealpaa_cells::error_distances64(
-                        &approx_sum,
-                        approx_cout,
-                        &exact_sum,
-                        exact_cout,
-                        mismatch,
-                        &mut ed,
-                    );
+                if diff.mismatch.any() {
                     let w_ac_f = pa_f * tables.pcin_f[cin as usize];
-                    let mut pb_sum_t = T::zero();
-                    let mut pb_sum_f = 0.0f64;
-                    let mut weighted_ed = 0.0f64;
-                    let mut weighted_abs_ed = 0.0f64;
-                    let mut max_abs_ed = 0u64;
-                    let mut lanes = mismatch;
-                    while lanes != 0 {
-                        let lane = lanes.trailing_zeros() as usize;
-                        lanes &= lanes - 1;
-                        let b = (b_base + lane as u64) as usize;
-                        let d = ed[lane];
-                        let w = tables.pb_f[b];
-                        pb_sum_f += w;
-                        weighted_ed += w * d as f64;
-                        weighted_abs_ed += w * d.unsigned_abs() as f64;
-                        if w > 0.0 {
-                            max_abs_ed = max_abs_ed.max(d.unsigned_abs());
-                        }
-                        hist[(d + offset) as usize] += 1;
-                        pb_sum_t = pb_sum_t + tables.pb_t[b].clone();
+                    if dense {
+                        biased_distance_lanes(
+                            &approx_sum,
+                            diff.approx_cout,
+                            &exact_sum,
+                            diff.exact_cout,
+                            &mut lane_dist,
+                        );
                     }
-                    output_error = output_error
+                    if let Some((u_f, u_t)) = &tables.uniform_pb {
+                        // Constant per-lane weight: the weighted `f64`
+                        // moments factor into aggregate plane-space sums
+                        // (exact integers) and the `T` weight into one
+                        // integer-count product (exact for `Rational`);
+                        // only the histogram still visits lanes.
+                        let stats = error_stats(
+                            &approx_sum,
+                            diff.approx_cout,
+                            &exact_sum,
+                            diff.exact_cout,
+                            diff.mismatch,
+                        );
+                        if dense {
+                            // Lane-major walk, one wide load per lane and
+                            // no mask test at all: a *correct* lane's
+                            // biased distance is exactly `offset`, so
+                            // counting every lane unconditionally settles
+                            // correct and erroneous lanes alike (the bulk
+                            // settle above is skipped for this path);
+                            // histogram increments commute, so order is
+                            // free.
+                            for row in lane_dist.iter() {
+                                let row = *row;
+                                for s in 0..W::WORDS {
+                                    hist[row.word(s) as usize] += 1;
+                                }
+                            }
+                        } else {
+                            for s in 0..W::WORDS {
+                                let mm = diff.mismatch.word(s);
+                                if mm == 0 {
+                                    continue;
+                                }
+                                for i in 0..width {
+                                    sub_approx[i] = approx_sum[i].word(s);
+                                    sub_exact[i] = exact_sum[i].word(s);
+                                }
+                                error_distances64(
+                                    &sub_approx,
+                                    diff.approx_cout.word(s),
+                                    &sub_exact,
+                                    diff.exact_cout.word(s),
+                                    mm,
+                                    &mut ed,
+                                );
+                                let mut lanes = mm;
+                                while lanes != 0 {
+                                    let lane = lanes.trailing_zeros() as usize;
+                                    lanes &= lanes - 1;
+                                    hist[(ed[lane] + offset) as usize] += 1;
+                                }
+                            }
+                        }
+                        output_error = output_error
+                            + tables.pa_t[a as usize].clone()
+                                * tables.pcin_t[cin as usize].clone()
+                                * (u_t.clone() * T::from_ratio(wrong, 1));
+                        acc.record_error_block(
+                            w_ac_f * (u_f * wrong as f64),
+                            w_ac_f * (u_f * stats.sum_ed),
+                            w_ac_f * (u_f * stats.sum_abs_ed),
+                            if w_ac_f > 0.0 { stats.max_abs_ed } else { 0 },
+                        );
+                    } else {
+                        let mut pb_sum_t = T::zero();
+                        let mut pb_sum_f = 0.0f64;
+                        let mut weighted_ed = 0.0f64;
+                        let mut weighted_abs_ed = 0.0f64;
+                        let mut max_abs_ed = 0u64;
+                        macro_rules! settle {
+                            ($lane:expr, $s:expr, $d:expr) => {{
+                                let b = (b_base + (($s as u64) << 6) + $lane as u64) as usize;
+                                let d: i64 = $d;
+                                let w = tables.pb_f[b];
+                                pb_sum_f += w;
+                                weighted_ed += w * d as f64;
+                                weighted_abs_ed += w * d.unsigned_abs() as f64;
+                                if w > 0.0 {
+                                    max_abs_ed = max_abs_ed.max(d.unsigned_abs());
+                                }
+                                hist[(d + offset) as usize] += 1;
+                                pb_sum_t = pb_sum_t + tables.pb_t[b].clone();
+                            }};
+                        }
+                        if dense {
+                            // Lane-major walk (one wide load per lane); all
+                            // accumulators are sums/maxima, so visit order
+                            // only perturbs `f64` rounding (within the
+                            // documented metric tolerance) and leaves exact
+                            // `T` sums, counts and the histogram unchanged.
+                            let mut mm_words = [0u64; 8];
+                            debug_assert!(W::WORDS <= 8);
+                            for (s, word) in mm_words.iter_mut().enumerate().take(W::WORDS) {
+                                *word = diff.mismatch.word(s);
+                            }
+                            for (lane, row) in lane_dist.iter().enumerate() {
+                                let row = *row;
+                                for (s, word) in mm_words.iter().enumerate().take(W::WORDS) {
+                                    if (word >> lane) & 1 == 1 {
+                                        settle!(lane, s, row.word(s) as i64 - offset);
+                                    }
+                                }
+                            }
+                        } else {
+                            for s in 0..W::WORDS {
+                                let mm = diff.mismatch.word(s);
+                                if mm == 0 {
+                                    continue;
+                                }
+                                for i in 0..width {
+                                    sub_approx[i] = approx_sum[i].word(s);
+                                    sub_exact[i] = exact_sum[i].word(s);
+                                }
+                                error_distances64(
+                                    &sub_approx,
+                                    diff.approx_cout.word(s),
+                                    &sub_exact,
+                                    diff.exact_cout.word(s),
+                                    mm,
+                                    &mut ed,
+                                );
+                                let mut lanes = mm;
+                                while lanes != 0 {
+                                    let lane = lanes.trailing_zeros() as usize;
+                                    lanes &= lanes - 1;
+                                    settle!(lane, s, ed[lane]);
+                                }
+                            }
+                        }
+                        output_error = output_error
+                            + tables.pa_t[a as usize].clone()
+                                * tables.pcin_t[cin as usize].clone()
+                                * pb_sum_t;
+                        acc.record_error_block(
+                            w_ac_f * pb_sum_f,
+                            w_ac_f * weighted_ed,
+                            w_ac_f * weighted_abs_ed,
+                            if w_ac_f > 0.0 { max_abs_ed } else { 0 },
+                        );
+                    }
+                }
+                if let (true, Some((_, u_t))) = (diff.deviated.any(), &tables.uniform_pb) {
+                    // Constant per-lane weight: one integer-count product
+                    // per batch (exact for `Rational`).
+                    stage_error = stage_error
                         + tables.pa_t[a as usize].clone()
                             * tables.pcin_t[cin as usize].clone()
-                            * pb_sum_t;
-                    acc.record_error_block(
-                        w_ac_f * pb_sum_f,
-                        w_ac_f * weighted_ed,
-                        w_ac_f * weighted_abs_ed,
-                        if w_ac_f > 0.0 { max_abs_ed } else { 0 },
-                    );
-                }
-                if deviated != 0 {
-                    // Cells like LPAA 5 deviate on most lanes, so sum over
-                    // whichever of `deviated` / `!deviated` is sparser and,
-                    // in the dense case, subtract from the precomputed
-                    // chunk total (exact for `Rational` — `Prob` requires
-                    // `Sub` — and within rounding for `f64`).
-                    let dense = deviated.count_ones() > 32;
+                            * (u_t.clone() * T::from_ratio(diff.deviated.count_ones(), 1));
+                } else if diff.deviated.any() {
+                    // Cells like LPAA 5 deviate on most lanes, so per
+                    // 64-lane subword sum over whichever of `deviated` /
+                    // `!deviated` is sparser and, in the dense case,
+                    // subtract from the precomputed subchunk total (exact
+                    // for `Rational` — `Prob` requires `Sub` — and within
+                    // rounding for `f64`).
                     let mut pb_sum_t = T::zero();
-                    let mut lanes = if dense { !deviated } else { deviated };
-                    while lanes != 0 {
-                        let lane = lanes.trailing_zeros() as usize;
-                        lanes &= lanes - 1;
-                        pb_sum_t = pb_sum_t + tables.pb_t[(b_base + lane as u64) as usize].clone();
-                    }
-                    if dense {
-                        pb_sum_t = tables.chunk_pb_t[chunk].clone() - pb_sum_t;
+                    for s in 0..W::WORDS {
+                        let dv = diff.deviated.word(s);
+                        if dv == 0 {
+                            continue;
+                        }
+                        let sub_base = b_base + ((s as u64) << 6);
+                        let dense = dv.count_ones() > 32;
+                        let mut sub_sum = T::zero();
+                        let mut lanes = if dense { !dv } else { dv };
+                        while lanes != 0 {
+                            let lane = lanes.trailing_zeros() as usize;
+                            lanes &= lanes - 1;
+                            sub_sum =
+                                sub_sum + tables.pb_t[(sub_base + lane as u64) as usize].clone();
+                        }
+                        if dense {
+                            sub_sum = tables.chunk_pb_t[sub_chunk0 + s].clone() - sub_sum;
+                        }
+                        pb_sum_t = pb_sum_t + sub_sum;
                     }
                     stage_error = stage_error
                         + tables.pa_t[a as usize].clone()
@@ -621,6 +868,38 @@ mod tests {
     }
 
     #[test]
+    fn uniform_fast_path_matches_scalar_oracle_on_every_backend() {
+        // The uniform profile takes the factored `uniform_pb` settle path
+        // (all-lane histogram walk, plane-space moments); pin it exactly —
+        // in Rational — against the scalar oracle for a hybrid chain, on
+        // every backend the host offers.
+        let chain = AdderChain::from_stages(vec![
+            StandardCell::Lpaa2.cell(),
+            StandardCell::Lpaa5.cell(),
+            StandardCell::Accurate.cell(),
+            StandardCell::Lpaa1.cell(),
+            StandardCell::Lpaa6.cell(),
+            StandardCell::Lpaa3.cell(),
+            StandardCell::Lpaa7.cell(),
+        ]);
+        let profile = InputProfile::<Rational>::uniform(7);
+        let oracle = exhaustive_scalar(&chain, &profile).expect("feasible");
+        for backend in Backend::available() {
+            let r = exhaustive_with_backend(&chain, &profile, 1, Some(backend)).expect("feasible");
+            assert_eq!(
+                r.output_error_probability, oracle.output_error_probability,
+                "{backend}"
+            );
+            assert_eq!(
+                r.stage_error_probability, oracle.stage_error_probability,
+                "{backend}"
+            );
+            assert_eq!(r.histogram, oracle.histogram, "{backend}");
+            assert_eq!(r.error_cases, oracle.error_cases, "{backend}");
+        }
+    }
+
+    #[test]
     fn stage_error_at_least_output_error() {
         for cell in StandardCell::APPROXIMATE {
             let chain = AdderChain::uniform(cell.cell(), 3);
@@ -738,6 +1017,63 @@ mod tests {
             fast.metrics.max_absolute_error_distance,
             reference.metrics.max_absolute_error_distance
         );
+    }
+
+    #[test]
+    fn every_backend_matches_u64_exactly_for_rational() {
+        // The tentpole byte-identity contract: counts, histogram, work and
+        // exact probabilities must be bit-for-bit identical on every
+        // available backend, serial and parallel, hybrid chains included.
+        let chain = AdderChain::from_stages(vec![
+            StandardCell::Lpaa1.cell(),
+            StandardCell::Lpaa4.cell(),
+            StandardCell::Lpaa5.cell(),
+            StandardCell::Accurate.cell(),
+            StandardCell::Lpaa6.cell(),
+            StandardCell::Lpaa2.cell(),
+            StandardCell::Accurate.cell(),
+            StandardCell::Lpaa7.cell(),
+            StandardCell::Lpaa3.cell(),
+        ]);
+        let profile = InputProfile::<Rational>::new(
+            (1..=9).map(|i| Rational::from_ratio(i, 13)).collect(),
+            (1..=9).map(|i| Rational::from_ratio(i, 10)).collect(),
+            Rational::from_ratio(3, 8),
+        )
+        .expect("valid profile");
+        let baseline =
+            exhaustive_with_backend(&chain, &profile, 1, Some(Backend::U64)).expect("feasible");
+        for backend in Backend::available() {
+            for threads in [1usize, 3] {
+                let r = exhaustive_with_backend(&chain, &profile, threads, Some(backend))
+                    .expect("feasible");
+                assert_eq!(r.error_cases, baseline.error_cases, "{backend} t{threads}");
+                assert_eq!(
+                    r.output_error_probability, baseline.output_error_probability,
+                    "{backend} t{threads}"
+                );
+                assert_eq!(
+                    r.stage_error_probability, baseline.stage_error_probability,
+                    "{backend} t{threads}"
+                );
+                assert_eq!(r.histogram, baseline.histogram, "{backend} t{threads}");
+                assert_eq!(r.work, baseline.work, "{backend} t{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_backend_narrows_to_fit_small_widths() {
+        // Width 6 offers only 64 b values; forcing a wide backend must
+        // narrow, not crash, and still match the scalar oracle.
+        let chain = AdderChain::uniform(StandardCell::Lpaa4.cell(), 6);
+        let profile = InputProfile::<Rational>::constant(6, Rational::from_ratio(2, 9));
+        let oracle = exhaustive_scalar(&chain, &profile).expect("feasible");
+        for backend in Backend::available() {
+            let r = exhaustive_with_backend(&chain, &profile, 1, Some(backend)).expect("feasible");
+            assert_eq!(r.output_error_probability, oracle.output_error_probability);
+            assert_eq!(r.histogram, oracle.histogram, "{backend}");
+        }
     }
 
     #[test]

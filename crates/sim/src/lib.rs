@@ -46,14 +46,19 @@ mod exhaustive;
 mod metrics;
 mod monte_carlo;
 mod rng;
+mod sampler;
 
 pub use exhaustive::{
-    exhaustive, exhaustive_scalar, exhaustive_with, ExhaustiveReport, SimError, SimWork,
-    MAX_EXHAUSTIVE_WIDTH,
+    exhaustive, exhaustive_scalar, exhaustive_with, exhaustive_with_backend, ExhaustiveReport,
+    SimError, SimWork, MAX_EXHAUSTIVE_WIDTH,
 };
 pub use metrics::ErrorMetrics;
 pub use monte_carlo::{monte_carlo, monte_carlo_scalar, MonteCarloConfig, MonteCarloReport};
 pub use rng::{quantize_p53, SplitMix64, Xoshiro256pp};
+pub use sampler::{plan_kind, PlanKind, PooledSampler, SamplerSummary, WideXoshiro};
+// Re-exported so simulation callers can pick a kernel backend without
+// depending on `sealpaa-cells` directly.
+pub use sealpaa_cells::Backend;
 
 /// The number of worker threads to use by default: the machine's available
 /// parallelism, or 1 if it cannot be determined. CLI and server entry

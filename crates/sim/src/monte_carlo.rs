@@ -1,22 +1,34 @@
 //! Monte-Carlo simulation with inputs drawn from the profile.
 //!
-//! [`monte_carlo`] is bitsliced: each pass draws 64 independent input
-//! vectors as `u64` bit-planes ([`Xoshiro256pp::next_bernoulli64`]) and
-//! evaluates all 64 through [`CompiledChain`], so the per-sample cost is a
-//! handful of word operations instead of a per-bit truth-table walk.
-//! [`monte_carlo_scalar`] keeps the one-sample-at-a-time reference
-//! implementation for differential tests and benchmark baselines.
+//! [`monte_carlo`] is bitsliced and width-generic: each pass draws one
+//! [`SimdWord`] of independent input vectors per bit-plane through the
+//! entropy-pooled [`PooledSampler`] and evaluates all lanes through
+//! [`CompiledKernel`], so the per-sample cost is a fraction of a word
+//! operation instead of a per-bit truth-table walk. The kernel word width
+//! follows the runtime-detected [`Backend`] (64 lanes on the portable u64
+//! path, up to 512 with AVX-512), overridable per run via
+//! [`MonteCarloConfig::backend`] or the `SEALPAA_SIMD` environment
+//! variable. [`monte_carlo_scalar`] keeps the one-sample-at-a-time
+//! reference implementation for differential tests and benchmark
+//! baselines.
 //!
-//! Both engines are deterministic for a fixed `(seed, threads)` pair, but
-//! they consume randomness differently, so for the same seed they see
-//! *different* (equally valid) samples.
+//! Both engines are deterministic for a fixed `(seed, threads, backend)`
+//! triple, but they consume randomness differently — across engines or
+//! backends the same seed sees *different* (equally valid) samples.
 
-use sealpaa_cells::{error_stats64, AdderChain, CompiledChain, InputProfile};
+use sealpaa_cells::{
+    accurate_eval, dispatch, error_stats, AdderChain, Backend, CompiledChain, InputProfile,
+    SimdKernel, SimdWord,
+};
 use sealpaa_num::Prob;
 
 use crate::exhaustive::SimError;
 use crate::metrics::{ErrorMetrics, MetricsAccumulator};
 use crate::rng::{quantize_p53, Xoshiro256pp};
+use crate::sampler::PooledSampler;
+
+#[cfg(doc)]
+use sealpaa_cells::CompiledKernel;
 
 /// Configuration of a Monte-Carlo run.
 ///
@@ -29,9 +41,14 @@ pub struct MonteCarloConfig {
     /// RNG seed (deterministic by default for reproducible tables).
     pub seed: u64,
     /// Worker threads. Results are deterministic for a given
-    /// `(seed, threads)` pair (each worker derives its own seed), so keep
-    /// `threads` fixed when comparing runs.
+    /// `(seed, threads, backend)` triple (each worker derives its own
+    /// seed), so keep `threads` fixed when comparing runs.
     pub threads: usize,
+    /// SIMD backend for the bitsliced engine, or `None` to use
+    /// [`Backend::active`] (runtime detection, overridable through the
+    /// `SEALPAA_SIMD` environment variable). The sample stream depends on
+    /// the lane count, so pin this too when comparing runs bit-for-bit.
+    pub backend: Option<Backend>,
 }
 
 impl Default for MonteCarloConfig {
@@ -40,6 +57,7 @@ impl Default for MonteCarloConfig {
             samples: 1_000_000,
             seed: 0xDAC1_7ADD,
             threads: 1,
+            backend: None,
         }
     }
 }
@@ -128,13 +146,79 @@ where
     (acc, error_samples)
 }
 
+/// One worker's share of a bitsliced Monte-Carlo run, dispatched to the
+/// selected backend's word type.
+struct McWorker<'a> {
+    compiled: &'a CompiledChain,
+    qa: &'a [u64],
+    qb: &'a [u64],
+    q_cin: u64,
+    samples: u64,
+    seed: u64,
+}
+
+impl SimdKernel for McWorker<'_> {
+    type Out = (MetricsAccumulator, u64);
+
+    #[inline(always)]
+    fn run<W: SimdWord>(self) -> Self::Out {
+        let kernel = self.compiled.kernel::<W>();
+        let width = kernel.width();
+        let mut sampler = PooledSampler::<W>::new(self.seed, self.qa, self.qb, self.q_cin);
+        let mut acc = MetricsAccumulator::default();
+        let mut errors = 0u64;
+        let mut a_planes = vec![W::zero(); width];
+        let mut b_planes = vec![W::zero(); width];
+        let mut approx_sum = vec![W::zero(); width];
+        let mut exact_sum = vec![W::zero(); width];
+        let lanes = W::LANES as u64;
+        let full_batches = self.samples / lanes;
+        let tail = self.samples % lanes;
+        let batches = full_batches + u64::from(tail > 0);
+        for batch in 0..batches {
+            // The final partial batch draws a full word of lanes and masks
+            // the surplus out — simpler and branch-free in the hot path.
+            let active = if batch == full_batches {
+                W::tail_mask(tail as usize)
+            } else {
+                W::ones()
+            };
+            let cin_word = sampler.fill(&mut a_planes, &mut b_planes);
+            let approx_cout = kernel.eval_into(&a_planes, &b_planes, cin_word, &mut approx_sum);
+            let exact_cout = accurate_eval(&a_planes, &b_planes, cin_word, &mut exact_sum);
+            let mut mismatch = approx_cout ^ exact_cout;
+            for i in 0..width {
+                mismatch = mismatch | (approx_sum[i] ^ exact_sum[i]);
+            }
+            mismatch = mismatch & active;
+            acc.add_bulk_weight(active.count_ones() as f64);
+            let wrong = mismatch.count_ones();
+            errors += wrong;
+            if mismatch.any() {
+                // Aggregate the batch's error moments in plane space — one
+                // O(width) pass and one accumulator update, independent of
+                // how many lanes erred.
+                let stats = error_stats(&approx_sum, approx_cout, &exact_sum, exact_cout, mismatch);
+                acc.record_error_block(
+                    wrong as f64,
+                    stats.sum_ed,
+                    stats.sum_abs_ed,
+                    stats.max_abs_ed,
+                );
+            }
+        }
+        (acc, errors)
+    }
+}
+
 /// Draws `config.samples` random input vectors from `profile` (independent
 /// per-bit Bernoulli draws, as in the paper's LabVIEW setup) and measures the
 /// approximate chain against exact addition.
 ///
-/// Bitsliced: 64 samples are drawn and evaluated per pass (probabilities are
-/// quantized to `2^-53`, the resolution of a scalar `next_f64` draw).
-/// Deterministic per `(seed, threads)`; see [`monte_carlo_scalar`] for the
+/// Bitsliced: one SIMD word of samples (64–512 lanes depending on the
+/// backend) is drawn and evaluated per pass, with probabilities quantized
+/// to `2^-53`, the resolution of a scalar `next_f64` draw. Deterministic
+/// per `(seed, threads, backend)`; see [`monte_carlo_scalar`] for the
 /// per-sample reference engine.
 ///
 /// # Errors
@@ -163,6 +247,7 @@ pub fn monte_carlo<T: Prob>(
     config: MonteCarloConfig,
 ) -> Result<MonteCarloReport, SimError> {
     let width = validate(chain, profile)?;
+    let backend = config.backend.unwrap_or_else(Backend::active);
     let compiled = CompiledChain::compile(chain);
     let qa: Vec<u64> = (0..width)
         .map(|i| quantize_p53(profile.pa(i).to_f64()))
@@ -181,56 +266,17 @@ pub fn monte_carlo<T: Prob>(
         let seed = config
             .seed
             .wrapping_add(worker.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        let mut acc = MetricsAccumulator::default();
-        let mut errors = 0u64;
-        let mut a_planes = vec![0u64; width];
-        let mut b_planes = vec![0u64; width];
-        let mut approx_sum = vec![0u64; width];
-        let mut exact_sum = vec![0u64; width];
-        let full_batches = samples / 64;
-        let tail = samples % 64;
-        let batches = full_batches + u64::from(tail > 0);
-        for batch in 0..batches {
-            // The final partial batch draws a full 64 lanes and masks the
-            // surplus out — simpler and branch-free in the hot path.
-            let active = if batch == full_batches {
-                (1u64 << tail) - 1
-            } else {
-                u64::MAX
-            };
-            for (plane, &q) in a_planes.iter_mut().zip(&qa) {
-                *plane = rng.next_bernoulli64(q);
-            }
-            for (plane, &q) in b_planes.iter_mut().zip(&qb) {
-                *plane = rng.next_bernoulli64(q);
-            }
-            let cin_word = rng.next_bernoulli64(q_cin);
-            let approx_cout = compiled.eval64_into(&a_planes, &b_planes, cin_word, &mut approx_sum);
-            let exact_cout =
-                CompiledChain::accurate64(&a_planes, &b_planes, cin_word, &mut exact_sum);
-            let mut mismatch = approx_cout ^ exact_cout;
-            for i in 0..width {
-                mismatch |= approx_sum[i] ^ exact_sum[i];
-            }
-            mismatch &= active;
-            acc.add_bulk_weight(f64::from(active.count_ones()));
-            errors += u64::from(mismatch.count_ones());
-            if mismatch != 0 {
-                // Aggregate the batch's error moments in plane space — one
-                // O(width) pass and one accumulator update, independent of
-                // how many lanes erred.
-                let stats =
-                    error_stats64(&approx_sum, approx_cout, &exact_sum, exact_cout, mismatch);
-                acc.record_error_block(
-                    f64::from(mismatch.count_ones()),
-                    stats.sum_ed,
-                    stats.sum_abs_ed,
-                    stats.max_abs_ed,
-                );
-            }
-        }
-        (acc, errors)
+        dispatch(
+            backend,
+            McWorker {
+                compiled: &compiled,
+                qa: &qa,
+                qb: &qb,
+                q_cin,
+                samples,
+                seed,
+            },
+        )
     };
 
     let (acc, error_samples) = spawn_workers(threads, run_chunk);
@@ -241,6 +287,7 @@ pub fn monte_carlo<T: Prob>(
 /// per bit. Statistically equivalent to [`monte_carlo`] (the estimates
 /// agree within sampling error) but roughly an order of magnitude slower —
 /// kept public as the differential-test oracle and benchmark baseline.
+/// Ignores [`MonteCarloConfig::backend`] (there is no kernel to widen).
 ///
 /// # Errors
 ///
@@ -377,6 +424,7 @@ mod tests {
             samples: 60_000,
             seed: 21,
             threads: 1,
+            backend: None,
         };
         let fast = monte_carlo(&chain, &profile, cfg).expect("valid");
         let slow = monte_carlo_scalar(&chain, &profile, cfg).expect("valid");
@@ -395,22 +443,64 @@ mod tests {
     #[test]
     fn partial_batch_masks_surplus_lanes() {
         // A sample count straddling batch boundaries must count exactly
-        // `samples` cases, not a multiple of 64.
+        // `samples` cases, not a multiple of the lane count — on every
+        // backend available here.
         let chain = AdderChain::uniform(StandardCell::Lpaa7.cell(), 5);
         let profile = InputProfile::<f64>::uniform(5);
-        for samples in [1u64, 63, 64, 65, 130] {
-            let r = monte_carlo(
+        for backend in Backend::available() {
+            for samples in [1u64, 63, 64, 65, 130, 513] {
+                let r = monte_carlo(
+                    &chain,
+                    &profile,
+                    MonteCarloConfig {
+                        samples,
+                        seed: 2,
+                        threads: 1,
+                        backend: Some(backend),
+                    },
+                )
+                .expect("valid");
+                assert_eq!(r.samples, samples);
+                assert!(r.error_samples <= samples, "{backend}: {samples} samples");
+                assert!(
+                    (r.metrics.error_probability - r.error_samples as f64 / samples as f64).abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_statistically() {
+        // Different backends see different (equally valid) sample streams;
+        // their estimates must agree within combined sampling error, and
+        // each must be deterministic in isolation.
+        let chain = AdderChain::uniform(StandardCell::Lpaa6.cell(), 8);
+        let profile = InputProfile::constant(8, 0.1);
+        let run = |backend: Backend| {
+            monte_carlo(
                 &chain,
                 &profile,
                 MonteCarloConfig {
-                    samples,
-                    seed: 2,
-                    threads: 1,
+                    samples: 60_000,
+                    seed: 11,
+                    threads: 2,
+                    backend: Some(backend),
                 },
             )
-            .expect("valid");
-            assert_eq!(r.samples, samples);
-            assert!(r.error_samples <= samples);
+            .expect("valid")
+        };
+        let baseline = run(Backend::U64);
+        for backend in Backend::available() {
+            let r = run(backend);
+            assert_eq!(r, run(backend), "{backend} must be deterministic");
+            assert!(
+                (r.error_probability() - baseline.error_probability()).abs()
+                    < 5.0 * (r.standard_error + baseline.standard_error) + 1e-9,
+                "{backend}: {} vs u64 {}",
+                r.error_probability(),
+                baseline.error_probability()
+            );
         }
     }
 
@@ -422,6 +512,7 @@ mod tests {
             samples: 40_000,
             seed: 13,
             threads: 4,
+            backend: None,
         };
         let r1 = monte_carlo(&chain, &profile, cfg).expect("valid");
         let r2 = monte_carlo(&chain, &profile, cfg).expect("valid");
@@ -436,6 +527,7 @@ mod tests {
                 samples: 40_000,
                 seed: 13,
                 threads: 1,
+                backend: None,
             },
         )
         .expect("valid");

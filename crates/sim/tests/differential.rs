@@ -163,6 +163,7 @@ fn bitsliced_monte_carlo_reproduces_paper_table7_lpaa6() {
             samples: 400_000,
             seed: 0xDAC1_7ADD,
             threads: 1,
+            backend: None,
         },
     )
     .expect("valid");
@@ -191,6 +192,7 @@ fn bitsliced_monte_carlo_reproduces_paper_table6_lpaa1_uniform() {
             samples: 300_000,
             seed: 99,
             threads: 2,
+            backend: None,
         },
     )
     .expect("valid");
@@ -209,6 +211,7 @@ fn both_monte_carlo_engines_agree_statistically() {
         samples: 100_000,
         seed: 1234,
         threads: 1,
+        backend: None,
     };
     let fast = monte_carlo(&chain, &profile, cfg).expect("valid");
     let slow = monte_carlo_scalar(&chain, &profile, cfg).expect("valid");

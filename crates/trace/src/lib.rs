@@ -60,6 +60,8 @@ pub use format::{
     read_binary, read_ndjson, write_binary, write_ndjson, BinaryReader, NdjsonReader, TraceError,
     TraceLimits, TraceRecord, BINARY_MAGIC, BINARY_VERSION, TRACE_VERSION,
 };
-pub use replay::{replay, replay_scalar, ReplayError, ReplayReport, MAX_REPLAY_WIDTH};
+pub use replay::{
+    replay, replay_scalar, replay_with_backend, ReplayError, ReplayReport, MAX_REPLAY_WIDTH,
+};
 pub use stats::{TraceStats, VarId};
 pub use synth::{generate, ParseSynthKindError, SynthKind, SynthTrace};

@@ -1,21 +1,25 @@
-//! Ground-truth trace replay through the bitsliced 64-lane kernels.
+//! Ground-truth trace replay through the bitsliced SIMD kernels.
 //!
 //! Replay answers "what error did this adder *actually* produce on this
 //! workload": every trace record is evaluated through the approximate chain
-//! and the accurate reference at once, 64 records per pass, via
-//! [`CompiledChain::eval64_diff`]. Each 64-record batch is transposed into
-//! bit-planes with [`pack_lanes`], the fused pass yields the mismatch and
+//! and the accurate reference at once, one SIMD word of records (64–512
+//! lanes, following the runtime-detected [`Backend`]) per pass, via the
+//! chain's fused `CompiledKernel::eval_diff`. Each 64-record subgroup of a
+//! batch is transposed into `u64` bit-planes with [`pack_lanes_into`] (a
+//! block-swap 64×64 bit-matrix transpose), the subgroup planes are
+//! assembled into wide words, the fused pass yields the mismatch and
 //! first-deviation words, and [`error_distances64`] extracts the signed
 //! error distance of every mismatching lane.
 //!
 //! All accumulators are **integers** (`i128`/`u128` sums of exact per-record
 //! error distances), so the report is associative under merging: the
-//! multithreaded replay is bit-for-bit identical for every thread count and
-//! to the scalar per-record oracle [`replay_scalar`] — the differential
-//! suite pins this.
+//! multithreaded replay is bit-for-bit identical for every thread count
+//! *and every backend*, and to the scalar per-record oracle
+//! [`replay_scalar`] — the differential suite pins this.
 
 use sealpaa_cells::{
-    error_distances64, pack_lanes, AdderChain, CompiledChain, FaInput, TruthTable,
+    biased_distance_lanes, dispatch, error_distances64, pack_lanes_into, AdderChain, Backend,
+    CompiledChain, CompiledKernel, FaInput, SimdKernel, SimdWord, TruthTable,
 };
 
 use crate::format::TraceRecord;
@@ -146,6 +150,15 @@ impl ReplayReport {
     }
 }
 
+/// The machine's available parallelism (1 if undeterminable). Replay is
+/// thread-count invariant, so clamping worker counts here changes nothing
+/// but scheduling overhead.
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 fn check_width(chain: &AdderChain) -> Result<u64, ReplayError> {
     let width = chain.width();
     if width > MAX_REPLAY_WIDTH {
@@ -154,57 +167,136 @@ fn check_width(chain: &AdderChain) -> Result<u64, ReplayError> {
     Ok((1u64 << width) - 1)
 }
 
-/// Replays one contiguous span of records through the compiled chain,
-/// 64 lanes at a time.
-fn replay_span(compiled: &CompiledChain, mask: u64, records: &[TraceRecord]) -> ReplayReport {
-    let width = compiled.width();
+/// One worker's share of a replay, dispatched to the selected backend's
+/// word type.
+struct ReplayWorker<'a> {
+    compiled: &'a CompiledChain,
+    mask: u64,
+    records: &'a [TraceRecord],
+}
+
+impl SimdKernel for ReplayWorker<'_> {
+    type Out = ReplayReport;
+
+    #[inline(always)]
+    fn run<W: SimdWord>(self) -> ReplayReport {
+        replay_span(&self.compiled.kernel::<W>(), self.mask, self.records)
+    }
+}
+
+/// Replays one contiguous span of records through the compiled kernel,
+/// `W::LANES` lanes at a time.
+#[inline(always)]
+fn replay_span<W: SimdWord>(
+    kernel: &CompiledKernel<W>,
+    mask: u64,
+    records: &[TraceRecord],
+) -> ReplayReport {
+    let width = kernel.width();
     let mut report = ReplayReport::empty(width);
-    let mut approx = vec![0u64; width];
-    let mut exact = vec![0u64; width];
+    let mut approx = vec![W::zero(); width];
+    let mut exact = vec![W::zero(); width];
+    let mut a_planes = vec![W::zero(); width];
+    let mut b_planes = vec![W::zero(); width];
+    // Per-subword staging: `*_sub[s * width + i]` is bit-plane `i` of the
+    // 64-record subgroup `s`; `pack_lanes_into` fills it via a block-swap
+    // transpose and the wide planes are assembled subword by subword.
+    let mut a_sub = vec![0u64; W::WORDS * width];
+    let mut b_sub = vec![0u64; W::WORDS * width];
+    debug_assert!(W::WORDS <= 8);
     let mut a_vals = [0u64; 64];
     let mut b_vals = [0u64; 64];
-    for batch in records.chunks(64) {
+    let mut sub_approx = vec![0u64; width];
+    let mut sub_exact = vec![0u64; width];
+    let mut lane_dist = [W::zero(); 64];
+    let offset = (1i64 << (width + 1)) - 1;
+    for batch in records.chunks(W::LANES) {
         let lanes = batch.len();
-        let lane_mask = if lanes == 64 {
-            u64::MAX
-        } else {
-            (1u64 << lanes) - 1
-        };
-        let mut cin_word = 0u64;
-        for (l, r) in batch.iter().enumerate() {
-            a_vals[l] = r.a & mask;
-            b_vals[l] = r.b & mask;
-            cin_word |= u64::from(r.cin) << l;
+        let lane_mask = W::tail_mask(lanes);
+        let mut cin_sub = [0u64; 8];
+        for (s, group) in batch.chunks(64).enumerate() {
+            for (l, r) in group.iter().enumerate() {
+                a_vals[l] = r.a & mask;
+                b_vals[l] = r.b & mask;
+                cin_sub[s] |= u64::from(r.cin) << l;
+            }
+            let planes = s * width..(s + 1) * width;
+            pack_lanes_into(&a_vals[..group.len()], &mut a_sub[planes.clone()]);
+            pack_lanes_into(&b_vals[..group.len()], &mut b_sub[planes]);
         }
-        let a_planes = pack_lanes(&a_vals[..lanes], width);
-        let b_planes = pack_lanes(&b_vals[..lanes], width);
-        let diff = compiled.eval64_diff(&a_planes, &b_planes, cin_word, &mut approx, &mut exact);
+        // Subgroups past the tail stay at their previous contents; the
+        // lane mask removes them from every count below, so only the
+        // staged planes of populated subgroups need assembling.
+        let groups = lanes.div_ceil(64);
+        for i in 0..width {
+            a_planes[i] = W::from_fn(|s| if s < groups { a_sub[s * width + i] } else { 0 });
+            b_planes[i] = W::from_fn(|s| if s < groups { b_sub[s * width + i] } else { 0 });
+        }
+        let cin_word = W::from_fn(|s| cin_sub[s]);
+        let diff = kernel.eval_diff(&a_planes, &b_planes, cin_word, &mut approx, &mut exact);
         let mismatch = diff.mismatch & lane_mask;
         report.records += lanes as u64;
-        report.output_errors += u64::from(mismatch.count_ones());
-        report.stage_errors += u64::from((diff.deviated & lane_mask).count_ones());
-        if mismatch == 0 {
+        report.output_errors += mismatch.count_ones();
+        report.stage_errors += (diff.deviated & lane_mask).count_ones();
+        if !mismatch.any() {
+            continue;
+        }
+        // Dense fast path: compute every lane's biased error distance in
+        // plane space (ripple subtract + wide transpose), then accumulate
+        // without a mask — a *correct* lane's biased distance is exactly
+        // `offset`, so its `d = 0` contributes nothing to any sum. Tail
+        // batches are excluded because lanes past the span's end carry
+        // stale planes whose distances must not be counted.
+        if lanes == W::LANES && mismatch.count_ones() as usize * 4 >= W::LANES {
+            biased_distance_lanes(
+                &approx,
+                diff.approx_cout,
+                &exact,
+                diff.exact_cout,
+                &mut lane_dist,
+            );
+            for row in lane_dist.iter() {
+                let row = *row;
+                for s in 0..W::WORDS {
+                    let d = row.word(s) as i64 - offset;
+                    let abs = u128::from(d.unsigned_abs());
+                    report.sum_ed += i128::from(d);
+                    report.sum_abs_ed += abs;
+                    report.sum_sq_ed += abs * abs;
+                    report.max_abs_ed = report.max_abs_ed.max(d.unsigned_abs());
+                }
+            }
             continue;
         }
         let mut ed = [0i64; 64];
-        error_distances64(
-            &approx,
-            diff.approx_cout,
-            &exact,
-            diff.exact_cout,
-            mismatch,
-            &mut ed,
-        );
-        let mut left = mismatch;
-        while left != 0 {
-            let lane = left.trailing_zeros() as usize;
-            left &= left - 1;
-            let d = ed[lane];
-            let abs = u128::from(d.unsigned_abs());
-            report.sum_ed += i128::from(d);
-            report.sum_abs_ed += abs;
-            report.sum_sq_ed += abs * abs;
-            report.max_abs_ed = report.max_abs_ed.max(d.unsigned_abs());
+        for s in 0..W::WORDS {
+            let mm = mismatch.word(s);
+            if mm == 0 {
+                continue;
+            }
+            for i in 0..width {
+                sub_approx[i] = approx[i].word(s);
+                sub_exact[i] = exact[i].word(s);
+            }
+            error_distances64(
+                &sub_approx,
+                diff.approx_cout.word(s),
+                &sub_exact,
+                diff.exact_cout.word(s),
+                mm,
+                &mut ed,
+            );
+            let mut left = mm;
+            while left != 0 {
+                let lane = left.trailing_zeros() as usize;
+                left &= left - 1;
+                let d = ed[lane];
+                let abs = u128::from(d.unsigned_abs());
+                report.sum_ed += i128::from(d);
+                report.sum_abs_ed += abs;
+                report.sum_sq_ed += abs * abs;
+                report.max_abs_ed = report.max_abs_ed.max(d.unsigned_abs());
+            }
         }
     }
     report
@@ -212,8 +304,9 @@ fn replay_span(compiled: &CompiledChain, mask: u64, records: &[TraceRecord]) -> 
 
 /// Replays a trace through the bitsliced kernels, optionally on several
 /// worker threads. The result is bit-for-bit identical for every thread
-/// count (integer accumulation over an order-independent merge) and to
-/// [`replay_scalar`]. Operand bits above the chain width are ignored.
+/// count and SIMD backend (integer accumulation over an order-independent
+/// merge) and to [`replay_scalar`]. Operand bits above the chain width are
+/// ignored.
 ///
 /// # Errors
 ///
@@ -223,12 +316,47 @@ pub fn replay(
     records: &[TraceRecord],
     threads: usize,
 ) -> Result<ReplayReport, ReplayError> {
+    replay_with_backend(chain, records, threads, None)
+}
+
+/// [`replay`] with an explicit SIMD backend: `None` uses
+/// [`Backend::active`] (runtime detection, overridable through the
+/// `SEALPAA_SIMD` environment variable). Because every accumulator is an
+/// exact integer, the report does not depend on the backend — the
+/// differential suite pins all backends byte-identical.
+///
+/// # Errors
+///
+/// Fails if the chain is wider than [`MAX_REPLAY_WIDTH`].
+pub fn replay_with_backend(
+    chain: &AdderChain,
+    records: &[TraceRecord],
+    threads: usize,
+    backend: Option<Backend>,
+) -> Result<ReplayReport, ReplayError> {
     let mask = check_width(chain)?;
+    let backend = backend.unwrap_or_else(Backend::active);
     let compiled = CompiledChain::compile(chain);
     let batches = records.len().div_ceil(64);
-    let threads = threads.clamp(1, 64).min(batches.max(1));
+    // Replay is thread-count invariant, so oversubscribing past the
+    // machine's cores can only add scheduling overhead (the `_t4 > _t1`
+    // regression in BENCH_trace.json) — clamp to available parallelism.
+    let threads = threads
+        .clamp(1, 64)
+        .min(available_threads())
+        .min(batches.max(1));
+    let worker = |span: &[TraceRecord]| {
+        dispatch(
+            backend,
+            ReplayWorker {
+                compiled: &compiled,
+                mask,
+                records: span,
+            },
+        )
+    };
     if threads == 1 {
-        return Ok(replay_span(&compiled, mask, records));
+        return Ok(worker(records));
     }
     // Contiguous 64-record-aligned spans per worker, merged in span order.
     let spans: Vec<&[TraceRecord]> = (0..threads)
@@ -243,8 +371,8 @@ pub fn replay(
         let handles: Vec<_> = spans
             .into_iter()
             .map(|span| {
-                let compiled = &compiled;
-                scope.spawn(move || replay_span(compiled, mask, span))
+                let worker = &worker;
+                scope.spawn(move || worker(span))
             })
             .collect();
         for handle in handles {
@@ -355,5 +483,24 @@ mod tests {
         let fast = replay(&chain, &records, 1).expect("valid");
         let oracle = replay_scalar(&chain, &records).expect("valid");
         assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn every_backend_is_byte_identical_to_scalar() {
+        // The tentpole byte-identity contract on the replay path: every
+        // available backend, every thread count, awkward record counts
+        // (tails shorter than a subword, shorter than the wide word).
+        let chain = AdderChain::uniform(StandardCell::Lpaa5.cell(), 12);
+        for count in [1usize, 63, 64, 65, 200, 513] {
+            let records = generate(SynthKind::Uniform, 12, count, 17).expect("valid");
+            let oracle = replay_scalar(&chain, &records).expect("valid");
+            for backend in Backend::available() {
+                for threads in [1usize, 2, 7] {
+                    let r = replay_with_backend(&chain, &records, threads, Some(backend))
+                        .expect("valid");
+                    assert_eq!(r, oracle, "{backend} t{threads} n{count}");
+                }
+            }
+        }
     }
 }

@@ -104,6 +104,7 @@ fn replay_rates_agree_with_monte_carlo_on_matching_profiles() {
         samples: 1 << 16,
         seed: 0xFEED,
         threads: 1,
+        backend: None,
     };
     let mc = sealpaa_sim::monte_carlo(&chain, &profile, config).expect("valid");
     assert!(

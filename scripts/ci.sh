@@ -37,6 +37,20 @@ run cargo test --workspace -q
 # across thread counts).
 run cargo test -p sealpaa-sim --test differential -q
 
+# The same suite once per SIMD backend the host supports, forced through
+# SEALPAA_SIMD — pins that every lane width (u64 / u64x2 / avx2 / avx512)
+# reproduces the scalar oracle byte-identically, not just the widest one
+# runtime detection happens to pick. `sealpaa simd` lists what the host
+# has; forcing an unavailable backend is a hard error, so the loop asks
+# the binary itself which names to run.
+for backend in $(cargo run -q -p sealpaa-cli --bin sealpaa -- simd --json |
+    sed -n 's/.*"available_names":\[\([^]]*\)\].*/\1/p' | tr -d '"' | tr ',' ' '); do
+    run env SEALPAA_SIMD="$backend" \
+        cargo test -p sealpaa-sim --test differential -q
+    run env SEALPAA_SIMD="$backend" \
+        cargo test -p sealpaa-trace --test differential -q
+done
+
 # The incremental-analysis differential suite: prefix stepper vs fresh
 # analyses (bit-for-bit in Rational, exactly equal in f64) and thread-count
 # invariance of the design-space exploration.
