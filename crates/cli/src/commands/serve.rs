@@ -3,7 +3,7 @@
 use std::io::Write;
 
 use sealpaa_server::protocol::MAX_LINE_BYTES;
-use sealpaa_server::server::{run_stdio, Server, ServerConfig};
+use sealpaa_server::server::{run_stdio, IoModel, Server, ServerConfig};
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;
@@ -13,8 +13,11 @@ usage: sealpaa serve [options]
 
 Runs the analysis daemon: newline-delimited JSON requests in, newline-
 delimited JSON responses out. Request kinds: analyze, simulate, compare,
-gear, stats, shutdown. Results are cached under a canonicalized adder
-configuration, so equivalent requests are answered without recomputation.
+gear, blocks, dse, profile, batch, stats, shutdown. Results are cached
+under a canonicalized adder configuration, so equivalent requests are
+answered without recomputation. A batch request answers many sub-requests
+in one response; under the event io model, requests on one connection may
+also be pipelined (responses are tagged by the client-supplied id).
 
 Example session (see docs/SERVER.md for the full protocol):
 
@@ -39,6 +42,11 @@ options:
   --write-timeout-ms N  per-connection write deadline: a peer that stops
                         reading its responses is disconnected
                         (default 60000, 0 disables; TCP only)
+  --io-model M          TCP connection-serving model: 'event' (one epoll
+                        poll thread multiplexes every socket; supports
+                        request pipelining; Linux only) or 'threads' (one
+                        blocking reader thread per connection); default
+                        event on Linux, threads elsewhere
   --trace               emit one NDJSON access-log line per request to
                         stderr (timestamp-free fields, byte-reproducible)
   --stdio               serve stdin/stdout instead of TCP (one-shot
@@ -70,6 +78,7 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
             "max-line-bytes",
             "idle-timeout-ms",
             "write-timeout-ms",
+            "io-model",
         ],
         &["stdio", "trace"],
     )?;
@@ -83,6 +92,7 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
         idle_timeout_ms: args.get_or("idle-timeout-ms", 60_000u64)?,
         write_timeout_ms: args.get_or("write-timeout-ms", 60_000u64)?,
         trace: args.flag("trace"),
+        io_model: args.get_or("io-model", IoModel::default())?,
     };
     if config.threads == 0 {
         return Err(CliError::usage("--threads must be at least 1"));
@@ -129,6 +139,8 @@ mod tests {
         assert!(s.contains("--max-connections"));
         assert!(s.contains("--idle-timeout-ms"));
         assert!(s.contains("--trace"));
+        assert!(s.contains("--io-model"));
+        assert!(s.contains("batch"));
     }
 
     #[test]
@@ -144,6 +156,10 @@ mod tests {
         assert!(
             run_to_string(&["--idle-timeout-ms", "forever"]).is_err(),
             "non-numeric deadline"
+        );
+        assert!(
+            run_to_string(&["--io-model", "fibers"]).is_err(),
+            "unknown io model"
         );
     }
 }

@@ -205,6 +205,13 @@ impl ResultCache {
         }
     }
 
+    /// Counts a hit that was answered from a copy of a cached result held
+    /// outside the cache (the per-connection request memo), so `hits` keeps
+    /// matching the number of `"cached":true` responses served.
+    pub fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Stores `key -> value`, evicting the shard's least-recently-used entry
     /// if it is full.
     pub fn insert(&self, key: String, value: String) {

@@ -20,6 +20,8 @@
 //!
 //! [`FaInput::index`]: sealpaa_cells::FaInput::index
 
+use std::fmt::Write as _;
+
 use sealpaa_cells::{AdderChain, FaInput, InputProfile, TruthTable};
 
 use crate::protocol::{
@@ -40,6 +42,10 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
         RequestBody::Blocks(spec) => Some(blocks_key(spec)),
         RequestBody::Dse(spec) => Some(dse_key(spec)),
         RequestBody::Profile(spec) => profile_key(spec),
+        // A batch is not cached as a whole: each sub-request is routed
+        // through the cache under its own canonical key, which is what lets
+        // duplicate configurations inside one batch compute once.
+        RequestBody::Batch(_) => None,
         RequestBody::Stats | RequestBody::Shutdown => None,
     }
 }
@@ -78,24 +84,38 @@ fn prob_token(p: f64) -> u64 {
 
 fn chain_tokens(chain: &AdderChain) -> (String, bool) {
     let mut symmetric = true;
-    let tokens: Vec<String> = chain
-        .iter()
-        .map(|cell| {
-            symmetric &= is_ab_symmetric(cell.truth_table());
-            format!("{:04x}", table_code(cell.truth_table()))
-        })
-        .collect();
-    (tokens.join(","), symmetric)
+    let mut out = String::new();
+    // Most chains are uniform; reuse the previous stage's symmetry verdict
+    // whenever the table repeats instead of re-evaluating all eight rows.
+    let mut prev: Option<(u16, bool)> = None;
+    for (i, cell) in chain.iter().enumerate() {
+        let table = cell.truth_table();
+        let code = table_code(table);
+        let sym = match prev {
+            Some((prev_code, prev_sym)) if prev_code == code => prev_sym,
+            _ => is_ab_symmetric(table),
+        };
+        prev = Some((code, sym));
+        symmetric &= sym;
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{code:04x}");
+    }
+    (out, symmetric)
 }
 
 fn profile_vec_token(profile: &InputProfile<f64>, pick_a: bool) -> String {
-    (0..profile.width())
-        .map(|i| {
-            let p = if pick_a { profile.pa(i) } else { profile.pb(i) };
-            format!("{:016x}", prob_token(*p))
-        })
-        .collect::<Vec<_>>()
-        .join(",")
+    let width = profile.width();
+    let mut out = String::with_capacity(width * 17);
+    for i in 0..width {
+        let p = if pick_a { profile.pa(i) } else { profile.pb(i) };
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{:016x}", prob_token(*p));
+    }
+    out
 }
 
 /// The canonical token for an adder configuration (chain + profile).

@@ -235,12 +235,14 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'{')?;
-        let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Json::Object(fields));
+            return Ok(Json::Object(Vec::new()));
         }
+        // Protocol objects typically carry a handful of fields; one
+        // up-front reservation replaces a chain of doubling reallocations.
+        let mut fields = Vec::with_capacity(8);
         loop {
             self.skip_ws();
             let key = self.string()?;
@@ -263,12 +265,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'[')?;
-        let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Json::Array(items));
+            return Ok(Json::Array(Vec::new()));
         }
+        let mut items = Vec::with_capacity(8);
         loop {
             self.skip_ws();
             items.push(self.value()?);
@@ -288,6 +290,20 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Bulk-copy the maximal run of plain bytes. The delimiters
+            // (quote, backslash, controls) are all ASCII, so run boundaries
+            // are always UTF-8 character boundaries; multi-byte scalars
+            // pass straight through the run.
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("input is valid UTF-8"),
+                );
+            }
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
@@ -335,20 +351,8 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
-                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so this is
-                    // always a valid boundary walk).
-                    let start = self.pos;
-                    self.pos += 1;
-                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
-                        self.pos += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .expect("input is valid UTF-8"),
-                    );
-                }
+                // The run scan stops at nothing else but controls.
+                Some(_) => return Err(self.err("raw control character in string")),
             }
         }
     }

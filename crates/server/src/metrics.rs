@@ -24,8 +24,9 @@ pub const BUCKETS: usize = 31;
 
 /// The request kinds tracked per-kind, in stable wire-name order (this is
 /// also the key order of the `stats` response's `"kinds"` object).
-pub const KIND_NAMES: [&str; 9] = [
-    "analyze", "simulate", "compare", "gear", "blocks", "dse", "profile", "stats", "shutdown",
+pub const KIND_NAMES: [&str; 10] = [
+    "analyze", "simulate", "compare", "gear", "blocks", "dse", "profile", "batch", "stats",
+    "shutdown",
 ];
 
 /// The index of a wire kind in [`KIND_NAMES`], or `None` for unknown names
@@ -61,6 +62,9 @@ pub struct Metrics {
     peak_connections: AtomicU64,
     shed_connections: AtomicU64,
     timeouts: AtomicU64,
+    registered_fds: AtomicU64,
+    pending_write_bytes: AtomicU64,
+    max_pipeline_depth: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -74,6 +78,9 @@ impl Default for Metrics {
             peak_connections: AtomicU64::new(0),
             shed_connections: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            registered_fds: AtomicU64::new(0),
+            pending_write_bytes: AtomicU64::new(0),
+            max_pipeline_depth: AtomicU64::new(0),
         }
     }
 }
@@ -114,6 +121,17 @@ pub struct MetricsSnapshot {
     pub shed_connections: u64,
     /// Connections closed by a read (idle) or write deadline.
     pub timeouts: u64,
+    /// Sockets currently registered with the readiness poller (0 under the
+    /// thread-per-connection model, where there is no poller).
+    pub registered_fds: u64,
+    /// Response bytes accepted but not yet written to their sockets, summed
+    /// over every connection (the event loop's write-backpressure gauge).
+    pub pending_write_bytes: u64,
+    /// High-water mark of concurrently in-flight computed requests on one
+    /// connection — >1 means a client actually pipelined. The
+    /// thread-per-connection model serves strictly one request at a time,
+    /// so it records 1 per computed request.
+    pub max_pipeline_depth: u64,
 }
 
 impl Metrics {
@@ -164,6 +182,22 @@ impl Metrics {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Publishes the poller's current registration count (event loop only).
+    pub fn set_registered_fds(&self, n: u64) {
+        self.registered_fds.store(n, Ordering::Relaxed);
+    }
+
+    /// Publishes the total bytes buffered for write across all connections
+    /// (event loop only).
+    pub fn set_pending_write_bytes(&self, n: u64) {
+        self.pending_write_bytes.store(n, Ordering::Relaxed);
+    }
+
+    /// Raises the pipeline-depth high-water mark to `depth` if higher.
+    pub fn record_pipeline_depth(&self, depth: u64) {
+        self.max_pipeline_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Reads all counters. Concurrent recording may tear between counters
     /// (a snapshot is not an atomic cut), which is fine for monitoring.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -193,6 +227,9 @@ impl Metrics {
             peak_connections: self.peak_connections.load(Ordering::Relaxed),
             shed_connections: self.shed_connections.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            registered_fds: self.registered_fds.load(Ordering::Relaxed),
+            pending_write_bytes: self.pending_write_bytes.load(Ordering::Relaxed),
+            max_pipeline_depth: self.max_pipeline_depth.load(Ordering::Relaxed),
         }
     }
 }
@@ -342,6 +379,31 @@ mod tests {
         assert_eq!(snap.peak_connections, 3);
         assert_eq!(snap.shed_connections, 1);
         assert_eq!(snap.timeouts, 2);
+    }
+
+    #[test]
+    fn event_loop_gauges_publish_and_high_water() {
+        let metrics = Metrics::new();
+        metrics.set_registered_fds(12);
+        metrics.set_pending_write_bytes(4096);
+        metrics.record_pipeline_depth(3);
+        metrics.record_pipeline_depth(9);
+        metrics.record_pipeline_depth(2);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.registered_fds, 12);
+        assert_eq!(snap.pending_write_bytes, 4096);
+        assert_eq!(snap.max_pipeline_depth, 9, "gauge keeps the high-water");
+        metrics.set_registered_fds(0);
+        assert_eq!(metrics.snapshot().registered_fds, 0);
+    }
+
+    #[test]
+    fn batch_is_a_tracked_kind() {
+        assert!(kind_index("batch").is_some());
+        let metrics = Metrics::new();
+        metrics.record_ok("batch", 7);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.kinds[kind_index("batch").expect("known")].requests, 1);
     }
 
     #[test]

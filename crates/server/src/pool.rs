@@ -18,6 +18,15 @@ use std::thread::JoinHandle;
 /// A unit of work executed on a pool worker.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Why a [`WorkerPool::try_submit`] did not enqueue; the job is handed back
+/// either way so the caller can retry or fail it.
+pub enum TrySubmit {
+    /// The queue is at capacity right now — retry after a completion.
+    Full(Job),
+    /// The pool has been shut down — the job can never run.
+    Closed(Job),
+}
+
 struct Queue {
     jobs: VecDeque<Job>,
     closed: bool,
@@ -89,6 +98,29 @@ impl WorkerPool {
                 .wait(queue)
                 .expect("pool queue poisoned");
         }
+    }
+
+    /// Enqueues a job without ever blocking: the event loop's submission
+    /// path, where blocking would stall every connection at once. A full
+    /// queue hands the job back as [`TrySubmit::Full`]; the caller parks it
+    /// and retries when a completion signals that a slot freed up.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back inside [`TrySubmit`] when the queue is full or
+    /// the pool has been shut down.
+    pub fn try_submit(&self, job: Job) -> Result<(), TrySubmit> {
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        if queue.closed {
+            return Err(TrySubmit::Closed(job));
+        }
+        if queue.jobs.len() >= queue.capacity {
+            return Err(TrySubmit::Full(job));
+        }
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.shared.job_ready.notify_one();
+        Ok(())
     }
 
     /// The number of jobs currently waiting (not counting jobs already
@@ -194,6 +226,43 @@ mod tests {
         let pool = WorkerPool::new(1, 1);
         pool.shutdown();
         assert!(pool.submit(Box::new(|| {})).is_err());
+    }
+
+    #[test]
+    fn try_submit_never_blocks_and_reports_why() {
+        // Gate the single worker so the 1-slot queue stays occupied.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let pool = WorkerPool::new(1, 1);
+        pool.submit(Box::new(move || {
+            gate_rx.recv().ok();
+        }))
+        .ok()
+        .expect("pool open");
+        std::thread::sleep(Duration::from_millis(20));
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }))
+            .ok()
+            .expect("one slot free");
+        }
+        // The queue is now full: try_submit must return immediately with
+        // the job, not block like submit does.
+        let started = std::time::Instant::now();
+        match pool.try_submit(Box::new(|| {})) {
+            Err(TrySubmit::Full(_)) => {}
+            _ => panic!("expected Full from a saturated queue"),
+        }
+        assert!(started.elapsed() < Duration::from_secs(1));
+        gate_tx.send(()).expect("worker waiting");
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "the parked job still ran");
+        match pool.try_submit(Box::new(|| {})) {
+            Err(TrySubmit::Closed(_)) => {}
+            _ => panic!("expected Closed after shutdown"),
+        }
     }
 
     #[test]

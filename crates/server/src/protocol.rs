@@ -6,6 +6,7 @@
 //! vocabulary as the CLI: `width` + `cell`/`cells`, and `p`/`pa`/`pb`/`cin`
 //! input probabilities. See `docs/SERVER.md` for a worked example per kind.
 
+use std::fmt::Write as _;
 use std::str::FromStr;
 
 use sealpaa_cells::{AdderChain, Cell, InputProfile, StandardCell, TruthTable};
@@ -20,6 +21,10 @@ pub const MAX_LINE_BYTES: usize = 1 << 20;
 /// The most records a `profile` request may ask a synthetic generator for —
 /// a bound on worker time, mirroring [`MAX_LINE_BYTES`]'s bound on memory.
 pub const MAX_PROFILE_RECORDS: u64 = 1 << 24;
+
+/// The most sub-requests one `batch` request may carry — a bound on worker
+/// time per request line (the line limit already bounds its bytes).
+pub const MAX_BATCH_ITEMS: usize = 1024;
 
 /// One parsed request: the echoed `id` plus the typed body.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +54,10 @@ pub enum RequestBody {
     /// Workload-trace bit statistics: empirical per-bit probabilities and
     /// the independence-violation score.
     Profile(ProfileSpec),
+    /// Several compute sub-requests answered in one response, routed through
+    /// the canonical cache as a group (duplicate configurations compute
+    /// once).
+    Batch(BatchSpec),
     /// Server counters (served inline, never queued).
     Stats,
     /// Graceful shutdown: drain in-flight jobs, answer, stop.
@@ -66,10 +75,132 @@ impl RequestBody {
             RequestBody::Blocks(_) => "blocks",
             RequestBody::Dse(_) => "dse",
             RequestBody::Profile(_) => "profile",
+            RequestBody::Batch(_) => "batch",
             RequestBody::Stats => "stats",
             RequestBody::Shutdown => "shutdown",
         }
     }
+}
+
+/// A `batch` request: an ordered list of compute sub-requests. The response
+/// carries one sub-response per item, in item order, each echoing the item's
+/// own `id` — so a client can fan a sweep into one line and reassemble it
+/// without counting on ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpec {
+    /// The sub-requests, in wire order.
+    pub items: Vec<BatchItem>,
+}
+
+/// One entry of a `batch` request. A malformed entry does not fail the
+/// batch: it is carried as its parse error and answered with a per-item
+/// error sub-response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// The item's own correlation id, echoed in its sub-response.
+    pub id: Option<Json>,
+    /// What the item asks for: its own parse, or a back-reference to an
+    /// earlier identical item.
+    pub body: BatchBody,
+}
+
+/// The payload of one batch item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchBody {
+    /// A freshly parsed sub-request, or the message explaining why it did
+    /// not parse.
+    Parsed(Result<RequestBody, String>),
+    /// Byte-identical (apart from `id`) to the item at this index. The
+    /// common batch shape — one configuration fanned out under many ids —
+    /// parses once, canonicalizes once, and computes at most once; every
+    /// duplicate rides the original's resolution.
+    DuplicateOf(usize),
+}
+
+/// How many recent *distinct* rows a batch parse compares each new row
+/// against. Homogeneous batches dedup against a single entry; the bound
+/// keeps an adversarial all-distinct batch linear.
+const BATCH_DEDUP_WINDOW: usize = 8;
+
+impl BatchSpec {
+    fn from_json(doc: &Json) -> Result<BatchSpec, String> {
+        let rows = doc
+            .get("requests")
+            .and_then(Json::as_array)
+            .ok_or("\"requests\" (an array of request objects) is required")?;
+        if rows.is_empty() {
+            return Err("\"requests\" must list at least one sub-request".to_owned());
+        }
+        if rows.len() > MAX_BATCH_ITEMS {
+            return Err(format!(
+                "\"requests\" lists {} sub-requests but the limit is {MAX_BATCH_ITEMS}",
+                rows.len()
+            ));
+        }
+        let mut items: Vec<BatchItem> = Vec::with_capacity(rows.len());
+        // Indices (into `rows`/`items`) of the most recent distinct rows;
+        // back-references therefore always point at an original, never at
+        // another duplicate.
+        let mut recent: Vec<usize> = Vec::new();
+        for (index, row) in rows.iter().enumerate() {
+            let body = match recent
+                .iter()
+                .copied()
+                .find(|&j| json_equal_ignoring_id(row, &rows[j]))
+            {
+                Some(j) => BatchBody::DuplicateOf(j),
+                None => {
+                    if recent.len() == BATCH_DEDUP_WINDOW {
+                        recent.remove(0);
+                    }
+                    recent.push(index);
+                    BatchBody::Parsed(batch_item_body(row))
+                }
+            };
+            items.push(BatchItem {
+                id: row.get("id").cloned(),
+                body,
+            });
+        }
+        Ok(BatchSpec { items })
+    }
+}
+
+/// Structural equality of two raw request documents with the `id` field
+/// masked out — the cheap filter behind [`BatchBody::DuplicateOf`] and the
+/// per-connection request memo. Field order matters, so
+/// differently-spelled equivalent documents simply miss the filter: a miss
+/// only costs a fresh parse, never correctness. (NaN-valued numbers
+/// compare unequal and therefore never dedup, which is the safe direction.)
+pub(crate) fn json_equal_ignoring_id(a: &Json, b: &Json) -> bool {
+    let (Json::Object(a), Json::Object(b)) = (a, b) else {
+        return false;
+    };
+    let mut a = a.iter().filter(|(k, _)| k.as_str() != "id");
+    let mut b = b.iter().filter(|(k, _)| k.as_str() != "id");
+    loop {
+        match (a.next(), b.next()) {
+            (None, None) => return true,
+            (Some(x), Some(y)) if x == y => {}
+            _ => return false,
+        }
+    }
+}
+
+/// Parses one batch entry. Control kinds and nested batches are rejected by
+/// name *before* parsing, so a nested-batch bomb cannot recurse.
+fn batch_item_body(row: &Json) -> Result<RequestBody, String> {
+    if !matches!(row, Json::Object(_)) {
+        return Err("a sub-request must be a JSON object".to_owned());
+    }
+    match row.get("kind").and_then(Json::as_str) {
+        None => return Err("missing string field \"kind\"".to_owned()),
+        Some(kind @ ("batch" | "stats" | "shutdown")) => {
+            return Err(format!("kind {kind:?} is not allowed inside a batch"));
+        }
+        Some(_) => {}
+    }
+    body_from_doc(row)
 }
 
 /// A multi-bit adder configuration: the per-stage cells plus the input
@@ -246,29 +377,37 @@ impl Request {
             return Err("a request must be a JSON object".to_owned());
         }
         let id = doc.get("id").cloned();
-        let kind = doc
-            .get("kind")
-            .and_then(Json::as_str)
-            .ok_or("missing string field \"kind\"")?;
-        let body = match kind {
-            "analyze" => RequestBody::Analyze(AdderSpec::from_json(&doc)?),
-            "simulate" => RequestBody::Simulate(SimulateSpec::from_json(&doc)?),
-            "compare" => RequestBody::Compare(AdderSpec::from_json(&doc)?),
-            "gear" => RequestBody::Gear(GearSpec::from_json(&doc)?),
-            "blocks" => RequestBody::Blocks(BlocksSpec::from_json(&doc)?),
-            "dse" => RequestBody::Dse(DseSpec::from_json(&doc)?),
-            "profile" => RequestBody::Profile(ProfileSpec::from_json(&doc)?),
-            "stats" => RequestBody::Stats,
-            "shutdown" => RequestBody::Shutdown,
-            other => {
-                return Err(format!(
-                    "unknown kind {other:?} (expected analyze, simulate, compare, gear, blocks, \
-                     dse, profile, stats or shutdown)"
-                ))
-            }
-        };
+        let body = body_from_doc(&doc)?;
         Ok(Request { id, body })
     }
+}
+
+/// Parses a request object's body by its `"kind"` — shared by the top-level
+/// parser, the per-item parser inside `batch`, and the transport loops
+/// (which parse the document themselves to feed the request memo).
+pub(crate) fn body_from_doc(doc: &Json) -> Result<RequestBody, String> {
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"kind\"")?;
+    Ok(match kind {
+        "analyze" => RequestBody::Analyze(AdderSpec::from_json(doc)?),
+        "simulate" => RequestBody::Simulate(SimulateSpec::from_json(doc)?),
+        "compare" => RequestBody::Compare(AdderSpec::from_json(doc)?),
+        "gear" => RequestBody::Gear(GearSpec::from_json(doc)?),
+        "blocks" => RequestBody::Blocks(BlocksSpec::from_json(doc)?),
+        "dse" => RequestBody::Dse(DseSpec::from_json(doc)?),
+        "profile" => RequestBody::Profile(ProfileSpec::from_json(doc)?),
+        "batch" => RequestBody::Batch(BatchSpec::from_json(doc)?),
+        "stats" => RequestBody::Stats,
+        "shutdown" => RequestBody::Shutdown,
+        other => {
+            return Err(format!(
+                "unknown kind {other:?} (expected analyze, simulate, compare, gear, blocks, \
+                 dse, profile, batch, stats or shutdown)"
+            ))
+        }
+    })
 }
 
 /// Resolves a cell name: `accurate`/`accufa`, `lpaa1`…`lpaa7`, or a custom
@@ -641,6 +780,108 @@ impl ProfileSpec {
     }
 }
 
+/// Renders a success response line directly around an already-rendered
+/// `result` payload — the cache-hit fast path. Byte-identical to
+/// `ok_response(id, kind, cached, micros, result).render()` when
+/// `result.render() == rendered_result`, without parsing the payload back
+/// into a tree only to re-render it. `kind` must be one of the static
+/// request-kind identifiers (never needs JSON escaping).
+#[must_use]
+pub fn render_ok_response(
+    id: Option<&Json>,
+    kind: &str,
+    cached: bool,
+    micros: u64,
+    rendered_result: &str,
+) -> String {
+    let mut out = String::with_capacity(rendered_result.len() + 80);
+    out.push('{');
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        out.push_str(&id.render());
+        out.push(',');
+    }
+    let _ = write!(
+        out,
+        "\"ok\":true,\"kind\":\"{kind}\",\"cached\":{cached},\"micros\":{micros},\"result\":"
+    );
+    out.push_str(rendered_result);
+    out.push('}');
+    out
+}
+
+/// Renders one successful `batch` sub-response around an already-rendered
+/// `result` payload — the same fast path as [`render_ok_response`], minus
+/// `micros` (the batch reports one aggregate latency).
+#[must_use]
+pub fn render_sub_ok_response(
+    id: Option<&Json>,
+    kind: &str,
+    cached: bool,
+    rendered_result: &str,
+) -> String {
+    let mut out = String::with_capacity(rendered_result.len() + 64);
+    write_sub_ok_response(&mut out, id, kind, cached, rendered_result);
+    out
+}
+
+/// Appends one successful `batch` sub-response directly onto `out` —
+/// exactly the bytes of [`render_sub_ok_response`], without the
+/// intermediate allocation. Used when assembling a large batch response in
+/// place.
+pub fn write_sub_ok_response(
+    out: &mut String,
+    id: Option<&Json>,
+    kind: &str,
+    cached: bool,
+    rendered_result: &str,
+) {
+    out.push('{');
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        out.push_str(&id.render());
+        out.push(',');
+    }
+    let _ = write!(
+        out,
+        "\"ok\":true,\"kind\":\"{kind}\",\"cached\":{cached},\"result\":"
+    );
+    out.push_str(rendered_result);
+    out.push('}');
+}
+
+/// Renders a whole successful `batch` response around already-rendered,
+/// comma-joined sub-responses: the envelope and the aggregate result object
+/// are spliced in one pass, byte-identical to building
+/// `{"count":…,"computed":…,"results":[…]}` as a tree and wrapping it with
+/// [`ok_response`], without ever copying the (potentially large) joined
+/// sub-responses twice.
+#[must_use]
+pub fn render_batch_ok_response(
+    id: Option<&Json>,
+    cached: bool,
+    micros: u64,
+    count: u64,
+    computed: u64,
+    joined_subs: &str,
+) -> String {
+    let mut out = String::with_capacity(joined_subs.len() + 160);
+    out.push('{');
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        out.push_str(&id.render());
+        out.push(',');
+    }
+    let _ = write!(
+        out,
+        "\"ok\":true,\"kind\":\"batch\",\"cached\":{cached},\"micros\":{micros},\"result\":\
+         {{\"count\":{count},\"computed\":{computed},\"results\":["
+    );
+    out.push_str(joined_subs);
+    out.push_str("]}}");
+    out
+}
+
 /// Builds a success response line (without the trailing newline).
 pub fn ok_response(id: Option<&Json>, kind: &str, cached: bool, micros: u64, result: Json) -> Json {
     let mut obj = JsonObject::default();
@@ -651,6 +892,21 @@ pub fn ok_response(id: Option<&Json>, kind: &str, cached: bool, micros: u64, res
         .field("kind", kind)
         .field("cached", cached)
         .field("micros", micros)
+        .field("result", result)
+        .build()
+}
+
+/// Builds one successful sub-response object of a `batch` response — the
+/// same shape as a top-level success minus `micros` (the batch reports one
+/// aggregate latency).
+pub fn sub_ok_response(id: Option<&Json>, kind: &str, cached: bool, result: Json) -> Json {
+    let mut obj = JsonObject::default();
+    if let Some(id) = id {
+        obj = obj.field("id", id.clone());
+    }
+    obj.field("ok", true)
+        .field("kind", kind)
+        .field("cached", cached)
         .field("result", result)
         .build()
 }
@@ -696,6 +952,10 @@ mod tests {
             (
                 r#"{"kind":"profile","width":4,"trace":[[3,5],[15,0,1],[7,7,true]]}"#,
                 "profile",
+            ),
+            (
+                r#"{"kind":"batch","requests":[{"kind":"analyze","width":2,"cell":"lpaa1"}]}"#,
+                "batch",
             ),
             (r#"{"kind":"stats"}"#, "stats"),
             (r#"{"kind":"shutdown"}"#, "shutdown"),
@@ -788,6 +1048,144 @@ mod tests {
     }
 
     #[test]
+    fn batch_carries_per_item_errors_without_failing_the_batch() {
+        let req = Request::parse(
+            r#"{"id":"sweep","kind":"batch","requests":[
+                {"id":1,"kind":"analyze","width":2,"cell":"lpaa1"},
+                {"id":2,"kind":"analyze","width":0,"cell":"lpaa1"},
+                {"id":3,"kind":"gear","n":8,"r":2,"overlap":2}
+            ]}"#,
+        )
+        .expect("batch parses despite the bad item");
+        assert_eq!(req.id, Some(Json::from("sweep")));
+        let RequestBody::Batch(spec) = req.body else {
+            panic!("wrong kind")
+        };
+        assert_eq!(spec.items.len(), 3);
+        assert_eq!(spec.items[0].id, Some(Json::Number(1.0)));
+        assert!(parsed(&spec.items[0]).is_ok());
+        let err = parsed(&spec.items[1])
+            .as_ref()
+            .expect_err("width 0 is invalid");
+        assert!(err.contains("1..=64"), "{err}");
+        assert_eq!(
+            parsed(&spec.items[2]).as_ref().map(RequestBody::kind),
+            Ok("gear")
+        );
+    }
+
+    /// Unwraps a batch item expected to carry its own parse (not a
+    /// back-reference).
+    fn parsed(item: &BatchItem) -> &Result<RequestBody, String> {
+        match &item.body {
+            BatchBody::Parsed(result) => result,
+            BatchBody::DuplicateOf(j) => panic!("unexpected duplicate of item {j}"),
+        }
+    }
+
+    #[test]
+    fn batch_duplicates_back_reference_their_original() {
+        let req = Request::parse(
+            r#"{"kind":"batch","requests":[
+                {"id":1,"kind":"analyze","width":2,"cell":"lpaa1"},
+                {"id":2,"kind":"analyze","width":2,"cell":"lpaa1"},
+                {"id":3,"kind":"analyze","width":3,"cell":"lpaa1"},
+                {"id":4,"kind":"analyze","width":2,"cell":"lpaa1"}
+            ]}"#,
+        )
+        .expect("valid batch");
+        let RequestBody::Batch(spec) = req.body else {
+            panic!("wrong kind")
+        };
+        assert!(parsed(&spec.items[0]).is_ok());
+        assert_eq!(spec.items[1].body, BatchBody::DuplicateOf(0));
+        assert!(parsed(&spec.items[2]).is_ok(), "width differs: no dedup");
+        assert_eq!(spec.items[3].body, BatchBody::DuplicateOf(0));
+        // Ids stay per-item even when the request body is shared.
+        assert_eq!(spec.items[3].id, Some(Json::Number(4.0)));
+    }
+
+    #[test]
+    fn batch_dedup_is_field_order_sensitive() {
+        // Reordered keys are *not* treated as duplicates: the comparison is
+        // structural on the raw rows, so only byte-identical shapes share a
+        // parse. Both items still resolve to the same request.
+        let req = Request::parse(
+            r#"{"kind":"batch","requests":[
+                {"kind":"analyze","width":2,"cell":"lpaa1"},
+                {"kind":"analyze","cell":"lpaa1","width":2}
+            ]}"#,
+        )
+        .expect("valid batch");
+        let RequestBody::Batch(spec) = req.body else {
+            panic!("wrong kind")
+        };
+        assert_eq!(parsed(&spec.items[0]), parsed(&spec.items[1]));
+    }
+
+    #[test]
+    fn batch_rejects_control_and_nested_kinds_per_item() {
+        let req = Request::parse(
+            r#"{"kind":"batch","requests":[
+                {"kind":"shutdown"},
+                {"kind":"stats"},
+                {"kind":"batch","requests":[{"kind":"stats"}]},
+                17
+            ]}"#,
+        )
+        .expect("the batch itself is well-formed");
+        let RequestBody::Batch(spec) = req.body else {
+            panic!("wrong kind")
+        };
+        for (item, needle) in spec.items.iter().zip([
+            "not allowed inside a batch",
+            "not allowed inside a batch",
+            "not allowed inside a batch",
+            "must be a JSON object",
+        ]) {
+            let err = parsed(item).as_ref().expect_err("rejected item");
+            assert!(err.contains(needle), "{err} (wanted {needle})");
+        }
+    }
+
+    #[test]
+    fn batch_structural_errors_fail_the_whole_request() {
+        for (line, needle) in [
+            (r#"{"kind":"batch"}"#, "\"requests\""),
+            (r#"{"kind":"batch","requests":{}}"#, "\"requests\""),
+            (r#"{"kind":"batch","requests":[]}"#, "at least one"),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+        let too_many: Vec<String> = (0..=MAX_BATCH_ITEMS)
+            .map(|_| r#"{"kind":"stats"}"#.to_owned())
+            .collect();
+        let line = format!(r#"{{"kind":"batch","requests":[{}]}}"#, too_many.join(","));
+        let err = Request::parse(&line).expect_err("over the item limit");
+        assert!(err.contains("limit is"), "{err}");
+    }
+
+    #[test]
+    fn sub_ok_response_has_the_pinned_shape() {
+        let sub = sub_ok_response(
+            Some(&Json::Number(4.0)),
+            "analyze",
+            true,
+            Json::object().field("x", 1u64).build(),
+        );
+        let parsed = Json::parse(&sub.render()).expect("own output parses");
+        assert_eq!(parsed.get("id").and_then(Json::as_u64), Some(4));
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("analyze"));
+        assert_eq!(parsed.get("cached").and_then(Json::as_bool), Some(true));
+        assert!(
+            parsed.get("micros").is_none(),
+            "sub-responses carry no micros"
+        );
+    }
+
+    #[test]
     fn malformed_requests_are_rejected_with_messages() {
         for (line, needle) in [
             ("not json", "invalid JSON"),
@@ -796,6 +1194,7 @@ mod tests {
             (r#"{"kind":"frobnicate"}"#, "unknown kind"),
             // The advertised vocabulary includes every served kind.
             (r#"{"kind":"frobnicate"}"#, "profile"),
+            (r#"{"kind":"frobnicate"}"#, "batch"),
             (r#"{"kind":"analyze"}"#, "\"cell\""),
             (r#"{"kind":"analyze","cell":"lpaa1"}"#, "\"width\""),
             (r#"{"kind":"analyze","width":0,"cell":"lpaa1"}"#, "1..=64"),

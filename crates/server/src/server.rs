@@ -1,12 +1,19 @@
-//! The daemon: TCP listener, connection threads, and the `--stdio` mode.
+//! The daemon: TCP listener, connection serving, and the `--stdio` mode.
 //!
-//! One thread accepts connections; each connection gets a reader thread that
-//! parses newline-delimited requests and writes newline-delimited responses.
-//! Analysis work never runs on connection threads — it is submitted to the
-//! shared [`WorkerPool`], whose bounded queue pushes back on flooding
-//! clients. Results are cached under their [canonical key](crate::canonical)
-//! so a repeated request is answered without recomputation (`"cached": true`
-//! in the response).
+//! TCP connections are served under one of two I/O models ([`IoModel`]).
+//! Under the default **event model** (Linux), one poll thread multiplexes
+//! every socket through `epoll` (see the `event` module): connections cost a
+//! registry entry instead of a thread, requests on one connection may be
+//! pipelined (responses come back out of order, tagged by the
+//! client-supplied `id`), and a `batch` request answers many sub-requests in
+//! one line. Under the legacy **threads model** each connection gets a
+//! blocking reader thread that serves strictly one request at a time.
+//!
+//! In both models analysis work never runs on the connection layer — it is
+//! submitted to the shared [`WorkerPool`], whose bounded queue pushes back
+//! on flooding clients. Results are cached under their
+//! [canonical key](crate::canonical) so a repeated request is answered
+//! without recomputation (`"cached": true` in the response).
 //!
 //! # Robustness
 //!
@@ -45,9 +52,58 @@ use crate::json::Json;
 use crate::metrics::{kind_index, Metrics, KIND_NAMES};
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    error_response, ok_response, AdderSpec, BlocksSpec, DseSpec, GearSpec, ProfileSource,
-    ProfileSpec, Request, RequestBody, SimMode, SimulateSpec, MAX_LINE_BYTES,
+    body_from_doc, error_response, json_equal_ignoring_id, ok_response, render_batch_ok_response,
+    render_ok_response, write_sub_ok_response, AdderSpec, BatchBody, BatchSpec, BlocksSpec,
+    DseSpec, GearSpec, ProfileSource, ProfileSpec, RequestBody, SimMode, SimulateSpec,
+    MAX_LINE_BYTES,
 };
+
+/// How the daemon serves TCP connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// One poll thread multiplexes every socket through a readiness API
+    /// (`epoll`; Linux only). Idle connections cost a registry entry, not a
+    /// thread; requests may be pipelined per connection.
+    Event,
+    /// One blocking reader thread per connection — the legacy model, kept
+    /// for comparison and for platforms without `epoll`.
+    Threads,
+}
+
+impl IoModel {
+    /// The wire/CLI name of the model.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoModel::Event => "event",
+            IoModel::Threads => "threads",
+        }
+    }
+}
+
+impl Default for IoModel {
+    /// The event model where the platform supports it, threads elsewhere.
+    fn default() -> IoModel {
+        if cfg!(target_os = "linux") {
+            IoModel::Event
+        } else {
+            IoModel::Threads
+        }
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IoModel, String> {
+        match s {
+            "event" => Ok(IoModel::Event),
+            "threads" => Ok(IoModel::Threads),
+            other => Err(format!(
+                "unknown io model {other:?} (expected event or threads)"
+            )),
+        }
+    }
+}
 
 /// Daemon configuration; [`Default`] gives sensible local settings.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +136,9 @@ pub struct ServerConfig {
     /// [`run_stdio`] send the trace to stderr; see
     /// [`Server::bind_with_trace`] / [`run_stdio_with_trace`] to capture it.
     pub trace: bool,
+    /// The TCP connection-serving model (ignored by `--stdio`, which always
+    /// runs the blocking line loop).
+    pub io_model: IoModel,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +153,7 @@ impl Default for ServerConfig {
             idle_timeout_ms: 60_000,
             write_timeout_ms: 60_000,
             trace: false,
+            io_model: IoModel::default(),
         }
     }
 }
@@ -101,20 +161,25 @@ impl Default for ServerConfig {
 /// A writer receiving the NDJSON access log.
 pub type TraceSink = Box<dyn Write + Send>;
 
-/// Everything shared between connection threads.
-struct ServerState {
-    cache: ResultCache,
-    metrics: Metrics,
-    pool: WorkerPool,
-    threads: usize,
-    max_line_bytes: usize,
-    shutdown: AtomicBool,
+/// Everything shared between connection threads (or, under the event model,
+/// between the poll thread and the workers).
+pub(crate) struct ServerState {
+    pub(crate) cache: ResultCache,
+    pub(crate) metrics: Metrics,
+    pub(crate) pool: WorkerPool,
+    pub(crate) threads: usize,
+    pub(crate) max_line_bytes: usize,
+    pub(crate) shutdown: AtomicBool,
+    /// The wire name of the serving model, reported by `stats`.
+    pub(crate) io_model: &'static str,
     /// Live TCP connections by id — the shutdown sweep unblocks exactly
     /// these readers, and each serving thread prunes its own entry on exit
     /// (via [`ConnectionGuard`]) so the registry never outgrows the
-    /// connection cap.
-    connections: Mutex<HashMap<u64, TcpStream>>,
-    trace: Option<Mutex<TraceSink>>,
+    /// connection cap. Unused under the event model, whose connections live
+    /// in the poll thread's own registry (reported via the
+    /// `registered_fds` gauge).
+    pub(crate) connections: Mutex<HashMap<u64, TcpStream>>,
+    pub(crate) trace: Option<Mutex<TraceSink>>,
 }
 
 impl ServerState {
@@ -126,6 +191,7 @@ impl ServerState {
             threads: config.threads.max(1),
             max_line_bytes: config.max_line_bytes.max(1),
             shutdown: AtomicBool::new(false),
+            io_model: config.io_model.name(),
             connections: Mutex::new(HashMap::new()),
             trace: trace.map(Mutex::new),
         }
@@ -152,12 +218,13 @@ impl Drop for ConnectionGuard {
 
 /// A bound-but-not-yet-running daemon.
 pub struct Server {
-    listener: TcpListener,
-    local_addr: SocketAddr,
-    state: Arc<ServerState>,
-    max_connections: usize,
-    idle_timeout: Option<Duration>,
-    write_timeout: Option<Duration>,
+    pub(crate) listener: TcpListener,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) state: Arc<ServerState>,
+    pub(crate) max_connections: usize,
+    pub(crate) idle_timeout: Option<Duration>,
+    pub(crate) write_timeout: Option<Duration>,
+    pub(crate) io_model: IoModel,
 }
 
 impl Server {
@@ -198,6 +265,7 @@ impl Server {
             max_connections: config.max_connections,
             idle_timeout: timeout(config.idle_timeout_ms),
             write_timeout: timeout(config.write_timeout_ms),
+            io_model: config.io_model,
         })
     }
 
@@ -211,8 +279,22 @@ impl Server {
     /// # Errors
     ///
     /// Returns the underlying I/O error if the accept loop fails (per-client
-    /// errors only terminate that client).
+    /// errors only terminate that client), or if the configured
+    /// [`IoModel`] is unavailable on this platform.
     pub fn run(self) -> std::io::Result<()> {
+        match self.io_model {
+            IoModel::Threads => self.run_threads(),
+            #[cfg(target_os = "linux")]
+            IoModel::Event => crate::event::run(self),
+            #[cfg(not(target_os = "linux"))]
+            IoModel::Event => Err(std::io::Error::other(
+                "io model \"event\" requires Linux (epoll); use \"threads\"",
+            )),
+        }
+    }
+
+    /// The legacy thread-per-connection accept loop.
+    fn run_threads(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let mut next_id: u64 = 0;
@@ -376,7 +458,10 @@ fn run_stdio_inner<R: BufRead, W: Write>(
     output: &mut W,
     trace: Option<TraceSink>,
 ) -> std::io::Result<()> {
-    let state = Arc::new(ServerState::new(config, trace));
+    // Stdio is always the blocking line loop, whatever the TCP model says.
+    let mut config = config.clone();
+    config.io_model = IoModel::Threads;
+    let state = Arc::new(ServerState::new(&config, trace));
     let served = serve_lines(&state, input, output);
     state.pool.shutdown();
     served
@@ -458,15 +543,15 @@ fn finish_line(buf: Vec<u8>, bytes: usize) -> BoundedLine {
 
 /// The outcome of serving one request line — everything the transport loop
 /// needs for the response, the access log, and flow control.
-struct Served {
-    response: String,
-    shutdown: bool,
+pub(crate) struct Served {
+    pub(crate) response: String,
+    pub(crate) shutdown: bool,
     /// The request's wire kind, when recognizable (even from an otherwise
     /// invalid request).
-    kind: Option<&'static str>,
-    ok: bool,
-    cached: bool,
-    error: Option<String>,
+    pub(crate) kind: Option<&'static str>,
+    pub(crate) ok: bool,
+    pub(crate) cached: bool,
+    pub(crate) error: Option<String>,
 }
 
 impl Served {
@@ -488,6 +573,7 @@ fn serve_lines<R: BufRead, W: Write>(
     mut input: R,
     output: &mut W,
 ) -> std::io::Result<()> {
+    let mut memo = LineMemo::default();
     // A read error (reset/closed socket) just ends this connection.
     while let Ok(read) = read_bounded_line(&mut input, state.max_line_bytes) {
         match read {
@@ -524,7 +610,7 @@ fn serve_lines<R: BufRead, W: Write>(
                 if line.trim().is_empty() {
                     continue;
                 }
-                let served = process_line(state, &line);
+                let served = process_line(state, &line, &mut memo);
                 write_response(state, output, &served.response)?;
                 trace_request(
                     state,
@@ -564,7 +650,7 @@ fn write_response<W: Write>(
 /// Emits one NDJSON access-log line, if tracing is enabled. Fields are
 /// deliberately timestamp- and duration-free so a replayed session produces
 /// a byte-identical trace.
-fn trace_request(
+pub(crate) fn trace_request(
     state: &ServerState,
     kind: Option<&str>,
     ok: bool,
@@ -589,31 +675,101 @@ fn trace_request(
     let _ = out.flush();
 }
 
-/// Serves one request line.
-fn process_line(state: &Arc<ServerState>, line: &str) -> Served {
+/// What the transport loop should do with one parsed request line: answer
+/// immediately, or hand work to the pool first. Produced by
+/// [`classify_line`], shared by the blocking loop (which computes in place)
+/// and the event loop (which pipelines).
+pub(crate) enum LineAction {
+    /// The response is ready now (parse error, control request, cache hit).
+    Respond(Served),
+    /// One analysis must run on a worker; finish with [`finish_compute`].
+    Compute {
+        id: Option<Json>,
+        kind: &'static str,
+        body: RequestBody,
+        key: Option<String>,
+        started: Instant,
+    },
+    /// A batch whose unique cache misses must run on a worker; finish with
+    /// [`finish_batch`].
+    Batch {
+        id: Option<Json>,
+        plan: BatchPlan,
+        started: Instant,
+    },
+}
+
+/// One connection's memory of its most recent cache-hit request: the raw
+/// document and the rendered result it resolved to. Pipelined sweeps fan
+/// one configuration out under many ids; when the next line is identical
+/// apart from `id`, the resolution is replayed without building a spec,
+/// canonicalizing a key, or probing the cache. Replaying is always sound —
+/// memoized resolutions come only from the result cache, which holds
+/// nothing but deterministic pure functions of the request.
+#[derive(Default)]
+pub(crate) struct LineMemo {
+    hit: Option<(Json, &'static str, String)>,
+}
+
+/// Parses and triages one request line: everything except actual analysis
+/// work happens here (parse salvage, the request memo, control requests,
+/// the cache probe, and batch planning), so both transports share one
+/// protocol brain. `memo` is the connection's [`LineMemo`].
+pub(crate) fn classify_line(state: &ServerState, line: &str, memo: &mut LineMemo) -> LineAction {
     let started = Instant::now();
-    let request = match Request::parse_with_limit(line, state.max_line_bytes) {
-        Ok(request) => request,
-        Err(message) => {
-            // The id — and the kind, for attribution — are worth salvaging
-            // even from an invalid request.
-            let doc = Json::parse(line).ok();
-            let id = doc.as_ref().and_then(|d| d.get("id").cloned());
-            let kind = doc
-                .as_ref()
-                .and_then(|d| d.get("kind"))
-                .and_then(Json::as_str)
-                .and_then(|k| kind_index(k).map(|i| KIND_NAMES[i]));
-            state.metrics.record_error(kind);
-            return Served::failure(
-                error_response(id.as_ref(), &message).render(),
-                kind,
-                message,
-            );
-        }
+    let fail = |message: String, doc: Option<&Json>| {
+        // The id — and the kind, for attribution — are worth salvaging
+        // even from an invalid request.
+        let id = doc.and_then(|d| d.get("id").cloned());
+        let kind = doc
+            .and_then(|d| d.get("kind"))
+            .and_then(Json::as_str)
+            .and_then(|k| kind_index(k).map(|i| KIND_NAMES[i]));
+        state.metrics.record_error(kind);
+        LineAction::Respond(Served::failure(
+            error_response(id.as_ref(), &message).render(),
+            kind,
+            message,
+        ))
     };
-    let id = request.id;
-    let kind = request.body.kind();
+    if line.len() > state.max_line_bytes {
+        let message = format!(
+            "request exceeds {} bytes; split it or shrink the profile",
+            state.max_line_bytes
+        );
+        return fail(message, Json::parse(line).ok().as_ref());
+    }
+    let doc = match Json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return fail(e.to_string(), None),
+    };
+    if !matches!(doc, Json::Object(_)) {
+        return fail("a request must be a JSON object".to_owned(), Some(&doc));
+    }
+
+    if let Some((prev, kind, rendered)) = &memo.hit {
+        if json_equal_ignoring_id(&doc, prev) {
+            let id = doc.get("id").cloned();
+            state.cache.note_hit();
+            let micros = started.elapsed().as_micros() as u64;
+            state.metrics.record_ok(kind, micros);
+            return LineAction::Respond(Served {
+                response: render_ok_response(id.as_ref(), kind, true, micros, rendered),
+                shutdown: false,
+                kind: Some(kind),
+                ok: true,
+                cached: true,
+                error: None,
+            });
+        }
+    }
+
+    let body = match body_from_doc(&doc) {
+        Ok(body) => body,
+        Err(message) => return fail(message, Some(&doc)),
+    };
+    let id = doc.get("id").cloned();
+    let kind = body.kind();
     let success = |response: String, cached: bool, shutdown: bool| Served {
         response,
         shutdown,
@@ -622,80 +778,446 @@ fn process_line(state: &Arc<ServerState>, line: &str) -> Served {
         cached,
         error: None,
     };
-    let failure = |response: String, message: String| {
-        state.metrics.record_error(Some(kind));
-        Served::failure(response, Some(kind), message)
-    };
 
     // Control requests are served inline: they must work even when every
     // worker is busy (that is exactly when you want `stats`).
-    match request.body {
+    match body {
         RequestBody::Stats => {
             let result = stats_result(state);
             let micros = started.elapsed().as_micros() as u64;
             state.metrics.record_ok(kind, micros);
-            return success(
+            return LineAction::Respond(success(
                 ok_response(id.as_ref(), kind, false, micros, result).render(),
                 false,
                 false,
-            );
+            ));
         }
         RequestBody::Shutdown => {
             let micros = started.elapsed().as_micros() as u64;
             state.metrics.record_ok(kind, micros);
             let result = Json::object().field("stopping", true).build();
-            return success(
+            return LineAction::Respond(success(
                 ok_response(id.as_ref(), kind, false, micros, result).render(),
                 false,
                 true,
-            );
+            ));
+        }
+        RequestBody::Batch(spec) => {
+            let plan = plan_batch(&state.cache, spec);
+            if plan.jobs.is_empty() {
+                // Every item was a cache hit or a per-item error — no
+                // worker needed.
+                let all_cached = plan.all_cached;
+                return LineAction::Respond(finish_batch(
+                    state,
+                    id.as_ref(),
+                    plan.slots,
+                    &plan.payloads,
+                    all_cached,
+                    Vec::new(),
+                    started,
+                ));
+            }
+            return LineAction::Batch { id, plan, started };
         }
         _ => {}
     }
 
-    let key = cache_key(&request.body);
+    let key = cache_key(&body);
     if let Some(key) = &key {
         if let Some(rendered) = state.cache.get(key) {
-            let result = Json::parse(&rendered).expect("cache holds rendered JSON");
+            // The cache holds the rendered result payload; splice it into
+            // the envelope directly — no parse, no tree, no re-render.
             let micros = started.elapsed().as_micros() as u64;
             state.metrics.record_ok(kind, micros);
-            return success(
-                ok_response(id.as_ref(), kind, true, micros, result).render(),
-                true,
-                false,
-            );
+            let response = render_ok_response(id.as_ref(), kind, true, micros, &rendered);
+            // Remember the resolution so an identical follow-up line (a
+            // pipelined sweep under fresh ids) replays it wholesale.
+            memo.hit = Some((doc, kind, rendered));
+            return LineAction::Respond(success(response, true, false));
         }
     }
-
-    // Miss: run the analysis on a pool worker and wait for its answer. The
-    // blocking `submit` (bounded queue) and the blocking `recv` are the
-    // backpressure path that keeps a flooding client on its own socket.
-    let (tx, rx) = mpsc::channel::<Result<Json, String>>();
-    let body = request.body;
-    let submitted = state.pool.submit(Box::new(move || {
-        tx.send(compute_result(&body)).ok();
-    }));
-    if submitted.is_err() {
-        let message = "server is shutting down".to_owned();
-        return failure(error_response(id.as_ref(), &message).render(), message);
+    LineAction::Compute {
+        id,
+        kind,
+        body,
+        key,
+        started,
     }
-    match rx.recv() {
-        Ok(Ok(result)) => {
+}
+
+/// Settles a [`LineAction::Compute`] once its analysis has run (or failed
+/// to): caches a keyed success, updates metrics, renders the response.
+pub(crate) fn finish_compute(
+    state: &ServerState,
+    id: Option<&Json>,
+    kind: &'static str,
+    key: Option<String>,
+    started: Instant,
+    outcome: Result<Json, String>,
+) -> Served {
+    match outcome {
+        Ok(result) => {
             if let Some(key) = key {
                 state.cache.insert(key, result.render());
             }
             let micros = started.elapsed().as_micros() as u64;
             state.metrics.record_ok(kind, micros);
-            success(
-                ok_response(id.as_ref(), kind, false, micros, result).render(),
-                false,
-                false,
-            )
+            Served {
+                response: ok_response(id, kind, false, micros, result).render(),
+                shutdown: false,
+                kind: Some(kind),
+                ok: true,
+                cached: false,
+                error: None,
+            }
         }
-        Ok(Err(message)) => failure(error_response(id.as_ref(), &message).render(), message),
-        Err(_) => {
-            let message = "worker dropped the job".to_owned();
-            failure(error_response(id.as_ref(), &message).render(), message)
+        Err(message) => {
+            state.metrics.record_error(Some(kind));
+            Served::failure(error_response(id, &message).render(), Some(kind), message)
+        }
+    }
+}
+
+/// One planned batch: per-item response slots plus the deduplicated compute
+/// jobs that must run to fill the pending ones.
+pub(crate) struct BatchPlan {
+    pub(crate) slots: Vec<BatchSlot>,
+    pub(crate) jobs: Vec<BatchJob>,
+    /// Rendered result payloads answered from the cache, indexed by
+    /// [`BatchSlot::Hit`] — stored once no matter how many items share one.
+    pub(crate) payloads: Vec<String>,
+    /// Every parseable item was answered from the cache.
+    pub(crate) all_cached: bool,
+}
+
+/// One batch item's response, either already known or waiting on a job.
+pub(crate) enum BatchSlot {
+    /// Rendered sub-response (a per-item parse error).
+    Ready(String),
+    /// A cache hit: the sub-response envelope is spliced around
+    /// `payloads[payload]` during final assembly, so N items sharing one
+    /// payload never copy it more than once each.
+    Hit {
+        payload: usize,
+        id: Option<Json>,
+        kind: &'static str,
+    },
+    /// Waiting on `jobs[job]` — duplicates of one config share a job index.
+    Pending {
+        job: usize,
+        id: Option<Json>,
+        kind: &'static str,
+    },
+}
+
+/// One deduplicated unit of batch work.
+pub(crate) struct BatchJob {
+    body: RequestBody,
+    key: Option<String>,
+}
+
+/// How one original batch item resolved, so later duplicates can replay the
+/// outcome without re-parsing, re-canonicalizing, or re-probing anything.
+enum ItemFate {
+    /// The item failed to parse; duplicates fail with the same message.
+    Invalid(String),
+    /// Answered from the cache; `payloads[payload]` holds the rendered
+    /// result.
+    Hit { kind: &'static str, payload: usize },
+    /// Waiting on a job; duplicates share it. Identical requests are
+    /// deterministic, so even an *uncacheable* body computes at most once
+    /// per batch.
+    Job { kind: &'static str, job: usize },
+}
+
+/// Plans a batch against the cache: exactly one cache probe per *unique*
+/// canonical key, so N identical sub-requests cost one lookup and (on miss)
+/// one compute shared by all N.
+pub(crate) fn plan_batch(cache: &ResultCache, spec: BatchSpec) -> BatchPlan {
+    let mut slots = Vec::with_capacity(spec.items.len());
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    let mut payloads: Vec<String> = Vec::new();
+    // Per unique key: the payload index (hit) or the job index (miss).
+    let mut by_key: HashMap<String, Result<usize, usize>> = HashMap::new();
+    // Per item index: how the item resolved. Duplicates get `None` — the
+    // parser only ever back-references originals, never other duplicates.
+    let mut fates: Vec<Option<ItemFate>> = Vec::with_capacity(spec.items.len());
+    let mut all_cached = true;
+    for item in spec.items {
+        let body = match item.body {
+            BatchBody::DuplicateOf(j) => {
+                let slot = match fates.get(j).and_then(Option::as_ref) {
+                    Some(ItemFate::Invalid(message)) => {
+                        all_cached = false;
+                        BatchSlot::Ready(error_response(item.id.as_ref(), message).render())
+                    }
+                    Some(ItemFate::Hit { kind, payload }) => BatchSlot::Hit {
+                        payload: *payload,
+                        id: item.id,
+                        kind,
+                    },
+                    Some(ItemFate::Job { kind, job }) => {
+                        all_cached = false;
+                        BatchSlot::Pending {
+                            job: *job,
+                            id: item.id,
+                            kind,
+                        }
+                    }
+                    // A hand-built spec with a dangling or dup-to-dup
+                    // reference; the parser never emits one.
+                    None => {
+                        all_cached = false;
+                        BatchSlot::Ready(
+                            error_response(item.id.as_ref(), "invalid duplicate back-reference")
+                                .render(),
+                        )
+                    }
+                };
+                fates.push(None);
+                slots.push(slot);
+                continue;
+            }
+            BatchBody::Parsed(Err(message)) => {
+                all_cached = false;
+                slots.push(BatchSlot::Ready(
+                    error_response(item.id.as_ref(), &message).render(),
+                ));
+                fates.push(Some(ItemFate::Invalid(message)));
+                continue;
+            }
+            BatchBody::Parsed(Ok(body)) => body,
+        };
+        let kind = body.kind();
+        let (slot, fate) = match cache_key(&body) {
+            Some(k) => match by_key.get(&k) {
+                Some(Ok(payload)) => {
+                    let payload = *payload;
+                    (
+                        BatchSlot::Hit {
+                            payload,
+                            id: item.id,
+                            kind,
+                        },
+                        ItemFate::Hit { kind, payload },
+                    )
+                }
+                Some(Err(job)) => {
+                    let job = *job;
+                    (
+                        BatchSlot::Pending {
+                            job,
+                            id: item.id,
+                            kind,
+                        },
+                        ItemFate::Job { kind, job },
+                    )
+                }
+                None => match cache.get(&k) {
+                    Some(rendered) => {
+                        let payload = payloads.len();
+                        payloads.push(rendered);
+                        by_key.insert(k, Ok(payload));
+                        (
+                            BatchSlot::Hit {
+                                payload,
+                                id: item.id,
+                                kind,
+                            },
+                            ItemFate::Hit { kind, payload },
+                        )
+                    }
+                    None => {
+                        let job = jobs.len();
+                        jobs.push(BatchJob {
+                            body,
+                            key: Some(k.clone()),
+                        });
+                        by_key.insert(k, Err(job));
+                        (
+                            BatchSlot::Pending {
+                                job,
+                                id: item.id,
+                                kind,
+                            },
+                            ItemFate::Job { kind, job },
+                        )
+                    }
+                },
+            },
+            // Uncacheable bodies get one job each; their duplicates still
+            // share it via the fate above.
+            None => {
+                let job = jobs.len();
+                jobs.push(BatchJob { body, key: None });
+                (
+                    BatchSlot::Pending {
+                        job,
+                        id: item.id,
+                        kind,
+                    },
+                    ItemFate::Job { kind, job },
+                )
+            }
+        };
+        if matches!(slot, BatchSlot::Pending { .. }) {
+            all_cached = false;
+        }
+        fates.push(Some(fate));
+        slots.push(slot);
+    }
+    BatchPlan {
+        slots,
+        jobs,
+        payloads,
+        all_cached,
+    }
+}
+
+/// Runs a plan's deduplicated jobs (on a pool worker), caching keyed
+/// successes. One entry per job, in job order: the rendered result payload
+/// on success (rendered once, shared by every duplicate slot).
+pub(crate) fn run_batch_jobs(
+    cache: &ResultCache,
+    jobs: &[BatchJob],
+) -> Vec<Result<String, String>> {
+    jobs.iter()
+        .map(|job| match compute_result(&job.body) {
+            Ok(result) => {
+                let rendered = result.render();
+                if let Some(key) = &job.key {
+                    cache.insert(key.clone(), rendered.clone());
+                }
+                Ok(rendered)
+            }
+            Err(message) => Err(message),
+        })
+        .collect()
+}
+
+/// Assembles the batch response once every job has run: pending slots are
+/// filled from `results` (shared jobs fan out to every duplicate item).
+pub(crate) fn finish_batch(
+    state: &ServerState,
+    id: Option<&Json>,
+    slots: Vec<BatchSlot>,
+    payloads: &[String],
+    all_cached: bool,
+    results: Vec<Result<String, String>>,
+    started: Instant,
+) -> Served {
+    let computed = results.len() as u64;
+    let count = slots.len() as u64;
+    // Cache hits and computed results are already rendered payload strings;
+    // the aggregate result is assembled by splicing them straight into one
+    // buffer, never as a tree.
+    let ready_bytes: usize = slots
+        .iter()
+        .map(|slot| match slot {
+            BatchSlot::Ready(response) => response.len() + 1,
+            BatchSlot::Hit { payload, .. } => payloads[*payload].len() + 96,
+            BatchSlot::Pending { job, .. } => results[*job].as_ref().map_or(128, String::len) + 96,
+        })
+        .sum();
+    let mut subs = String::with_capacity(ready_bytes);
+    for (i, slot) in slots.into_iter().enumerate() {
+        if i > 0 {
+            subs.push(',');
+        }
+        match slot {
+            BatchSlot::Ready(response) => subs.push_str(&response),
+            BatchSlot::Hit { payload, id, kind } => {
+                write_sub_ok_response(&mut subs, id.as_ref(), kind, true, &payloads[payload]);
+            }
+            BatchSlot::Pending { job, id, kind } => match &results[job] {
+                Ok(rendered) => {
+                    write_sub_ok_response(&mut subs, id.as_ref(), kind, false, rendered);
+                }
+                Err(message) => subs.push_str(&error_response(id.as_ref(), message).render()),
+            },
+        }
+    }
+    let micros = started.elapsed().as_micros() as u64;
+    state.metrics.record_ok("batch", micros);
+    Served {
+        response: render_batch_ok_response(id, all_cached, micros, count, computed, &subs),
+        shutdown: false,
+        kind: Some("batch"),
+        ok: true,
+        cached: all_cached,
+        error: None,
+    }
+}
+
+/// Serves one request line, blocking through the pool — the threads/stdio
+/// path. The blocking `submit` (bounded queue) and the blocking `recv` are
+/// the backpressure that keeps a flooding client on its own socket.
+fn process_line(state: &Arc<ServerState>, line: &str, memo: &mut LineMemo) -> Served {
+    match classify_line(state, line, memo) {
+        LineAction::Respond(served) => served,
+        LineAction::Compute {
+            id,
+            kind,
+            body,
+            key,
+            started,
+        } => {
+            state.metrics.record_pipeline_depth(1);
+            let (tx, rx) = mpsc::channel::<Result<Json, String>>();
+            let submitted = state.pool.submit(Box::new(move || {
+                tx.send(compute_result(&body)).ok();
+            }));
+            let outcome = if submitted.is_err() {
+                Err("server is shutting down".to_owned())
+            } else {
+                rx.recv()
+                    .unwrap_or_else(|_| Err("worker dropped the job".to_owned()))
+            };
+            finish_compute(state, id.as_ref(), kind, key, started, outcome)
+        }
+        LineAction::Batch { id, plan, started } => {
+            state.metrics.record_pipeline_depth(1);
+            let BatchPlan {
+                slots,
+                jobs,
+                payloads,
+                all_cached,
+            } = plan;
+            let (tx, rx) = mpsc::channel::<Vec<Result<String, String>>>();
+            let worker_state = Arc::clone(state);
+            let submitted = state.pool.submit(Box::new(move || {
+                tx.send(run_batch_jobs(&worker_state.cache, &jobs)).ok();
+            }));
+            if submitted.is_err() {
+                let message = "server is shutting down".to_owned();
+                state.metrics.record_error(Some("batch"));
+                return Served::failure(
+                    error_response(id.as_ref(), &message).render(),
+                    Some("batch"),
+                    message,
+                );
+            }
+            match rx.recv() {
+                Ok(results) => finish_batch(
+                    state,
+                    id.as_ref(),
+                    slots,
+                    &payloads,
+                    all_cached,
+                    results,
+                    started,
+                ),
+                Err(_) => {
+                    let message = "worker dropped the job".to_owned();
+                    state.metrics.record_error(Some("batch"));
+                    Served::failure(
+                        error_response(id.as_ref(), &message).render(),
+                        Some("batch"),
+                        message,
+                    )
+                }
+            }
         }
     }
 }
@@ -730,6 +1252,7 @@ fn stats_result(state: &ServerState) -> Json {
         .field("queue_depth", state.pool.depth() as u64)
         .field("workers", state.threads as u64)
         .field("simd_backend", sealpaa_sim::Backend::active().name())
+        .field("io_model", state.io_model)
         .field("p50_micros", metrics.p50_micros)
         .field("p99_micros", metrics.p99_micros)
         .field(
@@ -737,9 +1260,17 @@ fn stats_result(state: &ServerState) -> Json {
             Json::object()
                 .field("live", metrics.live_connections)
                 .field("peak", metrics.peak_connections)
-                .field("registered", registered as u64)
+                // The threads model counts its registry; the event model
+                // publishes its fd registry through the gauge.
+                .field(
+                    "registered",
+                    (registered as u64).max(metrics.registered_fds),
+                )
                 .field("shed", metrics.shed_connections)
                 .field("timeouts", metrics.timeouts)
+                .field("registered_fds", metrics.registered_fds)
+                .field("pending_write_bytes", metrics.pending_write_bytes)
+                .field("max_pipeline_depth", metrics.max_pipeline_depth)
                 .build(),
         )
         .field("kinds", kinds.build())
@@ -756,7 +1287,7 @@ fn stats_result(state: &ServerState) -> Json {
 }
 
 /// Runs the engine for one queued request kind and renders its result.
-fn compute_result(body: &RequestBody) -> Result<Json, String> {
+pub(crate) fn compute_result(body: &RequestBody) -> Result<Json, String> {
     match body {
         RequestBody::Analyze(spec) => analyze_result(spec),
         RequestBody::Simulate(spec) => simulate_result(spec),
@@ -765,8 +1296,8 @@ fn compute_result(body: &RequestBody) -> Result<Json, String> {
         RequestBody::Blocks(spec) => blocks_result(spec),
         RequestBody::Dse(spec) => dse_result(spec),
         RequestBody::Profile(spec) => profile_result(spec),
-        RequestBody::Stats | RequestBody::Shutdown => {
-            unreachable!("control requests are served inline")
+        RequestBody::Stats | RequestBody::Shutdown | RequestBody::Batch(_) => {
+            unreachable!("control and batch requests are planned inline")
         }
     }
 }
@@ -1226,8 +1757,24 @@ mod tests {
             stats.get("simd_backend").and_then(Json::as_str).is_some(),
             "missing simd_backend"
         );
+        // Stdio always serves through the blocking line loop, whatever the
+        // TCP default is.
+        assert_eq!(
+            stats.get("io_model").and_then(Json::as_str),
+            Some("threads"),
+            "missing or wrong io_model"
+        );
         let connections = stats.get("connections").expect("connection gauges");
-        for field in ["live", "peak", "registered", "shed", "timeouts"] {
+        for field in [
+            "live",
+            "peak",
+            "registered",
+            "shed",
+            "timeouts",
+            "registered_fds",
+            "pending_write_bytes",
+            "max_pipeline_depth",
+        ] {
             assert!(
                 connections.get(field).and_then(Json::as_u64).is_some(),
                 "missing connection gauge {field}"
@@ -1518,6 +2065,135 @@ mod tests {
         let a = run_lines(&config, &mk(1));
         let b = run_lines(&config, &mk(3));
         assert_eq!(a[0].get("result"), b[0].get("result"));
+    }
+
+    #[test]
+    fn batch_serves_mixed_kinds_in_item_order_with_ids() {
+        let batch = concat!(
+            "{\"id\":\"b1\",\"kind\":\"batch\",\"requests\":[",
+            "{\"id\":\"a\",\"kind\":\"analyze\",\"width\":2,\"cell\":\"lpaa1\",\"p\":0.1},",
+            "{\"id\":\"g\",\"kind\":\"gear\",\"n\":8,\"r\":2,\"overlap\":2},",
+            "{\"id\":\"bad\",\"kind\":\"analyze\",\"width\":0},",
+            "{\"id\":\"a2\",\"kind\":\"analyze\",\"width\":2,\"cell\":\"lpaa1\",\"p\":0.1}",
+            "]}\n"
+        );
+        let responses = run_lines(&ServerConfig::default(), batch);
+        assert_eq!(responses.len(), 1);
+        let r = &responses[0];
+        assert_eq!(r.get("id").and_then(Json::as_str), Some("b1"));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(r.get("kind").and_then(Json::as_str), Some("batch"));
+        let result = r.get("result").expect("batch result");
+        assert_eq!(result.get("count").and_then(Json::as_u64), Some(4));
+        // The two identical analyzes share one job; gear is the second.
+        assert_eq!(result.get("computed").and_then(Json::as_u64), Some(2));
+        let subs = result
+            .get("results")
+            .and_then(Json::as_array)
+            .expect("sub-responses");
+        assert_eq!(subs.len(), 4);
+        // Responses come back in item order, each carrying its item id.
+        for (sub, id) in subs.iter().zip(["a", "g", "bad", "a2"]) {
+            assert_eq!(sub.get("id").and_then(Json::as_str), Some(id));
+        }
+        assert_eq!(subs[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(subs[1].get("ok").and_then(Json::as_bool), Some(true));
+        // A bad item fails alone without failing the batch.
+        assert_eq!(subs[2].get("ok").and_then(Json::as_bool), Some(false));
+        assert!(subs[2].get("error").and_then(Json::as_str).is_some());
+        // The duplicate shares the first analyze's computed result.
+        assert_eq!(subs[3].get("result"), subs[0].get("result"));
+        let served = subs[0]
+            .get("result")
+            .and_then(|x| x.get("error_probability"))
+            .and_then(Json::as_f64)
+            .expect("error probability");
+        assert!((served - 0.3078).abs() < 1e-4, "served {served}");
+    }
+
+    #[test]
+    fn batch_of_identical_configs_computes_once_and_groups_cache_traffic() {
+        // The satellite contract: N identical canonical configs in one
+        // batch perform exactly one compute and one cache probe, answered
+        // N times consistently.
+        let sub = "{\"kind\":\"analyze\",\"width\":4,\"cell\":\"lpaa2\",\"p\":0.2}";
+        let batch =
+            format!("{{\"kind\":\"batch\",\"requests\":[{sub},{sub},{sub},{sub},{sub}]}}\n");
+        let responses = run_lines(
+            &ServerConfig::default(),
+            &format!("{batch}{batch}{{\"kind\":\"stats\"}}\n"),
+        );
+        assert_eq!(responses.len(), 3);
+
+        let first = responses[0].get("result").expect("first batch");
+        assert_eq!(first.get("count").and_then(Json::as_u64), Some(5));
+        assert_eq!(first.get("computed").and_then(Json::as_u64), Some(1));
+        let subs = first.get("results").and_then(Json::as_array).expect("subs");
+        assert!(subs
+            .iter()
+            .all(|s| s.get("ok").and_then(Json::as_bool) == Some(true)));
+        assert!(
+            subs.iter()
+                .all(|s| s.get("result") == subs[0].get("result")),
+            "all five answers must be identical"
+        );
+        assert_eq!(
+            responses[0].get("cached").and_then(Json::as_bool),
+            Some(false)
+        );
+
+        // The repeat is answered wholly from the cache: zero computes, and
+        // the batch itself reports cached.
+        let second = responses[1].get("result").expect("second batch");
+        assert_eq!(second.get("computed").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            responses[1].get("cached").and_then(Json::as_bool),
+            Some(true)
+        );
+
+        // Counter-level proof of grouping: ten sub-requests produced one
+        // miss (first batch) and one hit (second batch), not five of each.
+        let cache = responses[2]
+            .get("result")
+            .and_then(|r| r.get("cache"))
+            .expect("cache stats");
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn batch_counts_as_one_request_of_its_own_kind() {
+        let batch = concat!(
+            "{\"kind\":\"batch\",\"requests\":[",
+            "{\"kind\":\"analyze\",\"width\":2,\"cell\":\"lpaa1\"},",
+            "{\"kind\":\"blocks\",\"config\":\"4:0:accurate,2:2:lpaa1\",\"p\":0.3}",
+            "]}\n"
+        );
+        let responses = run_lines(
+            &ServerConfig::default(),
+            &format!("{batch}{{\"kind\":\"stats\"}}\n"),
+        );
+        let kinds = responses[1]
+            .get("result")
+            .and_then(|r| r.get("kinds"))
+            .expect("kinds");
+        assert_eq!(
+            kinds
+                .get("batch")
+                .and_then(|b| b.get("requests"))
+                .and_then(Json::as_u64),
+            Some(1),
+            "the batch is metered as one batch request"
+        );
+        assert_eq!(
+            kinds
+                .get("analyze")
+                .and_then(|b| b.get("requests"))
+                .and_then(Json::as_u64),
+            Some(0),
+            "sub-requests are not double-counted under their own kinds"
+        );
     }
 
     #[test]

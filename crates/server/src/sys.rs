@@ -1,0 +1,342 @@
+//! A thin Linux `epoll`/`pipe` wrapper for the event-driven connection
+//! layer — raw syscall declarations instead of a third-party crate, keeping
+//! the workspace fully offline.
+//!
+//! This module is the server crate's only unsafe code: four FFI wrappers
+//! ([`Poller`], [`WakePipe`], [`Waker`], and their syscalls), each a direct
+//! translation of the C API with the return-value convention mapped onto
+//! [`std::io::Result`]. Everything above this module is `#[deny(unsafe_code)]`
+//! clean. `std` already links libc, so the `extern "C"` declarations resolve
+//! without adding a dependency.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable (or a peer hangup pending — reads will return 0).
+pub const EPOLLIN: u32 = 0x1;
+/// Writable without blocking.
+pub const EPOLLOUT: u32 = 0x4;
+/// Error condition; always reported, never requested.
+pub const EPOLLERR: u32 = 0x8;
+/// Hangup; always reported, never requested.
+pub const EPOLLHUP: u32 = 0x10;
+/// Peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const O_NONBLOCK: i32 = 0x800;
+const O_CLOEXEC: i32 = 0x80000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it
+/// (no padding between `events` and `data`); other architectures use the
+/// natural layout.
+#[derive(Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn check(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// One readiness notification: the `token` the fd was registered under and
+/// the ready-event mask ([`EPOLLIN`] / [`EPOLLOUT`] / error bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Readiness {
+    /// The registration token.
+    pub token: u64,
+    /// The ready events.
+    pub events: u32,
+}
+
+impl Readiness {
+    /// The fd is readable (or has an error/hangup pending, which a read
+    /// will surface).
+    pub fn readable(self) -> bool {
+        self.events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// The fd is writable (or has an error pending, which a write will
+    /// surface).
+    pub fn writable(self) -> bool {
+        self.events & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0
+    }
+}
+
+/// An `epoll` instance: register fds under `u64` tokens, then wait for
+/// readiness.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error from `epoll_create1`.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events,
+            data: token,
+        };
+        check(unsafe { epoll_ctl(self.epfd, op, fd, &mut event) }).map(|_| ())
+    }
+
+    /// Starts watching `fd` for `events`, reporting it under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error from `epoll_ctl`.
+    pub fn register(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, events)
+    }
+
+    /// Changes the watched events (and token) of an already-registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error from `epoll_ctl`.
+    pub fn modify(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, events)
+    }
+
+    /// Stops watching `fd`. Closing an fd deregisters it implicitly, so this
+    /// is only needed to keep an open fd quiet.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error from `epoll_ctl`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut event = EpollEvent { events: 0, data: 0 };
+        check(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut event) }).map(|_| ())
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout_ms`
+    /// elapses (`None` = wait forever), then fills `ready` with the
+    /// notifications. Retries transparently on `EINTR`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error from `epoll_wait`.
+    pub fn wait(&self, ready: &mut Vec<Readiness>, timeout_ms: Option<i32>) -> io::Result<()> {
+        ready.clear();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+        let timeout = timeout_ms.unwrap_or(-1);
+        let n = loop {
+            let ret =
+                unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), events.len() as i32, timeout) };
+            match check(ret) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        for event in &events[..n] {
+            // Copy out of the (possibly packed) struct by value; taking
+            // references into it would be unaligned.
+            let ev = *event;
+            ready.push(Readiness {
+                token: ev.data,
+                events: ev.events,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// A nonblocking self-pipe: worker threads [`Waker::wake`] the write end to
+/// pull the poll thread out of [`Poller::wait`]; the poll thread registers
+/// the read end and [`WakePipe::drain`]s it on wakeup.
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    /// Creates the pipe (both ends nonblocking and close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error from `pipe2`.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        check(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The read end, for registration with a [`Poller`].
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// A cloneable handle to the write end for worker threads. The handle
+    /// borrows the pipe's fd: it must not outlive the `WakePipe` (the event
+    /// loop joins its workers before dropping the pipe).
+    pub fn waker(&self) -> Waker {
+        Waker { fd: self.write_fd }
+    }
+
+    /// Consumes every pending wake byte so the next wake triggers a fresh
+    /// edge. Nonblocking: returns once the pipe is empty.
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.read_fd, sink.as_mut_ptr(), sink.len()) };
+            if n <= 0 {
+                // Empty (EAGAIN), closed, or a transient error: either way
+                // the poll thread goes back to waiting.
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+/// The write end of a [`WakePipe`], cheap to clone into worker closures.
+#[derive(Clone, Copy)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Writes one byte into the pipe. A full pipe means a wake is already
+    /// pending, so `EAGAIN` (like every other error here) is ignored.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        unsafe { write(self.fd, byte.as_ptr(), 1) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn wake_pipe_rouses_a_waiting_poller() {
+        let poller = Poller::new().expect("epoll instance");
+        let pipe = WakePipe::new().expect("wake pipe");
+        poller
+            .register(pipe.read_fd(), 42, EPOLLIN)
+            .expect("register");
+
+        let mut ready = Vec::new();
+        poller.wait(&mut ready, Some(0)).expect("wait");
+        assert!(ready.is_empty(), "nothing is ready yet");
+
+        pipe.waker().wake();
+        poller.wait(&mut ready, Some(5000)).expect("wait");
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].token, 42);
+        assert!(ready[0].readable());
+
+        // Drained, the pipe goes quiet again.
+        pipe.drain();
+        poller.wait(&mut ready, Some(0)).expect("wait");
+        assert!(ready.is_empty(), "drain consumed the wake");
+    }
+
+    #[test]
+    fn repeated_wakes_coalesce_and_never_block() {
+        let pipe = WakePipe::new().expect("wake pipe");
+        let waker = pipe.waker();
+        // Far more wakes than the pipe buffer holds: the nonblocking write
+        // end must absorb the overflow as "wake already pending".
+        for _ in 0..100_000 {
+            waker.wake();
+        }
+        pipe.drain();
+    }
+
+    #[test]
+    fn poller_reports_listener_readability_and_interest_changes() {
+        use std::io::Write;
+        use std::net::{TcpListener, TcpStream};
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let poller = Poller::new().expect("epoll instance");
+        poller
+            .register(listener.as_raw_fd(), 7, EPOLLIN)
+            .expect("register");
+
+        let mut ready = Vec::new();
+        poller.wait(&mut ready, Some(0)).expect("wait");
+        assert!(ready.is_empty(), "no pending connection yet");
+
+        let mut client = TcpStream::connect(listener.local_addr().expect("addr")).expect("conn");
+        poller.wait(&mut ready, Some(5000)).expect("wait");
+        assert!(ready.iter().any(|r| r.token == 7 && r.readable()));
+
+        // Accept, register the connection for reads, and see data arrive.
+        let (conn, _) = listener.accept().expect("accept");
+        conn.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(conn.as_raw_fd(), 8, EPOLLIN | EPOLLRDHUP)
+            .expect("register conn");
+        client.write_all(b"hello").expect("send");
+        client.flush().expect("flush");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            poller.wait(&mut ready, Some(1000)).expect("wait");
+            if ready.iter().any(|r| r.token == 8 && r.readable()) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "data never reported");
+        }
+
+        // Interest can be narrowed to write-only and back.
+        poller
+            .modify(conn.as_raw_fd(), 8, EPOLLOUT)
+            .expect("modify");
+        poller.wait(&mut ready, Some(5000)).expect("wait");
+        assert!(ready.iter().any(|r| r.token == 8 && r.writable()));
+        poller.deregister(conn.as_raw_fd()).expect("deregister");
+        poller.wait(&mut ready, Some(0)).expect("wait");
+        assert!(ready.is_empty(), "deregistered fds stay silent");
+    }
+}

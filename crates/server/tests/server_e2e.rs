@@ -8,7 +8,27 @@ use std::time::Duration;
 
 use sealpaa_cells::{AdderChain, InputProfile, StandardCell};
 use sealpaa_server::json::Json;
-use sealpaa_server::server::{Server, ServerConfig};
+use sealpaa_server::server::{IoModel, Server, ServerConfig};
+
+/// The I/O models every end-to-end contract must hold under.
+/// `SEALPAA_IO_MODEL` pins one; otherwise every model available on this
+/// platform is exercised.
+fn models() -> Vec<IoModel> {
+    if let Ok(forced) = std::env::var("SEALPAA_IO_MODEL") {
+        return vec![forced.parse().expect("valid SEALPAA_IO_MODEL")];
+    }
+    if cfg!(target_os = "linux") {
+        vec![IoModel::Event, IoModel::Threads]
+    } else {
+        vec![IoModel::Threads]
+    }
+}
+
+fn for_each_model(scenario: impl Fn(IoModel)) {
+    for model in models() {
+        scenario(model);
+    }
+}
 
 /// Binds a daemon on an ephemeral port, runs it on a background thread, and
 /// returns its address plus the join handle.
@@ -59,7 +79,14 @@ fn result_f64(response: &Json, key: &str) -> f64 {
 
 #[test]
 fn tcp_serves_all_four_analysis_kinds_and_matches_the_libraries() {
-    let (addr, handle) = spawn_server(ServerConfig::default());
+    for_each_model(tcp_serves_all_analysis_kinds);
+}
+
+fn tcp_serves_all_analysis_kinds(io_model: IoModel) {
+    let (addr, handle) = spawn_server(ServerConfig {
+        io_model,
+        ..Default::default()
+    });
     let mut client = Client::connect(addr);
 
     // analyze — against sealpaa_core.
@@ -134,7 +161,14 @@ fn tcp_serves_all_four_analysis_kinds_and_matches_the_libraries() {
 
 #[test]
 fn repeated_analyze_is_answered_from_cache_and_stats_count_the_hit() {
-    let (addr, handle) = spawn_server(ServerConfig::default());
+    for_each_model(repeated_analyze_hits_the_cache);
+}
+
+fn repeated_analyze_hits_the_cache(io_model: IoModel) {
+    let (addr, handle) = spawn_server(ServerConfig {
+        io_model,
+        ..Default::default()
+    });
     let mut client = Client::connect(addr);
 
     let line = r#"{"kind":"analyze","width":12,"cell":"lpaa4","p":0.25}"#;
@@ -178,11 +212,16 @@ fn repeated_analyze_is_answered_from_cache_and_stats_count_the_hit() {
 
 #[test]
 fn concurrent_mixed_clients_all_get_correct_answers() {
+    for_each_model(concurrent_mixed_clients);
+}
+
+fn concurrent_mixed_clients(io_model: IoModel) {
     // 2 workers, small queue: with 8 clients hammering concurrently this
     // exercises queuing, backpressure, and cache sharing across connections.
     let (addr, handle) = spawn_server(ServerConfig {
         threads: 2,
         queue_capacity: 4,
+        io_model,
         ..Default::default()
     });
 
@@ -261,6 +300,10 @@ fn concurrent_mixed_clients_all_get_correct_answers() {
 
 #[test]
 fn shutdown_drains_requests_already_in_flight() {
+    for_each_model(shutdown_drains_in_flight);
+}
+
+fn shutdown_drains_in_flight(io_model: IoModel) {
     // One worker: occupy it with a slow Monte-Carlo job, queue a second one
     // behind it, then request shutdown from a third connection while both
     // are still outstanding. The drain guarantee: both accepted jobs are
@@ -269,6 +312,7 @@ fn shutdown_drains_requests_already_in_flight() {
         threads: 1,
         queue_capacity: 16,
         cache_entries: 0, // no caching: every request does real work
+        io_model,
         ..Default::default()
     });
 
@@ -313,7 +357,14 @@ fn shutdown_drains_requests_already_in_flight() {
 
 #[test]
 fn malformed_and_oversized_requests_get_error_responses_not_disconnects() {
-    let (addr, handle) = spawn_server(ServerConfig::default());
+    for_each_model(malformed_and_oversized_requests);
+}
+
+fn malformed_and_oversized_requests(io_model: IoModel) {
+    let (addr, handle) = spawn_server(ServerConfig {
+        io_model,
+        ..Default::default()
+    });
     let mut client = Client::connect(addr);
 
     let bad = client.request(r#"{"id":"x","kind":"analyze","width":2,"cell":"nope"}"#);
@@ -344,4 +395,174 @@ fn malformed_and_oversized_requests_get_error_responses_not_disconnects() {
 
     client.request(r#"{"kind":"shutdown"}"#);
     handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn batch_over_tcp_answers_every_item_with_its_id() {
+    for_each_model(batch_over_tcp);
+}
+
+fn batch_over_tcp(io_model: IoModel) {
+    let (addr, handle) = spawn_server(ServerConfig {
+        io_model,
+        ..Default::default()
+    });
+    let mut client = Client::connect(addr);
+
+    let response = client.request(concat!(
+        r#"{"id":"B","kind":"batch","requests":["#,
+        r#"{"id":0,"kind":"analyze","width":8,"cell":"lpaa1","p":0.1},"#,
+        r#"{"id":1,"kind":"gear","n":8,"r":2,"overlap":2},"#,
+        r#"{"id":2,"kind":"analyze","width":8,"cell":"lpaa1","p":0.1}"#,
+        r#"]}"#
+    ));
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(response.get("id").and_then(Json::as_str), Some("B"));
+    let result = response.get("result").expect("batch result");
+    // The duplicate analyze deduplicates: three items, two computes.
+    assert_eq!(result.get("count").and_then(Json::as_u64), Some(3));
+    assert_eq!(result.get("computed").and_then(Json::as_u64), Some(2));
+    let subs = result
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("subs");
+    for (i, sub) in subs.iter().enumerate() {
+        assert_eq!(sub.get("id").and_then(Json::as_u64), Some(i as u64));
+        assert_eq!(sub.get("ok").and_then(Json::as_bool), Some(true));
+    }
+    let chain = AdderChain::uniform(StandardCell::Lpaa1.cell(), 8);
+    let profile = InputProfile::constant(8, 0.1);
+    let direct = sealpaa_core::analyze(&chain, &profile)
+        .expect("direct analyze")
+        .error_probability();
+    assert_eq!(
+        subs[0]
+            .get("result")
+            .and_then(|r| r.get("error_probability"))
+            .and_then(Json::as_f64),
+        Some(direct)
+    );
+    assert_eq!(subs[2].get("result"), subs[0].get("result"));
+
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn pipelined_requests_are_answered_out_of_order_tagged_by_id() {
+    // The pipelining contract (event model): a slow request does not block
+    // a fast one behind it on the same connection — responses come back in
+    // completion order, reassembled by client-supplied id.
+    let (addr, handle) = spawn_server(ServerConfig {
+        threads: 2,
+        cache_entries: 0, // force both requests to really compute
+        io_model: IoModel::Event,
+        ..Default::default()
+    });
+    let mut client = Client::connect(addr);
+
+    // Both lines in one write, no read in between: the slow Monte-Carlo
+    // job occupies one worker while the trivial analyze overtakes it.
+    let slow = r#"{"id":"slow","kind":"simulate","width":16,"cell":"lpaa5","samples":3000000,"seed":5,"threads":1}"#;
+    let fast = r#"{"id":"fast","kind":"analyze","width":2,"cell":"lpaa1","p":0.1}"#;
+    client
+        .writer
+        .write_all(format!("{slow}\n{fast}\n").as_bytes())
+        .expect("send pipeline");
+    client.writer.flush().expect("flush");
+
+    let read_one = |client: &mut Client| {
+        let mut line = String::new();
+        client.reader.read_line(&mut line).expect("receive");
+        Json::parse(line.trim_end()).expect("valid response JSON")
+    };
+    let first = read_one(&mut client);
+    let second = read_one(&mut client);
+    assert_eq!(
+        first.get("id").and_then(Json::as_str),
+        Some("fast"),
+        "the fast request must overtake the slow one: {}",
+        first.render()
+    );
+    assert_eq!(second.get("id").and_then(Json::as_str), Some("slow"));
+    assert_eq!(second.get("ok").and_then(Json::as_bool), Some(true));
+
+    // The per-connection depth high-water mark saw both in flight at once.
+    let stats = client.request(r#"{"kind":"stats"}"#);
+    let depth = stats
+        .get("result")
+        .and_then(|r| r.get("connections"))
+        .and_then(|c| c.get("max_pipeline_depth"))
+        .and_then(Json::as_u64)
+        .expect("max_pipeline_depth gauge");
+    assert!(depth >= 2, "pipeline depth gauge never saw 2: {depth}");
+    assert_eq!(
+        stats
+            .get("result")
+            .and_then(|r| r.get("io_model"))
+            .and_then(Json::as_str),
+        Some("event")
+    );
+
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn access_log_is_byte_reproducible_across_replays() {
+    // The access-log contract holds under every io model: a replayed
+    // session produces a byte-identical NDJSON trace (no timestamps, no
+    // latencies, fields in a fixed order).
+    for_each_model(|io_model| {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buf").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let run_once = || {
+            let sink = SharedBuf::default();
+            let server = Server::bind_with_trace(
+                ServerConfig {
+                    addr: "127.0.0.1:0".to_owned(),
+                    io_model,
+                    ..Default::default()
+                },
+                Box::new(sink.clone()),
+            )
+            .expect("bind ephemeral port");
+            let addr = server.local_addr();
+            let handle = std::thread::spawn(move || server.run().expect("server run"));
+            let mut client = Client::connect(addr);
+            client.request(r#"{"kind":"analyze","width":2,"cell":"lpaa1","p":0.1}"#);
+            client.request(r#"{"kind":"analyze","width":2,"cell":"lpaa1","p":0.1}"#);
+            client.request("nonsense");
+            client.request(
+                r#"{"kind":"batch","requests":[{"kind":"gear","n":8,"r":2,"overlap":2}]}"#,
+            );
+            client.request(r#"{"kind":"shutdown"}"#);
+            handle.join().expect("clean shutdown");
+            let bytes = sink.0.lock().expect("buf").clone();
+            String::from_utf8(bytes).expect("trace is utf8")
+        };
+
+        let trace = run_once();
+        let lines: Vec<&str> = trace.lines().collect();
+        assert_eq!(lines.len(), 5, "{trace}");
+        assert!(lines[0].contains("\"kind\":\"analyze\""));
+        assert!(lines[1].contains("\"cached\":true"));
+        assert!(lines[2].contains("\"ok\":false"));
+        assert!(lines[3].contains("\"kind\":\"batch\""));
+        assert!(lines[4].contains("\"kind\":\"shutdown\""));
+        assert_eq!(trace, run_once(), "replayed session must trace identically");
+    });
 }

@@ -1,0 +1,126 @@
+//! A pipelined batch client for the analysis daemon: starts the server
+//! in-process, then exercises the two ways to ask many questions at once —
+//! a `batch` request (many sub-requests, one response line) and request
+//! pipelining (many request lines written back-to-back, responses
+//! reassembled by `id` because they may return out of order).
+//!
+//! Run with: `cargo run --release --example batch_client`
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use sealpaa::{IoModel, Json, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let io_model = IoModel::default();
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        io_model,
+        ..Default::default()
+    })?;
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+    println!(
+        "daemon listening on {addr} (io model: {})\n",
+        io_model.name()
+    );
+
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut read_response = || -> Result<Json, Box<dyn std::error::Error>> {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        Ok(Json::parse(line.trim_end())?)
+    };
+
+    // --- One batch request: mixed kinds, answered in one response line ---
+    //
+    // The duplicated analyze (items "a16" and "a16-again") is deliberately
+    // identical: the daemon routes the batch through its result cache as a
+    // group, so the config computes once and answers twice.
+    let batch = concat!(
+        r#"{"id":"demo","kind":"batch","requests":["#,
+        r#"{"id":"a16","kind":"analyze","width":16,"cell":"lpaa6","p":0.1},"#,
+        r#"{"id":"blk","kind":"blocks","config":"8:0:accurate,8:2:lpaa1","p":0.5},"#,
+        r#"{"id":"dse","kind":"dse","width":3,"p":0.3,"budget_power":0},"#,
+        r#"{"id":"a16-again","kind":"analyze","width":16,"cell":"lpaa6","p":0.1}"#,
+        r#"]}"#
+    );
+    println!("-> batch of 4 sub-requests (analyze, blocks, dse, analyze again)");
+    writeln!(writer, "{batch}")?;
+    let response = read_response()?;
+    let result = response.get("result").ok_or("missing batch result")?;
+    let count = result.get("count").and_then(Json::as_u64).unwrap_or(0);
+    let computed = result.get("computed").and_then(Json::as_u64).unwrap_or(0);
+    println!("<- {count} answers from {computed} computes (duplicates deduplicated)\n");
+    let subs = result
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or("missing sub-responses")?;
+    for sub in subs {
+        let id = sub.get("id").and_then(Json::as_str).unwrap_or("?");
+        let ok = sub.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        println!("   [{id}] ok={ok}");
+        if !ok {
+            return Err(format!("sub-request {id} failed: {}", sub.render()).into());
+        }
+    }
+    let (first, last) = (subs.first().ok_or("empty")?, subs.last().ok_or("empty")?);
+    assert_eq!(
+        first.get("result"),
+        last.get("result"),
+        "identical configs in one batch must get identical answers"
+    );
+    println!();
+
+    // --- Pipelining: write every request, then reassemble by id ---
+    //
+    // Under the event io model nothing waits: a slow request does not hold
+    // up a fast one behind it, so responses may arrive out of order. The
+    // `id` is the correlation key — never the arrival position.
+    let requests: Vec<String> = (2..=6)
+        .map(|w| format!(r#"{{"id":"w{w}","kind":"analyze","width":{w},"cell":"lpaa2","p":0.2}}"#))
+        .collect();
+    println!(
+        "-> pipelining {} analyze requests in one write",
+        requests.len()
+    );
+    writer.write_all(requests.join("\n").as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+
+    let mut by_id: HashMap<String, Json> = HashMap::new();
+    let mut arrival = Vec::new();
+    for _ in 0..requests.len() {
+        let response = read_response()?;
+        let id = response
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("response without id")?
+            .to_owned();
+        arrival.push(id.clone());
+        by_id.insert(id, response);
+    }
+    println!("<- arrival order: {}", arrival.join(", "));
+    for w in 2..=6 {
+        let response = by_id
+            .get(&format!("w{w}"))
+            .ok_or("missing pipelined response")?;
+        let p = response
+            .get("result")
+            .and_then(|r| r.get("error_probability"))
+            .and_then(Json::as_f64)
+            .ok_or("missing error probability")?;
+        println!("   [w{w}] P(error) = {p:.6}");
+    }
+    println!();
+
+    writeln!(writer, r#"{{"kind":"shutdown"}}"#)?;
+    read_response()?;
+    daemon.join().expect("daemon thread")?;
+    println!("daemon stopped cleanly");
+    Ok(())
+}

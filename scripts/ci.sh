@@ -67,6 +67,14 @@ run cargo test -p sealpaa-trace --test fidelity -q
 # and GeAr-as-blocks vs the gear crate's independent DP.
 run cargo test -p sealpaa-blocks --test differential -q
 
+# The server fault-injection suite, once per connection layer: the tests
+# run both models by default, but forcing each via SEALPAA_IO_MODEL pins
+# that a hang in one model cannot hide behind the other passing first.
+run env SEALPAA_IO_MODEL=event \
+    cargo test -p sealpaa-server --test fault_injection -q
+run env SEALPAA_IO_MODEL=threads \
+    cargo test -p sealpaa-server --test fault_injection -q
+
 # Smoke-run the kernel benchmarks (1 sample per bench, no JSON rewrite) so
 # kernel regressions that only break under the bench harness surface here
 # rather than in the next full bench run.
@@ -78,6 +86,11 @@ run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
     cargo bench -p sealpaa-bench --bench trace_kernels
 run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
     cargo bench -p sealpaa-bench --bench blocks_kernels
+# The daemon throughput bench doubles as an end-to-end smoke of the event
+# loop: it boots an in-process server and drives serialized, pipelined and
+# batch traffic over real sockets (quick mode never rewrites BENCH JSON).
+run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
+    cargo bench -p sealpaa-bench --bench server_throughput
 
 # Lints are load-bearing: the gate fails on any clippy warning anywhere in
 # the workspace, including tests and benches.

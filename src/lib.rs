@@ -69,6 +69,6 @@ pub use sealpaa_core::{
 };
 pub use sealpaa_num::{Prob, Rational};
 pub use sealpaa_server::json::Json;
-pub use sealpaa_server::server::{Server, ServerConfig};
+pub use sealpaa_server::server::{IoModel, Server, ServerConfig};
 pub use sealpaa_sim::{exhaustive, monte_carlo, MonteCarloConfig};
 pub use sealpaa_trace::{fidelity, replay, FidelityReport, ReplayReport, SynthKind, TraceStats};
