@@ -33,6 +33,8 @@ use std::net::{SocketAddr, TcpStream};
 
 use sealpaa_bench::microbench::{black_box, take_results, BenchResult, BenchmarkId, Criterion};
 use sealpaa_server::json::Json;
+#[cfg(target_os = "linux")]
+use sealpaa_server::route::{RouteConfig, Router};
 use sealpaa_server::server::{IoModel, Server, ServerConfig};
 
 fn quick() -> bool {
@@ -169,6 +171,127 @@ fn bench_throughput(c: &mut Criterion, addr: SocketAddr) {
     group.finish();
 }
 
+/// Distinct cache keys per router workload: twice one backend's cache
+/// capacity, so a single backend thrashes while four hold the whole set.
+fn router_working_set() -> usize {
+    if quick() {
+        128
+    } else {
+        512
+    }
+}
+
+/// One backend's result-cache capacity in the router scaling workload.
+/// Sixteen shards need a few entries each, so even smoke mode keeps this
+/// well above the shard count.
+fn router_cache_entries() -> usize {
+    if quick() {
+        96
+    } else {
+        256
+    }
+}
+
+/// Monte-Carlo samples per router workload miss. Dialled so a miss costs
+/// milliseconds of real simulation while a warm hit is a cache lookup —
+/// the contrast the capacity-scaling benchmark measures.
+fn router_samples() -> usize {
+    if quick() {
+        200_000
+    } else {
+        1_000_000
+    }
+}
+
+/// The router workload key `i`: a Monte-Carlo simulate whose only
+/// variation is the RNG seed, so every `i` is one distinct cache key and
+/// a miss costs `router_samples()` bit-true samples.
+#[cfg(target_os = "linux")]
+fn router_body(i: usize) -> String {
+    format!(
+        r#"{{"id":{i},"kind":"simulate","width":32,"cell":"lpaa5","samples":{},"seed":{i},"threads":1}}"#,
+        router_samples()
+    )
+}
+
+/// Router cache-capacity scaling (the machine has too few cores for
+/// compute parallelism to be the story): the same working set of
+/// `router_working_set()` distinct keys is pushed through a router backed
+/// by 1 vs 4 daemons. One backend's LRU holds half the working set, so a
+/// cycling client thrashes it and every request recomputes; four backends
+/// shard the key space by consistent hash and hold all of it, so every
+/// request after priming is a cache hit.
+#[cfg(target_os = "linux")]
+fn bench_router(c: &mut Criterion) {
+    let ws = router_working_set();
+    let mut group = c.benchmark_group("router");
+    group.sample_size(10);
+
+    for backends in [1usize, 4] {
+        let mut backend_addrs = Vec::new();
+        let mut backend_handles = Vec::new();
+        for _ in 0..backends {
+            let server = Server::bind(ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: 1,
+                cache_entries: router_cache_entries(),
+                io_model: IoModel::Event,
+                ..Default::default()
+            })
+            .expect("bind backend");
+            backend_addrs.push(server.local_addr());
+            backend_handles.push(std::thread::spawn(move || server.run()));
+        }
+        let router = Router::bind(RouteConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            backends: backend_addrs.iter().map(|a| a.to_string()).collect(),
+            ..RouteConfig::default()
+        })
+        .expect("bind router");
+        let addr = router.local_addr();
+        let router_handle = std::thread::spawn(move || router.run());
+
+        let mut burst = Vec::new();
+        for i in 0..ws {
+            burst.extend_from_slice(router_body(i).as_bytes());
+            burst.push(b'\n');
+        }
+        let mut client = Client::connect(addr);
+        let pass = |client: &mut Client| {
+            client.send(&burst);
+            let mut bytes = 0usize;
+            for _ in 0..ws {
+                bytes += client.read_response();
+            }
+            bytes
+        };
+        // Prime: with 4 backends this loads every key into its shard's
+        // cache; with 1 it is simply the first of many thrashing passes.
+        pass(&mut client);
+        group.bench_function(
+            BenchmarkId::new(format!("w{ws}"), format!("backends{backends}")),
+            |b| b.iter(|| black_box(pass(&mut client))),
+        );
+
+        let mut stop = Client::connect(addr);
+        stop.round_trip(r#"{"kind":"shutdown"}"#);
+        router_handle
+            .join()
+            .expect("router thread")
+            .expect("router exit");
+        for backend in backend_addrs {
+            Client::connect(backend).round_trip(r#"{"kind":"shutdown"}"#);
+        }
+        for handle in backend_handles {
+            handle
+                .join()
+                .expect("backend thread")
+                .expect("backend exit");
+        }
+    }
+    group.finish();
+}
+
 fn ns_of(results: &[BenchResult], name: &str) -> f64 {
     results
         .iter()
@@ -188,7 +311,8 @@ fn render_report(results: &[BenchResult], n: usize) -> String {
         );
     }
 
-    let speedup_pairs = [
+    let ws = router_working_set();
+    let mut speedup_pairs = vec![
         (
             format!(
                 "{n} cache-warm analyze requests over one TCP connection to the \
@@ -208,6 +332,18 @@ fn render_report(results: &[BenchResult], n: usize) -> String {
             format!("throughput/n{n}/pipelined"),
         ),
     ];
+    if results.iter().any(|r| r.name.starts_with("router/")) {
+        speedup_pairs.push((
+            format!(
+                "{ws} distinct Monte-Carlo simulate keys pushed through the sealpaa \
+                 route gateway each iteration: 4 consistent-hash-sharded backends \
+                 (whose caches jointly hold the working set) vs 1 backend (whose LRU \
+                 holds half of it and thrashes, re-simulating every key)"
+            ),
+            format!("router/w{ws}/backends1"),
+            format!("router/w{ws}/backends4"),
+        ));
+    }
     let mut speedups = String::new();
     for (i, (workload, baseline, fast)) in speedup_pairs.iter().enumerate() {
         let base_ns = ns_of(results, baseline);
@@ -233,7 +369,12 @@ fn render_report(results: &[BenchResult], n: usize) -> String {
          back; batch sends one batch request line carrying all {n} sub-requests and reads \
          one response line. The requests hit the result cache, so the numbers isolate the \
          connection layer (round-trips, poll-thread wakeups, protocol parsing), not adder \
-         analysis. Acceptance: batch >= 5x serialized, pipelined >= 3x serialized\",\n  \
+         analysis. Acceptance: batch >= 5x serialized, pipelined >= 3x serialized. The \
+         router group pushes {ws} distinct cache keys through the sealpaa route gateway \
+         backed by 1 vs 4 event-loop daemons (256-entry caches, 1 worker each, on one \
+         CPU): consistent hashing shards the key space, so aggregate cache capacity — \
+         and with it cache-miss throughput on a thrashing working set — scales with the \
+         backend count. Acceptance: backends4 >= 2x backends1\",\n  \
          \"benches\": [\n{benches}  ],\n  \"speedups\": [\n{speedups}  ]\n}}\n"
     )
 }
@@ -264,11 +405,14 @@ fn main() {
 
     let mut criterion = Criterion::default();
     bench_throughput(&mut criterion, addr);
-    let results = take_results();
 
     let mut stop = Client::connect(addr);
     stop.round_trip(r#"{"kind":"shutdown"}"#);
     daemon.join().expect("daemon thread").expect("daemon exit");
+
+    #[cfg(target_os = "linux")]
+    bench_router(&mut criterion);
+    let results = take_results();
 
     if quick() {
         eprintln!("MICROBENCH_QUICK set: not rewriting BENCH_server.json");

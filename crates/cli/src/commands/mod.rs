@@ -9,6 +9,7 @@ pub mod fir;
 pub mod gear;
 pub mod magnitude;
 pub mod multiplier;
+pub mod route;
 pub mod serve;
 pub mod simd;
 pub mod simulate;

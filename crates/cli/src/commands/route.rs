@@ -1,0 +1,144 @@
+//! `sealpaa route` — run the consistent-hash gateway in front of N daemons.
+
+use std::io::Write;
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+
+const HELP: &str = "\
+usage: sealpaa route --backends A:P,B:P[,...] [options]
+
+Runs the shard router (Linux only): clients speak the exact `sealpaa serve`
+protocol to one address, and every request is placed on a backend daemon by
+consistent-hashing its canonical cache key. Equivalent requests from any
+client land on the same backend, so the fleet's result caches shard the key
+space instead of duplicating it — aggregate cache capacity grows with the
+backend count. Requests without a cacheable key (inline profile traces) are
+spread round-robin. Batch envelopes are fanned out per backend and
+reassembled into the single response the client expects.
+
+Backends are health-checked every --health-interval-ms: lost ones are
+removed from the ring (their in-flight requests get structured errors, new
+traffic re-routes) and re-dialed until they return. With no healthy backend
+the router sheds each request with a structured error.
+
+A {\"kind\":\"shutdown\"} request stops the router (draining in-flight
+requests first); the backend daemons keep running.
+
+options:
+  --addr A:P            TCP listen address (default 127.0.0.1:4527; port 0
+                        picks an ephemeral port and prints it)
+  --backends LIST       comma-separated backend daemon addresses (required)
+  --max-connections N   concurrent client connection cap; connections past
+                        it get a structured 'overloaded' error and are
+                        closed (default 256, 0 disables)
+  --max-line-bytes N    request-line length limit, enforced while reading
+                        (default 1048576)
+  --write-timeout-ms N  a client that stops reading its responses for this
+                        long is disconnected (default 60000, 0 disables)
+  --health-interval-ms N
+                        backend probe-and-reconnect cadence (default 2000)";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad options, on non-Linux platforms, or if the
+/// listen address cannot be bound.
+pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
+    if tokens.iter().any(|t| t == "--help") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let args = ParsedArgs::parse(
+        tokens,
+        &[
+            "addr",
+            "backends",
+            "max-connections",
+            "max-line-bytes",
+            "write-timeout-ms",
+            "health-interval-ms",
+        ],
+        &[],
+    )?;
+    serve_platform(&args, out)
+}
+
+#[cfg(target_os = "linux")]
+fn serve_platform<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    use sealpaa_server::protocol::MAX_LINE_BYTES;
+    use sealpaa_server::route::{RouteConfig, Router};
+
+    let backends: Vec<String> = args
+        .option("backends")
+        .ok_or_else(|| CliError::usage("--backends is required"))?
+        .split(',')
+        .map(str::trim)
+        .filter(|b| !b.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if backends.is_empty() {
+        return Err(CliError::usage("--backends lists no addresses"));
+    }
+    let config = RouteConfig {
+        addr: args.get_or("addr", "127.0.0.1:4527".to_owned())?,
+        backends,
+        max_connections: args.get_or("max-connections", 256usize)?,
+        max_line_bytes: args.get_or("max-line-bytes", MAX_LINE_BYTES)?,
+        write_timeout_ms: args.get_or("write-timeout-ms", 60_000u64)?,
+        health_interval_ms: args.get_or("health-interval-ms", 2_000u64)?,
+    };
+    if config.max_line_bytes == 0 {
+        return Err(CliError::usage("--max-line-bytes must be at least 1"));
+    }
+    let router = Router::bind(config).map_err(|e| CliError::usage(format!("cannot bind: {e}")))?;
+    writeln!(out, "sealpaa-router listening on {}", router.local_addr())?;
+    out.flush()?;
+    router.run()?;
+    writeln!(out, "sealpaa-router stopped")?;
+    Ok(())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn serve_platform<W: Write>(_args: &ParsedArgs, _out: &mut W) -> Result<(), CliError> {
+    Err(CliError::usage(
+        "sealpaa route needs the epoll event loop and is Linux-only",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(tokens: &[&str]) -> Result<String, CliError> {
+        let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).expect("help always works");
+        assert!(s.contains("usage: sealpaa route"));
+        assert!(s.contains("--backends"));
+        assert!(s.contains("--health-interval-ms"));
+        assert!(s.contains("consistent-hashing"));
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        assert!(run_to_string(&[]).is_err(), "--backends is required");
+        assert!(
+            run_to_string(&["--backends", ","]).is_err(),
+            "an empty backend list"
+        );
+        assert!(run_to_string(&["--port", "80"]).is_err(), "unknown option");
+        #[cfg(target_os = "linux")]
+        assert!(
+            run_to_string(&["--backends", "127.0.0.1:1", "--max-line-bytes", "0"]).is_err(),
+            "a zero line limit"
+        );
+    }
+}

@@ -42,6 +42,14 @@ options:
   --write-timeout-ms N  per-connection write deadline: a peer that stops
                         reading its responses is disconnected
                         (default 60000, 0 disables; TCP only)
+  --cache-snapshot F    persist the result cache to file F (atomic
+                        write-then-rename) and reload it on start, so a
+                        restarted daemon answers warm; a corrupt or
+                        truncated file is reported and ignored (cold start)
+  --snapshot-interval-ms N
+                        how often a dirty cache is re-persisted while
+                        serving (default 30000); the cache is always
+                        persisted once more on graceful shutdown
   --io-model M          TCP connection-serving model: 'event' (one epoll
                         poll thread multiplexes every socket; supports
                         request pipelining; Linux only) or 'threads' (one
@@ -78,6 +86,8 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
             "max-line-bytes",
             "idle-timeout-ms",
             "write-timeout-ms",
+            "cache-snapshot",
+            "snapshot-interval-ms",
             "io-model",
         ],
         &["stdio", "trace"],
@@ -91,6 +101,8 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
         max_line_bytes: args.get_or("max-line-bytes", MAX_LINE_BYTES)?,
         idle_timeout_ms: args.get_or("idle-timeout-ms", 60_000u64)?,
         write_timeout_ms: args.get_or("write-timeout-ms", 60_000u64)?,
+        cache_snapshot: args.option("cache-snapshot").map(str::to_owned),
+        snapshot_interval_ms: args.get_or("snapshot-interval-ms", 30_000u64)?,
         trace: args.flag("trace"),
         io_model: args.get_or("io-model", IoModel::default())?,
     };
@@ -138,6 +150,8 @@ mod tests {
         assert!(s.contains("--cache-entries"));
         assert!(s.contains("--max-connections"));
         assert!(s.contains("--idle-timeout-ms"));
+        assert!(s.contains("--cache-snapshot"));
+        assert!(s.contains("--snapshot-interval-ms"));
         assert!(s.contains("--trace"));
         assert!(s.contains("--io-model"));
         assert!(s.contains("batch"));

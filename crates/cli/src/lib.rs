@@ -46,6 +46,7 @@ commands:
   verilog     emit structural Verilog for a cell, chain, or GeAr adder
   trace       workload traces: synthesize, profile, replay, model fidelity
   serve       analysis-as-a-service daemon (JSON over TCP or stdio)
+  route       consistent-hash gateway sharding requests over serve daemons
   simd        SIMD backend diagnostics: detected, active, forced, sampler plans
   help        show this message
 
@@ -78,6 +79,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "verilog" => commands::verilog::run(rest, out),
         "trace" => commands::trace::run(rest, out),
         "serve" => commands::serve::run(rest, out),
+        "route" => commands::route::run(rest, out),
         "simd" => commands::simd::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;

@@ -136,6 +136,17 @@ impl Shard {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// Appends this shard's entries to `out`, least recently used first, so
+    /// that re-inserting them in order reproduces the recency order.
+    fn export_into(&self, out: &mut Vec<(String, String)>) {
+        let mut idx = self.tail;
+        while idx != NIL {
+            let entry = &self.slab[idx];
+            out.push((entry.key.clone(), entry.value.clone()));
+            idx = entry.prev;
+        }
+    }
 }
 
 /// A thread-safe sharded LRU cache from canonical keys to rendered results.
@@ -144,6 +155,7 @@ pub struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    inserts: AtomicU64,
 }
 
 /// A point-in-time snapshot of the cache counters.
@@ -176,6 +188,7 @@ impl ResultCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
         }
     }
 
@@ -205,11 +218,25 @@ impl ResultCache {
         }
     }
 
-    /// Counts a hit that was answered from a copy of a cached result held
-    /// outside the cache (the per-connection request memo), so `hits` keeps
-    /// matching the number of `"cached":true` responses served.
-    pub fn note_hit(&self) {
+    /// Validates that `key` is still resident *without cloning its value*,
+    /// refreshing its recency and counting a hit when it is. This is the
+    /// cheap revalidation probe behind connection-local copies of cached
+    /// results (the request memo / hot tier): the copy may only be replayed
+    /// as `"cached":true` while the entry actually lives in the cache, so
+    /// the hit counter, the recency order, and the responses stay
+    /// consistent. An absent key is *not* counted as a miss — the caller
+    /// falls through to a full [`ResultCache::get`] (or a compute), which
+    /// does the counting.
+    pub fn touch(&self, key: &str) -> bool {
+        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        let Some(&idx) = shard.map.get(key) else {
+            return false;
+        };
+        shard.unlink(idx);
+        shard.push_front(idx);
+        drop(shard);
         self.hits.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Stores `key -> value`, evicting the shard's least-recently-used entry
@@ -220,9 +247,32 @@ impl ResultCache {
             .lock()
             .expect("cache shard poisoned")
             .insert(key, value);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Total inserts ever performed — a cheap dirtiness clock for the
+    /// snapshot persister (unchanged inserts ⇒ nothing new to write).
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Every resident entry, least recently used first within each shard,
+    /// so that inserting the exported pairs in order into an empty cache of
+    /// the same capacity reproduces both the contents and the per-shard
+    /// eviction order (keys hash to the same shard across runs —
+    /// `DefaultHasher::new` is deterministic).
+    pub fn export(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("cache shard poisoned")
+                .export_into(&mut out);
+        }
+        out
     }
 
     /// The current counters and entry count.
@@ -311,6 +361,86 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn touch_refreshes_recency_and_counts_a_hit() {
+        let cache = ResultCache::new(64);
+        cache.insert("k".into(), "v".into());
+        assert!(cache.touch("k"));
+        assert!(!cache.touch("gone"), "absent keys are reported honestly");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1, "touch on a resident key counts a hit");
+        assert_eq!(stats.misses, 0, "a failed touch is not a miss");
+    }
+
+    #[test]
+    fn touch_protects_an_entry_from_eviction() {
+        // One shard of capacity 2: repeated touches of "a" must keep it the
+        // most recently used entry across later inserts.
+        let mut shard = Shard::new(2);
+        shard.insert("a".into(), "1".into());
+        shard.insert("b".into(), "2".into());
+        let &idx = shard.map.get("a").expect("resident");
+        shard.unlink(idx);
+        shard.push_front(idx);
+        shard.insert("c".into(), "3".into()); // evicts b, not a
+        assert!(shard.get("a").is_some());
+        assert_eq!(shard.get("b"), None);
+    }
+
+    #[test]
+    fn export_reproduces_contents_and_eviction_order() {
+        let cache = ResultCache::new(64);
+        for i in 0..40 {
+            cache.insert(format!("key-{i}"), format!("val-{i}"));
+        }
+        // Refresh a few entries so the recency order differs from insert
+        // order.
+        for i in 0..10 {
+            cache.get(&format!("key-{i}"));
+        }
+        let exported = cache.export();
+        assert_eq!(exported.len(), cache.stats().entries);
+        assert!(!exported.is_empty());
+
+        // Re-inserting the export in order into a fresh same-capacity cache
+        // must reproduce the contents *and* the per-shard recency order
+        // exactly (export walks LRU-first, so inserts replay that order)...
+        let restored = ResultCache::new(64);
+        for (key, value) in &exported {
+            restored.insert(key.clone(), value.clone());
+        }
+        assert_eq!(restored.export(), exported);
+        // ...which means overflowing both caches with the same filler keys
+        // must evict the same survivors.
+        let original_after = {
+            for i in 100..200 {
+                cache.insert(format!("fill-{i}"), "x".into());
+            }
+            let mut keys: Vec<String> = cache.export().into_iter().map(|(k, _)| k).collect();
+            keys.sort();
+            keys
+        };
+        let restored_after = {
+            for i in 100..200 {
+                restored.insert(format!("fill-{i}"), "x".into());
+            }
+            let mut keys: Vec<String> = restored.export().into_iter().map(|(k, _)| k).collect();
+            keys.sort();
+            keys
+        };
+        assert_eq!(original_after, restored_after);
+    }
+
+    #[test]
+    fn insert_counter_advances_monotonically() {
+        let cache = ResultCache::new(4);
+        assert_eq!(cache.inserts(), 0);
+        cache.insert("a".into(), "1".into());
+        cache.insert("a".into(), "2".into());
+        cache.insert("b".into(), "3".into());
+        assert_eq!(cache.inserts(), 3, "reinserts and evictions all count");
     }
 
     #[test]

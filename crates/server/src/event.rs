@@ -45,8 +45,9 @@ use crate::json::Json;
 use crate::pool::{Job, TrySubmit};
 use crate::protocol::{error_response, RequestBody};
 use crate::server::{
-    classify_line, compute_result, finish_batch, finish_compute, run_batch_jobs, trace_request,
-    BatchPlan, LineAction, LineMemo, Served, Server, ServerState,
+    classify_line, compute_result, finish_batch, finish_compute, maybe_persist_snapshot,
+    persist_snapshot, run_batch_jobs, snapshot_due_in, trace_request, BatchPlan, LineAction,
+    LineMemo, Served, Server, ServerState,
 };
 use crate::sys::{Poller, WakePipe, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
@@ -236,7 +237,11 @@ impl EventLoop {
             self.retry_deferred();
             self.enforce_deadlines(Instant::now());
             self.publish_gauges();
+            maybe_persist_snapshot(&self.state);
             if self.draining && self.conns.is_empty() && self.deferred.is_empty() {
+                // Capture everything the drain computed before exiting, so
+                // the next start is warm.
+                persist_snapshot(&self.state);
                 return Ok(());
             }
         }
@@ -265,6 +270,11 @@ impl EventLoop {
         }
         if !self.deferred.is_empty() {
             consider(Duration::from_millis(DEFERRED_RETRY_MS));
+        }
+        // A dirty cache snapshot must get written even if every client goes
+        // quiet — an infinite epoll wait would defer it forever.
+        if let Some(due) = snapshot_due_in(&self.state) {
+            consider(due);
         }
         // +1ms so the sweep runs *after* the deadline, not a hair before.
         next.map(|d| d.as_millis().min(i32::MAX as u128 - 1) as i32 + 1)
@@ -654,13 +664,29 @@ impl EventLoop {
                 conn.out_pos = 0;
             }
         }
-        self.pending_out_total -= written;
+        self.release_pending(written);
         if dead {
             self.drop_conn(token);
             return;
         }
         self.update_interest(token);
         self.maybe_close(token);
+    }
+
+    /// Retires `bytes` from the pending-output gauge total — bytes the
+    /// sockets accepted, or bytes discarded with a dropped connection.
+    /// Every teardown path must come through here (or [`Self::drop_conn`],
+    /// which does): buffered-but-unflushed output abandoned by an abnormal
+    /// close would otherwise stay in the gauge forever. Saturating so an
+    /// accounting bug shows up as a too-small gauge (and a debug assert),
+    /// never as a wrapped ~2^64 reading.
+    fn release_pending(&mut self, bytes: usize) {
+        debug_assert!(
+            bytes <= self.pending_out_total,
+            "releasing {bytes} pending output bytes but only {} are accounted",
+            self.pending_out_total
+        );
+        self.pending_out_total = self.pending_out_total.saturating_sub(bytes);
     }
 
     /// Recomputes and (only when changed) re-registers the connection's
@@ -700,7 +726,10 @@ impl EventLoop {
 
     fn drop_conn(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
-            self.pending_out_total -= conn.out_pending();
+            // Whatever was buffered for this peer will never be written;
+            // without this release an abnormal close (reset, write error,
+            // deadline kill) would pin its bytes in the gauge forever.
+            self.release_pending(conn.out_pending());
             // Dropping the stream closes the fd, which deregisters it from
             // the poller implicitly.
             self.state.metrics.connection_closed();

@@ -15,10 +15,16 @@
 //!   backpressure,
 //! * [`metrics`] — request counters and a fixed-bucket latency histogram,
 //! * [`server`] — the TCP daemon and the `--stdio` pipeline mode,
+//! * [`snapshot`] — the durable cache-snapshot format behind
+//!   `--cache-snapshot` (magic/version framing, bounded reader, atomic
+//!   write-then-rename) so a restarted daemon warms instantly,
 //! * `sys` (Linux) — a thin in-repo `epoll`/`pipe` syscall wrapper,
 //! * `event` (Linux) — the readiness-driven connection layer: one poll
 //!   thread multiplexing every socket, per-connection state machines, and
-//!   pipelined out-of-order responses tagged by request id.
+//!   pipelined out-of-order responses tagged by request id,
+//! * [`route`] (Linux) — the `sealpaa route` gateway: consistent-hashes
+//!   canonical cache keys across backend daemons and multiplexes clients
+//!   onto per-backend pipelined links.
 //!
 //! The daemon serves TCP under one of two I/O models
 //! ([`server::IoModel`]): the default event loop (`--io-model event`,
@@ -49,6 +55,9 @@ pub mod json;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod route;
 pub mod server;
+pub mod snapshot;
 #[cfg(target_os = "linux")]
 mod sys;

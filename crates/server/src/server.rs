@@ -40,6 +40,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -57,6 +58,7 @@ use crate::protocol::{
     DseSpec, GearSpec, ProfileSource, ProfileSpec, RequestBody, SimMode, SimulateSpec,
     MAX_LINE_BYTES,
 };
+use crate::snapshot::{read_snapshot, write_snapshot, SnapshotError, SnapshotLimits};
 
 /// How the daemon serves TCP connections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +141,13 @@ pub struct ServerConfig {
     /// The TCP connection-serving model (ignored by `--stdio`, which always
     /// runs the blocking line loop).
     pub io_model: IoModel,
+    /// Persist the result cache to this file (the warm-restart snapshot):
+    /// loaded at startup if present and valid, rewritten periodically and on
+    /// drain. `None` disables persistence.
+    pub cache_snapshot: Option<String>,
+    /// How often (in milliseconds) the running daemon rewrites the snapshot
+    /// when the cache has changed; 0 keeps only the on-drain write.
+    pub snapshot_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -154,6 +163,8 @@ impl Default for ServerConfig {
             write_timeout_ms: 60_000,
             trace: false,
             io_model: IoModel::default(),
+            cache_snapshot: None,
+            snapshot_interval_ms: 30_000,
         }
     }
 }
@@ -180,12 +191,67 @@ pub(crate) struct ServerState {
     /// `registered_fds` gauge).
     pub(crate) connections: Mutex<HashMap<u64, TcpStream>>,
     pub(crate) trace: Option<Mutex<TraceSink>>,
+    /// Warm-restart persistence, when `--cache-snapshot` is set.
+    pub(crate) snapshot: Option<SnapshotState>,
+}
+
+/// The daemon's snapshot persistence state: where to write, how often, and
+/// what was last written (tracked by the cache's insert counter so an
+/// unchanged cache is never rewritten).
+pub(crate) struct SnapshotState {
+    path: PathBuf,
+    interval: Option<Duration>,
+    clock: Mutex<SnapshotClock>,
+}
+
+struct SnapshotClock {
+    last_attempt: Instant,
+    last_inserts: u64,
 }
 
 impl ServerState {
     fn new(config: &ServerConfig, trace: Option<TraceSink>) -> ServerState {
+        let cache = ResultCache::new(config.cache_entries);
+        // A snapshot only makes sense with a cache to warm; capacity 0
+        // disables persistence along with caching.
+        let snapshot = config
+            .cache_snapshot
+            .as_ref()
+            .filter(|_| config.cache_entries > 0)
+            .map(|path| {
+                let path = PathBuf::from(path);
+                let limits = SnapshotLimits {
+                    max_entries: config.cache_entries as u64,
+                    ..SnapshotLimits::default()
+                };
+                match read_snapshot(&path, limits) {
+                    Ok(entries) => {
+                        for (key, value) in entries {
+                            cache.insert(key, value);
+                        }
+                    }
+                    // First run: no snapshot yet, nothing to report.
+                    Err(SnapshotError::Io(e)) if e.kind() == ErrorKind::NotFound => {}
+                    // Anything else (truncated, version-bumped, bit-flipped,
+                    // unreadable) is reported and ignored: the daemon starts
+                    // cold and will overwrite the bad file at the next
+                    // persist.
+                    Err(e) => eprintln!("sealpaa: ignoring cache snapshot {}: {e}", path.display()),
+                }
+                SnapshotState {
+                    path,
+                    interval: (config.snapshot_interval_ms > 0)
+                        .then(|| Duration::from_millis(config.snapshot_interval_ms)),
+                    clock: Mutex::new(SnapshotClock {
+                        last_attempt: Instant::now(),
+                        // A freshly loaded snapshot is not dirty: nothing
+                        // needs rewriting until the first new insert.
+                        last_inserts: cache.inserts(),
+                    }),
+                }
+            });
         ServerState {
-            cache: ResultCache::new(config.cache_entries),
+            cache,
             metrics: Metrics::new(),
             pool: WorkerPool::new(config.threads, config.queue_capacity),
             threads: config.threads.max(1),
@@ -194,7 +260,69 @@ impl ServerState {
             io_model: config.io_model.name(),
             connections: Mutex::new(HashMap::new()),
             trace: trace.map(Mutex::new),
+            snapshot,
         }
+    }
+}
+
+/// Writes the cache snapshot now if the cache has changed since the last
+/// write. Failures are reported to stderr and retried at the next tick —
+/// persistence is best-effort, serving never depends on it.
+pub(crate) fn persist_snapshot(state: &ServerState) {
+    let Some(snap) = &state.snapshot else {
+        return;
+    };
+    let inserts = state.cache.inserts();
+    {
+        let mut clock = snap.clock.lock().expect("snapshot clock poisoned");
+        clock.last_attempt = Instant::now();
+        if clock.last_inserts == inserts {
+            return;
+        }
+    }
+    let entries = state.cache.export();
+    match write_snapshot(&snap.path, &entries) {
+        Ok(()) => {
+            let mut clock = snap.clock.lock().expect("snapshot clock poisoned");
+            clock.last_inserts = inserts;
+        }
+        Err(e) => eprintln!(
+            "sealpaa: cache snapshot write to {} failed: {e}",
+            snap.path.display()
+        ),
+    }
+}
+
+/// Time until the next periodic snapshot write is both due and needed (the
+/// cache changed since the last write), or `None`. The event loop folds
+/// this into its poll timeout so an idle-but-warm daemon still persists.
+#[cfg(target_os = "linux")]
+pub(crate) fn snapshot_due_in(state: &ServerState) -> Option<Duration> {
+    let snap = state.snapshot.as_ref()?;
+    let interval = snap.interval?;
+    let clock = snap.clock.lock().expect("snapshot clock poisoned");
+    if clock.last_inserts == state.cache.inserts() {
+        return None;
+    }
+    Some(interval.saturating_sub(clock.last_attempt.elapsed()))
+}
+
+/// Calls [`persist_snapshot`] when the periodic interval has elapsed.
+/// Serving loops call this once per pass; the interval (not the call rate)
+/// bounds the write frequency.
+pub(crate) fn maybe_persist_snapshot(state: &ServerState) {
+    let Some(snap) = &state.snapshot else {
+        return;
+    };
+    let Some(interval) = snap.interval else {
+        return;
+    };
+    let due = {
+        let clock = snap.clock.lock().expect("snapshot clock poisoned");
+        clock.last_attempt.elapsed() >= interval
+    };
+    if due {
+        persist_snapshot(state);
     }
 }
 
@@ -303,6 +431,7 @@ impl Server {
             // list stays bounded by the number of live connections instead
             // of growing with the total ever accepted.
             reap_finished(&mut handles);
+            maybe_persist_snapshot(&self.state);
             match self.listener.accept() {
                 Ok((stream, _peer)) => self.admit(stream, &mut next_id, &mut handles),
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -329,6 +458,9 @@ impl Server {
         for handle in handles {
             handle.join().ok();
         }
+        // Everything the drain computed is in the cache now; capture it so
+        // the next start is warm.
+        persist_snapshot(&self.state);
         Ok(())
     }
 
@@ -464,6 +596,7 @@ fn run_stdio_inner<R: BufRead, W: Write>(
     let state = Arc::new(ServerState::new(&config, trace));
     let served = serve_lines(&state, input, output);
     state.pool.shutdown();
+    persist_snapshot(&state);
     served
 }
 
@@ -699,16 +832,71 @@ pub(crate) enum LineAction {
     },
 }
 
-/// One connection's memory of its most recent cache-hit request: the raw
-/// document and the rendered result it resolved to. Pipelined sweeps fan
-/// one configuration out under many ids; when the next line is identical
-/// apart from `id`, the resolution is replayed without building a spec,
-/// canonicalizing a key, or probing the cache. Replaying is always sound —
-/// memoized resolutions come only from the result cache, which holds
-/// nothing but deterministic pure functions of the request.
+/// Entries held in one connection's hot tier — small on purpose: it serves
+/// the repeated-configuration locality of one client (pipelined sweeps,
+/// polling dashboards), not the whole working set.
+const HOT_CACHE_ENTRIES: usize = 8;
+
+/// One connection's two-level front cache over the shared LRU.
+///
+/// The **request memo** (`hit`) remembers the most recent cache-hit request
+/// as its raw document: pipelined sweeps fan one configuration out under
+/// many ids, and when the next line is identical apart from `id` the
+/// resolution is replayed without building a spec or canonicalizing a key.
+/// The **hot tier** (`hot`) keeps the rendered payloads of the connection's
+/// last few cache hits by canonical key, so a client alternating between a
+/// handful of configurations is answered from connection-local memory
+/// instead of re-reading a shared cache shard.
+///
+/// Neither level is allowed to drift from the shared cache: a local copy is
+/// only replayed as `"cached":true` after [`ResultCache::touch`] confirms
+/// the key is still resident (which also counts the hit and refreshes its
+/// recency, keeping the counters consistent with the responses). When the
+/// shared cache has evicted the entry, the local copies are discarded and
+/// the request honestly recomputes.
 #[derive(Default)]
 pub(crate) struct LineMemo {
+    /// `(request document, kind, canonical key)` of the latest cache hit.
     hit: Option<(Json, &'static str, String)>,
+    /// Canonical key → rendered result payload, most recently used last.
+    hot: Vec<(String, String)>,
+}
+
+impl LineMemo {
+    /// The hot-tier payload for `key`, refreshing its recency.
+    fn hot_value(&mut self, key: &str) -> Option<String> {
+        let i = self.hot.iter().position(|(k, _)| k == key)?;
+        let entry = self.hot.remove(i);
+        let value = entry.1.clone();
+        self.hot.push(entry);
+        Some(value)
+    }
+
+    /// Stores `key -> rendered` in the hot tier, evicting the least
+    /// recently used entry beyond [`HOT_CACHE_ENTRIES`].
+    fn hot_put(&mut self, key: String, rendered: String) {
+        self.hot.retain(|(k, _)| *k != key);
+        self.hot.push((key, rendered));
+        if self.hot.len() > HOT_CACHE_ENTRIES {
+            self.hot.remove(0);
+        }
+    }
+
+    /// Drops every local copy of `key` — called when the shared cache no
+    /// longer holds it, so stale local state can never resurface as a
+    /// phantom `"cached":true`.
+    fn forget(&mut self, key: &str) {
+        self.hot.retain(|(k, _)| k != key);
+        if matches!(&self.hit, Some((_, _, k)) if k == key) {
+            self.hit = None;
+        }
+    }
+
+    /// Records a fresh shared-cache hit in both levels.
+    fn remember(&mut self, doc: Json, kind: &'static str, key: String, rendered: String) {
+        self.hot_put(key.clone(), rendered);
+        self.hit = Some((doc, kind, key));
+    }
 }
 
 /// Parses and triages one request line: everything except actual analysis
@@ -747,20 +935,34 @@ pub(crate) fn classify_line(state: &ServerState, line: &str, memo: &mut LineMemo
         return fail("a request must be a JSON object".to_owned(), Some(&doc));
     }
 
-    if let Some((prev, kind, rendered)) = &memo.hit {
-        if json_equal_ignoring_id(&doc, prev) {
-            let id = doc.get("id").cloned();
-            state.cache.note_hit();
-            let micros = started.elapsed().as_micros() as u64;
-            state.metrics.record_ok(kind, micros);
-            return LineAction::Respond(Served {
-                response: render_ok_response(id.as_ref(), kind, true, micros, rendered),
-                shutdown: false,
-                kind: Some(kind),
-                ok: true,
-                cached: true,
-                error: None,
-            });
+    // The request memo: an identical line (apart from `id`) replays the
+    // previous resolution — but only after revalidating that the shared
+    // cache still holds the key, so an evicted entry is recomputed instead
+    // of being reported `"cached":true` against disagreeing counters.
+    let replay = memo.hit.as_ref().and_then(|(prev, kind, key)| {
+        json_equal_ignoring_id(&doc, prev).then(|| (*kind, key.clone()))
+    });
+    if let Some((kind, key)) = replay {
+        match memo.hot_value(&key) {
+            Some(rendered) if state.cache.touch(&key) => {
+                let id = doc.get("id").cloned();
+                state.metrics.record_hot_hit();
+                let micros = started.elapsed().as_micros() as u64;
+                state.metrics.record_ok(kind, micros);
+                return LineAction::Respond(Served {
+                    response: render_ok_response(id.as_ref(), kind, true, micros, &rendered),
+                    shutdown: false,
+                    kind: Some(kind),
+                    ok: true,
+                    cached: true,
+                    error: None,
+                });
+            }
+            // Evicted from the shared cache (or gone from the hot tier):
+            // drop the stale local state and fall through to the full path,
+            // which counts its own hot miss and cache probe.
+            Some(_) => memo.forget(&key),
+            None => memo.hit = None,
         }
     }
 
@@ -825,6 +1027,20 @@ pub(crate) fn classify_line(state: &ServerState, line: &str, memo: &mut LineMemo
 
     let key = cache_key(&body);
     if let Some(key) = &key {
+        // The hot tier first: a payload this connection recently replayed,
+        // revalidated against the shared cache before it may be served.
+        if let Some(rendered) = memo.hot_value(key) {
+            if state.cache.touch(key) {
+                state.metrics.record_hot_hit();
+                let micros = started.elapsed().as_micros() as u64;
+                state.metrics.record_ok(kind, micros);
+                let response = render_ok_response(id.as_ref(), kind, true, micros, &rendered);
+                memo.hit = Some((doc, kind, key.clone()));
+                return LineAction::Respond(success(response, true, false));
+            }
+            memo.forget(key);
+        }
+        state.metrics.record_hot_miss();
         if let Some(rendered) = state.cache.get(key) {
             // The cache holds the rendered result payload; splice it into
             // the envelope directly — no parse, no tree, no re-render.
@@ -833,7 +1049,7 @@ pub(crate) fn classify_line(state: &ServerState, line: &str, memo: &mut LineMemo
             let response = render_ok_response(id.as_ref(), kind, true, micros, &rendered);
             // Remember the resolution so an identical follow-up line (a
             // pipelined sweep under fresh ids) replays it wholesale.
-            memo.hit = Some((doc, kind, rendered));
+            memo.remember(doc, kind, key.clone(), rendered);
             return LineAction::Respond(success(response, true, false));
         }
     }
@@ -1281,6 +1497,11 @@ fn stats_result(state: &ServerState) -> Json {
                 .field("misses", cache.misses)
                 .field("evictions", cache.evictions)
                 .field("entries", cache.entries as u64)
+                // The per-connection hot tier in front of the shared LRU.
+                // Hot hits are a subset of `hits` (each is revalidated
+                // against — and counted by — the shared cache).
+                .field("hot_hits", metrics.hot_hits)
+                .field("hot_misses", metrics.hot_misses)
                 .build(),
         )
         .build()
@@ -1641,6 +1862,93 @@ mod tests {
     }
 
     #[test]
+    fn eviction_between_identical_requests_is_never_reported_as_cached() {
+        // Regression: the per-connection replay path used to report
+        // `"cached":true` (and count a hit) from its local copy even after
+        // the sharded LRU had evicted the entry. Fill the cache far past
+        // capacity between two identical requests; the second must honestly
+        // recompute, and the counters must agree with the responses.
+        let config = ServerConfig {
+            // 16 shards at ceil(16/16)=1 entry each: a sweep of distinct
+            // keys is guaranteed to evict every earlier entry.
+            cache_entries: 16,
+            ..Default::default()
+        };
+        let target = "{\"kind\":\"analyze\",\"width\":4,\"cell\":\"lpaa2\",\"p\":0.25}\n";
+        let mut input = String::new();
+        input.push_str(target);
+        input.push_str(target); // replayed from the memo while still resident
+                                // 200 distinct keys against 16 one-entry shards: the sweep displaces
+                                // every shard's resident entry regardless of how keys hash.
+        for i in 1..=200 {
+            let p = f64::from(i) / 1000.0;
+            input.push_str(&format!(
+                "{{\"kind\":\"analyze\",\"width\":8,\"cell\":\"lpaa1\",\"p\":{p}}}\n"
+            ));
+        }
+        input.push_str(target); // identical again, but evicted by the sweep
+        input.push_str("{\"kind\":\"stats\"}\n");
+        let responses = run_lines(&config, &input);
+        assert_eq!(responses.len(), 204);
+        let cached_of = |r: &Json| r.get("cached").and_then(Json::as_bool).expect("cached");
+        assert!(!cached_of(&responses[0]), "first compute");
+        assert!(cached_of(&responses[1]), "replay while still resident");
+        assert!(
+            !cached_of(&responses[202]),
+            "after eviction the replay path must recompute, not report cached"
+        );
+        assert_eq!(
+            responses[202].get("result"),
+            responses[0].get("result"),
+            "the recompute still returns the identical result"
+        );
+        // Counter consistency: every "cached":true response counted exactly
+        // one cache hit.
+        let served_cached = responses
+            .iter()
+            .filter(|r| r.get("cached").and_then(Json::as_bool) == Some(true))
+            .count() as u64;
+        let stats = responses[203].get("result").expect("stats result");
+        let cache = stats.get("cache").expect("cache stats");
+        assert_eq!(
+            cache.get("hits").and_then(Json::as_u64),
+            Some(served_cached),
+            "hit counter must match the cached responses"
+        );
+        assert!(
+            cache.get("evictions").and_then(Json::as_u64).expect("ev") > 0,
+            "the sweep must actually have evicted"
+        );
+    }
+
+    #[test]
+    fn hot_tier_hits_are_counted_and_stay_within_shared_hits() {
+        // Alternate between two configurations: after each config's first
+        // shared-cache hit, later repeats are served from the connection's
+        // hot tier (and still revalidated + counted as shared hits).
+        let a = "{\"kind\":\"analyze\",\"width\":4,\"cell\":\"lpaa2\"}\n";
+        let b = "{\"kind\":\"analyze\",\"width\":6,\"cell\":\"lpaa1\"}\n";
+        let input = format!("{a}{b}{a}{b}{a}{b}{a}{b}{{\"kind\":\"stats\"}}\n");
+        let responses = run_lines(&ServerConfig::default(), &input);
+        assert_eq!(responses.len(), 9);
+        let stats = responses[8].get("result").expect("stats result");
+        let cache = stats.get("cache").expect("cache stats");
+        let hits = cache.get("hits").and_then(Json::as_u64).expect("hits");
+        let hot_hits = cache.get("hot_hits").and_then(Json::as_u64).expect("hot");
+        let hot_misses = cache
+            .get("hot_misses")
+            .and_then(Json::as_u64)
+            .expect("hot misses");
+        assert_eq!(hits, 6, "six repeats served cached");
+        // The first repeat of each config comes from the shared cache (hot
+        // miss, filling the hot tier); the remaining four replays come from
+        // the hot tier.
+        assert_eq!(hot_hits, 4);
+        assert_eq!(hot_misses, 4, "two first requests + two first repeats");
+        assert!(hot_hits <= hits, "every hot hit is also a shared hit");
+    }
+
+    #[test]
     fn shutdown_request_stops_the_stream_and_later_lines_are_ignored() {
         let responses = run_lines(
             &ServerConfig::default(),
@@ -1809,7 +2117,14 @@ mod tests {
             );
         }
         let cache = stats.get("cache").expect("cache stats");
-        for field in ["hits", "misses", "evictions", "entries"] {
+        for field in [
+            "hits",
+            "misses",
+            "evictions",
+            "entries",
+            "hot_hits",
+            "hot_misses",
+        ] {
             assert!(
                 cache.get(field).and_then(Json::as_u64).is_some(),
                 "missing cache.{field}"

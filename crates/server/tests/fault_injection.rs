@@ -489,6 +489,85 @@ fn event_churn(held: usize, cycled: usize) {
 
 #[test]
 #[cfg(target_os = "linux")]
+fn killed_slow_reader_releases_pending_write_bytes() {
+    // The pending-output gauge is owned by the event loop; the threads
+    // model never publishes it, so a pinned threads leg skips this.
+    if !models().iter().any(|m| matches!(m, IoModel::Event)) {
+        return;
+    }
+    let (addr, handle) = spawn_server(ServerConfig {
+        write_timeout_ms: 5_000,
+        io_model: IoModel::Event,
+        ..Default::default()
+    });
+
+    // A reader that requests megabytes of responses and never drains them:
+    // eight pipelined batches of 1024 sub-requests each produce far more
+    // output than the loopback socket buffers hold, so the connection's
+    // output queue — and with it the pending_write_bytes gauge — fills.
+    let flooder = TcpStream::connect(addr).expect("connect");
+    flooder
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .expect("client write timeout");
+    let mut writer = flooder.try_clone().expect("clone");
+    let item = r#"{"kind":"analyze","width":64,"cell":"lpaa1","p":0.1}"#;
+    let items = vec![item; 1024].join(",");
+    for _ in 0..8 {
+        if writeln!(writer, "{{\"kind\":\"batch\",\"requests\":[{items}]}}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+
+    // Wait until the daemon is demonstrably mid-flush (bytes queued on the
+    // stalled connection are visible in the gauge)...
+    let mut observer = Client::connect(addr);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let snapshot = stats(&mut observer);
+        if stat_u64(&snapshot, &["connections", "pending_write_bytes"]) > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "responses never queued on the stalled reader: {}",
+            snapshot.render()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // ...then kill the reader abruptly. Unread data in its receive queue
+    // makes the close a hard reset, so the daemon aborts the connection
+    // with its output queue still full — the gauge must give every
+    // unsent byte back instead of leaking the abandoned buffer.
+    drop(writer);
+    drop(flooder);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let snapshot = stats(&mut observer);
+        if stat_u64(&snapshot, &["connections", "pending_write_bytes"]) == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gauge still charges the dead connection: {}",
+            snapshot.render()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The daemon stays healthy for well-behaved clients.
+    let good = observer.request(r#"{"kind":"analyze","width":4,"cell":"lpaa2"}"#);
+    assert_eq!(good.get("ok").and_then(Json::as_bool), Some(true));
+
+    observer.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+#[cfg(target_os = "linux")]
 fn event_loop_holds_idle_connections_without_threads() {
     // Tier-1 scale; the `--ignored` variant below runs the full 10k churn.
     event_churn(256, 512);

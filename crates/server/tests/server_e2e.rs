@@ -449,6 +449,102 @@ fn batch_over_tcp(io_model: IoModel) {
 }
 
 #[test]
+fn batch_with_malformed_items_fails_only_those_items() {
+    for_each_model(batch_with_malformed_items);
+}
+
+fn batch_with_malformed_items(io_model: IoModel) {
+    let (addr, handle) = spawn_server(ServerConfig {
+        io_model,
+        ..Default::default()
+    });
+    let mut client = Client::connect(addr);
+
+    // A mixed envelope: two valid items bracket two differently-malformed
+    // ones (an unknown cell caught at parse, an out-of-range width caught
+    // at validation), plus a duplicate of the first valid item. The
+    // failures must stay inside their own slots.
+    let response = client.request(concat!(
+        r#"{"id":"mix","kind":"batch","requests":["#,
+        r#"{"id":0,"kind":"analyze","width":8,"cell":"lpaa1","p":0.1},"#,
+        r#"{"id":1,"kind":"analyze","width":8,"cell":"nope","p":0.1},"#,
+        r#"{"id":2,"kind":"analyze","width":99,"cell":"lpaa1","p":0.1},"#,
+        r#"{"id":3,"kind":"gear","n":8,"r":2,"overlap":2},"#,
+        r#"{"id":4,"kind":"analyze","width":8,"cell":"lpaa1","p":0.1}"#,
+        r#"]}"#
+    ));
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "the envelope itself must succeed: {}",
+        response.render()
+    );
+    assert_eq!(response.get("id").and_then(Json::as_str), Some("mix"));
+    assert_eq!(
+        response.get("cached").and_then(Json::as_bool),
+        Some(false),
+        "an envelope with failed items is never all-cached"
+    );
+    let result = response.get("result").expect("batch result");
+    assert_eq!(result.get("count").and_then(Json::as_u64), Some(5));
+    assert_eq!(
+        result.get("computed").and_then(Json::as_u64),
+        Some(2),
+        "only the analyze and the gear compute; failures schedule no jobs"
+    );
+    let subs = result
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("subs");
+    assert_eq!(subs.len(), 5);
+    for (i, sub) in subs.iter().enumerate() {
+        assert_eq!(sub.get("id").and_then(Json::as_u64), Some(i as u64));
+    }
+    for good in [0usize, 3, 4] {
+        assert_eq!(
+            subs[good].get("ok").and_then(Json::as_bool),
+            Some(true),
+            "item {good} must be isolated from its failed neighbors: {}",
+            subs[good].render()
+        );
+    }
+    assert_eq!(subs[1].get("ok").and_then(Json::as_bool), Some(false));
+    assert!(subs[1]
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("message")
+        .contains("unknown cell"));
+    assert_eq!(subs[2].get("ok").and_then(Json::as_bool), Some(false));
+    assert!(subs[2]
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("message")
+        .contains("width"));
+    // The duplicate shares the first item's computed result.
+    assert_eq!(subs[4].get("result"), subs[0].get("result"));
+
+    // Replaying the valid items alone is answered from cache: the failed
+    // neighbors did not poison the cached entries.
+    let replay = client.request(concat!(
+        r#"{"id":"again","kind":"batch","requests":["#,
+        r#"{"id":0,"kind":"analyze","width":8,"cell":"lpaa1","p":0.1},"#,
+        r#"{"id":1,"kind":"gear","n":8,"r":2,"overlap":2}"#,
+        r#"]}"#
+    ));
+    assert_eq!(replay.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        replay
+            .get("result")
+            .and_then(|r| r.get("computed"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
 #[cfg(target_os = "linux")]
 fn pipelined_requests_are_answered_out_of_order_tagged_by_id() {
     // The pipelining contract (event model): a slow request does not block

@@ -1,0 +1,274 @@
+//! Warm-restart end-to-end tests: a daemon configured with `cache_snapshot`
+//! persists its result cache (periodically and on drain) and a restarted
+//! daemon answers previously-cached keys as `"cached":true` without
+//! recomputing; a corrupt, truncated, or version-bumped snapshot is
+//! reported, ignored, and the daemon starts cold but healthy.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use sealpaa_server::json::Json;
+use sealpaa_server::server::{IoModel, Server, ServerConfig};
+
+/// The I/O models the snapshot contract must hold under. `SEALPAA_IO_MODEL`
+/// pins one; otherwise every model available on this platform is exercised.
+fn models() -> Vec<IoModel> {
+    if let Ok(forced) = std::env::var("SEALPAA_IO_MODEL") {
+        return vec![forced.parse().expect("valid SEALPAA_IO_MODEL")];
+    }
+    if cfg!(target_os = "linux") {
+        vec![IoModel::Event, IoModel::Threads]
+    } else {
+        vec![IoModel::Threads]
+    }
+}
+
+fn for_each_model(scenario: impl Fn(IoModel)) {
+    for model in models() {
+        scenario(model);
+    }
+}
+
+/// A per-test, per-model snapshot path that never collides across parallel
+/// test binaries.
+fn snapshot_path(test: &str, model: IoModel) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "sealpaa-snapshot-e2e-{test}-{model:?}-{}",
+        std::process::id()
+    ));
+    path
+}
+
+fn spawn_server(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..config
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("receive");
+        Json::parse(response.trim_end()).expect("response is valid JSON")
+    }
+}
+
+fn analyze_line(i: usize) -> String {
+    format!(
+        r#"{{"kind":"analyze","width":8,"cell":"lpaa1","p":0.{}}}"#,
+        i + 1
+    )
+}
+
+fn cache_stat(client: &mut Client, field: &str) -> u64 {
+    let stats = client.request(r#"{"kind":"stats"}"#);
+    stats
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .and_then(|c| c.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing cache.{field} in {}", stats.render()))
+}
+
+#[test]
+fn warm_restart_answers_previously_cached_keys_without_recompute() {
+    for_each_model(warm_restart_serves_cached);
+}
+
+fn warm_restart_serves_cached(io_model: IoModel) {
+    let path = snapshot_path("warm-restart", io_model);
+    std::fs::remove_file(&path).ok();
+    let config = || ServerConfig {
+        cache_snapshot: Some(path.display().to_string()),
+        // No periodic rewrites: this test pins the on-drain persist.
+        snapshot_interval_ms: 0,
+        io_model,
+        ..Default::default()
+    };
+
+    // First life: compute three distinct keys, then drain.
+    let (addr, handle) = spawn_server(config());
+    let mut client = Client::connect(addr);
+    let mut first_results = Vec::new();
+    for i in 0..3 {
+        let response = client.request(&analyze_line(i));
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            response.get("cached").and_then(Json::as_bool),
+            Some(false),
+            "a fresh daemon computes: {}",
+            response.render()
+        );
+        first_results.push(response.get("result").expect("result").render());
+    }
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+    assert!(path.exists(), "the drain must have persisted the snapshot");
+
+    // Second life, same snapshot path: the same keys are answered from the
+    // restored cache — `"cached":true`, zero misses, identical payloads.
+    let (addr, handle) = spawn_server(config());
+    let mut client = Client::connect(addr);
+    for (i, first) in first_results.iter().enumerate() {
+        let response = client.request(&analyze_line(i));
+        assert_eq!(
+            response.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "a warm restart must not recompute key {i}: {}",
+            response.render()
+        );
+        assert_eq!(
+            &response.get("result").expect("result").render(),
+            first,
+            "the restored payload must be byte-identical"
+        );
+    }
+    assert_eq!(
+        cache_stat(&mut client, "misses"),
+        0,
+        "every request was served from the restored snapshot"
+    );
+    assert_eq!(cache_stat(&mut client, "hits"), 3);
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn running_daemon_persists_the_snapshot_periodically() {
+    for_each_model(periodic_persistence);
+}
+
+fn periodic_persistence(io_model: IoModel) {
+    let path = snapshot_path("periodic", io_model);
+    std::fs::remove_file(&path).ok();
+    let (addr, handle) = spawn_server(ServerConfig {
+        cache_snapshot: Some(path.display().to_string()),
+        snapshot_interval_ms: 50,
+        io_model,
+        ..Default::default()
+    });
+
+    // Dirty the cache, then wait for the interval timer to write the file —
+    // no shutdown involved. (Each probe opens a fresh connection so both
+    // serving loops keep taking passes.)
+    let mut client = Client::connect(addr);
+    client.request(&analyze_line(0));
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !path.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "periodic persistence never wrote {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        Client::connect(addr).request(r#"{"kind":"stats"}"#);
+    }
+
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+    // The periodically-written file is a complete, loadable snapshot: a
+    // restart without a drain in between would still be warm.
+    let (addr, handle) = spawn_server(ServerConfig {
+        cache_snapshot: Some(path.display().to_string()),
+        io_model,
+        ..Default::default()
+    });
+    let mut client = Client::connect(addr);
+    let response = client.request(&analyze_line(0));
+    assert_eq!(response.get("cached").and_then(Json::as_bool), Some(true));
+    client.request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn damaged_snapshots_are_ignored_and_the_daemon_starts_cold_but_serves() {
+    for_each_model(damaged_snapshots_start_cold);
+}
+
+fn damaged_snapshots_start_cold(io_model: IoModel) {
+    let path = snapshot_path("damaged", io_model);
+    std::fs::remove_file(&path).ok();
+    let config = || ServerConfig {
+        cache_snapshot: Some(path.display().to_string()),
+        snapshot_interval_ms: 0,
+        io_model,
+        ..Default::default()
+    };
+
+    // Produce one valid snapshot to damage.
+    let (addr, handle) = spawn_server(config());
+    Client::connect(addr).request(&analyze_line(0));
+    Client::connect(addr).request(r#"{"kind":"shutdown"}"#);
+    handle.join().expect("clean shutdown");
+    let valid = std::fs::read(&path).expect("persisted snapshot");
+    assert!(
+        valid.len() > 40,
+        "snapshot too small to damage meaningfully"
+    );
+
+    let mut truncated = valid.clone();
+    truncated.truncate(valid.len() - 5);
+    let mut version_bumped = valid.clone();
+    version_bumped[4] = 99;
+    let mut bit_flipped = valid.clone();
+    let flip_at = valid.len() - 12; // inside the last record's value bytes
+    bit_flipped[flip_at] ^= 0x10;
+    let garbage = b"this was never a snapshot\n".to_vec();
+
+    for (name, bytes) in [
+        ("truncated", truncated),
+        ("version-bumped", version_bumped),
+        ("bit-flipped", bit_flipped),
+        ("garbage", garbage),
+    ] {
+        std::fs::write(&path, &bytes).expect("plant damaged snapshot");
+        let (addr, handle) = spawn_server(config());
+        let mut client = Client::connect(addr);
+        let response = client.request(&analyze_line(0));
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "a {name} snapshot must not stop the daemon: {}",
+            response.render()
+        );
+        assert_eq!(
+            response.get("cached").and_then(Json::as_bool),
+            Some(false),
+            "a {name} snapshot must be ignored, not partially loaded"
+        );
+        assert_eq!(cache_stat(&mut client, "entries"), 1, "{name}: cold start");
+        client.request(r#"{"kind":"shutdown"}"#);
+        handle.join().expect("clean shutdown");
+        // Each drain rewrites a valid snapshot over the damaged file; plant
+        // the next damage from the captured valid bytes regardless.
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -75,6 +75,22 @@ run env SEALPAA_IO_MODEL=event \
 run env SEALPAA_IO_MODEL=threads \
     cargo test -p sealpaa-server --test fault_injection -q
 
+# Warm-restart durability, once per connection layer: snapshots written by
+# one daemon life (periodically and on drain) must reload in the next, and
+# damaged snapshot files must be ignored, not half-loaded.
+run env SEALPAA_IO_MODEL=event \
+    cargo test -p sealpaa-server --test snapshot_persistence -q
+run env SEALPAA_IO_MODEL=threads \
+    cargo test -p sealpaa-server --test snapshot_persistence -q
+
+# The consistent-hash gateway end-to-end: key placement shared across
+# clients, batch fan-out/reassembly, and backend loss/recovery. The router
+# itself is epoll-only, but each leg pins the *backends'* connection layer.
+run env SEALPAA_IO_MODEL=event \
+    cargo test -p sealpaa-server --test router_e2e -q
+run env SEALPAA_IO_MODEL=threads \
+    cargo test -p sealpaa-server --test router_e2e -q
+
 # Smoke-run the kernel benchmarks (1 sample per bench, no JSON rewrite) so
 # kernel regressions that only break under the bench harness surface here
 # rather than in the next full bench run.
