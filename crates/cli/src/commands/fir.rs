@@ -77,10 +77,9 @@ pub fn run<W: Write>(tokens: &[String], out: &mut W) -> Result<(), CliError> {
         q.wrong_outputs as f64 / q.outputs.max(1) as f64
     )?;
     writeln!(out, "MSE          : {:.4}", q.mse)?;
-    if q.psnr_db.is_infinite() {
-        writeln!(out, "PSNR         : inf (error-free)")?;
-    } else {
-        writeln!(out, "PSNR         : {:.2} dB", q.psnr_db)?;
+    match q.psnr_db {
+        None => writeln!(out, "PSNR         : identical (error-free)")?,
+        Some(db) => writeln!(out, "PSNR         : {db:.2} dB")?,
     }
     writeln!(out, "max |error|  : {}", q.max_absolute_error)?;
     Ok(())
@@ -101,7 +100,7 @@ mod tests {
     fn exact_filter_is_error_free() {
         let s = run_to_string(&["--cell", "accurate", "--taps", "1,2,1", "--length", "500"])
             .expect("valid");
-        assert!(s.contains("PSNR         : inf"), "{s}");
+        assert!(s.contains("PSNR         : identical (error-free)"), "{s}");
     }
 
     #[test]

@@ -4,6 +4,7 @@ pub mod analyze;
 pub mod blocks;
 pub mod cells;
 pub mod compare;
+pub mod datapath;
 pub mod dse;
 pub mod fir;
 pub mod gear;

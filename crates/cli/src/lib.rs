@@ -43,6 +43,7 @@ commands:
   dse         budgeted hybrid-adder design-space exploration
   multiplier  quality of an approximate shift-add multiplier
   fir         quality of an approximate FIR filter on a synthetic stream
+  datapath    analytical datapath SNR: estimate, fit models, optimize cells
   verilog     emit structural Verilog for a cell, chain, or GeAr adder
   trace       workload traces: synthesize, profile, replay, model fidelity
   serve       analysis-as-a-service daemon (JSON over TCP or stdio)
@@ -76,6 +77,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "dse" => commands::dse::run(rest, out),
         "multiplier" => commands::multiplier::run(rest, out),
         "fir" => commands::fir::run(rest, out),
+        "datapath" => commands::datapath::run(rest, out),
         "verilog" => commands::verilog::run(rest, out),
         "trace" => commands::trace::run(rest, out),
         "serve" => commands::serve::run(rest, out),

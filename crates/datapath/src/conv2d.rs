@@ -76,13 +76,20 @@ impl Image {
     }
 
     /// Peak-signal-to-noise ratio of `self` against a reference image of the
-    /// same dimensions, with the reference's maximum as the peak. `inf` for
-    /// identical images.
+    /// same dimensions, with the reference's maximum as the peak.
+    ///
+    /// Returns `None` when the ratio is undefined as a finite number:
+    /// identical images (`mse == 0`, conventionally "infinite PSNR") or an
+    /// all-zero reference (`peak == 0`, no signal to compare against).
+    /// Callers rendering quality reports should print these cases as
+    /// "identical" rather than a numeric dB figure. (Earlier versions
+    /// returned `f64::INFINITY` here, which leaked `inf` into reports and
+    /// JSON output.)
     ///
     /// # Panics
     ///
     /// Panics if the dimensions differ.
-    pub fn psnr_against(&self, reference: &Image) -> f64 {
+    pub fn psnr_against(&self, reference: &Image) -> Option<f64> {
         assert_eq!(
             (self.width, self.height),
             (reference.width, reference.height),
@@ -96,9 +103,9 @@ impl Image {
         }
         let mse = sq / self.pixels.len() as f64;
         if mse == 0.0 || peak == 0 {
-            f64::INFINITY
+            None
         } else {
-            10.0 * ((peak as f64).powi(2) / mse).log10()
+            Some(10.0 * ((peak as f64).powi(2) / mse).log10())
         }
     }
 }
@@ -122,7 +129,7 @@ impl Image {
 /// let image = Image::synthetic(16, 16, 8);
 /// let out = blur.apply(&image);
 /// assert_eq!(out.width(), 14); // valid convolution shrinks by kernel-1
-/// assert!(out.psnr_against(&blur.apply_exact(&image)).is_infinite());
+/// assert!(out.psnr_against(&blur.apply_exact(&image)).is_none()); // identical
 /// # Ok::<(), sealpaa_datapath::DatapathError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -267,8 +274,8 @@ mod tests {
         let bad = Conv2d::new(StandardCell::Lpaa2.cell(), &gaussian(), 8)
             .expect("fits")
             .apply(&image);
-        let psnr_good = good.psnr_against(&exact);
-        let psnr_bad = bad.psnr_against(&exact);
+        let psnr_good = good.psnr_against(&exact).expect("differs from exact");
+        let psnr_bad = bad.psnr_against(&exact).expect("differs from exact");
         // 16 chained approximate additions per pixel compound hard; the
         // point is the *ranking*, plus a sanity floor on the better cell.
         assert!(psnr_good.is_finite() && psnr_good > 5.0, "got {psnr_good}");
@@ -288,9 +295,22 @@ mod tests {
     }
 
     #[test]
-    fn psnr_of_identical_images_is_infinite() {
+    fn psnr_of_identical_images_is_undefined_not_inf() {
         let image = Image::synthetic(8, 8, 8);
-        assert!(image.psnr_against(&image).is_infinite());
+        assert_eq!(image.psnr_against(&image), None);
+        // A one-pixel difference brings it back to a finite figure.
+        let mut pixels: Vec<u64> = (0..64).map(|i| image.pixel(i % 8, i / 8)).collect();
+        pixels[0] ^= 1;
+        let nudged = Image::new(8, 8, pixels);
+        let psnr = nudged.psnr_against(&image).expect("differs");
+        assert!(psnr.is_finite() && psnr > 0.0);
+    }
+
+    #[test]
+    fn psnr_of_zero_reference_is_undefined() {
+        let zero = Image::new(2, 2, vec![0; 4]);
+        let other = Image::new(2, 2, vec![1, 0, 0, 0]);
+        assert_eq!(other.psnr_against(&zero), None);
     }
 
     #[test]

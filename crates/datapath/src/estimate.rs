@@ -85,6 +85,12 @@ pub fn estimate(
                 v.extend_from_slice(&probs[a.index()]);
                 v
             }
+            Node::Gate { a, bit } => {
+                // P(out_i = 1) = P(bit = 1) · P(a_i = 1): the control is an
+                // independent input bit in the supported topologies.
+                let p_bit = probs[bit.index()][0];
+                probs[a.index()].iter().map(|&p| p * p_bit).collect()
+            }
             Node::Add { a, b, chain } => {
                 let extend = |src: &[f64]| {
                     let mut v = src.to_vec();

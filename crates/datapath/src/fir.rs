@@ -137,9 +137,9 @@ impl FirFilter {
             wrong_outputs: wrong,
             mse,
             psnr_db: if mse == 0.0 || peak == 0 {
-                f64::INFINITY
+                None
             } else {
-                10.0 * ((peak as f64).powi(2) / mse).log10()
+                Some(10.0 * ((peak as f64).powi(2) / mse).log10())
             },
             max_absolute_error: max_abs,
         }
@@ -155,9 +155,11 @@ pub struct FirQuality {
     pub wrong_outputs: u64,
     /// Mean squared error of the output stream.
     pub mse: f64,
-    /// Peak-signal-to-noise ratio in dB (peak = max exact output);
-    /// `inf` when the run was error-free.
-    pub psnr_db: f64,
+    /// Peak-signal-to-noise ratio in dB (peak = max exact output).
+    /// `None` when the ratio is not a finite number: an error-free run
+    /// (`mse == 0`) or an all-zero exact output (`peak == 0`) — the same
+    /// convention as [`Image::psnr_against`](crate::Image::psnr_against).
+    pub psnr_db: Option<f64>,
     /// Worst absolute output error.
     pub max_absolute_error: u64,
 }
@@ -188,7 +190,7 @@ mod tests {
         let q = fir.quality(&ramp(100));
         assert_eq!(q.wrong_outputs, 0);
         assert_eq!(q.mse, 0.0);
-        assert!(q.psnr_db.is_infinite());
+        assert_eq!(q.psnr_db, None);
     }
 
     #[test]
@@ -199,12 +201,11 @@ mod tests {
         let qg = good.quality(&x);
         let qb = bad.quality(&x);
         assert!(qg.wrong_outputs > 0, "LPAA 6 should err occasionally");
-        assert!(
-            qg.psnr_db > qb.psnr_db,
-            "LPAA 6 PSNR {} should beat LPAA 2 PSNR {}",
-            qg.psnr_db,
-            qb.psnr_db
+        let (pg, pb) = (
+            qg.psnr_db.expect("LPAA 6 errs"),
+            qb.psnr_db.expect("LPAA 2 errs"),
         );
+        assert!(pg > pb, "LPAA 6 PSNR {pg} should beat LPAA 2 PSNR {pb}");
     }
 
     #[test]

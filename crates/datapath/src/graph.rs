@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use sealpaa_cells::AdderChain;
+use sealpaa_cells::{AdderChain, Cell};
 
 /// A handle to one signal (node output) in a [`Datapath`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,6 +61,18 @@ pub enum DatapathError {
         /// The input's name.
         name: String,
     },
+    /// A gate node's control signal is wider than one bit.
+    GateControlTooWide {
+        /// The control signal's width.
+        width: usize,
+    },
+    /// A per-adder cell assignment does not cover every adder node.
+    AdderCountMismatch {
+        /// Number of adder nodes in the datapath.
+        expected: usize,
+        /// Number of cells supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for DatapathError {
@@ -85,6 +97,14 @@ impl fmt::Display for DatapathError {
                 f,
                 "bit-probability vector for input {name:?} has the wrong length or values outside [0, 1]"
             ),
+            DatapathError::GateControlTooWide { width } => write!(
+                f,
+                "gate control signal must be 1 bit wide, got {width} bits"
+            ),
+            DatapathError::AdderCountMismatch { expected, got } => write!(
+                f,
+                "datapath has {expected} adder nodes but {got} cells were assigned"
+            ),
         }
     }
 }
@@ -107,6 +127,51 @@ pub(crate) enum Node {
     Shl {
         a: Signal,
         amount: usize,
+    },
+    Gate {
+        a: Signal,
+        bit: Signal,
+    },
+}
+
+/// A read-only view of one datapath node, for analyses built in other
+/// crates (error-model propagation, optimizers) that need to walk the graph
+/// without owning it.
+#[derive(Debug, Clone, Copy)]
+pub enum NodeKind<'a> {
+    /// An external input.
+    Input {
+        /// The input's name.
+        name: &'a str,
+    },
+    /// A constant.
+    Const {
+        /// The constant's value.
+        value: u64,
+    },
+    /// An addition through a concrete (possibly approximate) chain.
+    Add {
+        /// First operand.
+        a: Signal,
+        /// Second operand.
+        b: Signal,
+        /// The chain performing the addition.
+        chain: &'a AdderChain,
+    },
+    /// An exact left shift.
+    Shl {
+        /// The shifted signal.
+        a: Signal,
+        /// Shift amount in bits.
+        amount: usize,
+    },
+    /// A gated pass-through: `a` if the 1-bit control is set, else 0 (the
+    /// partial-product generator of a shift-add multiplier).
+    Gate {
+        /// The gated signal.
+        a: Signal,
+        /// The 1-bit control signal.
+        bit: Signal,
     },
 }
 
@@ -201,6 +266,27 @@ impl Datapath {
         Ok(self.push(Node::Shl { a, amount }, out_width))
     }
 
+    /// Gates a signal by a 1-bit control: the output is `a` when the control
+    /// bit is 1 and 0 otherwise (a partial-product row of a multiplier).
+    /// The output has `a`'s width. The gate is exact hardware — it behaves
+    /// identically under approximate and exact evaluation.
+    ///
+    /// # Errors
+    ///
+    /// * [`DatapathError::UnknownSignal`] if an operand is foreign,
+    /// * [`DatapathError::GateControlTooWide`] if `bit` is not 1 bit wide.
+    pub fn gate(&mut self, a: Signal, bit: Signal) -> Result<Signal, DatapathError> {
+        self.check(a)?;
+        self.check(bit)?;
+        if self.width(bit) != 1 {
+            return Err(DatapathError::GateControlTooWide {
+                width: self.width(bit),
+            });
+        }
+        let out_width = self.width(a);
+        Ok(self.push(Node::Gate { a, bit }, out_width))
+    }
+
     /// The bit width of a signal.
     ///
     /// # Panics
@@ -208,6 +294,76 @@ impl Datapath {
     /// Panics if `signal` is foreign to this datapath.
     pub fn width(&self, signal: Signal) -> usize {
         self.widths[signal.0]
+    }
+
+    /// A read-only view of the node behind a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is foreign to this datapath.
+    pub fn kind(&self, signal: Signal) -> NodeKind<'_> {
+        match &self.nodes[signal.0] {
+            Node::Input { name } => NodeKind::Input { name },
+            Node::Const { value } => NodeKind::Const { value: *value },
+            Node::Add { a, b, chain } => NodeKind::Add {
+                a: *a,
+                b: *b,
+                chain,
+            },
+            Node::Shl { a, amount } => NodeKind::Shl {
+                a: *a,
+                amount: *amount,
+            },
+            Node::Gate { a, bit } => NodeKind::Gate { a: *a, bit: *bit },
+        }
+    }
+
+    /// Iterates every signal in creation (topological) order.
+    pub fn signals(&self) -> impl Iterator<Item = Signal> {
+        (0..self.nodes.len()).map(Signal)
+    }
+
+    /// A copy of this datapath with every adder chain replaced by a uniform
+    /// chain of the assigned cell at the original chain's width — the
+    /// substitution step of per-node adder-assignment search. `cells[k]` is
+    /// assigned to the `k`-th adder in [`adders`](Self::adders) order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatapathError::AdderCountMismatch`] if `cells` does not
+    /// have exactly one cell per adder node.
+    pub fn with_adder_cells(&self, cells: &[Cell]) -> Result<Datapath, DatapathError> {
+        let expected = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Add { .. }))
+            .count();
+        if cells.len() != expected {
+            return Err(DatapathError::AdderCountMismatch {
+                expected,
+                got: cells.len(),
+            });
+        }
+        let mut next = cells.iter();
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|node| match node {
+                Node::Add { a, b, chain } => Node::Add {
+                    a: *a,
+                    b: *b,
+                    chain: AdderChain::uniform(
+                        next.next().expect("count checked above").clone(),
+                        chain.width(),
+                    ),
+                },
+                other => other.clone(),
+            })
+            .collect();
+        Ok(Datapath {
+            nodes,
+            widths: self.widths.clone(),
+        })
     }
 
     /// Number of nodes.
@@ -287,6 +443,13 @@ impl Datapath {
                     }
                 }
                 Node::Shl { a, amount } => values[a.0] << amount,
+                Node::Gate { a, bit } => {
+                    if values[bit.0] & 1 == 1 {
+                        values[a.0]
+                    } else {
+                        0
+                    }
+                }
             };
             values.push(value);
         }
@@ -448,6 +611,83 @@ mod tests {
             dp.evaluate(&[("x", 0), ("bogus", 1)]),
             Err(DatapathError::UnknownInput { .. })
         ));
+    }
+
+    #[test]
+    fn gate_passes_or_zeroes() {
+        let mut dp = Datapath::new();
+        let x = dp.input("x", 4);
+        let sel = dp.input("sel", 1);
+        let g = dp.gate(x, sel).expect("1-bit control");
+        assert_eq!(dp.width(g), 4);
+        let on = dp.evaluate(&[("x", 9), ("sel", 1)]).expect("bound");
+        let off = dp.evaluate(&[("x", 9), ("sel", 0)]).expect("bound");
+        assert_eq!(on.value(g), 9);
+        assert_eq!(off.value(g), 0);
+        // Gates are exact hardware: both evaluation modes agree.
+        let exact = dp.evaluate_exact(&[("x", 9), ("sel", 1)]).expect("bound");
+        assert_eq!(exact.value(g), 9);
+    }
+
+    #[test]
+    fn wide_gate_control_rejected() {
+        let mut dp = Datapath::new();
+        let x = dp.input("x", 4);
+        let sel = dp.input("sel", 2);
+        assert_eq!(
+            dp.gate(x, sel),
+            Err(DatapathError::GateControlTooWide { width: 2 })
+        );
+    }
+
+    #[test]
+    fn kind_views_match_builders() {
+        let mut dp = Datapath::new();
+        let x = dp.input("x", 4);
+        let k = dp.constant(5, 4);
+        let s = dp.shl(x, 1).expect("fits");
+        let sum = dp.add(s, k, accurate(5)).expect("fits");
+        assert!(matches!(dp.kind(x), NodeKind::Input { name: "x" }));
+        assert!(matches!(dp.kind(k), NodeKind::Const { value: 5 }));
+        assert!(matches!(dp.kind(s), NodeKind::Shl { amount: 1, .. }));
+        match dp.kind(sum) {
+            NodeKind::Add { a, b, chain } => {
+                assert_eq!((a, b), (s, k));
+                assert_eq!(chain.width(), 5);
+            }
+            other => panic!("expected Add, got {other:?}"),
+        }
+        assert_eq!(dp.signals().count(), dp.len());
+    }
+
+    #[test]
+    fn with_adder_cells_substitutes_every_adder() {
+        let mut dp = Datapath::new();
+        let a = dp.input("a", 4);
+        let b = dp.input("b", 4);
+        let c = dp.input("c", 4);
+        let ab = dp.add(a, b, accurate(4)).expect("fits");
+        let sum = dp.add(ab, c, accurate(5)).expect("fits");
+        let swapped = dp
+            .with_adder_cells(&[StandardCell::Lpaa1.cell(), StandardCell::Accurate.cell()])
+            .expect("one cell per adder");
+        // Same shape and widths, different first-adder behaviour.
+        assert_eq!(swapped.len(), dp.len());
+        assert_eq!(swapped.width(sum), dp.width(sum));
+        let inputs = [("a", 0u64), ("b", 1), ("c", 0)];
+        let original = dp.evaluate(&inputs).expect("bound").value(sum);
+        let modified = swapped.evaluate(&inputs).expect("bound").value(sum);
+        // (0,1,0) at stage 0 is an LPAA 1 error row; the original is exact.
+        assert_eq!(original, 1);
+        assert_ne!(modified, original);
+        assert_eq!(
+            dp.with_adder_cells(&[StandardCell::Lpaa1.cell()])
+                .expect_err("wrong count"),
+            DatapathError::AdderCountMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -54,5 +54,5 @@ pub use conv2d::{Conv2d, Image};
 pub use csa::CsaTree;
 pub use estimate::{estimate, simulate, AdderEstimate, DatapathEstimate};
 pub use fir::{FirFilter, FirQuality};
-pub use graph::{Datapath, DatapathError, Evaluation, Signal};
+pub use graph::{Datapath, DatapathError, Evaluation, NodeKind, Signal};
 pub use multiplier::{MultiplierQuality, ShiftAddMultiplier};

@@ -1,0 +1,611 @@
+//! Per-node adder assignment for whole datapaths.
+//!
+//! The chain-level searches in this crate pick a cell per *stage* of one
+//! adder; this module lifts the workflow to a whole [`Datapath`]: pick a
+//! cell per *adder node* under a power/area budget, minimizing the
+//! predicted output MSE (`E[D²]` from
+//! [`sealpaa_propagate::GraphStepper`]). The exact output value's moments
+//! do not depend on the assignment, so minimizing predicted MSE is
+//! exactly maximizing predicted SNR.
+//!
+//! The search reuses the prefix-sharing DFS idiom of
+//! [`exhaustive_best_with`](crate::exhaustive_best_with): designs that
+//! agree on their first *k* adders share the stepper state up to the
+//! *k*-th adder node, workers own contiguous ranges of first-adder
+//! candidates, and ties break by lowest odometer index — so the winner is
+//! bit-identical for every thread count, pinned against the naive
+//! re-propagate-per-design reference.
+
+use sealpaa_cells::{AdderChain, Cell};
+use sealpaa_datapath::{Datapath, NodeKind, Signal};
+use sealpaa_propagate::{GraphStepper, PropagateError};
+
+use crate::search::{split_ranges, Budget, ExploreError, MAX_SEARCH};
+
+/// The score of one per-adder assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatapathEvaluation {
+    /// Predicted output `E[D²]` — the analytical MSE.
+    pub mse: f64,
+    /// Summed adder power (per-stage cell power, every adder).
+    pub power_nw: f64,
+    /// Summed adder area (gate equivalents).
+    pub area_ge: f64,
+}
+
+impl DatapathEvaluation {
+    fn admitted(&self, budget: &Budget) -> bool {
+        budget.max_power_nw.is_none_or(|cap| self.power_nw <= cap)
+            && budget.max_area_ge.is_none_or(|cap| self.area_ge <= cap)
+    }
+}
+
+/// A scored per-adder-node cell assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatapathDesign {
+    /// One cell per adder node, in node order (the layout
+    /// [`Datapath::with_adder_cells`] consumes).
+    pub cells: Vec<Cell>,
+    /// Its score under the searched input model.
+    pub evaluation: DatapathEvaluation,
+    /// Predicted exact-output power `E[V²]` — assignment-invariant, kept
+    /// so [`snr_db`](DatapathDesign::snr_db) is self-contained.
+    pub signal_power: f64,
+}
+
+impl DatapathDesign {
+    /// Predicted `SNR = 10·log10(E[V²] / E[D²])` in dB; `None` for an
+    /// error-free design or a zero-power output.
+    pub fn snr_db(&self) -> Option<f64> {
+        (self.evaluation.mse > 0.0 && self.signal_power > 0.0)
+            .then(|| 10.0 * (self.signal_power / self.evaluation.mse).log10())
+    }
+}
+
+/// Per-candidate, per-adder-node data the DFS needs, derived once. Costs
+/// are folded per chain width in stage order so they match
+/// [`AdderChain::total_power_nw`] bit for bit.
+struct DatapathDfsContext<'c> {
+    candidates: &'c [Cell],
+    /// `costs[a][c] = (power, area)` of assigning candidate `c` to the
+    /// `a`-th adder node.
+    costs: Vec<Vec<(f64, f64)>>,
+}
+
+impl<'c> DatapathDfsContext<'c> {
+    fn new(candidates: &'c [Cell], widths: &[usize]) -> Result<Self, ExploreError> {
+        let mut per_cell = Vec::with_capacity(candidates.len());
+        for cell in candidates {
+            let ch =
+                cell.characteristics()
+                    .ok_or_else(|| ExploreError::MissingCharacteristics {
+                        cell: cell.name().to_owned(),
+                    })?;
+            per_cell.push((ch.power_nw, ch.area_ge));
+        }
+        let costs = widths
+            .iter()
+            .map(|&w| {
+                per_cell
+                    .iter()
+                    .map(|&(p, a)| {
+                        // The same left fold as a uniform chain's
+                        // total_power_nw, for bit-identical budgets.
+                        let mut power = 0.0;
+                        let mut area = 0.0;
+                        for _ in 0..w {
+                            power += p;
+                            area += a;
+                        }
+                        (power, area)
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(DatapathDfsContext { candidates, costs })
+    }
+}
+
+/// The incumbent: score, odometer index for partition-independent
+/// tie-breaks, and the assignment (candidate indices per adder).
+struct Incumbent {
+    evaluation: DatapathEvaluation,
+    index: u128,
+    assignment: Vec<usize>,
+}
+
+fn replaces(challenger: &Incumbent, incumbent: &Incumbent) -> bool {
+    let c = (
+        challenger.evaluation.mse,
+        challenger.evaluation.power_nw,
+        challenger.evaluation.area_ge,
+    );
+    let i = (
+        incumbent.evaluation.mse,
+        incumbent.evaluation.power_nw,
+        incumbent.evaluation.area_ge,
+    );
+    c < i || (c == i && challenger.index < incumbent.index)
+}
+
+/// Advances the stepper through choice-free (non-adder) nodes.
+fn advance_forced(stepper: &mut GraphStepper<'_, f64>) -> Result<(), PropagateError> {
+    while !stepper.is_complete() && !stepper.next_is_adder() {
+        stepper.push(None)?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)] // recursive DFS state, deliberately unpacked
+fn best_assignment_subtree(
+    ctx: &DatapathDfsContext<'_>,
+    budget: &Budget,
+    output: Signal,
+    stepper: &mut GraphStepper<'_, f64>,
+    assignment: &mut Vec<usize>,
+    power: f64,
+    area: f64,
+    index: u128,
+    weight: u128,
+    best: &mut Option<Incumbent>,
+) -> Result<(), ExploreError> {
+    advance_forced(stepper).map_err(|source| ExploreError::Propagate { source })?;
+    if stepper.is_complete() {
+        let evaluation = DatapathEvaluation {
+            mse: stepper.state(output).error_second,
+            power_nw: power,
+            area_ge: area,
+        };
+        if !evaluation.admitted(budget) {
+            return Ok(());
+        }
+        let challenger = Incumbent {
+            evaluation,
+            index,
+            assignment: assignment.clone(),
+        };
+        let replace = match best {
+            None => true,
+            Some(incumbent) => replaces(&challenger, incumbent),
+        };
+        if replace {
+            *best = Some(challenger);
+        }
+        return Ok(());
+    }
+    let depth = stepper.depth();
+    let adder = assignment.len();
+    for c in 0..ctx.candidates.len() {
+        let (dp, da) = ctx.costs[adder][c];
+        let power = power + dp;
+        let area = area + da;
+        // Sound pruning: adder costs are non-negative and f64 addition of
+        // non-negative values is monotone, so a prefix already over a cap
+        // means every completion is over the cap.
+        if budget.max_power_nw.is_some_and(|cap| power > cap)
+            || budget.max_area_ge.is_some_and(|cap| area > cap)
+        {
+            continue;
+        }
+        stepper
+            .push(Some(&ctx.candidates[c]))
+            .map_err(|source| ExploreError::Propagate { source })?;
+        assignment.push(c);
+        best_assignment_subtree(
+            ctx,
+            budget,
+            output,
+            stepper,
+            assignment,
+            power,
+            area,
+            index + c as u128 * weight,
+            weight * ctx.candidates.len() as u128,
+            best,
+        )?;
+        assignment.pop();
+        stepper.truncate(depth);
+    }
+    Ok(())
+}
+
+/// Adder node indices and chain widths of a datapath, in node order.
+fn adder_nodes(dp: &Datapath) -> Vec<(Signal, usize)> {
+    dp.signals()
+        .filter_map(|s| match dp.kind(s) {
+            NodeKind::Add { chain, .. } => Some((s, chain.width())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The provably best per-adder-node cell assignment under a budget, by
+/// exhaustive prefix-sharing search over `threads` workers. Returns `None`
+/// if no assignment fits the budget.
+///
+/// The winner minimizes predicted output MSE (ties: lower power, lower
+/// area, earliest odometer position) and is bit-identical for every
+/// thread count.
+///
+/// # Errors
+///
+/// * [`ExploreError::NoCandidates`] for an empty candidate list,
+/// * [`ExploreError::MissingCharacteristics`] if a candidate lacks data,
+/// * [`ExploreError::SpaceTooLarge`] beyond [`MAX_SEARCH`] assignments,
+/// * [`ExploreError::Propagate`] if the engine rejects the graph or
+///   inputs (bad names, errorful gate control, …).
+pub fn best_datapath_assignment(
+    dp: &Datapath,
+    output: Signal,
+    inputs: &[(&str, Vec<f64>)],
+    candidates: &[Cell],
+    budget: &Budget,
+    threads: usize,
+) -> Result<Option<DatapathDesign>, ExploreError> {
+    if candidates.is_empty() {
+        return Err(ExploreError::NoCandidates);
+    }
+    let adders = adder_nodes(dp);
+    let designs = (candidates.len() as u128).saturating_pow(adders.len() as u32);
+    if designs > MAX_SEARCH {
+        return Err(ExploreError::SpaceTooLarge {
+            designs,
+            max: MAX_SEARCH,
+        });
+    }
+    let widths: Vec<usize> = adders.iter().map(|&(_, w)| w).collect();
+    let ctx = DatapathDfsContext::new(candidates, &widths)?;
+
+    // The assignment-invariant signal power comes from one throwaway run.
+    let signal_power = {
+        let mut stepper =
+            GraphStepper::new(dp, inputs).map_err(|source| ExploreError::Propagate { source })?;
+        stepper
+            .run_to_end()
+            .map_err(|source| ExploreError::Propagate { source })?;
+        if output.index() >= dp.len() {
+            return Err(ExploreError::Propagate {
+                source: PropagateError::Datapath(sealpaa_datapath::DatapathError::UnknownSignal {
+                    index: output.index(),
+                }),
+            });
+        }
+        stepper.state(output).value_second
+    };
+
+    if adders.is_empty() {
+        // No choices: a single, error-free-by-assignment design.
+        let mut stepper =
+            GraphStepper::new(dp, inputs).map_err(|source| ExploreError::Propagate { source })?;
+        stepper
+            .run_to_end()
+            .map_err(|source| ExploreError::Propagate { source })?;
+        let evaluation = DatapathEvaluation {
+            mse: stepper.state(output).error_second,
+            power_nw: 0.0,
+            area_ge: 0.0,
+        };
+        return Ok(evaluation.admitted(budget).then_some(DatapathDesign {
+            cells: Vec::new(),
+            evaluation,
+            signal_power,
+        }));
+    }
+
+    let ranges = split_ranges(candidates.len(), threads);
+    let partials: Vec<Result<Option<Incumbent>, ExploreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    let mut best = None;
+                    let mut stepper = GraphStepper::new(dp, inputs)
+                        .map_err(|source| ExploreError::Propagate { source })?;
+                    let mut assignment = Vec::with_capacity(ctx.costs.len());
+                    for c in range {
+                        let (power, area) = ctx.costs[0][c];
+                        if budget.max_power_nw.is_some_and(|cap| power > cap)
+                            || budget.max_area_ge.is_some_and(|cap| area > cap)
+                        {
+                            continue;
+                        }
+                        stepper.truncate(0);
+                        advance_forced(&mut stepper)
+                            .map_err(|source| ExploreError::Propagate { source })?;
+                        stepper
+                            .push(Some(&ctx.candidates[c]))
+                            .map_err(|source| ExploreError::Propagate { source })?;
+                        assignment.push(c);
+                        best_assignment_subtree(
+                            ctx,
+                            budget,
+                            output,
+                            &mut stepper,
+                            &mut assignment,
+                            power,
+                            area,
+                            c as u128,
+                            ctx.candidates.len() as u128,
+                            &mut best,
+                        )?;
+                        assignment.pop();
+                    }
+                    Ok(best)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("datapath search worker panicked"))
+            .collect()
+    });
+    let mut best: Option<Incumbent> = None;
+    for partial in partials {
+        if let Some(challenger) = partial? {
+            let replace = match &best {
+                None => true,
+                Some(incumbent) => replaces(&challenger, incumbent),
+            };
+            if replace {
+                best = Some(challenger);
+            }
+        }
+    }
+    Ok(best.map(|incumbent| DatapathDesign {
+        cells: incumbent
+            .assignment
+            .iter()
+            .map(|&c| candidates[c].clone())
+            .collect(),
+        evaluation: incumbent.evaluation,
+        signal_power,
+    }))
+}
+
+/// The naive reference: a fresh odometer enumeration with one full
+/// [`Datapath::with_adder_cells`] rebuild and complete re-propagation per
+/// assignment. Kept as the differential-test oracle and the benchmark
+/// baseline for [`best_datapath_assignment`]; do not use it for real
+/// workloads.
+///
+/// # Errors
+///
+/// Same conditions as [`best_datapath_assignment`].
+pub fn best_datapath_assignment_reference(
+    dp: &Datapath,
+    output: Signal,
+    inputs: &[(&str, Vec<f64>)],
+    candidates: &[Cell],
+    budget: &Budget,
+) -> Result<Option<DatapathDesign>, ExploreError> {
+    if candidates.is_empty() {
+        return Err(ExploreError::NoCandidates);
+    }
+    let adders = adder_nodes(dp);
+    let designs = (candidates.len() as u128).saturating_pow(adders.len() as u32);
+    if designs > MAX_SEARCH {
+        return Err(ExploreError::SpaceTooLarge {
+            designs,
+            max: MAX_SEARCH,
+        });
+    }
+    for cell in candidates {
+        if cell.characteristics().is_none() {
+            return Err(ExploreError::MissingCharacteristics {
+                cell: cell.name().to_owned(),
+            });
+        }
+    }
+    let propagate = |graph: &Datapath| -> Result<(f64, f64), ExploreError> {
+        let mut stepper = GraphStepper::new(graph, inputs)
+            .map_err(|source| ExploreError::Propagate { source })?;
+        stepper
+            .run_to_end()
+            .map_err(|source| ExploreError::Propagate { source })?;
+        if output.index() >= graph.len() {
+            return Err(ExploreError::Propagate {
+                source: PropagateError::Datapath(sealpaa_datapath::DatapathError::UnknownSignal {
+                    index: output.index(),
+                }),
+            });
+        }
+        let state = stepper.state(output);
+        Ok((state.error_second, state.value_second))
+    };
+    let (_, signal_power) = propagate(dp)?;
+    if adders.is_empty() {
+        let (mse, _) = propagate(dp)?;
+        let evaluation = DatapathEvaluation {
+            mse,
+            power_nw: 0.0,
+            area_ge: 0.0,
+        };
+        return Ok(evaluation.admitted(budget).then_some(DatapathDesign {
+            cells: Vec::new(),
+            evaluation,
+            signal_power,
+        }));
+    }
+    let mut best: Option<DatapathDesign> = None;
+    let mut assignment = vec![0usize; adders.len()];
+    loop {
+        let cells: Vec<Cell> = assignment.iter().map(|&c| candidates[c].clone()).collect();
+        let rebuilt = dp
+            .with_adder_cells(&cells)
+            .expect("one cell per adder node by construction");
+        let (mse, _) = propagate(&rebuilt)?;
+        let mut power = 0.0;
+        let mut area = 0.0;
+        for (&(_, width), cell) in adders.iter().zip(&cells) {
+            let chain = AdderChain::uniform(cell.clone(), width);
+            power += chain.total_power_nw().expect("validated above");
+            area += chain.total_area_ge().expect("validated above");
+        }
+        let evaluation = DatapathEvaluation {
+            mse,
+            power_nw: power,
+            area_ge: area,
+        };
+        if evaluation.admitted(budget) {
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (mse, power, area)
+                        < (
+                            b.evaluation.mse,
+                            b.evaluation.power_nw,
+                            b.evaluation.area_ge,
+                        )
+                }
+            };
+            if better {
+                best = Some(DatapathDesign {
+                    cells,
+                    evaluation,
+                    signal_power,
+                });
+            }
+        }
+        // Odometer increment over candidate indices.
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                return Ok(best);
+            }
+            assignment[i] += 1;
+            if assignment[i] < candidates.len() {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sealpaa_cells::StandardCell;
+    use sealpaa_propagate::topologies;
+
+    fn candidates() -> Vec<Cell> {
+        vec![
+            StandardCell::Lpaa1.cell(),
+            StandardCell::Lpaa2.cell(),
+            StandardCell::Lpaa5.cell(),
+        ]
+    }
+
+    fn fir_case() -> (Datapath, Signal, Vec<(String, Vec<f64>)>) {
+        let topo = topologies::fir(&StandardCell::Lpaa5.cell(), &[1, 2, 1], 6).expect("fits");
+        let inputs: Vec<(String, Vec<f64>)> = topo
+            .inputs
+            .iter()
+            .map(|n| (n.clone(), vec![0.5; 6]))
+            .collect();
+        (topo.datapath, topo.output, inputs)
+    }
+
+    fn as_refs(inputs: &[(String, Vec<f64>)]) -> Vec<(&str, Vec<f64>)> {
+        inputs
+            .iter()
+            .map(|(n, b)| (n.as_str(), b.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn prefix_search_matches_naive_reference() {
+        let (dp, output, inputs) = fir_case();
+        let inputs = as_refs(&inputs);
+        for budget in [
+            Budget::default(),
+            Budget {
+                max_power_nw: Some(6_000.0),
+                max_area_ge: None,
+            },
+        ] {
+            let fast = best_datapath_assignment(&dp, output, &inputs, &candidates(), &budget, 1)
+                .expect("valid");
+            let naive =
+                best_datapath_assignment_reference(&dp, output, &inputs, &candidates(), &budget)
+                    .expect("valid");
+            assert_eq!(fast, naive);
+        }
+    }
+
+    #[test]
+    fn winner_is_thread_count_invariant() {
+        let (dp, output, inputs) = fir_case();
+        let inputs = as_refs(&inputs);
+        let budget = Budget {
+            max_power_nw: Some(8_000.0),
+            max_area_ge: None,
+        };
+        let t1 = best_datapath_assignment(&dp, output, &inputs, &candidates(), &budget, 1)
+            .expect("valid");
+        for threads in [2, 3, 4, 7] {
+            let tn =
+                best_datapath_assignment(&dp, output, &inputs, &candidates(), &budget, threads)
+                    .expect("valid");
+            assert_eq!(t1, tn, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn budget_prunes_to_none_when_infeasible() {
+        let (dp, output, inputs) = fir_case();
+        let inputs = as_refs(&inputs);
+        let budget = Budget {
+            max_power_nw: Some(1.0),
+            max_area_ge: None,
+        };
+        // LPAA 5 has zero power, so an all-LPAA5 assignment always fits;
+        // drop it to force infeasibility.
+        let expensive = vec![StandardCell::Lpaa1.cell(), StandardCell::Lpaa2.cell()];
+        let best =
+            best_datapath_assignment(&dp, output, &inputs, &expensive, &budget, 2).expect("valid");
+        assert_eq!(best, None);
+    }
+
+    #[test]
+    fn unconstrained_winner_beats_every_homogeneous_assignment() {
+        let (dp, output, inputs) = fir_case();
+        let inputs = as_refs(&inputs);
+        let best =
+            best_datapath_assignment(&dp, output, &inputs, &candidates(), &Budget::default(), 2)
+                .expect("valid")
+                .expect("feasible");
+        for cell in candidates() {
+            let n = adder_nodes(&dp).len();
+            let homogeneous: Vec<Cell> = vec![cell; n];
+            let rebuilt = dp.with_adder_cells(&homogeneous).expect("count matches");
+            let p = sealpaa_propagate::propagate_moments(&rebuilt, output, &inputs).expect("valid");
+            assert!(best.evaluation.mse <= p.error_second + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let (dp, output, inputs) = fir_case();
+        let inputs = as_refs(&inputs);
+        assert_eq!(
+            best_datapath_assignment(&dp, output, &inputs, &[], &Budget::default(), 1),
+            Err(ExploreError::NoCandidates)
+        );
+    }
+
+    #[test]
+    fn adderless_datapath_yields_the_empty_design() {
+        let mut dp = Datapath::new();
+        let x = dp.input("x", 4);
+        let y = dp.shl(x, 2).expect("fits");
+        let inputs = vec![("x", vec![0.5; 4])];
+        let best = best_datapath_assignment(&dp, y, &inputs, &candidates(), &Budget::default(), 1)
+            .expect("valid")
+            .expect("always feasible");
+        assert!(best.cells.is_empty());
+        assert_eq!(best.evaluation.mse, 0.0);
+        assert_eq!(best.snr_db(), None);
+    }
+}

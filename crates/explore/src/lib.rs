@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod blocks_dse;
+mod datapath_dse;
 mod scorecard;
 mod search;
 mod sweep;
@@ -49,6 +50,10 @@ pub use blocks_dse::{
     best_block_design, best_block_design_reference, block_pareto_front, enumerate_block_designs,
     evaluate_block_config, BlockBudget, BlockDesign, BlockEvaluation, BlockObjective,
     BlockSearchSpace,
+};
+pub use datapath_dse::{
+    best_datapath_assignment, best_datapath_assignment_reference, DatapathDesign,
+    DatapathEvaluation,
 };
 pub use scorecard::{score_cells, CellScore};
 pub use search::{

@@ -61,6 +61,12 @@ pub enum ExploreError {
         /// The underlying block-engine error.
         source: sealpaa_blocks::BlockError,
     },
+    /// The datapath propagation engine rejected a graph or its inputs
+    /// (name mismatch, errorful gate control, …).
+    Propagate {
+        /// The underlying propagation error.
+        source: sealpaa_propagate::PropagateError,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -81,6 +87,9 @@ impl fmt::Display for ExploreError {
             }
             ExploreError::Blocks { source } => {
                 write!(f, "block analysis failed: {source}")
+            }
+            ExploreError::Propagate { source } => {
+                write!(f, "datapath propagation failed: {source}")
             }
         }
     }

@@ -1,0 +1,122 @@
+//! Error type for the propagation engine.
+
+use std::fmt;
+
+use sealpaa_cells::ProfileError;
+use sealpaa_core::AnalyzeError;
+use sealpaa_datapath::DatapathError;
+
+/// Errors produced by the propagation, exact-reference and fitting layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropagateError {
+    /// A graph-level error (unknown input, bad probabilities, …).
+    Datapath(DatapathError),
+    /// A per-adder analysis error (width mismatch).
+    Analysis(AnalyzeError),
+    /// An operand profile could not be built.
+    Profile(ProfileError),
+    /// A gate node's control signal carries error. The engine models gates
+    /// as exact pass/zero switches; an errorful control would make the
+    /// output error depend on the control's *joint* law, which the
+    /// moment-propagation semantics cannot express.
+    ErrorfulGateControl {
+        /// The gate node's output signal index.
+        signal: usize,
+    },
+    /// The exact tree engine requires every signal in the output's cone to
+    /// feed at most one node; this signal has fan-out above one.
+    NotATree {
+        /// The shared signal's index.
+        signal: usize,
+    },
+    /// Brute-force enumeration over the inputs would be too large.
+    TooManyInputBits {
+        /// Total input bits requested.
+        bits: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+    /// The exact tree engine's joint support grew past its cap.
+    SupportTooLarge {
+        /// States the offending signal would need.
+        states: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+    /// No full error PMF exists for this signal (an ancestor adder is wider
+    /// than [`MAX_DISTRIBUTION_WIDTH`](sealpaa_core::MAX_DISTRIBUTION_WIDTH)
+    /// or a shift overflowed the PMF's key range).
+    PmfUnavailable {
+        /// The signal's index.
+        signal: usize,
+    },
+    /// A trace fit was asked for with no samples.
+    EmptyTrace,
+    /// A value stream is too short to cover every datapath input once.
+    StreamTooShort {
+        /// Values needed (one per input).
+        needed: usize,
+        /// Values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for PropagateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropagateError::Datapath(e) => write!(f, "{e}"),
+            PropagateError::Analysis(e) => write!(f, "{e}"),
+            PropagateError::Profile(e) => write!(f, "{e}"),
+            PropagateError::ErrorfulGateControl { signal } => write!(
+                f,
+                "gate #{signal} is controlled by a signal that carries error; \
+                 moment propagation requires error-free gate controls"
+            ),
+            PropagateError::NotATree { signal } => write!(
+                f,
+                "signal #{signal} fans out to more than one node; the exact \
+                 engine only handles tree-shaped cones"
+            ),
+            PropagateError::TooManyInputBits { bits, max } => write!(
+                f,
+                "brute-force enumeration over {bits} input bits exceeds the \
+                 {max}-bit cap"
+            ),
+            PropagateError::SupportTooLarge { states, max } => write!(
+                f,
+                "exact joint support needs {states} states, above the {max} cap"
+            ),
+            PropagateError::PmfUnavailable { signal } => write!(
+                f,
+                "no full error PMF for signal #{signal}: an ancestor adder is \
+                 too wide or a shift overflowed the support"
+            ),
+            PropagateError::EmptyTrace => write!(f, "cannot fit a model from an empty trace"),
+            PropagateError::StreamTooShort { needed, got } => write!(
+                f,
+                "value stream has {got} samples but the datapath needs at \
+                 least {needed} (one per input)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PropagateError {}
+
+impl From<DatapathError> for PropagateError {
+    fn from(e: DatapathError) -> Self {
+        PropagateError::Datapath(e)
+    }
+}
+
+impl From<AnalyzeError> for PropagateError {
+    fn from(e: AnalyzeError) -> Self {
+        PropagateError::Analysis(e)
+    }
+}
+
+impl From<ProfileError> for PropagateError {
+    fn from(e: ProfileError) -> Self {
+        PropagateError::Profile(e)
+    }
+}

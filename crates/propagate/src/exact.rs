@@ -1,0 +1,297 @@
+//! Exact reference engines for the fast moment propagation.
+//!
+//! Two independent ground truths, both generic over [`Prob`] so they run
+//! in exact [`Rational`](sealpaa_num::Rational) arithmetic:
+//!
+//! * [`brute_force_moments`] — enumerates *every* input assignment,
+//!   evaluates the datapath bit-true, and accumulates the output error's
+//!   exact law. Exponential in total input bits; capped at
+//!   [`MAX_EXACT_INPUT_BITS`].
+//! * [`exact_tree_moments`] — propagates the exact *joint* distribution of
+//!   `(approximate value, exact value)` per signal. Operand independence
+//!   holds whenever every signal in the output's cone feeds at most one
+//!   node (a tree), so on trees this is exact — and usually exponentially
+//!   cheaper than enumeration.
+//!
+//! Agreement of the two on tree-shaped graphs (and of the fast engine with
+//! them where its assumptions hold exactly) is pinned by the crate's
+//! consistency tests.
+
+use std::collections::BTreeMap;
+
+use sealpaa_datapath::{Datapath, DatapathError, NodeKind, Signal};
+use sealpaa_num::Prob;
+
+use crate::engine::validated_input_bits;
+use crate::error::PropagateError;
+
+/// Cap on total input bits for [`brute_force_moments`].
+pub const MAX_EXACT_INPUT_BITS: usize = 22;
+
+/// Cap on a signal's joint support in [`exact_tree_moments`].
+pub const MAX_EXACT_STATES: usize = 1 << 20;
+
+/// Exact moments of the output error distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactMoments<T> {
+    /// `P(D ≠ 0)`.
+    pub error_probability: T,
+    /// `E[D]`.
+    pub mean: T,
+    /// `E[D²]`.
+    pub second: T,
+}
+
+/// Accumulates `(weight, signed distance)` pairs into exact moments.
+struct MomentAccumulator<T> {
+    error_probability: T,
+    mean_pos: T,
+    mean_neg: T,
+    second: T,
+}
+
+impl<T: Prob> MomentAccumulator<T> {
+    fn new() -> Self {
+        MomentAccumulator {
+            error_probability: T::zero(),
+            mean_pos: T::zero(),
+            mean_neg: T::zero(),
+            second: T::zero(),
+        }
+    }
+
+    fn record(&mut self, weight: T, approx: u64, exact: u64) {
+        if approx == exact {
+            return;
+        }
+        let magnitude = T::from_ratio(approx.abs_diff(exact), 1);
+        self.error_probability = self.error_probability.clone() + weight.clone();
+        if approx > exact {
+            self.mean_pos = self.mean_pos.clone() + weight.clone() * magnitude.clone();
+        } else {
+            self.mean_neg = self.mean_neg.clone() + weight.clone() * magnitude.clone();
+        }
+        self.second = self.second.clone() + weight * magnitude.clone() * magnitude;
+    }
+
+    fn finish(self) -> ExactMoments<T> {
+        ExactMoments {
+            error_probability: self.error_probability,
+            mean: self.mean_pos - self.mean_neg,
+            second: self.second,
+        }
+    }
+}
+
+/// Enumerates every input assignment and returns the output error's exact
+/// moments.
+///
+/// # Errors
+///
+/// * wrapped [`DatapathError`] on input/signal mismatches,
+/// * [`PropagateError::TooManyInputBits`] if the inputs total more than
+///   [`MAX_EXACT_INPUT_BITS`] bits.
+pub fn brute_force_moments<T: Prob>(
+    dp: &Datapath,
+    output: Signal,
+    inputs: &[(&str, Vec<T>)],
+) -> Result<ExactMoments<T>, PropagateError> {
+    if output.index() >= dp.len() {
+        return Err(DatapathError::UnknownSignal {
+            index: output.index(),
+        }
+        .into());
+    }
+    let bits_by_node = validated_input_bits(dp, inputs)?;
+    // Inputs in declaration order, with their validated bit probabilities.
+    let mut named: Vec<(String, Vec<T>)> = Vec::new();
+    for signal in dp.signals() {
+        if let NodeKind::Input { name } = dp.kind(signal) {
+            let bits = bits_by_node[signal.index()]
+                .clone()
+                .expect("validated above");
+            named.push((name.to_string(), bits));
+        }
+    }
+    let total_bits: usize = named.iter().map(|(_, bits)| bits.len()).sum();
+    if total_bits > MAX_EXACT_INPUT_BITS {
+        return Err(PropagateError::TooManyInputBits {
+            bits: total_bits,
+            max: MAX_EXACT_INPUT_BITS,
+        });
+    }
+    let mut acc = MomentAccumulator::new();
+    for assignment in 0u64..(1u64 << total_bits) {
+        let mut weight = T::one();
+        let mut cursor = 0usize;
+        let mut pairs: Vec<(&str, u64)> = Vec::with_capacity(named.len());
+        for (name, bits) in &named {
+            let value = (assignment >> cursor) & ((1u64 << bits.len()) - 1);
+            cursor += bits.len();
+            for (i, p) in bits.iter().enumerate() {
+                let factor = if (value >> i) & 1 == 1 {
+                    p.clone()
+                } else {
+                    p.complement()
+                };
+                weight = weight * factor;
+            }
+            pairs.push((name.as_str(), value));
+        }
+        if weight.is_zero() {
+            continue;
+        }
+        let approx = dp.evaluate(&pairs)?.value(output);
+        let exact = dp.evaluate_exact(&pairs)?.value(output);
+        acc.record(weight, approx, exact);
+    }
+    Ok(acc.finish())
+}
+
+/// Propagates the exact joint `(approximate, exact)` distribution through a
+/// tree-shaped cone and returns the output error's exact moments.
+///
+/// # Errors
+///
+/// * wrapped [`DatapathError`] on input/signal mismatches,
+/// * [`PropagateError::NotATree`] if a signal in the output's cone feeds
+///   more than one node,
+/// * [`PropagateError::SupportTooLarge`] if a joint support would exceed
+///   [`MAX_EXACT_STATES`].
+pub fn exact_tree_moments<T: Prob>(
+    dp: &Datapath,
+    output: Signal,
+    inputs: &[(&str, Vec<T>)],
+) -> Result<ExactMoments<T>, PropagateError> {
+    if output.index() >= dp.len() {
+        return Err(DatapathError::UnknownSignal {
+            index: output.index(),
+        }
+        .into());
+    }
+    let bits_by_node = validated_input_bits(dp, inputs)?;
+    let signals: Vec<Signal> = dp.signals().collect();
+
+    // The output's cone, and the fan-out of every signal within it.
+    let mut in_cone = vec![false; dp.len()];
+    in_cone[output.index()] = true;
+    let mut uses = vec![0usize; dp.len()];
+    for &signal in signals.iter().rev() {
+        if !in_cone[signal.index()] {
+            continue;
+        }
+        let operands: &[Signal] = match dp.kind(signal) {
+            NodeKind::Input { .. } | NodeKind::Const { .. } => &[],
+            NodeKind::Shl { a, .. } => &[a],
+            NodeKind::Gate { a, bit } => &[a, bit],
+            NodeKind::Add { a, b, .. } => &[a, b],
+        };
+        for &op in operands {
+            in_cone[op.index()] = true;
+            uses[op.index()] += 1;
+            if uses[op.index()] > 1 {
+                return Err(PropagateError::NotATree { signal: op.index() });
+            }
+        }
+    }
+
+    type Joint<T> = BTreeMap<(u64, u64), T>;
+    fn bump<T: Prob>(map: &mut Joint<T>, key: (u64, u64), weight: T) {
+        let entry = map.entry(key).or_insert_with(T::zero);
+        *entry = entry.clone() + weight;
+    }
+    fn check_cap<T>(map: &Joint<T>) -> Result<(), PropagateError> {
+        if map.len() > MAX_EXACT_STATES {
+            return Err(PropagateError::SupportTooLarge {
+                states: map.len(),
+                max: MAX_EXACT_STATES,
+            });
+        }
+        Ok(())
+    }
+
+    let mut joints: Vec<Option<Joint<T>>> = vec![None; dp.len()];
+    for &signal in &signals {
+        if !in_cone[signal.index()] {
+            continue;
+        }
+        let joint = match dp.kind(signal) {
+            NodeKind::Input { .. } => {
+                let bits = bits_by_node[signal.index()]
+                    .as_ref()
+                    .expect("validated above");
+                let mut map = Joint::new();
+                for value in 0u64..(1u64 << bits.len()) {
+                    let mut weight = T::one();
+                    for (i, p) in bits.iter().enumerate() {
+                        let factor = if (value >> i) & 1 == 1 {
+                            p.clone()
+                        } else {
+                            p.complement()
+                        };
+                        weight = weight * factor;
+                    }
+                    if !weight.is_zero() {
+                        map.insert((value, value), weight);
+                    }
+                }
+                map
+            }
+            NodeKind::Const { value } => {
+                let mut map = Joint::new();
+                map.insert((value, value), T::one());
+                map
+            }
+            NodeKind::Shl { a, amount } => {
+                let source = joints[a.index()].take().expect("operand before use");
+                source
+                    .into_iter()
+                    .map(|((approx, exact), w)| ((approx << amount, exact << amount), w))
+                    .collect()
+            }
+            NodeKind::Gate { a, bit } => {
+                let data = joints[a.index()].take().expect("operand before use");
+                let control = joints[bit.index()].take().expect("operand before use");
+                let mut map = Joint::new();
+                for ((da, de), wd) in &data {
+                    for ((ca, ce), wc) in &control {
+                        let weight = wd.clone() * wc.clone();
+                        if weight.is_zero() {
+                            continue;
+                        }
+                        let approx = if ca & 1 == 1 { *da } else { 0 };
+                        let exact = if ce & 1 == 1 { *de } else { 0 };
+                        bump(&mut map, (approx, exact), weight);
+                    }
+                }
+                map
+            }
+            NodeKind::Add { a, b, chain } => {
+                let left = joints[a.index()].take().expect("operand before use");
+                let right = joints[b.index()].take().expect("operand before use");
+                let mut map = Joint::new();
+                for ((la, le), wl) in &left {
+                    for ((ra, re), wr) in &right {
+                        let weight = wl.clone() * wr.clone();
+                        if weight.is_zero() {
+                            continue;
+                        }
+                        let approx = chain.add(*la, *ra, false).value();
+                        let exact = le + re;
+                        bump(&mut map, (approx, exact), weight);
+                    }
+                }
+                map
+            }
+        };
+        check_cap(&joint)?;
+        joints[signal.index()] = Some(joint);
+    }
+
+    let joint = joints[output.index()].take().expect("output is in cone");
+    let mut acc = MomentAccumulator::new();
+    for ((approx, exact), weight) in joint {
+        acc.record(weight, approx, exact);
+    }
+    Ok(acc.finish())
+}

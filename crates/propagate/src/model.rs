@@ -1,0 +1,234 @@
+//! Bounded-support error PMFs with explicit truncation accounting.
+//!
+//! The moment engine ([`propagate_moments`](crate::propagate_moments))
+//! carries only means and second moments — cheap at any width. When every
+//! adder in a cone is narrow enough for the paper's full distribution
+//! recursion, the engine can additionally compose the *complete* output
+//! error PMF by convolving per-adder distributions. Supports multiply under
+//! convolution, so the PMF is truncated to [`MAX_PMF_SUPPORT`] points:
+//! lowest-mass points are dropped first and the dropped probability is
+//! reported, never silently lost.
+
+use std::collections::BTreeMap;
+
+/// Maximum number of support points kept in a composed [`ErrorPmf`].
+///
+/// Convolution truncates past this bound, dropping the lowest-mass points
+/// and accumulating their probability into
+/// [`ErrorPmf::truncated_mass`].
+pub const MAX_PMF_SUPPORT: usize = 4096;
+
+/// A probability mass function over signed error distances with bounded
+/// support.
+///
+/// Invariants: points are sorted by error distance, each mass is
+/// non-negative, and the retained masses sum to at most one. Whatever the
+/// retained points do not cover is reported by
+/// [`truncated_mass`](ErrorPmf::truncated_mass) — composition never
+/// renormalises, so downstream consumers can bound how much of the law
+/// they are not seeing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorPmf {
+    points: Vec<(i64, f64)>,
+}
+
+impl ErrorPmf {
+    /// The error-free distribution: all mass at distance zero.
+    pub fn delta() -> ErrorPmf {
+        ErrorPmf {
+            points: vec![(0, 1.0)],
+        }
+    }
+
+    /// Builds a PMF from `(distance, mass)` points (any order, duplicate
+    /// distances are merged). Truncates to [`MAX_PMF_SUPPORT`] if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mass is negative or not finite.
+    pub fn from_points(points: impl IntoIterator<Item = (i64, f64)>) -> ErrorPmf {
+        let mut map = BTreeMap::new();
+        for (d, m) in points {
+            assert!(
+                m.is_finite() && m >= 0.0,
+                "PMF masses must be finite and non-negative"
+            );
+            *map.entry(d).or_insert(0.0) += m;
+        }
+        ErrorPmf::from_map(map)
+    }
+
+    fn from_map(map: BTreeMap<i64, f64>) -> ErrorPmf {
+        let mut points: Vec<(i64, f64)> = map.into_iter().filter(|&(_, m)| m > 0.0).collect();
+        if points.len() > MAX_PMF_SUPPORT {
+            // Drop the lowest-mass points first; ties broken towards
+            // keeping small distances (deterministic regardless of input
+            // order).
+            points.sort_by(|a, b| {
+                b.1.total_cmp(&a.1)
+                    .then_with(|| a.0.unsigned_abs().cmp(&b.0.unsigned_abs()))
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            points.truncate(MAX_PMF_SUPPORT);
+            points.sort_by_key(|&(d, _)| d);
+        }
+        ErrorPmf { points }
+    }
+
+    /// The retained `(distance, mass)` points, sorted by distance.
+    pub fn points(&self) -> &[(i64, f64)] {
+        &self.points
+    }
+
+    /// Probability mass dropped by truncation: `1 − Σ retained`.
+    ///
+    /// Zero (up to rounding) when the support never exceeded
+    /// [`MAX_PMF_SUPPORT`].
+    pub fn truncated_mass(&self) -> f64 {
+        (1.0 - self.points.iter().map(|&(_, m)| m).sum::<f64>()).max(0.0)
+    }
+
+    /// Retained mass at an exact distance.
+    pub fn probability_of(&self, distance: i64) -> f64 {
+        self.points
+            .binary_search_by_key(&distance, |&(d, _)| d)
+            .map(|i| self.points[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// `P(distance ≠ 0)`, counting truncated mass as error (truncation
+    /// never drops the zero point before all non-zero points of equal
+    /// mass, and dropped mass belongs to *some* distance).
+    pub fn error_probability(&self) -> f64 {
+        (1.0 - self.probability_of(0)).clamp(0.0, 1.0)
+    }
+
+    /// Mean of the retained mass.
+    pub fn mean(&self) -> f64 {
+        self.points.iter().map(|&(d, m)| d as f64 * m).sum()
+    }
+
+    /// Second moment of the retained mass.
+    pub fn second_moment(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(d, m)| (d as f64) * (d as f64) * m)
+            .sum()
+    }
+
+    /// Largest absolute retained distance.
+    pub fn max_absolute_error(&self) -> u64 {
+        self.points
+            .iter()
+            .map(|&(d, _)| d.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The distribution of the sum of two independent errors.
+    pub fn convolve(&self, other: &ErrorPmf) -> ErrorPmf {
+        let mut map = BTreeMap::new();
+        for &(da, ma) in &self.points {
+            for &(db, mb) in &other.points {
+                let (Some(d), m) = (da.checked_add(db), ma * mb) else {
+                    continue;
+                };
+                if m > 0.0 {
+                    *map.entry(d).or_insert(0.0) += m;
+                }
+            }
+        }
+        ErrorPmf::from_map(map)
+    }
+
+    /// The distribution of `factor · D`. Returns `None` if a scaled
+    /// distance overflows `i64`.
+    pub fn scale(&self, factor: i64) -> Option<ErrorPmf> {
+        let mut points = Vec::with_capacity(self.points.len());
+        for &(d, m) in &self.points {
+            points.push((d.checked_mul(factor)?, m));
+        }
+        Some(ErrorPmf::from_points(points))
+    }
+
+    /// The distribution of `B · D` for an independent Bernoulli `B` with
+    /// `P(B = 1) = p`: each point scaled by `p`, plus `1 − p` at zero.
+    pub fn gate(&self, p: f64) -> ErrorPmf {
+        let p = p.clamp(0.0, 1.0);
+        let mut map = BTreeMap::new();
+        map.insert(0, 1.0 - p);
+        for &(d, m) in &self.points {
+            *map.entry(d).or_insert(0.0) += p * m;
+        }
+        ErrorPmf::from_map(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_has_no_error() {
+        let d = ErrorPmf::delta();
+        assert_eq!(d.error_probability(), 0.0);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.truncated_mass(), 0.0);
+    }
+
+    #[test]
+    fn convolution_adds_means_and_supports() {
+        let a = ErrorPmf::from_points([(0, 0.5), (2, 0.5)]);
+        let b = ErrorPmf::from_points([(-1, 0.25), (0, 0.75)]);
+        let c = a.convolve(&b);
+        assert!((c.mean() - (1.0 - 0.25)).abs() < 1e-12);
+        assert!((c.probability_of(1) - 0.125).abs() < 1e-12);
+        assert!((c.points().iter().map(|&(_, m)| m).sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_multiplies_distances() {
+        let a = ErrorPmf::from_points([(1, 0.5), (-2, 0.5)]);
+        let s = a.scale(4).expect("no overflow");
+        assert_eq!(s.probability_of(4), 0.5);
+        assert_eq!(s.probability_of(-8), 0.5);
+        assert!(a.scale(i64::MAX).is_none());
+    }
+
+    #[test]
+    fn gate_mixes_with_zero() {
+        let a = ErrorPmf::from_points([(3, 1.0)]);
+        let g = a.gate(0.25);
+        assert!((g.probability_of(0) - 0.75).abs() < 1e-12);
+        assert!((g.probability_of(3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_keeps_heaviest_points_and_reports_mass() {
+        // 2·MAX_PMF_SUPPORT points: heavy half and light half.
+        let n = MAX_PMF_SUPPORT as i64;
+        let heavy = 0.9 / n as f64;
+        let light = 0.1 / n as f64;
+        let points = (0..n)
+            .map(|i| (i, heavy))
+            .chain((0..n).map(|i| (n + i, light)));
+        let pmf = ErrorPmf::from_points(points);
+        assert_eq!(pmf.points().len(), MAX_PMF_SUPPORT);
+        assert!(
+            (pmf.truncated_mass() - 0.1).abs() < 1e-9,
+            "{}",
+            pmf.truncated_mass()
+        );
+        // All heavy points survived.
+        assert!(pmf.probability_of(0) > 0.0);
+        assert!(pmf.probability_of(n - 1) > 0.0);
+        assert_eq!(pmf.probability_of(n), 0.0);
+    }
+
+    #[test]
+    fn duplicate_points_merge() {
+        let pmf = ErrorPmf::from_points([(1, 0.25), (1, 0.25), (0, 0.5)]);
+        assert_eq!(pmf.probability_of(1), 0.5);
+        assert_eq!(pmf.points().len(), 2);
+    }
+}

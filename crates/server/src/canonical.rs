@@ -25,8 +25,8 @@ use std::fmt::Write as _;
 use sealpaa_cells::{AdderChain, FaInput, InputProfile, TruthTable};
 
 use crate::protocol::{
-    AdderSpec, BlocksSpec, DseSpec, GearSpec, ProfileSource, ProfileSpec, RequestBody, SimMode,
-    SimulateSpec,
+    AdderSpec, BlocksSpec, DatapathSpec, DatapathTopology, DseSpec, GearSpec, ProfileSource,
+    ProfileSpec, RequestBody, SimMode, SimulateSpec,
 };
 
 /// Returns the canonical cache key for a request body, or `None` when the
@@ -42,6 +42,7 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
         RequestBody::Blocks(spec) => Some(blocks_key(spec)),
         RequestBody::Dse(spec) => Some(dse_key(spec)),
         RequestBody::Profile(spec) => profile_key(spec),
+        RequestBody::Datapath(spec) => Some(datapath_key(spec)),
         // A batch is not cached as a whole: each sub-request is routed
         // through the cache under its own canonical key, which is what lets
         // duplicate configurations inside one batch compute once.
@@ -239,6 +240,36 @@ fn blocks_key(spec: &BlocksSpec) -> String {
         blocks.join(","),
         prob_token(*spec.profile.p_cin()),
         spec.cdf
+    )
+}
+
+/// The `datapath` key is a pure function of the graph shape and the input
+/// model: topology parameters, the adder cell's 16-bit truth-table code (so
+/// a named cell and its spelled-out table collide, as in [`adder_key`]),
+/// the input width, the per-bit probability token, and the `pmf` flag.
+/// The analytical propagation is single-pass and deterministic, so there is
+/// no threads/seed dimension to exclude.
+fn datapath_key(spec: &DatapathSpec) -> String {
+    let topo = match &spec.topology {
+        DatapathTopology::Fir { coefficients } => {
+            let taps: Vec<String> = coefficients.iter().map(u64::to_string).collect();
+            format!("fir:{}", taps.join(","))
+        }
+        DatapathTopology::Conv2d { kernel } => {
+            let rows: Vec<String> = kernel
+                .iter()
+                .map(|row| row.iter().map(u64::to_string).collect::<Vec<_>>().join(","))
+                .collect();
+            format!("conv2d:{}", rows.join(";"))
+        }
+        DatapathTopology::Multiplier => "multiplier".to_owned(),
+    };
+    format!(
+        "datapath|{topo}|{:04x}|{}|{:016x}|{}",
+        table_code(spec.cell.truth_table()),
+        spec.width,
+        prob_token(spec.p),
+        spec.pmf
     )
 }
 
@@ -444,6 +475,42 @@ mod tests {
             base,
             key_of(r#"{"kind":"profile","width":8,"synth":"uniform","records":65536,"seed":0}"#)
         );
+    }
+
+    #[test]
+    fn datapath_named_cell_and_truth_table_share_a_key() {
+        let named =
+            key_of(r#"{"kind":"datapath","width":8,"cell":"lpaa5","coefficients":[1,2,1]}"#);
+        let spec = sealpaa_cells::StandardCell::Lpaa5
+            .truth_table()
+            .to_spec_string();
+        let spelled = key_of(&format!(
+            r#"{{"kind":"datapath","width":8,"cell":"{spec}","coefficients":[1,2,1]}}"#
+        ));
+        assert_eq!(named, spelled);
+        // Spelling the defaults out changes nothing.
+        assert_eq!(
+            named,
+            key_of(
+                r#"{"kind":"datapath","topology":"fir","width":8,"cell":"lpaa5","coefficients":[1,2,1],"p":0.5,"pmf":false}"#
+            )
+        );
+    }
+
+    #[test]
+    fn datapath_key_covers_every_parameter() {
+        let base = key_of(r#"{"kind":"datapath","width":8,"cell":"lpaa5","coefficients":[1,2,1]}"#);
+        for other in [
+            r#"{"kind":"datapath","width":8,"cell":"lpaa5","coefficients":[1,2,2]}"#,
+            r#"{"kind":"datapath","width":8,"cell":"lpaa2","coefficients":[1,2,1]}"#,
+            r#"{"kind":"datapath","width":6,"cell":"lpaa5","coefficients":[1,2,1]}"#,
+            r#"{"kind":"datapath","width":8,"cell":"lpaa5","coefficients":[1,2,1],"p":0.3}"#,
+            r#"{"kind":"datapath","width":8,"cell":"lpaa5","coefficients":[1,2,1],"pmf":true}"#,
+            r#"{"kind":"datapath","topology":"multiplier","width":8,"cell":"lpaa5"}"#,
+            r#"{"kind":"datapath","topology":"conv2d","width":8,"cell":"lpaa5","kernel":[[1,2,1]]}"#,
+        ] {
+            assert_ne!(base, key_of(other), "{other}");
+        }
     }
 
     #[test]

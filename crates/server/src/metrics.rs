@@ -24,9 +24,9 @@ pub const BUCKETS: usize = 31;
 
 /// The request kinds tracked per-kind, in stable wire-name order (this is
 /// also the key order of the `stats` response's `"kinds"` object).
-pub const KIND_NAMES: [&str; 10] = [
-    "analyze", "simulate", "compare", "gear", "blocks", "dse", "profile", "batch", "stats",
-    "shutdown",
+pub const KIND_NAMES: [&str; 11] = [
+    "analyze", "simulate", "compare", "gear", "blocks", "dse", "profile", "datapath", "batch",
+    "stats", "shutdown",
 ];
 
 /// The index of a wire kind in [`KIND_NAMES`], or `None` for unknown names

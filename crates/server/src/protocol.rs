@@ -54,6 +54,10 @@ pub enum RequestBody {
     /// Workload-trace bit statistics: empirical per-bit probabilities and
     /// the independence-violation score.
     Profile(ProfileSpec),
+    /// Analytical datapath error propagation: predicted output error
+    /// moments and SNR for a whole adder graph (FIR, conv2d, multiplier) —
+    /// no simulation in the loop.
+    Datapath(DatapathSpec),
     /// Several compute sub-requests answered in one response, routed through
     /// the canonical cache as a group (duplicate configurations compute
     /// once).
@@ -75,6 +79,7 @@ impl RequestBody {
             RequestBody::Blocks(_) => "blocks",
             RequestBody::Dse(_) => "dse",
             RequestBody::Profile(_) => "profile",
+            RequestBody::Datapath(_) => "datapath",
             RequestBody::Batch(_) => "batch",
             RequestBody::Stats => "stats",
             RequestBody::Shutdown => "shutdown",
@@ -345,6 +350,114 @@ pub struct ProfileSpec {
     pub source: ProfileSource,
 }
 
+/// The adder-graph topologies a `datapath` request may ask about. Each
+/// expands to a [`sealpaa_propagate::topologies`] graph server-side, so the
+/// wire carries only the shape parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatapathTopology {
+    /// A transposed-form FIR filter with the given taps.
+    Fir {
+        /// The filter coefficients, oldest sample first.
+        coefficients: Vec<u64>,
+    },
+    /// A 2-D convolution with the given (rectangular) kernel.
+    Conv2d {
+        /// Kernel rows, each the same length.
+        kernel: Vec<Vec<u64>>,
+    },
+    /// A shift-add multiplier of the request's `width`.
+    Multiplier,
+}
+
+/// A `datapath` request: compose per-adder error models through a whole
+/// datapath graph and report the predicted output error moments and SNR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatapathSpec {
+    /// What graph to build.
+    pub topology: DatapathTopology,
+    /// The adder cell every add node uses.
+    pub cell: Cell,
+    /// Input/sample/pixel bits.
+    pub width: usize,
+    /// Constant `P(bit = 1)` for every input bit.
+    pub p: f64,
+    /// Also compose the full output error PMF (narrow adders only).
+    pub pmf: bool,
+}
+
+impl DatapathSpec {
+    fn from_json(doc: &Json) -> Result<DatapathSpec, String> {
+        let width = doc
+            .get("width")
+            .and_then(Json::as_u64)
+            .ok_or("\"width\" (a positive integer) is required")? as usize;
+        if width == 0 || width > 32 {
+            return Err("\"width\" must be 1..=32".to_owned());
+        }
+        let cell_name = doc
+            .get("cell")
+            .and_then(Json::as_str)
+            .ok_or("\"cell\" (a cell name) is required")?;
+        let cell = resolve_cell(cell_name)?;
+        let coeff = |v: &Json, what: &str| -> Result<u64, String> {
+            v.as_u64()
+                .ok_or_else(|| format!("{what} must be a non-negative integer"))
+        };
+        let topology = match doc.get("topology").and_then(Json::as_str).unwrap_or("fir") {
+            "fir" => {
+                let rows = doc
+                    .get("coefficients")
+                    .and_then(Json::as_array)
+                    .ok_or("\"coefficients\" (an array of taps) is required for \"fir\"")?;
+                let coefficients: Vec<u64> = rows
+                    .iter()
+                    .map(|v| coeff(v, "every \"coefficients\" entry"))
+                    .collect::<Result<_, _>>()?;
+                if coefficients.is_empty() || coefficients.iter().all(|&c| c == 0) {
+                    return Err("\"coefficients\" needs a non-zero tap".to_owned());
+                }
+                DatapathTopology::Fir { coefficients }
+            }
+            "conv2d" => {
+                let rows = doc.get("kernel").and_then(Json::as_array).ok_or(
+                    "\"kernel\" (an array of coefficient rows) is required for \"conv2d\"",
+                )?;
+                let kernel: Vec<Vec<u64>> = rows
+                    .iter()
+                    .map(|row| {
+                        row.as_array()
+                            .ok_or_else(|| "every \"kernel\" row must be an array".to_owned())?
+                            .iter()
+                            .map(|v| coeff(v, "every \"kernel\" coefficient"))
+                            .collect()
+                    })
+                    .collect::<Result<_, _>>()?;
+                let cols = kernel.first().map_or(0, Vec::len);
+                if cols == 0 || kernel.iter().any(|r| r.len() != cols) {
+                    return Err("\"kernel\" rows must be non-empty and equal length".to_owned());
+                }
+                if kernel.iter().flatten().all(|&c| c == 0) {
+                    return Err("\"kernel\" needs a non-zero coefficient".to_owned());
+                }
+                DatapathTopology::Conv2d { kernel }
+            }
+            "multiplier" => DatapathTopology::Multiplier,
+            other => {
+                return Err(format!(
+                    "unknown topology {other:?} (expected fir, conv2d or multiplier)"
+                ))
+            }
+        };
+        Ok(DatapathSpec {
+            topology,
+            cell,
+            width,
+            p: prob_field(doc, "p")?.unwrap_or(0.5),
+            pmf: doc.get("pmf").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
 impl Request {
     /// Parses one request line, enforcing the default [`MAX_LINE_BYTES`]
     /// length limit.
@@ -398,13 +511,14 @@ pub(crate) fn body_from_doc(doc: &Json) -> Result<RequestBody, String> {
         "blocks" => RequestBody::Blocks(BlocksSpec::from_json(doc)?),
         "dse" => RequestBody::Dse(DseSpec::from_json(doc)?),
         "profile" => RequestBody::Profile(ProfileSpec::from_json(doc)?),
+        "datapath" => RequestBody::Datapath(DatapathSpec::from_json(doc)?),
         "batch" => RequestBody::Batch(BatchSpec::from_json(doc)?),
         "stats" => RequestBody::Stats,
         "shutdown" => RequestBody::Shutdown,
         other => {
             return Err(format!(
                 "unknown kind {other:?} (expected analyze, simulate, compare, gear, blocks, \
-                 dse, profile, batch, stats or shutdown)"
+                 dse, profile, datapath, batch, stats or shutdown)"
             ))
         }
     })
@@ -954,6 +1068,18 @@ mod tests {
                 "profile",
             ),
             (
+                r#"{"kind":"datapath","width":8,"cell":"lpaa5","coefficients":[1,2,1]}"#,
+                "datapath",
+            ),
+            (
+                r#"{"kind":"datapath","topology":"conv2d","width":8,"cell":"lpaa2","kernel":[[1,2],[2,4]],"pmf":true}"#,
+                "datapath",
+            ),
+            (
+                r#"{"kind":"datapath","topology":"multiplier","width":6,"cell":"lpaa1","p":0.3}"#,
+                "datapath",
+            ),
+            (
                 r#"{"kind":"batch","requests":[{"kind":"analyze","width":2,"cell":"lpaa1"}]}"#,
                 "batch",
             ),
@@ -1271,6 +1397,28 @@ mod tests {
                 "does not fit width",
             ),
             (r#"{"kind":"profile","width":4,"trace":[[1,2,7]]}"#, "cin"),
+            (r#"{"kind":"datapath","cell":"lpaa1"}"#, "\"width\""),
+            (r#"{"kind":"datapath","width":8}"#, "\"cell\""),
+            (
+                r#"{"kind":"datapath","width":33,"cell":"lpaa1","coefficients":[1]}"#,
+                "1..=32",
+            ),
+            (
+                r#"{"kind":"datapath","width":8,"cell":"lpaa1"}"#,
+                "\"coefficients\"",
+            ),
+            (
+                r#"{"kind":"datapath","width":8,"cell":"lpaa1","coefficients":[0,0]}"#,
+                "non-zero tap",
+            ),
+            (
+                r#"{"kind":"datapath","topology":"conv2d","width":8,"cell":"lpaa1","kernel":[[1,2],[3]]}"#,
+                "equal length",
+            ),
+            (
+                r#"{"kind":"datapath","topology":"torus","width":8,"cell":"lpaa1"}"#,
+                "unknown topology",
+            ),
         ] {
             let err = Request::parse(line).expect_err(line);
             assert!(err.contains(needle), "{line}: {err} (wanted {needle})");

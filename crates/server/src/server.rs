@@ -55,8 +55,8 @@ use crate::pool::WorkerPool;
 use crate::protocol::{
     body_from_doc, error_response, json_equal_ignoring_id, ok_response, render_batch_ok_response,
     render_ok_response, write_sub_ok_response, AdderSpec, BatchBody, BatchSpec, BlocksSpec,
-    DseSpec, GearSpec, ProfileSource, ProfileSpec, RequestBody, SimMode, SimulateSpec,
-    MAX_LINE_BYTES,
+    DatapathSpec, DatapathTopology, DseSpec, GearSpec, ProfileSource, ProfileSpec, RequestBody,
+    SimMode, SimulateSpec, MAX_LINE_BYTES,
 };
 use crate::snapshot::{read_snapshot, write_snapshot, SnapshotError, SnapshotLimits};
 
@@ -1517,6 +1517,7 @@ pub(crate) fn compute_result(body: &RequestBody) -> Result<Json, String> {
         RequestBody::Blocks(spec) => blocks_result(spec),
         RequestBody::Dse(spec) => dse_result(spec),
         RequestBody::Profile(spec) => profile_result(spec),
+        RequestBody::Datapath(spec) => datapath_result(spec),
         RequestBody::Stats | RequestBody::Shutdown | RequestBody::Batch(_) => {
             unreachable!("control and batch requests are planned inline")
         }
@@ -1789,6 +1790,73 @@ fn profile_result(spec: &ProfileSpec) -> Result<Json, String> {
     Ok(obj.build())
 }
 
+fn datapath_result(spec: &DatapathSpec) -> Result<Json, String> {
+    use sealpaa_propagate::topologies;
+    let (name, topo) = match &spec.topology {
+        DatapathTopology::Fir { coefficients } => {
+            ("fir", topologies::fir(&spec.cell, coefficients, spec.width))
+        }
+        DatapathTopology::Conv2d { kernel } => {
+            ("conv2d", topologies::conv2d(&spec.cell, kernel, spec.width))
+        }
+        DatapathTopology::Multiplier => {
+            ("multiplier", topologies::multiplier(&spec.cell, spec.width))
+        }
+    };
+    let topo = topo.map_err(|e| e.to_string())?;
+    let inputs: Vec<(&str, Vec<f64>)> = topo
+        .inputs
+        .iter()
+        .map(|input| {
+            let bits = topo
+                .datapath
+                .signals()
+                .find(|&s| {
+                    matches!(topo.datapath.kind(s),
+                             sealpaa_datapath::NodeKind::Input { name: n } if n == input)
+                })
+                .map_or(spec.width, |s| topo.datapath.width(s));
+            (input.as_str(), vec![spec.p; bits])
+        })
+        .collect();
+    let prediction = sealpaa_propagate::predict(&topo.datapath, topo.output, &inputs, spec.pmf)
+        .map_err(|e| e.to_string())?;
+    let m = &prediction.moments;
+    let db = |v: Option<f64>| v.map_or(Json::Null, Json::Number);
+    let mut obj = Json::object()
+        .field("topology", name)
+        .field("cell", spec.cell.name())
+        .field("width", spec.width as u64)
+        .field("adders", m.adders.len() as u64)
+        .field("mse", m.error_second)
+        .field("mean_error", m.error_mean)
+        .field("signal_power", m.value_second)
+        .field("snr_db", db(m.snr_db()))
+        .field("any_adder_error", m.any_adder_error())
+        .field(
+            "adder_models",
+            m.adders
+                .iter()
+                .map(|a| {
+                    Json::object()
+                        .field("signal", a.signal.index() as u64)
+                        .field("error_probability", a.error_probability)
+                        .field("mean", a.mean)
+                        .field("second", a.second)
+                        .build()
+                })
+                .collect::<Vec<_>>(),
+        );
+    if let Some(pmf) = &prediction.pmf {
+        obj = obj
+            .field("pmf_points", pmf.points().len() as u64)
+            .field("pmf_truncated_mass", pmf.truncated_mass())
+            .field("pmf_max_abs_error", pmf.max_absolute_error())
+            .field("pmf_error_probability", pmf.error_probability());
+    }
+    Ok(obj.build())
+}
+
 /// Resolves a human-readable list of the standard cells — used by the CLI's
 /// `serve --help` so the daemon and CLI agree on the vocabulary.
 pub fn standard_cell_names() -> Vec<&'static str> {
@@ -1859,6 +1927,52 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn stdio_serves_datapath_and_caches_by_canonical_key() {
+        // The second request spells the same cell as its raw truth table:
+        // a different wire spelling of the same problem, so it must be a
+        // cache hit with the byte-identical result.
+        let table = StandardCell::Lpaa5.truth_table().to_spec_string();
+        let lines = format!(
+            "{{\"id\":1,\"kind\":\"datapath\",\"width\":6,\"cell\":\"lpaa5\",\"coefficients\":[1,2,1]}}\n\
+             {{\"id\":2,\"kind\":\"datapath\",\"width\":6,\"cell\":\"{table}\",\"coefficients\":[1,2,1]}}\n"
+        );
+        let responses = run_lines(&ServerConfig::default(), &lines);
+        assert_eq!(responses.len(), 2);
+        let first = &responses[0];
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+        let result = first.get("result").expect("datapath result");
+        assert_eq!(result.get("adders").and_then(Json::as_u64), Some(2));
+        let snr = result
+            .get("snr_db")
+            .and_then(Json::as_f64)
+            .expect("approximate FIR has a finite SNR");
+        assert!(snr.is_finite() && snr > 0.0, "snr {snr}");
+        let second = &responses[1];
+        assert_eq!(
+            second.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "equivalent spelling must hit the canonical cache"
+        );
+        assert_eq!(first.get("result"), second.get("result"));
+    }
+
+    #[test]
+    fn datapath_pmf_round_trips_over_stdio() {
+        let responses = run_lines(
+            &ServerConfig::default(),
+            "{\"kind\":\"datapath\",\"topology\":\"multiplier\",\"width\":3,\"cell\":\"lpaa2\",\"pmf\":true}\n",
+        );
+        let result = responses[0].get("result").expect("datapath result");
+        assert!(result.get("pmf_points").and_then(Json::as_u64).unwrap_or(0) > 0);
+        let p_err = result
+            .get("pmf_error_probability")
+            .and_then(Json::as_f64)
+            .expect("pmf error probability");
+        assert!((0.0..=1.0).contains(&p_err), "{p_err}");
     }
 
     #[test]

@@ -67,6 +67,12 @@ run cargo test -p sealpaa-trace --test fidelity -q
 # and GeAr-as-blocks vs the gear crate's independent DP.
 run cargo test -p sealpaa-blocks --test differential -q
 
+# The error-propagation suites: exact-Rational vs f64 consistency of the
+# datapath moment engine, then the accuracy acceptance bounds (analytical
+# SNR vs Monte-Carlo / replay ground truth, per topology).
+run cargo test -p sealpaa-propagate --test consistency -q
+run cargo test -p sealpaa-propagate --test acceptance -q
+
 # The server fault-injection suite, once per connection layer: the tests
 # run both models by default, but forcing each via SEALPAA_IO_MODEL pins
 # that a hang in one model cannot hide behind the other passing first.
@@ -102,6 +108,8 @@ run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
     cargo bench -p sealpaa-bench --bench trace_kernels
 run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
     cargo bench -p sealpaa-bench --bench blocks_kernels
+run env MICROBENCH_QUICK=1 MICROBENCH_SAMPLE_MS=5 \
+    cargo bench -p sealpaa-bench --bench datapath_kernels
 # The daemon throughput bench doubles as an end-to-end smoke of the event
 # loop: it boots an in-process server and drives serialized, pipelined and
 # batch traffic over real sockets (quick mode never rewrites BENCH JSON).

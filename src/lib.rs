@@ -23,6 +23,9 @@
 //! * [`explore`] — hybrid-adder design-space exploration,
 //! * [`datapath`] — accelerator datapaths (adder trees, multipliers, FIR
 //!   filters, 2-D convolution) built from approximate adders,
+//! * [`propagate`] — analytical error propagation through those datapaths:
+//!   per-node error models composed into output moments, SNR prediction and
+//!   model fitting from traces, no simulation in the loop,
 //! * [`hdl`] — structural Verilog emission for cells, chains and GeAr,
 //! * [`num`] — exact arbitrary-precision rationals for exact-mode analysis,
 //! * [`server`] — the analysis-as-a-service daemon (JSON over TCP/stdio)
@@ -58,6 +61,7 @@ pub use sealpaa_gear as gear;
 pub use sealpaa_hdl as hdl;
 pub use sealpaa_inclexcl as inclexcl;
 pub use sealpaa_num as num;
+pub use sealpaa_propagate as propagate;
 pub use sealpaa_server as server;
 pub use sealpaa_sim as sim;
 pub use sealpaa_trace as trace;
